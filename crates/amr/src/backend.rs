@@ -1,0 +1,383 @@
+//! The common interface the meshing routines drive.
+//!
+//! The paper runs the same droplet-ejection simulation over three octree
+//! implementations (§5.1); [`OctreeBackend`] is the seam that makes that
+//! possible here. Adapters wrap each implementation together with its
+//! persistence mechanism:
+//!
+//! * [`PmBackend`] — PM-octree; `end_of_step` calls `pm_persistent`.
+//! * [`InCoreBackend`] — Gerris-style in-core tree; `end_of_step` writes a
+//!   snapshot file every `snapshot_interval` steps (10 in the paper).
+//! * [`EtreeBackend`] — Etree out-of-core tree; every op is already
+//!   write-through, `end_of_step` flushes index pages.
+
+use pm_octree::{CellData, PmOctree};
+use pmoctree_baselines::{EtreeOctree, InCoreOctree};
+use pmoctree_morton::OctKey;
+use pmoctree_simfs::SimFs;
+
+/// Cell payload as a plain array: `[phi, pressure, vof, work]`.
+pub type Cell = [f64; 4];
+
+/// Uniform interface over the three octree implementations.
+pub trait OctreeBackend {
+    /// Split the leaf at `key` into 8 children. `false` if absent/non-leaf.
+    fn refine(&mut self, key: OctKey) -> bool;
+    /// Remove the (all-leaf) children of `key`. `false` if illegal.
+    fn coarsen(&mut self, key: OctKey) -> bool;
+    /// `Some(true)` leaf, `Some(false)` internal, `None` absent.
+    fn is_leaf(&mut self, key: OctKey) -> Option<bool>;
+    /// The leaf whose region contains `key` (None if `key` is internal).
+    fn containing_leaf(&mut self, key: OctKey) -> Option<OctKey>;
+    /// Read a leaf/octant payload.
+    fn get_data(&mut self, key: OctKey) -> Option<Cell>;
+    /// Write a leaf/octant payload.
+    fn set_data(&mut self, key: OctKey, data: Cell) -> bool;
+    /// Visit every leaf.
+    fn for_each_leaf(&mut self, f: &mut dyn FnMut(OctKey, &Cell));
+    /// Sweep: return `Some(new)` from `f` to update a leaf.
+    fn update_leaves(&mut self, f: &mut dyn FnMut(OctKey, &Cell) -> Option<Cell>);
+    /// Number of leaves (mesh elements).
+    fn leaf_count(&self) -> usize;
+    /// Deepest refinement level.
+    fn depth(&self) -> u8;
+    /// Virtual nanoseconds consumed so far (all cost models combined).
+    fn elapsed_ns(&self) -> u64;
+    /// Charge externally-modeled time (network transfers, barriers) onto
+    /// this backend's clock.
+    fn charge_external(&mut self, ns: u64);
+    /// Synchronize to a barrier: the clock jumps to at least `t_ns`.
+    fn barrier_to(&mut self, t_ns: u64);
+    /// End-of-time-step hook: persistence according to the scheme.
+    fn end_of_step(&mut self, step: usize);
+    /// Short scheme name for reports.
+    fn name(&self) -> &'static str;
+}
+
+// ---------------------------------------------------------------- PM-octree
+
+/// PM-octree adapter.
+pub struct PmBackend {
+    /// The wrapped tree.
+    pub tree: PmOctree,
+}
+
+impl PmBackend {
+    /// Wrap a PM-octree.
+    pub fn new(tree: PmOctree) -> Self {
+        PmBackend { tree }
+    }
+}
+
+fn to_cell(d: &CellData) -> Cell {
+    [d.phi, d.pressure, d.vof, d.work]
+}
+
+fn from_cell(c: &Cell) -> CellData {
+    CellData { phi: c[0], pressure: c[1], vof: c[2], work: c[3] }
+}
+
+impl OctreeBackend for PmBackend {
+    fn refine(&mut self, key: OctKey) -> bool {
+        self.tree.refine(key).is_ok()
+    }
+
+    fn coarsen(&mut self, key: OctKey) -> bool {
+        self.tree.coarsen(key).is_ok()
+    }
+
+    fn is_leaf(&mut self, key: OctKey) -> Option<bool> {
+        self.tree.is_leaf(key)
+    }
+
+    fn containing_leaf(&mut self, key: OctKey) -> Option<OctKey> {
+        self.tree.containing_leaf(key)
+    }
+
+    fn get_data(&mut self, key: OctKey) -> Option<Cell> {
+        self.tree.get_data(key).map(|d| to_cell(&d))
+    }
+
+    fn set_data(&mut self, key: OctKey, data: Cell) -> bool {
+        // Trait semantics: payloads live on leaves (a linear octree has
+        // no internal payload, so the common interface exposes none).
+        if self.tree.is_leaf(key) != Some(true) {
+            return false;
+        }
+        self.tree.set_data(key, from_cell(&data)).is_ok()
+    }
+
+    fn for_each_leaf(&mut self, f: &mut dyn FnMut(OctKey, &Cell)) {
+        self.tree.for_each_leaf(|k, d| f(k, &to_cell(d)));
+    }
+
+    fn update_leaves(&mut self, f: &mut dyn FnMut(OctKey, &Cell) -> Option<Cell>) {
+        self.tree.update_leaves(|k, d| f(k, &to_cell(d)).map(|c| from_cell(&c)));
+    }
+
+    fn leaf_count(&self) -> usize {
+        self.tree.leaf_count()
+    }
+
+    fn depth(&self) -> u8 {
+        self.tree.depth()
+    }
+
+    fn elapsed_ns(&self) -> u64 {
+        self.tree.store.arena.clock.now_ns()
+    }
+
+    fn charge_external(&mut self, ns: u64) {
+        self.tree.store.arena.clock.advance(ns);
+    }
+
+    fn barrier_to(&mut self, t_ns: u64) {
+        self.tree.store.arena.clock.advance_to(t_ns);
+    }
+
+    fn end_of_step(&mut self, _step: usize) {
+        self.tree.persist();
+    }
+
+    fn name(&self) -> &'static str {
+        "pm-octree"
+    }
+}
+
+// ---------------------------------------------------------------- in-core
+
+/// In-core baseline adapter: tree in DRAM + snapshot files on NVBM.
+pub struct InCoreBackend {
+    /// The wrapped tree.
+    pub tree: InCoreOctree,
+    /// Snapshot target file system (NVBM via FS interface).
+    pub fs: SimFs,
+    /// Snapshot every N steps (paper: 10).
+    pub snapshot_interval: usize,
+}
+
+impl InCoreBackend {
+    /// Wrap a fresh in-core tree with the paper's 10-step snapshots.
+    pub fn new() -> Self {
+        InCoreBackend { tree: InCoreOctree::new(), fs: SimFs::on_nvbm(), snapshot_interval: 10 }
+    }
+}
+
+impl Default for InCoreBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OctreeBackend for InCoreBackend {
+    fn refine(&mut self, key: OctKey) -> bool {
+        self.tree.refine(key)
+    }
+
+    fn coarsen(&mut self, key: OctKey) -> bool {
+        self.tree.coarsen(key)
+    }
+
+    fn is_leaf(&mut self, key: OctKey) -> Option<bool> {
+        self.tree.is_leaf(key)
+    }
+
+    fn containing_leaf(&mut self, key: OctKey) -> Option<OctKey> {
+        self.tree.containing_leaf(key)
+    }
+
+    fn get_data(&mut self, key: OctKey) -> Option<Cell> {
+        self.tree.get_data(key)
+    }
+
+    fn set_data(&mut self, key: OctKey, data: Cell) -> bool {
+        // Leaves only — see the PmBackend note.
+        if self.tree.is_leaf(key) != Some(true) {
+            return false;
+        }
+        self.tree.set_data(key, data)
+    }
+
+    fn for_each_leaf(&mut self, f: &mut dyn FnMut(OctKey, &Cell)) {
+        self.tree.for_each_leaf(f);
+    }
+
+    fn update_leaves(&mut self, f: &mut dyn FnMut(OctKey, &Cell) -> Option<Cell>) {
+        self.tree.update_leaves(f);
+    }
+
+    fn leaf_count(&self) -> usize {
+        self.tree.leaf_count()
+    }
+
+    fn depth(&self) -> u8 {
+        self.tree.depth()
+    }
+
+    fn elapsed_ns(&self) -> u64 {
+        self.tree.clock.now_ns() + self.fs.clock.now_ns()
+    }
+
+    fn charge_external(&mut self, ns: u64) {
+        self.tree.clock.advance(ns);
+    }
+
+    fn barrier_to(&mut self, t_ns: u64) {
+        let now = self.elapsed_ns();
+        if t_ns > now {
+            self.tree.clock.advance(t_ns - now);
+        }
+    }
+
+    fn end_of_step(&mut self, step: usize) {
+        if self.snapshot_interval > 0 && step.is_multiple_of(self.snapshot_interval) {
+            self.tree.snapshot(&mut self.fs, &format!("snapshot-{step}.gfs"));
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "in-core"
+    }
+}
+
+// ---------------------------------------------------------------- etree
+
+/// Etree out-of-core baseline adapter.
+pub struct EtreeBackend {
+    /// The wrapped tree (owns its file system).
+    pub tree: EtreeOctree,
+}
+
+impl EtreeBackend {
+    /// Etree on NVBM accessed through the FS interface (the paper's
+    /// configuration for §5.2–5.4).
+    pub fn on_nvbm() -> Self {
+        EtreeBackend { tree: EtreeOctree::create(SimFs::on_nvbm()) }
+    }
+
+    /// Etree on a rotating disk (its original habitat).
+    pub fn on_disk() -> Self {
+        EtreeBackend { tree: EtreeOctree::create(SimFs::on_disk()) }
+    }
+}
+
+impl OctreeBackend for EtreeBackend {
+    fn refine(&mut self, key: OctKey) -> bool {
+        self.tree.refine(key)
+    }
+
+    fn coarsen(&mut self, key: OctKey) -> bool {
+        self.tree.coarsen(key)
+    }
+
+    fn is_leaf(&mut self, key: OctKey) -> Option<bool> {
+        match self.tree.is_leaf(key) {
+            Some(true) => Some(true),
+            Some(false) => Some(false),
+            None => None,
+        }
+    }
+
+    fn containing_leaf(&mut self, key: OctKey) -> Option<OctKey> {
+        self.tree.containing_leaf(key)
+    }
+
+    fn get_data(&mut self, key: OctKey) -> Option<Cell> {
+        self.tree.get_data(key)
+    }
+
+    fn set_data(&mut self, key: OctKey, data: Cell) -> bool {
+        self.tree.set_data(key, data)
+    }
+
+    fn for_each_leaf(&mut self, f: &mut dyn FnMut(OctKey, &Cell)) {
+        self.tree.for_each_leaf(f);
+    }
+
+    fn update_leaves(&mut self, f: &mut dyn FnMut(OctKey, &Cell) -> Option<Cell>) {
+        self.tree.update_leaves(f);
+    }
+
+    fn leaf_count(&self) -> usize {
+        self.tree.leaf_count()
+    }
+
+    fn depth(&self) -> u8 {
+        self.tree.depth()
+    }
+
+    fn elapsed_ns(&self) -> u64 {
+        self.tree.fs.clock.now_ns()
+    }
+
+    fn charge_external(&mut self, ns: u64) {
+        self.tree.fs.clock.advance(ns);
+    }
+
+    fn barrier_to(&mut self, t_ns: u64) {
+        self.tree.fs.clock.advance_to(t_ns);
+    }
+
+    fn end_of_step(&mut self, _step: usize) {
+        self.tree.flush();
+    }
+
+    fn name(&self) -> &'static str {
+        "out-of-core"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_octree::PmConfig;
+    use pmoctree_nvbm::{DeviceModel, NvbmArena};
+
+    fn backends() -> Vec<Box<dyn OctreeBackend>> {
+        vec![
+            Box::new(PmBackend::new(PmOctree::create(
+                NvbmArena::new(16 << 20, DeviceModel::default()),
+                PmConfig { dynamic_transform: false, ..PmConfig::default() },
+            ))),
+            Box::new(InCoreBackend::new()),
+            Box::new(EtreeBackend::on_nvbm()),
+        ]
+    }
+
+    #[test]
+    fn all_backends_agree_on_basic_meshing() {
+        for mut b in backends() {
+            assert_eq!(b.leaf_count(), 1, "{}", b.name());
+            assert!(b.refine(OctKey::root()), "{}", b.name());
+            assert!(b.refine(OctKey::root().child(2)), "{}", b.name());
+            assert_eq!(b.leaf_count(), 15, "{}", b.name());
+            assert_eq!(b.is_leaf(OctKey::root().child(2)), Some(false), "{}", b.name());
+            assert_eq!(b.is_leaf(OctKey::root().child(3)), Some(true), "{}", b.name());
+            assert_eq!(
+                b.containing_leaf(OctKey::root().child(3).child(1)),
+                Some(OctKey::root().child(3)),
+                "{}",
+                b.name()
+            );
+            assert!(b.set_data(OctKey::root().child(3), [1.0, 2.0, 3.0, 4.0]), "{}", b.name());
+            assert_eq!(b.get_data(OctKey::root().child(3)), Some([1.0, 2.0, 3.0, 4.0]));
+            assert!(b.coarsen(OctKey::root().child(2)), "{}", b.name());
+            assert_eq!(b.leaf_count(), 8, "{}", b.name());
+            let mut n = 0;
+            b.for_each_leaf(&mut |_, _| n += 1);
+            assert_eq!(n, 8, "{}", b.name());
+            b.end_of_step(10);
+            assert!(b.elapsed_ns() > 0, "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn update_leaves_consistent_across_backends() {
+        for mut b in backends() {
+            b.refine(OctKey::root());
+            b.update_leaves(&mut |_, d| Some([d[0] + 1.0, d[1], d[2], d[3]]));
+            let name = b.name();
+            b.for_each_leaf(&mut |_, d| assert_eq!(d[0], 1.0, "{name}"));
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! `Construct`: build the initial octree on each processor.
+
+use pmoctree_morton::OctKey;
+
+use crate::backend::OctreeBackend;
+
+/// Uniformly refine the tree until every leaf is at `level`.
+///
+/// This is the usual starting point of a simulation: a regular base grid
+/// that the criterion-driven adaptation then deepens near features.
+pub fn construct_uniform(b: &mut dyn OctreeBackend, level: u8) {
+    for l in 0..level {
+        let mut to_refine = Vec::new();
+        b.for_each_leaf(&mut |k, _| {
+            if k.level() == l {
+                to_refine.push(k);
+            }
+        });
+        for k in to_refine {
+            b.refine(k);
+        }
+    }
+}
+
+/// Refine along a path to create one deep leaf at `key` (plus the sibling
+/// leaves the splits create). Useful to build skewed test trees.
+pub fn construct_path(b: &mut dyn OctreeBackend, key: OctKey) {
+    for l in 0..key.level() {
+        let anc = key.ancestor_at(l);
+        if b.is_leaf(anc) == Some(true) {
+            b.refine(anc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::InCoreBackend;
+
+    #[test]
+    fn uniform_levels() {
+        let mut b = InCoreBackend::new();
+        construct_uniform(&mut b, 3);
+        assert_eq!(b.leaf_count(), 512);
+        let mut levels = std::collections::HashSet::new();
+        b.for_each_leaf(&mut |k, _| {
+            levels.insert(k.level());
+        });
+        assert_eq!(levels.len(), 1);
+        assert!(levels.contains(&3));
+    }
+
+    #[test]
+    fn path_reaches_target() {
+        let mut b = InCoreBackend::new();
+        let key = OctKey::root().child(1).child(2).child(3);
+        construct_path(&mut b, key);
+        assert_eq!(b.is_leaf(key), Some(true));
+        assert_eq!(b.leaf_count(), 1 + 7 * 3);
+    }
+}

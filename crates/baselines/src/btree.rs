@@ -1,0 +1,475 @@
+//! A disk-backed B-tree, as used by the Etree library to index octant
+//! pages.
+//!
+//! Nodes are serialized into 4 KiB pages of a [`SimFs`] file; a small LRU
+//! page cache stands in for Etree's buffer pool. Every cache miss charges
+//! a page read, every dirty eviction a page write — this is the "extra
+//! memory latency" the paper attributes to index-based out-of-core
+//! designs running on NVBM.
+//!
+//! Deletion removes keys from leaves without rebalancing (underfull
+//! leaves are permitted); Etree workloads shrink pages only on
+//! coarsening, where slots are soon reused.
+
+use std::collections::HashMap;
+
+use pmoctree_nvbm::PAGE;
+use pmoctree_simfs::SimFs;
+
+/// Maximum keys per node (fits a 4 KiB page with 16-byte entries).
+const MAX_KEYS: usize = 128;
+
+#[derive(Debug, Clone, PartialEq)]
+enum BNode {
+    Leaf { keys: Vec<u64>, vals: Vec<u64> },
+    Internal { keys: Vec<u64>, kids: Vec<u32> },
+}
+
+impl BNode {
+    fn serialize(&self) -> Vec<u8> {
+        let mut out = vec![0u8; PAGE];
+        match self {
+            BNode::Leaf { keys, vals } => {
+                out[0] = 0;
+                out[1..3].copy_from_slice(&(keys.len() as u16).to_le_bytes());
+                for (i, (k, v)) in keys.iter().zip(vals).enumerate() {
+                    out[16 + i * 16..24 + i * 16].copy_from_slice(&k.to_le_bytes());
+                    out[24 + i * 16..32 + i * 16].copy_from_slice(&v.to_le_bytes());
+                }
+            }
+            BNode::Internal { keys, kids } => {
+                out[0] = 1;
+                out[1..3].copy_from_slice(&(keys.len() as u16).to_le_bytes());
+                for (i, k) in keys.iter().enumerate() {
+                    out[16 + i * 16..24 + i * 16].copy_from_slice(&k.to_le_bytes());
+                }
+                for (i, c) in kids.iter().enumerate() {
+                    out[24 + i * 16..28 + i * 16].copy_from_slice(&c.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    fn deserialize(b: &[u8]) -> BNode {
+        let n = u16::from_le_bytes(b[1..3].try_into().expect("2")) as usize;
+        if b[0] == 0 {
+            let mut keys = Vec::with_capacity(n);
+            let mut vals = Vec::with_capacity(n);
+            for i in 0..n {
+                keys.push(u64::from_le_bytes(b[16 + i * 16..24 + i * 16].try_into().expect("8")));
+                vals.push(u64::from_le_bytes(b[24 + i * 16..32 + i * 16].try_into().expect("8")));
+            }
+            BNode::Leaf { keys, vals }
+        } else {
+            let mut keys = Vec::with_capacity(n);
+            let mut kids = Vec::with_capacity(n + 1);
+            for i in 0..n {
+                keys.push(u64::from_le_bytes(b[16 + i * 16..24 + i * 16].try_into().expect("8")));
+            }
+            for i in 0..=n {
+                kids.push(u32::from_le_bytes(b[24 + i * 16..28 + i * 16].try_into().expect("4")));
+            }
+            BNode::Internal { keys, kids }
+        }
+    }
+}
+
+struct CacheSlot {
+    node: BNode,
+    dirty: bool,
+    last_use: u64,
+}
+
+/// Disk-backed B-tree mapping `u64 → u64`.
+pub struct DiskBTree {
+    file: String,
+    root: u32,
+    next_page: u32,
+    cache: HashMap<u32, CacheSlot>,
+    cache_cap: usize,
+    tick: u64,
+    len: usize,
+}
+
+impl DiskBTree {
+    /// Create a new tree stored in `file` on `fs`.
+    pub fn create(fs: &mut SimFs, file: &str) -> Self {
+        fs.create(file);
+        let mut t = DiskBTree {
+            file: file.to_string(),
+            root: 0,
+            next_page: 1,
+            cache: HashMap::new(),
+            cache_cap: 32,
+            tick: 0,
+            len: 0,
+        };
+        t.put(fs, 0, BNode::Leaf { keys: Vec::new(), vals: Vec::new() });
+        t
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the tree empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set the cache capacity in pages.
+    pub fn set_cache_pages(&mut self, fs: &mut SimFs, pages: usize) {
+        self.cache_cap = pages.max(1);
+        self.evict_over_cap(fs);
+    }
+
+    fn touch(&mut self, page: u32) {
+        self.tick += 1;
+        if let Some(s) = self.cache.get_mut(&page) {
+            s.last_use = self.tick;
+        }
+    }
+
+    fn get_node(&mut self, fs: &mut SimFs, page: u32) -> BNode {
+        if self.cache.contains_key(&page) {
+            self.touch(page);
+            return self.cache[&page].node.clone();
+        }
+        let mut buf = vec![0u8; PAGE];
+        fs.read_at(&self.file, page as usize * PAGE, &mut buf).expect("index page read");
+        let node = BNode::deserialize(&buf);
+        self.tick += 1;
+        self.cache.insert(page, CacheSlot { node: node.clone(), dirty: false, last_use: self.tick });
+        self.evict_over_cap(fs);
+        node
+    }
+
+    fn put(&mut self, fs: &mut SimFs, page: u32, node: BNode) {
+        self.tick += 1;
+        self.cache.insert(page, CacheSlot { node, dirty: true, last_use: self.tick });
+        self.evict_over_cap(fs);
+    }
+
+    fn evict_over_cap(&mut self, fs: &mut SimFs) {
+        while self.cache.len() > self.cache_cap {
+            let victim = self
+                .cache
+                .iter()
+                .min_by_key(|(_, s)| s.last_use)
+                .map(|(&p, _)| p)
+                .expect("cache non-empty");
+            let slot = self.cache.remove(&victim).expect("present");
+            if slot.dirty {
+                fs.write_at(&self.file, victim as usize * PAGE, &slot.node.serialize())
+                    .expect("index page write");
+            }
+        }
+    }
+
+    /// Write every dirty cached page back to the file.
+    pub fn flush(&mut self, fs: &mut SimFs) {
+        let pages: Vec<u32> = self.cache.iter().filter(|(_, s)| s.dirty).map(|(&p, _)| p).collect();
+        for p in pages {
+            let node = self.cache[&p].node.clone();
+            fs.write_at(&self.file, p as usize * PAGE, &node.serialize()).expect("flush");
+            self.cache.get_mut(&p).expect("present").dirty = false;
+        }
+    }
+
+    fn alloc_page(&mut self) -> u32 {
+        let p = self.next_page;
+        self.next_page += 1;
+        p
+    }
+
+    /// Exact lookup.
+    pub fn get(&mut self, fs: &mut SimFs, key: u64) -> Option<u64> {
+        let mut page = self.root;
+        loop {
+            match self.get_node(fs, page) {
+                BNode::Leaf { keys, vals } => {
+                    return keys.binary_search(&key).ok().map(|i| vals[i]);
+                }
+                BNode::Internal { keys, kids } => {
+                    let i = keys.partition_point(|&k| k <= key);
+                    page = kids[i];
+                }
+            }
+        }
+    }
+
+    /// Greatest entry with key ≤ `key` (the "which page owns this anchor"
+    /// query of the Etree page index).
+    pub fn get_le(&mut self, fs: &mut SimFs, key: u64) -> Option<(u64, u64)> {
+        let mut page = self.root;
+        let mut best: Option<(u64, u64)> = None;
+        loop {
+            match self.get_node(fs, page) {
+                BNode::Leaf { keys, vals } => {
+                    let i = keys.partition_point(|&k| k <= key);
+                    if i > 0 {
+                        let cand = (keys[i - 1], vals[i - 1]);
+                        best = Some(match best {
+                            Some(b) if b.0 > cand.0 => b,
+                            _ => cand,
+                        });
+                    }
+                    return best;
+                }
+                BNode::Internal { keys, kids } => {
+                    let i = keys.partition_point(|&k| k <= key);
+                    // Keys in internal nodes are copies of leaf keys
+                    // (split separators); remember the floor on the way
+                    // down in case the chosen subtree has nothing ≤ key.
+                    if i > 0 {
+                        // All keys in subtree i-1..: the separator itself
+                        // exists in the right subtree's leftmost leaf, so
+                        // no update needed here; descending kids[i] keeps
+                        // every candidate ≤ key reachable… except when the
+                        // subtree's smallest key > key, which cannot
+                        // happen for i ≥ 1 since separator keys ≤ key sit
+                        // in that subtree.
+                    }
+                    page = kids[i];
+                }
+            }
+        }
+    }
+
+    /// Insert or replace. Returns the previous value if the key existed.
+    pub fn insert(&mut self, fs: &mut SimFs, key: u64, val: u64) -> Option<u64> {
+        let root = self.root;
+        let (old, split) = self.insert_rec(fs, root, key, val);
+        if let Some((sep, right)) = split {
+            let new_root = self.alloc_page();
+            let node = BNode::Internal { keys: vec![sep], kids: vec![self.root, right] };
+            self.put(fs, new_root, node);
+            self.root = new_root;
+        }
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Returns (old value, optional (separator, new right page)).
+    fn insert_rec(
+        &mut self,
+        fs: &mut SimFs,
+        page: u32,
+        key: u64,
+        val: u64,
+    ) -> (Option<u64>, Option<(u64, u32)>) {
+        match self.get_node(fs, page) {
+            BNode::Leaf { mut keys, mut vals } => {
+                match keys.binary_search(&key) {
+                    Ok(i) => {
+                        let old = vals[i];
+                        vals[i] = val;
+                        self.put(fs, page, BNode::Leaf { keys, vals });
+                        (Some(old), None)
+                    }
+                    Err(i) => {
+                        keys.insert(i, key);
+                        vals.insert(i, val);
+                        if keys.len() > MAX_KEYS {
+                            let mid = keys.len() / 2;
+                            let rk = keys.split_off(mid);
+                            let rv = vals.split_off(mid);
+                            let sep = rk[0];
+                            let right = self.alloc_page();
+                            self.put(fs, right, BNode::Leaf { keys: rk, vals: rv });
+                            self.put(fs, page, BNode::Leaf { keys, vals });
+                            (None, Some((sep, right)))
+                        } else {
+                            self.put(fs, page, BNode::Leaf { keys, vals });
+                            (None, None)
+                        }
+                    }
+                }
+            }
+            BNode::Internal { mut keys, mut kids } => {
+                let i = keys.partition_point(|&k| k <= key);
+                let (old, split) = self.insert_rec(fs, kids[i], key, val);
+                if let Some((sep, right)) = split {
+                    keys.insert(i, sep);
+                    kids.insert(i + 1, right);
+                    if keys.len() > MAX_KEYS {
+                        let mid = keys.len() / 2;
+                        let sep_up = keys[mid];
+                        let rk = keys.split_off(mid + 1);
+                        keys.pop(); // sep_up moves up
+                        let rkids = kids.split_off(mid + 1);
+                        let right_page = self.alloc_page();
+                        self.put(fs, right_page, BNode::Internal { keys: rk, kids: rkids });
+                        self.put(fs, page, BNode::Internal { keys, kids });
+                        return (old, Some((sep_up, right_page)));
+                    }
+                }
+                self.put(fs, page, BNode::Internal { keys, kids });
+                (old, None)
+            }
+        }
+    }
+
+    /// Remove a key (leaves may underflow; no rebalancing). Returns the
+    /// removed value.
+    pub fn remove(&mut self, fs: &mut SimFs, key: u64) -> Option<u64> {
+        let mut page = self.root;
+        loop {
+            match self.get_node(fs, page) {
+                BNode::Leaf { mut keys, mut vals } => {
+                    return match keys.binary_search(&key) {
+                        Ok(i) => {
+                            keys.remove(i);
+                            let v = vals.remove(i);
+                            self.put(fs, page, BNode::Leaf { keys, vals });
+                            self.len -= 1;
+                            Some(v)
+                        }
+                        Err(_) => None,
+                    };
+                }
+                BNode::Internal { keys, kids } => {
+                    let i = keys.partition_point(|&k| k <= key);
+                    page = kids[i];
+                }
+            }
+        }
+    }
+
+    /// In-order key/value pairs (test/diagnostic helper; scans every page).
+    pub fn items(&mut self, fs: &mut SimFs) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(self.len);
+        let root = self.root;
+        self.items_rec(fs, root, &mut out);
+        out
+    }
+
+    fn items_rec(&mut self, fs: &mut SimFs, page: u32, out: &mut Vec<(u64, u64)>) {
+        match self.get_node(fs, page) {
+            BNode::Leaf { keys, vals } => out.extend(keys.into_iter().zip(vals)),
+            BNode::Internal { kids, .. } => {
+                for k in kids {
+                    self.items_rec(fs, k, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fsys() -> SimFs {
+        SimFs::on_nvbm()
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let mut fs = fsys();
+        let mut t = DiskBTree::create(&mut fs, "idx");
+        for k in [5u64, 1, 9, 3, 7] {
+            assert_eq!(t.insert(&mut fs, k, k * 10), None);
+        }
+        assert_eq!(t.len(), 5);
+        for k in [5u64, 1, 9, 3, 7] {
+            assert_eq!(t.get(&mut fs, k), Some(k * 10));
+        }
+        assert_eq!(t.get(&mut fs, 2), None);
+    }
+
+    #[test]
+    fn insert_replace() {
+        let mut fs = fsys();
+        let mut t = DiskBTree::create(&mut fs, "idx");
+        assert_eq!(t.insert(&mut fs, 42, 1), None);
+        assert_eq!(t.insert(&mut fs, 42, 2), Some(1));
+        assert_eq!(t.get(&mut fs, 42), Some(2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn many_keys_force_splits() {
+        let mut fs = fsys();
+        let mut t = DiskBTree::create(&mut fs, "idx");
+        let n = 5000u64;
+        // Insert in a scrambled order.
+        for i in 0..n {
+            let k = (i * 2_654_435_761) % (n * 4);
+            t.insert(&mut fs, k, k + 1);
+        }
+        let items = t.items(&mut fs);
+        assert_eq!(items.len(), t.len());
+        // Sorted and consistent.
+        for w in items.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        for &(k, v) in &items {
+            assert_eq!(v, k + 1);
+            assert_eq!(t.get(&mut fs, k), Some(v));
+        }
+    }
+
+    #[test]
+    fn get_le_finds_floor() {
+        let mut fs = fsys();
+        let mut t = DiskBTree::create(&mut fs, "idx");
+        for k in (0..2000u64).map(|i| i * 10) {
+            t.insert(&mut fs, k, k);
+        }
+        assert_eq!(t.get_le(&mut fs, 55), Some((50, 50)));
+        assert_eq!(t.get_le(&mut fs, 50), Some((50, 50)));
+        assert_eq!(t.get_le(&mut fs, 0), Some((0, 0)));
+        assert_eq!(t.get_le(&mut fs, 19_995), Some((19_990, 19_990)));
+    }
+
+    #[test]
+    fn remove_deletes() {
+        let mut fs = fsys();
+        let mut t = DiskBTree::create(&mut fs, "idx");
+        for k in 0..300u64 {
+            t.insert(&mut fs, k, k);
+        }
+        for k in (0..300u64).step_by(2) {
+            assert_eq!(t.remove(&mut fs, k), Some(k));
+        }
+        assert_eq!(t.len(), 150);
+        for k in 0..300u64 {
+            assert_eq!(t.get(&mut fs, k), (k % 2 == 1).then_some(k));
+        }
+        assert_eq!(t.remove(&mut fs, 0), None);
+    }
+
+    #[test]
+    fn cache_misses_charge_io() {
+        let mut fs = fsys();
+        let mut t = DiskBTree::create(&mut fs, "idx");
+        for k in 0..20_000u64 {
+            t.insert(&mut fs, k, k);
+        }
+        t.set_cache_pages(&mut fs, 2); // almost no cache
+        t.flush(&mut fs);
+        let ops0 = fs.stats.ops;
+        for k in (0..20_000u64).step_by(997) {
+            t.get(&mut fs, k);
+        }
+        assert!(fs.stats.ops > ops0, "uncached lookups must issue page reads");
+    }
+
+    #[test]
+    fn survives_tiny_cache() {
+        let mut fs = fsys();
+        let mut t = DiskBTree::create(&mut fs, "idx");
+        t.set_cache_pages(&mut fs, 1);
+        for k in 0..2000u64 {
+            t.insert(&mut fs, k * 3, k);
+        }
+        for k in 0..2000u64 {
+            assert_eq!(t.get(&mut fs, k * 3), Some(k), "key {k}");
+        }
+    }
+}

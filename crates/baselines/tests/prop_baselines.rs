@@ -1,0 +1,112 @@
+//! Property tests for the baseline substrates: the disk-backed B-tree
+//! behaves like a sorted map, and the Etree linear octree maintains the
+//! leaf-tiling invariant under arbitrary refine/coarsen sequences.
+
+use pmoctree_baselines::{DiskBTree, EtreeOctree};
+use pmoctree_morton::{anchor, anchor_end, OctKey};
+use pmoctree_simfs::SimFs;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Insert(u64, u64),
+    Remove(u64),
+    GetLe(u64),
+}
+
+fn arb_map_ops() -> impl Strategy<Value = Vec<MapOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (0u64..5000, any::<u64>()).prop_map(|(k, v)| MapOp::Insert(k, v)),
+            1 => (0u64..5000).prop_map(MapOp::Remove),
+            1 => (0u64..6000).prop_map(MapOp::GetLe),
+        ],
+        1..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The disk-backed B-tree agrees with std's BTreeMap on every
+    /// operation, including floor queries, under any op sequence.
+    #[test]
+    fn btree_matches_std_map(ops in arb_map_ops(), cache in 1usize..16) {
+        let mut fs = SimFs::on_nvbm();
+        let mut t = DiskBTree::create(&mut fs, "idx");
+        t.set_cache_pages(&mut fs, cache);
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    prop_assert_eq!(t.insert(&mut fs, *k, *v), model.insert(*k, *v));
+                }
+                MapOp::Remove(k) => {
+                    prop_assert_eq!(t.remove(&mut fs, *k), model.remove(k));
+                }
+                MapOp::GetLe(k) => {
+                    let want = model.range(..=*k).next_back().map(|(a, b)| (*a, *b));
+                    prop_assert_eq!(t.get_le(&mut fs, *k), want);
+                }
+            }
+            prop_assert_eq!(t.len(), model.len());
+        }
+        // Full scan agrees.
+        let items = t.items(&mut fs);
+        let want: Vec<(u64, u64)> = model.into_iter().collect();
+        prop_assert_eq!(items, want);
+    }
+
+    /// Etree leaves always tile the domain exactly: sorted anchors are
+    /// gap-free and cover the full curve after any refine/coarsen mix.
+    #[test]
+    fn etree_leaves_tile_domain(paths in prop::collection::vec((prop::collection::vec(0usize..8, 0..3), any::<bool>()), 1..40)) {
+        let mut t = EtreeOctree::create(SimFs::on_nvbm());
+        for (path, coarsen) in &paths {
+            let mut k = OctKey::root();
+            for &i in path {
+                k = k.child(i);
+            }
+            if *coarsen {
+                t.coarsen(k);
+            } else {
+                t.refine(k);
+            }
+        }
+        let leaves = t.leaves_sorted();
+        prop_assert_eq!(leaves.len(), t.leaf_count());
+        let mut cursor = 0u64;
+        for (k, _) in &leaves {
+            prop_assert_eq!(anchor::<3>(k), cursor, "gap before {:?}", k);
+            cursor = anchor_end::<3>(k);
+        }
+        prop_assert_eq!(cursor, anchor_end::<3>(&OctKey::root()));
+        // containing_leaf agrees with the sorted table for random probes.
+        for (k, _) in leaves.iter().step_by(7) {
+            if k.level() < OctKey::MAX_LEVEL {
+                let probe = k.child(3);
+                prop_assert_eq!(t.containing_leaf(probe), Some(*k));
+            }
+        }
+    }
+
+    /// Etree flush + reopen preserves every leaf and payload.
+    #[test]
+    fn etree_reopen_is_lossless(paths in prop::collection::vec(prop::collection::vec(0usize..8, 0..3), 1..20)) {
+        let mut t = EtreeOctree::create(SimFs::on_nvbm());
+        for (i, path) in paths.iter().enumerate() {
+            let mut k = OctKey::root();
+            for &c in path {
+                k = k.child(c);
+            }
+            t.refine(k);
+            t.set_data(k.child(0).min(k), [i as f64, 0.0, 0.0, 0.0]);
+        }
+        t.flush();
+        let before = t.leaves_sorted();
+        let (fs, index) = t.into_parts();
+        let mut r = EtreeOctree::reopen(fs, index).expect("reopen");
+        prop_assert_eq!(r.leaves_sorted(), before);
+    }
+}

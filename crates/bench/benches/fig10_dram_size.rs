@@ -1,0 +1,30 @@
+//! Fig 10 bench: a droplet run at different C0 DRAM budgets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pm_octree::{PmConfig, PmOctree};
+use pmoctree_amr::PmBackend;
+use pmoctree_bench::{sim_cfg, ARENA_BYTES};
+use pmoctree_nvbm::{DeviceModel, NvbmArena};
+use pmoctree_solver::Simulation;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_dram_size");
+    g.sample_size(10);
+    for c0 in [64usize, 1024, 16384] {
+        g.bench_with_input(BenchmarkId::new("pm_c0_octants", c0), &c0, |b, &c0| {
+            b.iter(|| {
+                let sim = Simulation::new(sim_cfg(3, 4));
+                let mut t = PmBackend::new(PmOctree::create(
+                    NvbmArena::new(ARENA_BYTES, DeviceModel::default()),
+                    PmConfig { c0_capacity_octants: c0, ..PmConfig::default() },
+                ));
+                black_box(sim.run(&mut t))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

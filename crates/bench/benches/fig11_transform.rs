@@ -1,0 +1,20 @@
+//! Fig 11 bench: droplet run with and without the dynamic layout
+//! transformation under a tight DRAM budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmoctree_bench::fig11_transform;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_transform");
+    g.sample_size(10);
+    for level in [4u8, 5] {
+        g.bench_with_input(BenchmarkId::new("both_arms", level), &level, |b, &level| {
+            b.iter(|| black_box(fig11_transform(&[level], 0.15, 2)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

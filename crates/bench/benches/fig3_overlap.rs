@@ -1,0 +1,18 @@
+//! Fig 3 bench: one droplet time step with a per-step persist (the
+//! operation whose cost the overlap/sharing machinery amortizes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmoctree_bench::fig3_overlap;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_overlap");
+    g.sample_size(10);
+    g.bench_function("droplet_8steps_persist_each", |b| {
+        b.iter(|| black_box(fig3_overlap(8, 4)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Fig 6/7 bench: weak-scaling cluster steps for the three schemes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmoctree_bench::run_point;
+use pmoctree_cluster::Scheme;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_weak_scaling");
+    g.sample_size(10);
+    for (procs, level) in [(1usize, 3u8), (4, 4)] {
+        for scheme in [Scheme::pm_default(), Scheme::InCore, Scheme::Etree] {
+            g.bench_with_input(
+                BenchmarkId::new(scheme.name(), procs),
+                &(procs, level),
+                |b, &(procs, level)| {
+                    b.iter(|| black_box(run_point(scheme, procs, level, 2)));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Fig 8/9 bench: strong-scaling cluster steps (fixed problem size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmoctree_bench::run_point;
+use pmoctree_cluster::Scheme;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_strong_scaling");
+    g.sample_size(10);
+    for procs in [2usize, 8] {
+        g.bench_with_input(BenchmarkId::new("pm-octree", procs), &procs, |b, &procs| {
+            b.iter(|| black_box(run_point(Scheme::pm_default(), procs, 5, 2)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

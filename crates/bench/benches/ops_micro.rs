@@ -1,0 +1,108 @@
+//! Micro-benchmarks of core octree operations across the three
+//! implementations (wall-clock; the virtual-clock figures come from the
+//! repro binary). Includes the COW ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pm_octree::{PmConfig, PmOctree};
+use pmoctree_baselines::{EtreeOctree, InCoreOctree};
+use pmoctree_morton::OctKey;
+use pmoctree_nvbm::{DeviceModel, NvbmArena};
+use pmoctree_simfs::SimFs;
+use std::hint::black_box;
+
+fn refine_coarsen_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ops_refine_coarsen");
+    g.bench_function("pm_octree", |b| {
+        let mut t = PmOctree::create(
+            NvbmArena::new(16 << 20, DeviceModel::default()),
+            PmConfig { dynamic_transform: false, seed_c0: false, ..PmConfig::default() },
+        );
+        t.refine(OctKey::root()).unwrap();
+        b.iter(|| {
+            t.refine(OctKey::root().child(3)).unwrap();
+            t.coarsen(OctKey::root().child(3)).unwrap();
+        });
+    });
+    g.bench_function("in_core", |b| {
+        let mut t = InCoreOctree::new();
+        t.refine(OctKey::root());
+        b.iter(|| {
+            assert!(t.refine(OctKey::root().child(3)));
+            assert!(t.coarsen(OctKey::root().child(3)));
+        });
+    });
+    g.bench_function("etree", |b| {
+        let mut t = EtreeOctree::create(SimFs::on_nvbm());
+        t.refine(OctKey::root());
+        b.iter(|| {
+            assert!(t.refine(OctKey::root().child(3)));
+            assert!(t.coarsen(OctKey::root().child(3)));
+        });
+    });
+    g.finish();
+}
+
+fn persist_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ops_persist");
+    g.sample_size(20);
+    // Ablation (DESIGN.md): persist cost with full sharing (unchanged
+    // tree) vs forced rewrite (every leaf touched) — the value of
+    // diff-merging.
+    g.bench_function("persist_unchanged", |b| {
+        let mut t = PmOctree::create(
+            NvbmArena::new(64 << 20, DeviceModel::default()),
+            PmConfig { dynamic_transform: false, ..PmConfig::default() },
+        );
+        t.refine(OctKey::root()).unwrap();
+        for i in 0..8 {
+            t.refine(OctKey::root().child(i)).unwrap();
+        }
+        t.persist();
+        b.iter(|| {
+            t.persist();
+            black_box(t.events.persists)
+        });
+    });
+    g.bench_function("persist_all_dirty", |b| {
+        let mut t = PmOctree::create(
+            NvbmArena::new(256 << 20, DeviceModel::default()),
+            PmConfig { dynamic_transform: false, ..PmConfig::default() },
+        );
+        t.refine(OctKey::root()).unwrap();
+        for i in 0..8 {
+            t.refine(OctKey::root().child(i)).unwrap();
+        }
+        t.persist();
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x += 1.0;
+            t.update_leaves(|_, d| Some(pm_octree::CellData { pressure: x, ..*d }));
+            t.persist();
+            black_box(t.events.persists)
+        });
+    });
+    g.finish();
+}
+
+fn traversal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ops_leaf_sweep");
+    g.bench_function("pm_octree_513", |b| {
+        let mut t = PmOctree::create(
+            NvbmArena::new(16 << 20, DeviceModel::default()),
+            PmConfig { dynamic_transform: false, seed_c0: false, ..PmConfig::default() },
+        );
+        t.refine(OctKey::root()).unwrap();
+        for i in 0..8 {
+            t.refine(OctKey::root().child(i)).unwrap();
+        }
+        b.iter(|| {
+            let mut n = 0usize;
+            t.for_each_leaf(|_, _| n += 1);
+            black_box(n)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, refine_coarsen_cycle, persist_cost, traversal);
+criterion_main!(benches);

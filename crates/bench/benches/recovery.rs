@@ -1,0 +1,17 @@
+//! §5.6 bench: failure recovery of the three schemes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmoctree_bench::recovery;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery");
+    g.sample_size(10);
+    g.bench_function("kill_at_step12_all_schemes", |b| {
+        b.iter(|| black_box(recovery(4, 12)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

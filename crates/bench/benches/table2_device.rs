@@ -1,0 +1,41 @@
+//! Table 2 bench: raw device-model costs (wall time of the emulator and
+//! the virtual cost it charges).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmoctree_nvbm::{DeviceModel, NvbmArena};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_device");
+    g.sample_size(20);
+    g.bench_function("nvbm_line_write", |b| {
+        let mut a = NvbmArena::new(1 << 20, DeviceModel::default());
+        let buf = [7u8; 64];
+        let mut off = 4096u64;
+        b.iter(|| {
+            a.write(black_box(off), &buf);
+            off = 4096 + (off + 64) % (1 << 19);
+        });
+    });
+    g.bench_function("nvbm_line_read", |b| {
+        let mut a = NvbmArena::new(1 << 20, DeviceModel::default());
+        let mut buf = [0u8; 64];
+        b.iter(|| {
+            a.read(black_box(8192), &mut buf);
+            black_box(buf[0]);
+        });
+    });
+    g.bench_function("flush_1k_lines", |b| {
+        let mut a = NvbmArena::new(4 << 20, DeviceModel::default());
+        b.iter(|| {
+            for i in 0..1024u64 {
+                a.write(4096 + i * 64, &[1u8; 64]);
+            }
+            a.flush_all();
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Regenerate every table and figure of the paper's evaluation at
+//! laptop scale. Usage:
+//!
+//! ```text
+//! repro [table2|fig3|write_fraction|layout|fig6|fig7|fig8|fig9|fig10|fig11|recovery|ablations|all]
+//! [--quick]
+//! ```
+//!
+//! `--quick` shrinks problem sizes (used by CI/tests); default sizes take
+//! a few minutes. Output is plain text in the papers' row format —
+//! `repro all | tee results.txt` regenerates the data behind
+//! EXPERIMENTS.md.
+
+use pmoctree_bench::fmt::*;
+use pmoctree_bench::*;
+
+struct Scale {
+    fig3_steps: usize,
+    fig3_level: u8,
+    weak_points: Vec<(usize, u8)>,
+    strong_procs: Vec<usize>,
+    strong_level: u8,
+    fig10_level: u8,
+    fig10_sizes: Vec<usize>,
+    fig11_levels: Vec<u8>,
+    steps: usize,
+    recovery_level: u8,
+}
+
+impl Scale {
+    fn quick() -> Self {
+        Scale {
+            fig3_steps: 10,
+            fig3_level: 4,
+            weak_points: vec![(1, 3), (4, 4), (16, 5)],
+            strong_procs: vec![2, 4, 8],
+            strong_level: 5,
+            fig10_level: 5,
+            fig10_sizes: vec![32, 128, 512, 4096],
+            fig11_levels: vec![4, 5, 6],
+            steps: 3,
+            recovery_level: 4,
+        }
+    }
+
+    fn full() -> Self {
+        Scale {
+            fig3_steps: 40,
+            fig3_level: 5,
+            weak_points: vec![(1, 3), (4, 4), (16, 5), (64, 6)],
+            strong_procs: vec![2, 4, 8, 16, 32],
+            strong_level: 6,
+            fig10_level: 6,
+            fig10_sizes: vec![32, 128, 512, 4096, 16384],
+            fig11_levels: vec![4, 5, 6, 7],
+            steps: 10,
+            recovery_level: 5,
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let what = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".into());
+    let all = what == "all";
+
+    if all || what == "table2" {
+        println!("{}", table2_str(&table2()));
+    }
+    if all || what == "fig3" {
+        println!("{}", fig3_str(&fig3_overlap(scale.fig3_steps, scale.fig3_level)));
+    }
+    if all || what == "write_fraction" {
+        println!("{}", write_fraction_str(&write_fraction(8, 4)));
+    }
+    if all || what == "layout" {
+        println!("{}", layout_str(&layout_ablation()));
+    }
+    if all || what == "fig6" || what == "fig7" {
+        let rows = fig6_weak_scaling(&scale.weak_points, scale.steps);
+        println!(
+            "{}",
+            scaling_str(
+                "Fig 6/7: weak scaling (elements grow with processors; breakdown per scheme)",
+                &rows
+            )
+        );
+    }
+    if all || what == "fig8" || what == "fig9" {
+        let rows = fig8_strong_scaling(&scale.strong_procs, scale.strong_level, scale.steps);
+        println!(
+            "{}",
+            scaling_str("Fig 8/9: strong scaling (fixed problem size, varying processors)", &rows)
+        );
+        // Ideal-speedup companion (Fig 8a): PM rows normalized to the
+        // smallest processor count.
+        let pm: Vec<&ScalingRow> = rows.iter().filter(|r| r.scheme == "pm-octree").collect();
+        if let Some(base) = pm.first() {
+            println!("Fig 8 ideal-speedup check (pm-octree):");
+            println!("procs | exec (s) | speedup | ideal");
+            for r in &pm {
+                println!(
+                    "{:>5} | {:>8.3} | {:>7.2} | {:>5.2}",
+                    r.procs,
+                    r.exec_secs,
+                    base.exec_secs / r.exec_secs,
+                    r.procs as f64 / base.procs as f64
+                );
+            }
+            println!();
+        }
+    }
+    if all || what == "fig10" {
+        println!(
+            "{}",
+            fig10_str(&fig10_dram_size(&scale.fig10_sizes, scale.fig10_level, scale.steps))
+        );
+    }
+    if all || what == "fig11" {
+        println!("{}", fig11_str(&fig11_transform(&scale.fig11_levels, 0.3, 8)));
+    }
+    if all || what == "recovery" {
+        println!("{}", recovery_str(&recovery(scale.recovery_level, 12)));
+    }
+    if all || what == "ablations" {
+        println!("{}", sampling_str(&ablation_sampling(&[1, 10, 100, 1000])));
+        println!("{}", versions_str(&ablation_versions(5, 8, 4)));
+        println!("{}", snapshot_interval_str(&ablation_snapshot_interval(&[1, 2, 5, 10], 20, 4)));
+    }
+}

@@ -1,0 +1,14 @@
+//! Experiment harness: one function per table/figure of the paper's
+//! evaluation (§5), shared by the `repro` binary and the Criterion
+//! benches. Each function runs the scaled-down experiment and returns
+//! structured rows; `fmt` helpers print them in the paper's shape.
+//!
+//! See DESIGN.md for the experiment index and EXPERIMENTS.md for the
+//! recorded paper-vs-measured comparison.
+#![warn(missing_docs)]
+
+
+pub mod experiments;
+pub mod fmt;
+
+pub use experiments::*;

@@ -1,0 +1,266 @@
+//! One simulated processor: a backend instance owning a Morton range of
+//! the global domain.
+//!
+//! Domain decomposition follows the standard parallel-octree convention:
+//! a rank materializes every octant whose region **overlaps** its curve
+//! range; octants wholly inside foreign ranges stay coarse (a one-layer
+//! coarse halo around the owned region). A leaf is *owned* iff its Morton
+//! anchor falls in the range, so every leaf has exactly one owner and
+//! per-rank element counts sum to the global count plus the (small)
+//! coarse halos.
+
+use pm_octree::{PmConfig, PmOctree};
+use pmoctree_amr::{
+    adapt, balance_subset, AdaptCriterion, Cell, EtreeBackend, InCoreBackend, OctreeBackend,
+    PmBackend, Target,
+};
+use pmoctree_morton::{anchor, OctKey, ZRange};
+use pmoctree_nvbm::{DeviceModel, NvbmArena};
+use pmoctree_solver::Simulation;
+
+/// Which octree implementation a cluster run uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheme {
+    /// PM-octree on NVBM (optionally without the dynamic transformation).
+    Pm {
+        /// Enable §3.3 dynamic layout transformation.
+        transform: bool,
+        /// DRAM budget for the C0 tree, in octants.
+        c0_octants: usize,
+        /// Keep remote replicas of `V_{i-1}`.
+        replicas: bool,
+    },
+    /// Gerris-style in-core octree + snapshot files.
+    InCore,
+    /// Etree-style out-of-core octree on NVBM.
+    Etree,
+}
+
+impl Scheme {
+    /// Default PM-octree scheme used by the scaling studies.
+    pub fn pm_default() -> Self {
+        Scheme::Pm { transform: true, c0_octants: 1 << 14, replicas: false }
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Pm { .. } => "pm-octree",
+            Scheme::InCore => "in-core",
+            Scheme::Etree => "out-of-core",
+        }
+    }
+
+    /// Build one backend instance for a rank. `arena_bytes` sizes the
+    /// per-rank NVBM device.
+    pub fn make_backend(&self, arena_bytes: usize) -> Box<dyn OctreeBackend + Send> {
+        match *self {
+            Scheme::Pm { transform, c0_octants, replicas } => {
+                let cfg = PmConfig {
+                    dynamic_transform: transform,
+                    c0_capacity_octants: c0_octants,
+                    replicas,
+                    ..PmConfig::default()
+                };
+                Box::new(PmBackend::new(PmOctree::create(
+                    NvbmArena::new(arena_bytes, DeviceModel::default()),
+                    cfg,
+                )))
+            }
+            Scheme::InCore => Box::new(InCoreBackend::new()),
+            Scheme::Etree => Box::new(EtreeBackend::on_nvbm()),
+        }
+    }
+}
+
+/// A criterion restricted to a rank's range: octants with no overlap are
+/// always coarsening candidates, so trees shed regions they lose during
+/// repartitioning.
+pub struct RangedCriterion<'a> {
+    /// The application criterion.
+    pub inner: &'a dyn AdaptCriterion,
+    /// The rank's owned curve range.
+    pub range: ZRange<3>,
+}
+
+impl AdaptCriterion for RangedCriterion<'_> {
+    fn target(&self, key: &OctKey, data: &Cell) -> Target {
+        if !self.range.overlaps(&ZRange::of(key)) {
+            return Target::Coarsen;
+        }
+        // Octants that merely touch the range refine only if the range
+        // actually owns part of the refined region (avoid halo blow-up):
+        // we allow the refinement when the inner criterion asks for it
+        // and at least one child overlaps the owned range.
+        self.inner.target(key, data)
+    }
+
+    fn max_level(&self) -> u8 {
+        self.inner.max_level()
+    }
+}
+
+/// One simulated processor.
+pub struct Rank {
+    /// Rank id (0-based).
+    pub id: usize,
+    /// The octree backend.
+    pub backend: Box<dyn OctreeBackend + Send>,
+    /// Owned Morton range.
+    pub range: ZRange<3>,
+}
+
+impl Rank {
+    /// Create a rank over a range.
+    pub fn new(id: usize, scheme: &Scheme, arena_bytes: usize, range: ZRange<3>) -> Self {
+        Rank { id, backend: scheme.make_backend(arena_bytes), range }
+    }
+
+    /// Owned leaves (anchor inside the range) with their work weights.
+    pub fn owned_leaves(&mut self) -> Vec<(OctKey, f64)> {
+        let mut out = Vec::new();
+        let range = self.range;
+        self.backend.for_each_leaf(&mut |k, d| {
+            if range.owns(&k) {
+                out.push((k, if d[3] > 0.0 { d[3] } else { 1.0 }));
+            }
+        });
+        out
+    }
+
+    /// Number of owned leaves.
+    pub fn owned_leaf_count(&mut self) -> usize {
+        let mut n = 0usize;
+        let range = self.range;
+        self.backend.for_each_leaf(&mut |k, _| {
+            if range.owns(&k) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Run the local meshing + solve phases of one step. Returns the
+    /// virtual-time deltas `[refine, balance, solve, persist]`.
+    pub fn local_step(&mut self, sim: &Simulation, step_idx: usize, t: f64) -> [u64; 4] {
+        let crit = RangedCriterion {
+            inner: &pmoctree_solver::InterfaceCriterion {
+                interface: sim.interface,
+                time: sim.time.clone(),
+                band_cells: sim.cfg.band_cells,
+                max_level: sim.cfg.max_level,
+            },
+            range: self.range,
+        };
+        let b = self.backend.as_mut();
+        let t0 = b.elapsed_ns();
+        adapt(b, &crit);
+        let t1 = b.elapsed_ns();
+        // Local balance: only the active band needs re-checking (the
+        // balanced adapt primitives keep the rest 2:1 by construction).
+        let mut active = Vec::new();
+        b.for_each_leaf(&mut |k, d: &Cell| {
+            if d[0].abs() < 8.0 * k.extent() {
+                active.push(k);
+            }
+        });
+        balance_subset(b, &active);
+        let t2 = b.elapsed_ns();
+        pmoctree_solver::advect(b, &sim.interface, t);
+        pmoctree_solver::relax_pressure(b, sim.cfg.relax_iters);
+        pmoctree_solver::estimate_work(b);
+        let t3 = b.elapsed_ns();
+        b.end_of_step(step_idx + 1);
+        let t4 = b.elapsed_ns();
+        [t1 - t0, t2 - t1, t3 - t2, t4 - t3]
+    }
+
+    /// Construct the initial local mesh for the rank's range.
+    pub fn construct(&mut self, sim: &Simulation) {
+        sim.time.set(sim.cfg.t0);
+        pmoctree_amr::construct_uniform(self.backend.as_mut(), sim.cfg.base_level.min(2));
+        let crit = RangedCriterion {
+            inner: &pmoctree_solver::InterfaceCriterion {
+                interface: sim.interface,
+                time: sim.time.clone(),
+                band_cells: sim.cfg.band_cells,
+                max_level: sim.cfg.max_level,
+            },
+            range: self.range,
+        };
+        for _ in 0..sim.cfg.max_level.max(1) {
+            adapt(self.backend.as_mut(), &crit);
+        }
+        pmoctree_solver::advect(self.backend.as_mut(), &sim.interface, sim.cfg.t0);
+    }
+
+    /// Is `key`'s leaf owned by this rank?
+    pub fn owns(&self, key: &OctKey) -> bool {
+        let a = anchor::<3>(key);
+        a >= self.range.lo && a < self.range.hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmoctree_solver::SimConfig;
+
+    fn sim() -> Simulation {
+        Simulation::new(SimConfig { steps: 2, max_level: 4, base_level: 2, ..SimConfig::default() })
+    }
+
+    #[test]
+    fn two_ranks_cover_all_leaves_once() {
+        let s = sim();
+        let mid = pmoctree_morton::anchor_end::<3>(&OctKey::root().child(3));
+        let r0 = ZRange { lo: 0, hi: mid };
+        let r1 = ZRange { lo: mid, hi: u64::MAX };
+        let mut a = Rank::new(0, &Scheme::InCore, 0, r0);
+        let mut b = Rank::new(1, &Scheme::InCore, 0, r1);
+        a.construct(&s);
+        b.construct(&s);
+        // A global single-rank reference.
+        let mut g = Rank::new(0, &Scheme::InCore, 0, ZRange::all());
+        g.construct(&s);
+        let global = g.owned_leaf_count();
+        let na = a.owned_leaf_count();
+        let nb = b.owned_leaf_count();
+        assert_eq!(na + nb, global, "owned leaves partition the mesh: {na}+{nb} vs {global}");
+        // Each rank's total tree is bigger than what it owns (halo),
+        // but much smaller than the global tree when the split matters.
+        assert!(a.backend.leaf_count() >= na);
+        assert!(b.backend.leaf_count() >= nb);
+    }
+
+    #[test]
+    fn ranged_criterion_sheds_foreign_regions() {
+        let s = sim();
+        let mid = pmoctree_morton::anchor_end::<3>(&OctKey::root().child(3));
+        let mut r = Rank::new(0, &Scheme::InCore, 0, ZRange { lo: 0, hi: mid });
+        r.construct(&s);
+        let before = r.backend.leaf_count();
+        // Shrink the range: next adaptation coarsens the lost half.
+        r.range = ZRange { lo: 0, hi: pmoctree_morton::anchor_end::<3>(&OctKey::root().child(1)) };
+        s.time.set(s.cfg.t0);
+        let _ = r.local_step(&s, 0, s.cfg.t0);
+        assert!(r.backend.leaf_count() < before, "lost region must coarsen away");
+    }
+
+    #[test]
+    fn pm_rank_persists_per_step() {
+        let s = sim();
+        let mut r = Rank::new(0, &Scheme::pm_default(), 64 << 20, ZRange::all());
+        r.construct(&s);
+        let dt = r.local_step(&s, 0, s.cfg.t0 + s.cfg.dt);
+        assert!(dt[3] > 0, "persist phase must cost time");
+        assert!(dt.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn schemes_have_names() {
+        assert_eq!(Scheme::pm_default().name(), "pm-octree");
+        assert_eq!(Scheme::InCore.name(), "in-core");
+        assert_eq!(Scheme::Etree.name(), "out-of-core");
+    }
+}

@@ -1,0 +1,165 @@
+//! Bit-interleaving primitives (Morton / Z-order encoding).
+//!
+//! A *Morton code* interleaves the bits of D coordinate values so that
+//! lexicographic order on the interleaved word corresponds to Z-order
+//! traversal of the D-dimensional grid. These routines use the classic
+//! magic-number "bit spreading" constants; they are branch-free and run in
+//! a handful of cycles, which matters because locational-code arithmetic
+//! sits on the hot path of every octree operation.
+
+/// Maximum refinement level representable in a `u64` code for dimension `D`.
+///
+/// One bit group of `D` bits is consumed per level; we reserve nothing for a
+/// sentinel, so `floor(63 / D)` levels fit together with the implicit root.
+pub const fn max_level(d: usize) -> u8 {
+    (63 / d) as u8
+}
+
+/// Spread the low 21 bits of `x` so that bit `i` of the input lands at bit
+/// `3*i` of the output (dilated integer for 3D interleaving).
+#[inline]
+pub const fn spread3(x: u64) -> u64 {
+    let mut x = x & 0x1f_ffff; // 21 bits
+    x = (x | x << 32) & 0x001f_0000_0000_ffff;
+    x = (x | x << 16) & 0x001f_0000_ff00_00ff;
+    x = (x | x << 8) & 0x100f_00f0_0f00_f00f;
+    x = (x | x << 4) & 0x10c3_0c30_c30c_30c3;
+    x = (x | x << 2) & 0x1249_2492_4924_9249;
+    x
+}
+
+/// Inverse of [`spread3`]: gather every third bit back into a dense integer.
+#[inline]
+pub const fn compact3(x: u64) -> u64 {
+    let mut x = x & 0x1249_2492_4924_9249;
+    x = (x | x >> 2) & 0x10c3_0c30_c30c_30c3;
+    x = (x | x >> 4) & 0x100f_00f0_0f00_f00f;
+    x = (x | x >> 8) & 0x001f_0000_ff00_00ff;
+    x = (x | x >> 16) & 0x001f_0000_0000_ffff;
+    x = (x | x >> 32) & 0x1f_ffff;
+    x
+}
+
+/// Spread the low 31 bits of `x` so that bit `i` lands at bit `2*i`
+/// (dilated integer for 2D interleaving).
+#[inline]
+pub const fn spread2(x: u64) -> u64 {
+    let mut x = x & 0x7fff_ffff; // 31 bits
+    x = (x | x << 16) & 0x0000_ffff_0000_ffff;
+    x = (x | x << 8) & 0x00ff_00ff_00ff_00ff;
+    x = (x | x << 4) & 0x0f0f_0f0f_0f0f_0f0f;
+    x = (x | x << 2) & 0x3333_3333_3333_3333;
+    x = (x | x << 1) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Inverse of [`spread2`].
+#[inline]
+pub const fn compact2(x: u64) -> u64 {
+    let mut x = x & 0x5555_5555_5555_5555;
+    x = (x | x >> 1) & 0x3333_3333_3333_3333;
+    x = (x | x >> 2) & 0x0f0f_0f0f_0f0f_0f0f;
+    x = (x | x >> 4) & 0x00ff_00ff_00ff_00ff;
+    x = (x | x >> 8) & 0x0000_ffff_0000_ffff;
+    x = (x | x >> 16) & 0x7fff_ffff;
+    x
+}
+
+/// Interleave `coords` (each `< 2^level_bits`) into a single Morton word.
+///
+/// Axis `a`'s bit `i` lands at output bit `D*i + a`, i.e. the x axis owns
+/// the least significant bit of every D-bit group — matching the child
+/// indexing convention used throughout this workspace.
+#[inline]
+pub fn interleave<const D: usize>(coords: [u64; D]) -> u64 {
+    debug_assert!(D == 2 || D == 3, "only quadtrees and octrees are supported");
+    let mut out = 0u64;
+    for (a, &c) in coords.iter().enumerate() {
+        out |= match D {
+            2 => spread2(c) << a,
+            _ => spread3(c) << a,
+        };
+    }
+    out
+}
+
+/// Inverse of [`interleave`].
+#[inline]
+pub fn deinterleave<const D: usize>(code: u64) -> [u64; D] {
+    debug_assert!(D == 2 || D == 3, "only quadtrees and octrees are supported");
+    let mut out = [0u64; D];
+    for (a, slot) in out.iter_mut().enumerate() {
+        *slot = match D {
+            2 => compact2(code >> a),
+            _ => compact3(code >> a),
+        };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread3_roundtrip_exhaustive_low() {
+        for x in 0u64..4096 {
+            assert_eq!(compact3(spread3(x)), x);
+        }
+    }
+
+    #[test]
+    fn spread2_roundtrip_exhaustive_low() {
+        for x in 0u64..4096 {
+            assert_eq!(compact2(spread2(x)), x);
+        }
+    }
+
+    #[test]
+    fn spread3_max_value() {
+        let max = 0x1f_ffff;
+        assert_eq!(compact3(spread3(max)), max);
+    }
+
+    #[test]
+    fn spread2_max_value() {
+        let max = 0x7fff_ffff;
+        assert_eq!(compact2(spread2(max)), max);
+    }
+
+    #[test]
+    fn interleave_3d_known_values() {
+        // (1,0,0) -> 0b001, (0,1,0) -> 0b010, (0,0,1) -> 0b100
+        assert_eq!(interleave::<3>([1, 0, 0]), 0b001);
+        assert_eq!(interleave::<3>([0, 1, 0]), 0b010);
+        assert_eq!(interleave::<3>([0, 0, 1]), 0b100);
+        assert_eq!(interleave::<3>([1, 1, 1]), 0b111);
+        // second bit group
+        assert_eq!(interleave::<3>([2, 0, 0]), 0b001_000);
+    }
+
+    #[test]
+    fn interleave_2d_known_values() {
+        assert_eq!(interleave::<2>([1, 0]), 0b01);
+        assert_eq!(interleave::<2>([0, 1]), 0b10);
+        assert_eq!(interleave::<2>([3, 0]), 0b0101);
+        assert_eq!(interleave::<2>([0, 3]), 0b1010);
+    }
+
+    #[test]
+    fn deinterleave_roundtrip_3d() {
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                for z in 0..16u64 {
+                    assert_eq!(deinterleave::<3>(interleave::<3>([x, y, z])), [x, y, z]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_level_values() {
+        assert_eq!(max_level(3), 21);
+        assert_eq!(max_level(2), 31);
+    }
+}

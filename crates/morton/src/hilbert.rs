@@ -1,0 +1,265 @@
+//! Hilbert-curve indices.
+//!
+//! Morton (Z-order) is the curve the paper's systems use, but the
+//! Hilbert curve is the classic alternative for `Partition`: consecutive
+//! curve positions are always face-adjacent cells, so contiguous curve
+//! ranges make geometrically tighter subdomains (fewer ghost faces).
+//! This module provides 3D Hilbert index encoding/decoding (Skilling's
+//! transpose algorithm, "Programming the Hilbert curve", AIP 2004) so a
+//! partitioner can be run on either ordering and compared.
+
+use crate::code::Key;
+
+/// Maximum supported refinement level (21 × 3 = 63 bits).
+pub const MAX_HILBERT_LEVEL: u8 = 21;
+
+/// Hilbert index of grid cell `coords` at `level` (each coordinate
+/// `< 2^level`). The index enumerates the 8^level cells so that
+/// consecutive indices are face-adjacent.
+pub fn hilbert_index(coords: [u64; 3], level: u8) -> u64 {
+    assert!(level <= MAX_HILBERT_LEVEL, "level too deep for a u64 Hilbert index");
+    for &c in &coords {
+        assert!(level == 64 || c < 1u64 << level, "coordinate out of range");
+    }
+    if level == 0 {
+        return 0;
+    }
+    let mut x = coords;
+    let b = level as u32;
+    // Skilling: Axes -> Transpose (inverse undo of the Hilbert transform).
+    let mut q = 1u64 << (b - 1);
+    while q > 1 {
+        let p = q - 1;
+        for i in 0..3 {
+            if x[i] & q != 0 {
+                x[0] ^= p; // invert low bits of x[0]
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q >>= 1;
+    }
+    // Gray decode.
+    for i in 1..3 {
+        x[i] ^= x[i - 1];
+    }
+    let mut t = 0u64;
+    q = 1u64 << (b - 1);
+    while q > 1 {
+        if x[2] & q != 0 {
+            t ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for xi in &mut x {
+        *xi ^= t;
+    }
+    // Interleave the transpose: bit j of axis i lands at position
+    // 3*j + (2 - i) (axis 0 holds the most significant bits).
+    let mut index = 0u64;
+    for j in 0..b {
+        for (i, xi) in x.iter().enumerate() {
+            index |= ((xi >> j) & 1) << (3 * j + (2 - i as u32));
+        }
+    }
+    index
+}
+
+/// Inverse of [`hilbert_index`]: the grid cell at curve position `index`.
+pub fn hilbert_coords(index: u64, level: u8) -> [u64; 3] {
+    assert!(level <= MAX_HILBERT_LEVEL);
+    if level == 0 {
+        return [0; 3];
+    }
+    let b = level as u32;
+    assert!(b == 21 || index < 1u64 << (3 * b), "index out of range");
+    // De-interleave into the transpose.
+    let mut x = [0u64; 3];
+    for j in 0..b {
+        for (i, xi) in x.iter_mut().enumerate() {
+            *xi |= ((index >> (3 * j + (2 - i as u32))) & 1) << j;
+        }
+    }
+    // Skilling: Transpose -> Axes.
+    let n = 3;
+    let mut t = x[n - 1] >> 1;
+    for i in (1..n).rev() {
+        x[i] ^= x[i - 1];
+    }
+    x[0] ^= t;
+    let mut q = 2u64;
+    while q != 1u64 << b {
+        let p = q - 1;
+        for i in (0..n).rev() {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q <<= 1;
+    }
+    x
+}
+
+/// Hilbert index of a (leaf) key at its own level.
+pub fn hilbert_of_key(k: &Key<3>) -> u64 {
+    hilbert_index(k.coords(), k.level())
+}
+
+/// Split weighted leaves into `parts` contiguous Hilbert-order chunks of
+/// roughly equal weight; returns the part index per input leaf. Unlike
+/// the Morton [`partition_by_weight`](crate::range::partition_by_weight)
+/// this assigns by position, because mixed-level Hilbert ranges do not
+/// nest the way Morton anchors do.
+pub fn hilbert_partition(leaves: &[(Key<3>, f64)], parts: usize) -> Vec<usize> {
+    assert!(parts > 0);
+    let mut order: Vec<usize> = (0..leaves.len()).collect();
+    // Order by the Hilbert index of each leaf's finest-level anchor cell.
+    let max_l = leaves.iter().map(|(k, _)| k.level()).max().unwrap_or(0);
+    let hkey = |k: &Key<3>| {
+        let shift = (max_l - k.level()) as u32;
+        let c = k.coords();
+        hilbert_index([c[0] << shift, c[1] << shift, c[2] << shift], max_l)
+    };
+    order.sort_by_key(|&i| hkey(&leaves[i].0));
+    let total: f64 = leaves.iter().map(|(_, w)| w.max(0.0)).sum();
+    let mut out = vec![0usize; leaves.len()];
+    let mut acc = 0.0;
+    let mut part = 0usize;
+    for &i in &order {
+        let target = total * (part as f64 + 1.0) / parts as f64;
+        if acc >= target && part + 1 < parts {
+            part += 1;
+        }
+        out[i] = part;
+        acc += leaves[i].1.max(0.0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::OctKey;
+
+    #[test]
+    fn roundtrip_small_levels() {
+        for level in 1..=4u8 {
+            let side = 1u64 << level;
+            let mut seen = std::collections::HashSet::new();
+            for x in 0..side {
+                for y in 0..side {
+                    for z in 0..side {
+                        let h = hilbert_index([x, y, z], level);
+                        assert!(h < side * side * side);
+                        assert!(seen.insert(h), "index collision at ({x},{y},{z})");
+                        assert_eq!(hilbert_coords(h, level), [x, y, z]);
+                    }
+                }
+            }
+            assert_eq!(seen.len() as u64, side * side * side, "bijection at level {level}");
+        }
+    }
+
+    #[test]
+    fn consecutive_indices_are_face_adjacent() {
+        // The defining Hilbert property — and what makes it better for
+        // partitioning than Morton, whose curve jumps across the domain.
+        for level in 1..=4u8 {
+            let n = 1u64 << (3 * level);
+            let mut prev = hilbert_coords(0, level);
+            for i in 1..n {
+                let cur = hilbert_coords(i, level);
+                let dist: u64 =
+                    (0..3).map(|a| prev[a].abs_diff(cur[a])).sum();
+                assert_eq!(dist, 1, "step {i} at level {level}: {prev:?} -> {cur:?}");
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn deep_roundtrip_spot_checks() {
+        let level = MAX_HILBERT_LEVEL;
+        for &coords in &[
+            [0u64, 0, 0],
+            [1, 2, 3],
+            [(1 << 21) - 1, 0, 1 << 20],
+            [123_456, 654_321, 2_000_000],
+        ] {
+            let h = hilbert_index(coords, level);
+            assert_eq!(hilbert_coords(h, level), coords);
+        }
+    }
+
+    #[test]
+    fn key_level_mixing() {
+        let k = OctKey::from_coords([3, 1, 2], 2);
+        let h = hilbert_of_key(&k);
+        assert_eq!(hilbert_coords(h, 2), [3, 1, 2]);
+    }
+
+    /// Partition-quality comparison on a uniform grid. Hilbert wins on
+    /// most part counts (its curve never jumps), but not universally —
+    /// the test asserts the honest aggregate: summed over a spread of
+    /// part counts, Hilbert cuts no more faces than Morton, and both
+    /// stay balanced.
+    #[test]
+    fn hilbert_partitions_cut_fewer_faces_than_morton() {
+        let level = 4u8; // 4096 cells
+        let mut leaves: Vec<(OctKey, f64)> = Vec::new();
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                for z in 0..16u64 {
+                    leaves.push((OctKey::from_coords([x, y, z], level), 1.0));
+                }
+            }
+        }
+        leaves.sort_by_key(|l| l.0);
+        let index: std::collections::HashMap<OctKey, usize> =
+            leaves.iter().enumerate().map(|(i, (k, _))| (*k, i)).collect();
+        let cut = |owner: &[usize]| -> usize {
+            let mut cuts = 0;
+            for (i, (k, _)) in leaves.iter().enumerate() {
+                for axis in 0..3 {
+                    if let Some(nk) = k.face_neighbor(axis, 1) {
+                        let j = index[&nk];
+                        if owner[i] != owner[j] {
+                            cuts += 1;
+                        }
+                    }
+                }
+            }
+            cuts
+        };
+        let mut total_m = 0usize;
+        let mut total_h = 0usize;
+        // Part counts that do not align with octant blocks (powers of 8
+        // would give both curves perfect cubes).
+        for parts in [3usize, 5, 6, 7, 9, 12] {
+            let ranges = crate::range::partition_by_weight(&leaves, parts);
+            let owner_m: Vec<usize> = leaves
+                .iter()
+                .map(|(k, _)| ranges.iter().position(|r| r.owns(k)).unwrap())
+                .collect();
+            let owner_h = hilbert_partition(&leaves, parts);
+            total_m += cut(&owner_m);
+            total_h += cut(&owner_h);
+            // Both stay balanced within ~20%.
+            let expect = leaves.len() / parts;
+            for p in 0..parts {
+                let n = owner_h.iter().filter(|&&o| o == p).count();
+                assert!(
+                    n >= expect * 4 / 5 && n <= expect * 6 / 5 + 1,
+                    "hilbert part {p}/{parts} has {n}"
+                );
+            }
+        }
+        assert!(total_h <= total_m, "hilbert cuts {total_h} faces vs morton {total_m}");
+    }
+}

@@ -1,0 +1,24 @@
+//! Locational-code arithmetic for linear and pointer-based octrees.
+//!
+//! This crate is the shared foundation of the PM-octree workspace: every
+//! octree implementation (the PM-octree itself, the Gerris-style in-core
+//! baseline, and the Etree-style out-of-core baseline) identifies cells by
+//! a [`Key`]: a Morton-encoded locational code plus a refinement level.
+//!
+//! Provided here:
+//! * [`bits`] — branch-free bit interleaving (2D and 3D),
+//! * [`code`] — the [`Key`] type: parent/child/ancestor/neighbor calculus,
+//!   Z-order total order,
+//! * [`range`] — Morton-curve intervals and the weighted splitting used by
+//!   the `Partition` meshing routine.
+#![warn(missing_docs)]
+
+
+pub mod bits;
+pub mod code;
+pub mod hilbert;
+pub mod range;
+
+pub use code::{Key, OctKey, QuadKey};
+pub use hilbert::{hilbert_coords, hilbert_index, hilbert_of_key, hilbert_partition};
+pub use range::{anchor, anchor_end, partition_by_weight, ZRange};

@@ -1,0 +1,131 @@
+//! Property-based tests for locational-code invariants.
+
+use pmoctree_morton::{anchor, anchor_end, partition_by_weight, OctKey, QuadKey, ZRange};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary valid 3D key built by a random child path.
+fn arb_octkey() -> impl Strategy<Value = OctKey> {
+    prop::collection::vec(0usize..8, 0..=21).prop_map(|path| {
+        let mut k = OctKey::root();
+        for i in path {
+            k = k.child(i);
+        }
+        k
+    })
+}
+
+fn arb_quadkey() -> impl Strategy<Value = QuadKey> {
+    prop::collection::vec(0usize..4, 0..=31).prop_map(|path| {
+        let mut k = QuadKey::root();
+        for i in path {
+            k = k.child(i);
+        }
+        k
+    })
+}
+
+proptest! {
+    #[test]
+    fn coords_roundtrip(k in arb_octkey()) {
+        let c = k.coords();
+        prop_assert_eq!(OctKey::from_coords(c, k.level()), k);
+    }
+
+    #[test]
+    fn parent_child_inverse(k in arb_octkey(), i in 0usize..8) {
+        prop_assume!(k.level() < OctKey::MAX_LEVEL);
+        let c = k.child(i);
+        prop_assert_eq!(c.parent(), Some(k));
+        prop_assert_eq!(c.sibling_index(), i);
+    }
+
+    #[test]
+    fn ancestor_contains(k in arb_octkey(), lvl in 0u8..=21) {
+        prop_assume!(lvl <= k.level());
+        let a = k.ancestor_at(lvl);
+        prop_assert!(a.contains(&k));
+        prop_assert_eq!(a.level(), lvl);
+    }
+
+    #[test]
+    fn neighbor_is_involution(k in arb_octkey(), axis in 0usize..3, dir in prop::sample::select(vec![-1i8, 1])) {
+        if let Some(n) = k.face_neighbor(axis, dir) {
+            prop_assert_eq!(n.face_neighbor(axis, -dir), Some(k));
+            prop_assert_eq!(n.level(), k.level());
+        }
+    }
+
+    #[test]
+    fn zorder_total_and_consistent(a in arb_octkey(), b in arb_octkey()) {
+        use std::cmp::Ordering;
+        match a.cmp(&b) {
+            Ordering::Equal => prop_assert_eq!(a, b),
+            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+        }
+    }
+
+    #[test]
+    fn ancestor_precedes_descendant(k in arb_octkey()) {
+        for a in k.path_from_root() {
+            if a != k {
+                prop_assert!(a < k, "ancestor {:?} should precede {:?}", a, k);
+            }
+        }
+    }
+
+    #[test]
+    fn anchor_ranges_nest(k in arb_octkey(), i in 0usize..8) {
+        prop_assume!(k.level() < OctKey::MAX_LEVEL);
+        let c = k.child(i);
+        prop_assert!(anchor::<3>(&c) >= anchor::<3>(&k));
+        prop_assert!(anchor_end::<3>(&c) <= anchor_end::<3>(&k));
+        prop_assert!(ZRange::<3>::of(&k).contains(&c));
+    }
+
+    #[test]
+    fn disjoint_cells_disjoint_ranges(a in arb_octkey(), b in arb_octkey()) {
+        prop_assume!(!a.contains(&b) && !b.contains(&a));
+        prop_assert!(!ZRange::<3>::of(&a).overlaps(&ZRange::<3>::of(&b)));
+    }
+
+    #[test]
+    fn center_inside_cell(k in arb_octkey()) {
+        let c = k.center();
+        let lo = k.min_corner();
+        let h = k.extent();
+        for a in 0..3 {
+            prop_assert!(c[a] > lo[a] && c[a] < lo[a] + h);
+            prop_assert!(c[a] > 0.0 && c[a] < 1.0);
+        }
+    }
+
+    #[test]
+    fn quadkey_all_neighbors_bounded(k in arb_quadkey()) {
+        let n = k.all_neighbors();
+        prop_assert!(n.len() <= 8);
+        for nb in &n {
+            prop_assert_eq!(nb.level(), k.level());
+            let a = k.coords();
+            let b = nb.coords();
+            for ax in 0..2 {
+                prop_assert!(a[ax].abs_diff(b[ax]) <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_covers_curve(level in 1u8..5, parts in 1usize..10) {
+        let mut leaves: Vec<QuadKey> = (0..(1u64 << level))
+            .flat_map(|x| (0..(1u64 << level)).map(move |y| QuadKey::from_coords([x, y], level)))
+            .collect();
+        leaves.sort();
+        let weighted: Vec<(QuadKey, f64)> = leaves.iter().map(|&k| (k, 1.0)).collect();
+        let ranges = partition_by_weight(&weighted, parts);
+        prop_assert_eq!(ranges.len(), parts);
+        for k in &leaves {
+            let owners = ranges.iter().filter(|r| r.owns(k)).count();
+            prop_assert_eq!(owners, 1);
+        }
+    }
+}

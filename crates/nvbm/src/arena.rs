@@ -1,0 +1,564 @@
+//! The emulated NVBM device: a byte-addressable arena with a CPU-cache
+//! write-back model.
+//!
+//! Stores go into a bounded *dirty-line cache* first and only reach the
+//! persistent media when flushed, evicted, or explicitly persisted — this
+//! reproduces the hazard the paper describes in §1: "CPU cache does not
+//! guarantee the order of writing the octant and writing the pointer".
+//! [`NvbmArena::crash`] drops (or randomly commits) dirty lines, letting
+//! tests check that PM-octree's multi-version protocol survives arbitrary
+//! write reordering without fences.
+//!
+//! Every access charges the Table 2 latency model onto a [`VirtualClock`]
+//! and updates [`MemStats`].
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::clock::VirtualClock;
+use crate::model::{DeviceModel, CACHELINE};
+use crate::stats::MemStats;
+
+/// Persistent offset within an NVBM arena. Offset 0 is the device header,
+/// so 0 doubles as the null pointer in on-media structures.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct POffset(pub u64);
+
+impl POffset {
+    /// The on-media null pointer.
+    pub const NULL: POffset = POffset(0);
+
+    /// Is this the null pointer?
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Convert to `Option`, mapping null to `None`.
+    #[inline]
+    pub fn opt(self) -> Option<POffset> {
+        if self.is_null() {
+            None
+        } else {
+            Some(self)
+        }
+    }
+}
+
+/// How a simulated crash treats the dirty-line cache.
+#[derive(Clone, Copy, Debug)]
+pub enum CrashMode {
+    /// All unflushed lines are lost (power cut before any eviction).
+    LoseDirty,
+    /// Each dirty line independently reaches the media with probability
+    /// `p` — models arbitrary cache eviction order at the moment of
+    /// failure. `seed` makes the outcome reproducible.
+    CommitRandom {
+        /// Per-line survival probability in `[0, 1]`.
+        p: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// Size of the device header (root slots, epoch, allocator bump pointer).
+pub const HEADER_SIZE: u64 = 256;
+
+const MAGIC: u64 = 0x504d_4f43_5452_4545; // "PMOCTREE"-ish
+const OFF_MAGIC: u64 = 0;
+const OFF_EPOCH: u64 = 8;
+const OFF_ROOT0: u64 = 16;
+#[allow(dead_code)]
+const OFF_ROOT1: u64 = 24;
+const OFF_BUMP: u64 = 32;
+
+/// Number of 8-byte root slots in the header.
+pub const ROOT_SLOTS: usize = 2;
+
+/// Emulated NVBM arena.
+pub struct NvbmArena {
+    media: Vec<u8>,
+    /// Dirty cachelines (line index → line bytes). BTreeMap keeps eviction
+    /// deterministic; crash randomness comes from [`CrashMode`].
+    cache: BTreeMap<u64, [u8; CACHELINE]>,
+    cache_cap: usize,
+    model: DeviceModel,
+    /// Virtual clock charged by every access.
+    pub clock: VirtualClock,
+    /// Access statistics (NVBM tier + caller-recorded DRAM tier).
+    pub stats: MemStats,
+}
+
+impl NvbmArena {
+    /// Create a fresh, zeroed arena of `capacity` bytes with a default
+    /// dirty-cache of 4096 lines (256 KiB, an L2-ish footprint).
+    pub fn new(capacity: usize, model: DeviceModel) -> Self {
+        assert!(capacity as u64 >= HEADER_SIZE, "arena smaller than header");
+        let mut a = NvbmArena {
+            media: vec![0; capacity],
+            cache: BTreeMap::new(),
+            cache_cap: 4096,
+            model,
+            clock: VirtualClock::new(),
+            stats: MemStats::new(capacity),
+        };
+        a.format();
+        a
+    }
+
+    /// Change the dirty-line cache capacity (lines).
+    pub fn set_cache_lines(&mut self, lines: usize) {
+        self.cache_cap = lines.max(1);
+        self.evict_over_cap();
+    }
+
+    /// Write the header magic and zeroed roots, bypassing the cache (a
+    /// freshly formatted device is by definition persistent).
+    fn format(&mut self) {
+        self.media[..HEADER_SIZE as usize].fill(0);
+        self.media[OFF_MAGIC as usize..OFF_MAGIC as usize + 8].copy_from_slice(&MAGIC.to_le_bytes());
+        let bump = HEADER_SIZE;
+        self.media[OFF_BUMP as usize..OFF_BUMP as usize + 8].copy_from_slice(&bump.to_le_bytes());
+    }
+
+    /// Device capacity in bytes.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.media.len()
+    }
+
+    /// The timing model in force.
+    #[inline]
+    pub fn model(&self) -> &DeviceModel {
+        &self.model
+    }
+
+    fn check_range(&self, offset: u64, len: usize) {
+        assert!(
+            offset.checked_add(len as u64).is_some_and(|end| end <= self.media.len() as u64),
+            "NVBM access out of bounds: offset {offset} len {len} capacity {}",
+            self.media.len()
+        );
+    }
+
+    /// Read `buf.len()` bytes at `offset`, observing un-flushed stores
+    /// (the CPU reads through its own cache).
+    pub fn read(&mut self, offset: u64, buf: &mut [u8]) {
+        self.check_range(offset, buf.len());
+        let lines = DeviceModel::lines(offset, buf.len());
+        self.clock.advance(lines * self.model.nvbm.read_ns);
+        self.stats.nvbm_read(buf.len(), lines);
+        buf.copy_from_slice(&self.media[offset as usize..offset as usize + buf.len()]);
+        // Overlay dirty lines.
+        if buf.is_empty() {
+            return;
+        }
+        let first = offset / CACHELINE as u64;
+        let last = (offset + buf.len() as u64 - 1) / CACHELINE as u64;
+        for (&line, data) in self.cache.range(first..=last) {
+            let line_start = line * CACHELINE as u64;
+            // Intersection of [line_start, line_start+64) with [offset, offset+len).
+            let lo = line_start.max(offset);
+            let hi = (line_start + CACHELINE as u64).min(offset + buf.len() as u64);
+            if lo < hi {
+                let src = (lo - line_start) as usize..(hi - line_start) as usize;
+                let dst = (lo - offset) as usize..(hi - offset) as usize;
+                buf[dst].copy_from_slice(&data[src]);
+            }
+        }
+    }
+
+    /// Write `data` at `offset`. The store lands in the dirty-line cache;
+    /// it reaches the media on flush, eviction, or a lucky crash.
+    pub fn write(&mut self, offset: u64, data: &[u8]) {
+        self.check_range(offset, data.len());
+        if data.is_empty() {
+            return;
+        }
+        let lines = DeviceModel::lines(offset, data.len());
+        self.clock.advance(lines * self.model.nvbm.write_ns);
+        self.stats.nvbm_write(data.len(), lines);
+        let first = offset / CACHELINE as u64;
+        let last = (offset + data.len() as u64 - 1) / CACHELINE as u64;
+        for line in first..=last {
+            let line_start = line * CACHELINE as u64;
+            let entry = self.cache.entry(line).or_insert_with(|| {
+                // Read-modify-write: seed the cacheline from media.
+                let mut l = [0u8; CACHELINE];
+                let s = line_start as usize;
+                let e = (s + CACHELINE).min(self.media.len());
+                l[..e - s].copy_from_slice(&self.media[s..e]);
+                l
+            });
+            let lo = line_start.max(offset);
+            let hi = (line_start + CACHELINE as u64).min(offset + data.len() as u64);
+            let src = (lo - offset) as usize..(hi - offset) as usize;
+            let dst = (lo - line_start) as usize..(hi - line_start) as usize;
+            entry[dst].copy_from_slice(&data[src]);
+        }
+        self.evict_over_cap();
+    }
+
+    fn commit_line(media: &mut [u8], stats: &mut MemStats, line: u64, data: &[u8; CACHELINE]) {
+        let s = line as usize * CACHELINE;
+        let e = (s + CACHELINE).min(media.len());
+        media[s..e].copy_from_slice(&data[..e - s]);
+        stats.wear_commit(s as u64);
+    }
+
+    fn evict_over_cap(&mut self) {
+        while self.cache.len() > self.cache_cap {
+            let (line, data) = self.cache.pop_first().expect("cache non-empty");
+            Self::commit_line(&mut self.media, &mut self.stats, line, &data);
+        }
+    }
+
+    /// Flush one cacheline (the `clflush` analogue). Charges one write
+    /// latency for the media commit.
+    pub fn flush_line(&mut self, offset: u64) {
+        let line = offset / CACHELINE as u64;
+        if let Some(data) = self.cache.remove(&line) {
+            self.clock.advance(self.model.nvbm.write_ns);
+            Self::commit_line(&mut self.media, &mut self.stats, line, &data);
+        }
+    }
+
+    /// Flush every dirty line (an `sfence` + full write-back). Used at
+    /// persist points and before [`Self::save`].
+    pub fn flush_all(&mut self) {
+        let cache = std::mem::take(&mut self.cache);
+        self.clock.advance(cache.len() as u64 * self.model.nvbm.write_ns);
+        for (line, data) in cache {
+            Self::commit_line(&mut self.media, &mut self.stats, line, &data);
+        }
+    }
+
+    /// Number of dirty (unflushed) lines.
+    pub fn dirty_lines(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Simulate a crash: dirty lines are lost or partially committed per
+    /// `mode`; the cache is emptied either way. The media afterwards is
+    /// exactly what a rebooted node would find in its NVBM.
+    pub fn crash(&mut self, mode: CrashMode) {
+        let cache = std::mem::take(&mut self.cache);
+        match mode {
+            CrashMode::LoseDirty => {}
+            CrashMode::CommitRandom { p, seed } => {
+                // Small deterministic xorshift so the crate doesn't need a
+                // rand dependency on its hot path.
+                let mut state = seed | 1;
+                for (line, data) in cache {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+                    if u < p {
+                        Self::commit_line(&mut self.media, &mut self.stats, line, &data);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- device header -------------------------------------------------
+
+    /// An 8-byte header write, immediately flushed: the one place the
+    /// protocol relies on an atomic persistent store (root-pointer swap).
+    fn header_write_u64(&mut self, off: u64, v: u64) {
+        debug_assert!(off + 8 <= HEADER_SIZE);
+        self.write(off, &v.to_le_bytes());
+        self.flush_line(off);
+    }
+
+    fn header_read_u64(&mut self, off: u64) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(off, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Is the device formatted (magic present on persistent media)?
+    pub fn is_formatted(&mut self) -> bool {
+        self.header_read_u64(OFF_MAGIC) == MAGIC
+    }
+
+    /// Get persistent root slot `i` (`ADDR(V_i)` / `ADDR(V_{i-1})`).
+    pub fn root(&mut self, slot: usize) -> POffset {
+        assert!(slot < ROOT_SLOTS);
+        POffset(self.header_read_u64(OFF_ROOT0 + 8 * slot as u64))
+    }
+
+    /// Atomically set persistent root slot `i`.
+    pub fn set_root(&mut self, slot: usize, p: POffset) {
+        assert!(slot < ROOT_SLOTS);
+        self.header_write_u64(OFF_ROOT0 + 8 * slot as u64, p.0);
+    }
+
+    /// Persistent epoch counter (incremented at every persist point).
+    pub fn epoch(&mut self) -> u64 {
+        self.header_read_u64(OFF_EPOCH)
+    }
+
+    /// Set the persistent epoch.
+    pub fn set_epoch(&mut self, e: u64) {
+        self.header_write_u64(OFF_EPOCH, e);
+    }
+
+    /// Persisted allocator bump pointer.
+    pub fn bump_hint(&mut self) -> u64 {
+        self.header_read_u64(OFF_BUMP)
+    }
+
+    /// Persist the allocator bump pointer.
+    pub fn set_bump_hint(&mut self, b: u64) {
+        self.header_write_u64(OFF_BUMP, b);
+    }
+
+    // ---- typed access helpers -------------------------------------------
+
+    /// Read a little-endian `u64`.
+    pub fn read_u64(&mut self, offset: u64) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(offset, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Write a little-endian `u64`.
+    pub fn write_u64(&mut self, offset: u64, v: u64) {
+        self.write(offset, &v.to_le_bytes());
+    }
+
+    /// Read a little-endian `f64`.
+    pub fn read_f64(&mut self, offset: u64) -> f64 {
+        f64::from_bits(self.read_u64(offset))
+    }
+
+    /// Write a little-endian `f64`.
+    pub fn write_f64(&mut self, offset: u64, v: f64) {
+        self.write_u64(offset, v.to_bits());
+    }
+
+    // ---- whole-device persistence (node reboot) --------------------------
+
+    /// Flush and save the media image to a host file (simulates the NVBM
+    /// DIMM surviving a node reboot — or a replica shipped elsewhere).
+    pub fn save(&mut self, path: &Path) -> std::io::Result<()> {
+        self.flush_all();
+        std::fs::write(path, &self.media)
+    }
+
+    /// Load a media image saved by [`Self::save`]. Clock and stats start
+    /// fresh; the dirty cache is empty (a rebooted CPU cache is cold).
+    pub fn load(path: &Path, model: DeviceModel) -> std::io::Result<Self> {
+        let media = std::fs::read(path)?;
+        assert!(media.len() as u64 >= HEADER_SIZE, "image too small");
+        let stats = MemStats::new(media.len());
+        Ok(NvbmArena {
+            media,
+            cache: BTreeMap::new(),
+            cache_cap: 4096,
+            model,
+            clock: VirtualClock::new(),
+            stats,
+        })
+    }
+
+    /// Clone the persistent image of this arena (flushes first). Used by
+    /// the replica feature to snapshot `V_{i-1}` onto another node.
+    pub fn clone_media(&mut self) -> Vec<u8> {
+        self.flush_all();
+        self.media.clone()
+    }
+
+    /// Overwrite this arena's media with `image` (replica restore).
+    pub fn restore_media(&mut self, image: &[u8]) {
+        assert_eq!(image.len(), self.media.len(), "image size mismatch");
+        self.media.copy_from_slice(image);
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena() -> NvbmArena {
+        NvbmArena::new(1 << 20, DeviceModel::default())
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut a = arena();
+        a.write(4096, b"hello, nvbm");
+        let mut buf = [0u8; 11];
+        a.read(4096, &mut buf);
+        assert_eq!(&buf, b"hello, nvbm");
+    }
+
+    #[test]
+    fn read_sees_unflushed_writes_across_lines() {
+        let mut a = arena();
+        let data: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        a.write(1000, &data); // spans 4 lines, unaligned
+        let mut buf = vec![0u8; 200];
+        a.read(1000, &mut buf);
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn latency_charged_per_line() {
+        let mut a = arena();
+        let t0 = a.clock.now_ns();
+        a.write(0x1000, &[0u8; 64]); // exactly one aligned line
+        assert_eq!(a.clock.now_ns() - t0, 150);
+        let t1 = a.clock.now_ns();
+        let mut b = [0u8; 64];
+        a.read(0x1000, &mut b);
+        assert_eq!(a.clock.now_ns() - t1, 100);
+        let t2 = a.clock.now_ns();
+        a.write(0x1000 + 32, &[0u8; 64]); // straddles two lines
+        assert_eq!(a.clock.now_ns() - t2, 300);
+    }
+
+    #[test]
+    fn crash_lose_dirty_reverts_unflushed() {
+        let mut a = arena();
+        a.write(8192, b"persisted");
+        a.flush_all();
+        a.write(8192, b"ephemeral");
+        a.crash(CrashMode::LoseDirty);
+        let mut buf = [0u8; 9];
+        a.read(8192, &mut buf);
+        assert_eq!(&buf, b"persisted");
+    }
+
+    #[test]
+    fn crash_commit_random_is_deterministic() {
+        let run = |seed| {
+            let mut a = arena();
+            for i in 0..32u64 {
+                a.write(4096 + i * 64, &[i as u8; 64]);
+            }
+            a.crash(CrashMode::CommitRandom { p: 0.5, seed });
+            let mut survived = 0;
+            for i in 0..32u64 {
+                let mut b = [0u8; 1];
+                a.read(4096 + i * 64, &mut b);
+                if b[0] == i as u8 && i != 0 {
+                    survived += 1;
+                }
+            }
+            survived
+        };
+        assert_eq!(run(42), run(42));
+        // With p=0.5 over 31 distinguishable lines, some but not all survive.
+        let s = run(42);
+        assert!(s > 0 && s < 31, "survived {s}");
+    }
+
+    #[test]
+    fn flush_makes_writes_crash_proof() {
+        let mut a = arena();
+        a.write(4096, b"important");
+        a.flush_all();
+        a.crash(CrashMode::LoseDirty);
+        let mut buf = [0u8; 9];
+        a.read(4096, &mut buf);
+        assert_eq!(&buf, b"important");
+    }
+
+    #[test]
+    fn root_slots_are_atomic_persistent() {
+        let mut a = arena();
+        a.set_root(0, POffset(12345));
+        a.set_root(1, POffset(999));
+        a.crash(CrashMode::LoseDirty);
+        assert_eq!(a.root(0), POffset(12345));
+        assert_eq!(a.root(1), POffset(999));
+    }
+
+    #[test]
+    fn header_formatted() {
+        let mut a = arena();
+        assert!(a.is_formatted());
+        assert_eq!(a.epoch(), 0);
+        assert_eq!(a.root(0), POffset::NULL);
+        assert_eq!(a.bump_hint(), HEADER_SIZE);
+    }
+
+    #[test]
+    fn eviction_commits_oldest_lines() {
+        let mut a = arena();
+        a.set_cache_lines(4);
+        for i in 0..8u64 {
+            a.write(4096 + i * 64, &[7u8; 64]);
+        }
+        assert!(a.dirty_lines() <= 4);
+        // Early lines were evicted to media: visible even after crash.
+        a.crash(CrashMode::LoseDirty);
+        let mut b = [0u8; 1];
+        a.read(4096, &mut b);
+        assert_eq!(b[0], 7);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("nvbm_test_save");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("image.nvbm");
+        let mut a = arena();
+        a.write(5000, b"survives reboot");
+        a.set_root(0, POffset(5000));
+        a.save(&path).unwrap();
+        let mut b = NvbmArena::load(&path, DeviceModel::default()).unwrap();
+        assert!(b.is_formatted());
+        assert_eq!(b.root(0), POffset(5000));
+        let mut buf = [0u8; 15];
+        b.read(5000, &mut buf);
+        assert_eq!(&buf, b"survives reboot");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replica_media_clone_restore() {
+        let mut a = arena();
+        a.write(4096, b"replica me");
+        let img = a.clone_media();
+        let mut b = arena();
+        b.restore_media(&img);
+        let mut buf = [0u8; 10];
+        b.read(4096, &mut buf);
+        assert_eq!(&buf, b"replica me");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_read_panics() {
+        let mut a = NvbmArena::new(4096, DeviceModel::default());
+        let mut b = [0u8; 8];
+        a.read(4095, &mut b);
+    }
+
+    #[test]
+    fn stats_track_lines_and_bytes() {
+        let mut a = arena();
+        a.write(0x2000, &[0u8; 100]); // 2 lines
+        assert_eq!(a.stats.nvbm.write_lines, 2);
+        assert_eq!(a.stats.nvbm.bytes_written, 100);
+        let mut b = [0u8; 100];
+        a.read(0x2000, &mut b);
+        assert_eq!(a.stats.nvbm.read_lines, 2);
+    }
+
+    #[test]
+    fn wear_counted_on_commit_not_on_write() {
+        let mut a = arena();
+        for _ in 0..10 {
+            a.write(0x3000, &[1u8; 64]);
+        }
+        assert_eq!(a.stats.max_wear(), 0, "no commit yet");
+        a.flush_all();
+        assert_eq!(a.stats.max_wear(), 1, "ten cached writes commit once");
+    }
+}

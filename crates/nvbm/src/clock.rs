@@ -1,0 +1,108 @@
+//! Virtual time.
+//!
+//! The paper emulates NVBM latency with RDTSCP spin loops; spinning makes
+//! wall-clock measurements real but non-deterministic and slow. We instead
+//! charge modeled latencies onto a per-rank [`VirtualClock`]. Experiment
+//! harnesses report virtual seconds; Criterion micro-benches may opt into
+//! [`SpinMode`] to burn real cycles like the original emulator.
+
+use std::time::Instant;
+
+/// Monotonic virtual clock, advanced by device/cost models.
+///
+/// One clock per simulated rank; the simulated execution time of a
+/// parallel phase is the max over rank clocks (computed by the `cluster`
+/// crate).
+#[derive(Debug, Default, Clone)]
+pub struct VirtualClock {
+    now_ns: u64,
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time in nanoseconds.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Current virtual time in seconds.
+    #[inline]
+    pub fn now_secs(&self) -> f64 {
+        self.now_ns as f64 * 1e-9
+    }
+
+    /// Advance the clock by `ns` nanoseconds.
+    #[inline]
+    pub fn advance(&mut self, ns: u64) {
+        self.now_ns += ns;
+    }
+
+    /// Advance to at least `t_ns` (used to synchronize ranks at barriers).
+    #[inline]
+    pub fn advance_to(&mut self, t_ns: u64) {
+        self.now_ns = self.now_ns.max(t_ns);
+    }
+
+    /// Reset to zero (new experiment).
+    pub fn reset(&mut self) {
+        self.now_ns = 0;
+    }
+}
+
+/// Real spin-loop delay, equivalent to the paper's RDTSCP-based emulation.
+///
+/// Only used by micro-benchmarks that want wall-clock effects; the
+/// experiment harness uses [`VirtualClock`] for determinism.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpinMode;
+
+impl SpinMode {
+    /// Busy-wait for approximately `ns` nanoseconds.
+    pub fn delay(&self, ns: u64) {
+        if ns == 0 {
+            return;
+        }
+        let start = Instant::now();
+        while (start.elapsed().as_nanos() as u64) < ns {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances() {
+        let mut c = VirtualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.advance(150);
+        c.advance(100);
+        assert_eq!(c.now_ns(), 250);
+        assert!((c.now_secs() - 250e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn advance_to_is_max() {
+        let mut c = VirtualClock::new();
+        c.advance(500);
+        c.advance_to(300);
+        assert_eq!(c.now_ns(), 500);
+        c.advance_to(800);
+        assert_eq!(c.now_ns(), 800);
+    }
+
+    #[test]
+    fn spin_waits_roughly() {
+        let s = SpinMode;
+        let t0 = Instant::now();
+        s.delay(200_000); // 200 us
+        assert!(t0.elapsed().as_nanos() >= 200_000);
+    }
+}

@@ -1,0 +1,36 @@
+//! Emulated non-volatile byte-addressable memory (NVBM).
+//!
+//! The paper evaluates PM-octree on DRAM-emulated NVBM: every NVBM read or
+//! write is delayed per Table 2 (100 ns read / 150 ns write per cacheline
+//! vs 60/60 ns for DRAM). This crate reproduces that emulator with a
+//! deterministic twist — latencies are charged to a per-device
+//! [`VirtualClock`] instead of burned in spin loops (a [`SpinMode`] helper
+//! exists for wall-clock micro-benchmarks).
+//!
+//! Beyond timing, the crate models what actually makes persistent-memory
+//! programming hard and what PM-octree is designed to survive:
+//!
+//! * a bounded **dirty-line cache** between the CPU and the media, so
+//!   stores become persistent in an order the program did not choose;
+//! * [`NvbmArena::crash`] — drop or randomly commit the dirty lines, then
+//!   let recovery code prove it can live with the result;
+//! * a [`PmemAllocator`] whose free lists are volatile and rebuilt from
+//!   the GC mark phase after a crash (no allocator logging);
+//! * persistent **root slots** in a device header written with atomic
+//!   8-byte flushed stores (`ADDR(V_i)` / `ADDR(V_{i-1})` in the paper);
+//! * wear and access statistics ([`MemStats`]) for the write-reduction
+//!   experiments.
+#![warn(missing_docs)]
+
+
+pub mod alloc;
+pub mod arena;
+pub mod clock;
+pub mod model;
+pub mod stats;
+
+pub use alloc::{size_class, PmemAllocator, ReusePolicy};
+pub use arena::{CrashMode, NvbmArena, POffset, HEADER_SIZE, ROOT_SLOTS};
+pub use clock::{SpinMode, VirtualClock};
+pub use model::{BlockDeviceModel, DeviceModel, MemLatency, NetworkModel, CACHELINE, PAGE};
+pub use stats::{MemStats, TierStats, WEAR_BLOCK};

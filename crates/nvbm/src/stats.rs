@@ -1,0 +1,214 @@
+//! Access accounting: read/write counts, byte volumes, wear map.
+//!
+//! The paper reports (a) the fraction of memory accesses that are writes
+//! (41% average, 72% max for the droplet workload, §1), (b) NVBM write
+//! counts saved by dynamic transformation (−31%, §5.5), and (c) implies
+//! endurance pressure (Table 2). This module supplies those counters.
+
+/// Counters for one memory tier.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TierStats {
+    /// Number of cacheline read operations.
+    pub read_lines: u64,
+    /// Number of cacheline write operations.
+    pub write_lines: u64,
+    /// Bytes read (as requested, not rounded to lines).
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+}
+
+impl TierStats {
+    /// Total line accesses.
+    pub fn total_lines(&self) -> u64 {
+        self.read_lines + self.write_lines
+    }
+
+    /// Fraction of accesses that are writes (0 when idle).
+    pub fn write_fraction(&self) -> f64 {
+        let t = self.total_lines();
+        if t == 0 {
+            0.0
+        } else {
+            self.write_lines as f64 / t as f64
+        }
+    }
+
+    fn add(&mut self, other: &TierStats) {
+        self.read_lines += other.read_lines;
+        self.write_lines += other.write_lines;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+    }
+}
+
+/// Combined DRAM + NVBM accounting plus a per-block wear map for the NVBM
+/// device.
+#[derive(Debug, Default, Clone)]
+pub struct MemStats {
+    /// DRAM tier counters (the C0 tree instruments itself through these).
+    pub dram: TierStats,
+    /// NVBM tier counters.
+    pub nvbm: TierStats,
+    /// Writes per 4 KiB wear block of the NVBM arena (committed lines).
+    wear: Vec<u32>,
+}
+
+/// Wear-map block granularity.
+pub const WEAR_BLOCK: usize = 4096;
+
+impl MemStats {
+    /// Stats for an arena of `capacity` bytes.
+    pub fn new(capacity: usize) -> Self {
+        MemStats {
+            dram: TierStats::default(),
+            nvbm: TierStats::default(),
+            wear: vec![0; capacity.div_ceil(WEAR_BLOCK)],
+        }
+    }
+
+    /// Record an NVBM read of `len` bytes spanning `lines` cachelines.
+    #[inline]
+    pub fn nvbm_read(&mut self, len: usize, lines: u64) {
+        self.nvbm.read_lines += lines;
+        self.nvbm.bytes_read += len as u64;
+    }
+
+    /// Record an NVBM write of `len` bytes spanning `lines` cachelines.
+    #[inline]
+    pub fn nvbm_write(&mut self, len: usize, lines: u64) {
+        self.nvbm.write_lines += lines;
+        self.nvbm.bytes_written += len as u64;
+    }
+
+    /// Record a DRAM read (the volatile C0 tree calls this).
+    #[inline]
+    pub fn dram_read(&mut self, len: usize, lines: u64) {
+        self.dram.read_lines += lines;
+        self.dram.bytes_read += len as u64;
+    }
+
+    /// Record a DRAM write.
+    #[inline]
+    pub fn dram_write(&mut self, len: usize, lines: u64) {
+        self.dram.write_lines += lines;
+        self.dram.bytes_written += len as u64;
+    }
+
+    /// Record a committed (persisted) line at byte `offset` in the wear
+    /// map. Called when a dirty cacheline actually reaches the media.
+    #[inline]
+    pub fn wear_commit(&mut self, offset: u64) {
+        let b = offset as usize / WEAR_BLOCK;
+        if let Some(w) = self.wear.get_mut(b) {
+            *w += 1;
+        }
+    }
+
+    /// Maximum writes any single wear block has absorbed.
+    pub fn max_wear(&self) -> u32 {
+        self.wear.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean writes per wear block (over blocks ever written).
+    pub fn mean_wear(&self) -> f64 {
+        let touched: Vec<u32> = self.wear.iter().copied().filter(|&w| w > 0).collect();
+        if touched.is_empty() {
+            0.0
+        } else {
+            touched.iter().map(|&w| w as f64).sum::<f64>() / touched.len() as f64
+        }
+    }
+
+    /// Write fraction over *all* accesses, both tiers — the §1 statistic.
+    pub fn overall_write_fraction(&self) -> f64 {
+        let w = self.dram.write_lines + self.nvbm.write_lines;
+        let t = self.dram.total_lines() + self.nvbm.total_lines();
+        if t == 0 {
+            0.0
+        } else {
+            w as f64 / t as f64
+        }
+    }
+
+    /// Fold another stats block into this one (rank aggregation).
+    pub fn merge(&mut self, other: &MemStats) {
+        self.dram.add(&other.dram);
+        self.nvbm.add(&other.nvbm);
+        if self.wear.len() < other.wear.len() {
+            self.wear.resize(other.wear.len(), 0);
+        }
+        for (a, b) in self.wear.iter_mut().zip(&other.wear) {
+            *a += *b;
+        }
+    }
+
+    /// Zero all counters (keeps wear-map size).
+    pub fn reset(&mut self) {
+        self.dram = TierStats::default();
+        self.nvbm = TierStats::default();
+        self.wear.fill(0);
+    }
+
+    /// Snapshot of NVBM write-line count — convenient for deltas around a
+    /// phase (`let before = ...; run(); writes = now - before`).
+    pub fn nvbm_write_lines(&self) -> u64 {
+        self.nvbm.write_lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_fraction_computation() {
+        let mut s = MemStats::new(1 << 16);
+        s.dram_read(64, 1);
+        s.dram_write(64, 1);
+        s.nvbm_read(64, 1);
+        s.nvbm_write(64, 1);
+        assert!((s.overall_write_fraction() - 0.5).abs() < 1e-12);
+        assert!((s.dram.write_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wear_tracking() {
+        let mut s = MemStats::new(WEAR_BLOCK * 4);
+        s.wear_commit(0);
+        s.wear_commit(10);
+        s.wear_commit(WEAR_BLOCK as u64);
+        assert_eq!(s.max_wear(), 2);
+        assert!((s.mean_wear() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = MemStats::new(WEAR_BLOCK);
+        let mut b = MemStats::new(WEAR_BLOCK);
+        a.nvbm_write(128, 2);
+        b.nvbm_write(64, 1);
+        b.wear_commit(5);
+        a.merge(&b);
+        assert_eq!(a.nvbm.write_lines, 3);
+        assert_eq!(a.nvbm.bytes_written, 192);
+        assert_eq!(a.max_wear(), 1);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut s = MemStats::new(WEAR_BLOCK);
+        s.nvbm_write(64, 1);
+        s.wear_commit(0);
+        s.reset();
+        assert_eq!(s.nvbm.write_lines, 0);
+        assert_eq!(s.max_wear(), 0);
+    }
+
+    #[test]
+    fn idle_fractions_are_zero() {
+        let s = MemStats::new(0);
+        assert_eq!(s.overall_write_fraction(), 0.0);
+        assert_eq!(s.mean_wear(), 0.0);
+    }
+}

@@ -1,0 +1,943 @@
+//! The PM-octree programming interface (§3.4, Table 1).
+//!
+//! [`PmOctree`] realizes *orthogonal persistence*: the application meshes
+//! and solves against one logical octree; the library decides which
+//! octants live in DRAM (`C0`) vs NVBM (`C1`), performs copy-on-write
+//! versioning, and manages every persistent pointer. The Table 1 entry
+//! points map to:
+//!
+//! | paper              | here                  |
+//! |--------------------|-----------------------|
+//! | `pm_create`        | [`PmOctree::create`]  |
+//! | `pm_persistent`    | [`PmOctree::persist`] |
+//! | `pm_restore`       | [`PmOctree::restore`] |
+//! | `pm_delete`        | [`PmOctree::delete`]  |
+
+use pmoctree_morton::OctKey;
+use pmoctree_nvbm::{NvbmArena, POffset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::c0::{C0Forest, C0Tree};
+use crate::c1::{self, Locate};
+use crate::config::PmConfig;
+use crate::gc::{self, GcReport};
+use crate::octant::{CellData, ChildPtr, Octant, PmStore};
+use crate::replica::ReplicaSet;
+use crate::sampling::{self, FeatureFn};
+
+/// Phases of the persist protocol, for failpoint testing
+/// ([`PmOctree::persist_with_failpoint`]). A crash after `Merge` or
+/// `Flush` recovers the *previous* version; after `RootSwapHalf` or
+/// `RootSwap`, the *new* version (root slot 1 — the recovery root — is
+/// written last, so it always names a fully-flushed tree).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PersistPhase {
+    /// C0 subtrees merged into NVBM (nothing flushed or published).
+    Merge,
+    /// All octant data flushed to media; roots not yet swapped.
+    Flush,
+    /// Root slot 0 updated; recovery slot 1 still points at the old version.
+    RootSwapHalf,
+    /// Both root slots and the epoch published.
+    RootSwap,
+}
+
+/// Errors surfaced by the meshing interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PmError {
+    /// No octant exists at this key in `V_i`.
+    NotFound(String),
+    /// Refinement of a non-leaf, or coarsening of a leaf.
+    NotALeaf(String),
+    /// Coarsening would violate structure (children not all leaves).
+    NotCoarsenable(String),
+}
+
+impl std::fmt::Display for PmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PmError::NotFound(k) => write!(f, "octant not found: {k}"),
+            PmError::NotALeaf(k) => write!(f, "octant is not a leaf: {k}"),
+            PmError::NotCoarsenable(k) => write!(f, "octant cannot be coarsened: {k}"),
+        }
+    }
+}
+
+impl std::error::Error for PmError {}
+
+/// Operation counters surfaced to the experiment harness.
+#[derive(Debug, Default, Clone)]
+pub struct Events {
+    /// C0→C1 merge operations (pressure evictions + persist merges).
+    pub merges: u64,
+    /// Of those, merges forced by DRAM pressure (`threshold_DRAM`).
+    pub evictions: u64,
+    /// Dynamic layout transformations executed.
+    pub transforms: u64,
+    /// Garbage collections run.
+    pub gc_runs: u64,
+    /// Last GC outcome.
+    pub last_gc: Option<GcReport>,
+    /// `(octants in V_i, octants shared with V_{i-1})` at the last persist
+    /// — the Fig. 3 overlap measurement.
+    pub last_overlap: Option<(usize, usize)>,
+    /// Persist points executed.
+    pub persists: u64,
+}
+
+impl Events {
+    /// Overlap ratio of the last persist (0 when none yet).
+    pub fn overlap_ratio(&self) -> f64 {
+        match self.last_overlap {
+            Some((total, shared)) if total > 0 => shared as f64 / total as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+/// A persistent merged octree over one NVBM device.
+pub struct PmOctree {
+    /// The NVBM store (public for statistics access).
+    pub store: PmStore,
+    /// The DRAM (C0) forest.
+    pub(crate) forest: C0Forest,
+    /// Per-C0-tree NVBM shadow: the subtree image at the last persist
+    /// (indexed by volatile id), used for diff-merging.
+    pub(crate) shadows: Vec<POffset>,
+    /// Configuration.
+    pub cfg: PmConfig,
+    /// Root of the working version `V_i` (volatile mirror; the header is
+    /// only updated at persist points).
+    pub(crate) current_root: POffset,
+    /// Root of the persisted version `V_{i-1}`.
+    pub(crate) prev_root: POffset,
+    /// Current working epoch: octants with an older epoch are shared.
+    pub(crate) epoch: u32,
+    /// Monotone estimate of the deepest refinement level.
+    pub(crate) depth: u8,
+    /// Leaf count of `V_i`, maintained incrementally.
+    pub(crate) leaves: usize,
+    /// Application feature functions for §3.3 sampling.
+    pub(crate) features: Vec<FeatureFn>,
+    /// Operation counters.
+    pub events: Events,
+    /// Remote replicas of `V_{i-1}` (present when `cfg.replicas`).
+    pub replicas: Option<ReplicaSet>,
+    pub(crate) rng: StdRng,
+}
+
+impl PmOctree {
+    /// `pm_create`: format a PM-octree on `arena`, persist an initial
+    /// single-root version, and return the handle.
+    pub fn create(arena: NvbmArena, cfg: PmConfig) -> Self {
+        let mut store = PmStore::new(arena);
+        if cfg.wear_leveling {
+            store.alloc.set_policy(pmoctree_nvbm::ReusePolicy::WearAware);
+        }
+        let root_octant = Octant::leaf(OctKey::root(), POffset::NULL, 1, CellData::default());
+        let root = store.alloc_octant(&root_octant).expect("arena too small for the root");
+        store.arena.flush_all();
+        store.arena.set_root(0, root);
+        store.arena.set_root(1, root);
+        store.arena.set_epoch(1);
+        store.arena.set_bump_hint(store.alloc.bump());
+        let replicas = cfg.replicas.then(|| {
+            let mut r = ReplicaSet::new();
+            r.full_sync(&mut store.arena);
+            r
+        });
+        PmOctree {
+            store,
+            forest: C0Forest::new(),
+            shadows: Vec::new(),
+            cfg,
+            current_root: root,
+            prev_root: root,
+            epoch: 2,
+            depth: 0,
+            leaves: 1,
+            features: Vec::new(),
+            events: Events::default(),
+            replicas,
+            rng: StdRng::seed_from_u64(0x00C0_FFEE),
+        }
+    }
+
+    /// `pm_restore`: recover from `arena` after a failure on the same
+    /// node. Returns a handle whose working tree is exactly the last
+    /// persisted version `V_{i-1}` — near-instantaneous: only the header
+    /// is read, plus one reachability pass to rebuild volatile state.
+    pub fn restore(mut arena: NvbmArena, cfg: PmConfig) -> Self {
+        assert!(arena.is_formatted(), "restore from an unformatted device");
+        let prev = arena.root(1);
+        assert!(!prev.is_null(), "no persisted version to restore");
+        let epoch = arena.epoch() as u32 + 1;
+        let mut store = PmStore::new(arena);
+        if cfg.wear_leveling {
+            store.alloc.set_policy(pmoctree_nvbm::ReusePolicy::WearAware);
+        }
+        gc::rebuild_after_crash(&mut store, &[prev]);
+        // V_i octants not in V_{i-1} were implicitly discarded by the
+        // mark pass (the paper's "mark deleted, GC recycles in background").
+        store.arena.set_root(0, prev);
+        let mut t = PmOctree {
+            store,
+            forest: C0Forest::new(),
+            shadows: Vec::new(),
+            cfg,
+            current_root: prev,
+            prev_root: prev,
+            epoch,
+            depth: 0,
+            leaves: 0,
+            features: Vec::new(),
+            events: Events::default(),
+            replicas: None,
+            rng: StdRng::seed_from_u64(0x00C0_FFEE),
+        };
+        // One traversal to re-derive depth and leaf count.
+        let (mut leaves, mut depth) = (0usize, 0u8);
+        c1::traverse(
+            &mut t.store,
+            prev,
+            &mut |_, _, k, leaf| {
+                if leaf {
+                    leaves += 1;
+                }
+                depth = depth.max(k.level());
+            },
+            &mut |_| {},
+        );
+        t.leaves = leaves;
+        t.depth = depth;
+        if cfg.replicas {
+            let mut r = ReplicaSet::new();
+            r.full_sync(&mut t.store.arena);
+            t.replicas = Some(r);
+        }
+        t
+    }
+
+    /// Restore onto a *new* node from a remote replica (§3.4 second
+    /// scenario): the replica image is transferred and becomes the local
+    /// NVBM contents. Returns the handle plus the number of bytes that had
+    /// to cross the network (charged by the caller's network model).
+    pub fn restore_from_replica(
+        mut arena: NvbmArena,
+        replica: &ReplicaSet,
+        cfg: PmConfig,
+    ) -> (Self, u64) {
+        let image = replica.image();
+        arena.restore_media(image);
+        let moved = replica.live_bytes();
+        (Self::restore(arena, cfg), moved)
+    }
+
+    /// `pm_delete`: drop every octant and clear the persistent roots.
+    pub fn delete(mut self) -> NvbmArena {
+        self.store.arena.set_root(0, POffset::NULL);
+        self.store.arena.set_root(1, POffset::NULL);
+        for p in std::mem::take(&mut self.store.registry) {
+            self.store.free_octant(p);
+        }
+        self.store.arena
+    }
+
+    /// Register an application feature function (refinement predicate,
+    /// solver region-of-interest test) for feature-directed sampling.
+    pub fn add_feature(&mut self, f: FeatureFn) {
+        self.features.push(f);
+    }
+
+    // ---- mesh queries ----------------------------------------------------
+
+    /// Number of leaf octants (mesh elements) in `V_i`.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves
+    }
+
+    /// Deepest refinement level seen so far.
+    pub fn depth(&self) -> u8 {
+        self.depth
+    }
+
+    /// Working-epoch value (exposed for tests and instrumentation).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Total simulated memory in use: NVBM live bytes + DRAM C0 bytes.
+    pub fn memory_usage_bytes(&self) -> u64 {
+        self.store.alloc.live_bytes()
+            + (self.forest.total_octants * crate::octant::OCTANT_SIZE) as u64
+    }
+
+    /// How many octants currently sit in DRAM (C0)?
+    pub fn c0_octants(&self) -> usize {
+        self.forest.total_octants
+    }
+
+    /// Root keys of the DRAM-resident (C0) subtrees.
+    pub fn c0_subtree_keys(&self) -> Vec<OctKey> {
+        self.forest.ids().into_iter().map(|id| self.forest.get(id).subtree_key).collect()
+    }
+
+    /// Does the octant at `key` exist in `V_i`, and is it a leaf?
+    pub fn is_leaf(&mut self, key: OctKey) -> Option<bool> {
+        if let Some(id) = self.forest.owner_of(&key) {
+            let store = &mut self.store;
+            return self.forest.with_tree(id, |t| {
+                t.find(key, &mut store.arena).map(|i| t.is_leaf(i))
+            });
+        }
+        match c1::locate(&mut self.store, self.current_root, key) {
+            Locate::Nvbm(p) => {
+                let leaf = (0..8).all(|i| self.store.child(p, i).is_null());
+                Some(leaf)
+            }
+            _ => None,
+        }
+    }
+
+    /// The leaf whose region contains `key` (descend until a leaf). Every
+    /// in-domain key has one. Returns `None` only if `key`'s cell is
+    /// *refined deeper* than `key` (i.e. key names an internal octant).
+    pub fn containing_leaf(&mut self, key: OctKey) -> Option<OctKey> {
+        if let Some(id) = self.forest.owner_of(&key) {
+            let store = &mut self.store;
+            return self.forest.with_tree(id, |t| t.containing_leaf(key, &mut store.arena));
+        }
+        // NVBM descent.
+        let root_key = self.store.key(self.current_root);
+        if !root_key.contains(&key) {
+            return None;
+        }
+        let mut cur = self.current_root;
+        let mut cur_key = root_key;
+        for l in root_key.level()..key.level() {
+            let idx = key.ancestor_at(l + 1).sibling_index();
+            match self.store.child(cur, idx) {
+                ChildPtr::Null => return Some(cur_key),
+                ChildPtr::Volatile(id) => {
+                    // Continue inside the C0 tree.
+                    let store = &mut self.store;
+                    return self.forest.with_tree(id, |t| t.containing_leaf(key, &mut store.arena));
+                }
+                ChildPtr::Nvbm(p) => {
+                    cur = p;
+                    cur_key = key.ancestor_at(l + 1);
+                }
+            }
+        }
+        let leaf = (0..8).all(|i| self.store.child(cur, i).is_null());
+        if leaf {
+            Some(cur_key)
+        } else {
+            None
+        }
+    }
+
+    /// Read the payload of the octant at `key`.
+    pub fn get_data(&mut self, key: OctKey) -> Option<CellData> {
+        if let Some(id) = self.forest.owner_of(&key) {
+            let store = &mut self.store;
+            return self.forest.with_tree(id, |t| {
+                t.find(key, &mut store.arena).map(|i| t.data_of(i, &mut store.arena))
+            });
+        }
+        match c1::locate(&mut self.store, self.current_root, key) {
+            Locate::Nvbm(p) => Some(self.store.data(p)),
+            _ => None,
+        }
+    }
+
+    // ---- mesh mutation ----------------------------------------------------
+
+    /// Refine the leaf at `key` into 8 children inheriting its payload.
+    pub fn refine(&mut self, key: OctKey) -> Result<(), PmError> {
+        if let Some(id) = self.forest.owner_of(&key) {
+            let store = &mut self.store;
+            let r = self.forest.with_tree(id, |t| match t.find(key, &mut store.arena) {
+                None => Err(PmError::NotFound(format!("{key:?}"))),
+                Some(i) if !t.is_leaf(i) => Err(PmError::NotALeaf(format!("{key:?}"))),
+                Some(i) => {
+                    t.refine(i, &mut store.arena);
+                    Ok(())
+                }
+            });
+            r?;
+        } else {
+            match c1::locate(&mut self.store, self.current_root, key) {
+                Locate::Nvbm(p) => {
+                    if !(0..8).all(|i| self.store.child(p, i).is_null()) {
+                        return Err(PmError::NotALeaf(format!("{key:?}")));
+                    }
+                    // Seeding: if this region could become a DRAM subtree
+                    // and capacity allows, promote the leaf to C0 first so
+                    // the refinement happens at DRAM speed.
+                    if self.should_seed_c0(key) {
+                        let data = self.store.data(p);
+                        let tree = C0Tree::new(key, data);
+                        let id = self.register_c0(tree, p);
+                        self.current_root = c1::replace_slot(
+                            &mut self.store,
+                            self.current_root,
+                            key,
+                            ChildPtr::Volatile(id),
+                            self.epoch,
+                        );
+                        return self.refine(key);
+                    }
+                    self.current_root = c1::refine(&mut self.store, self.current_root, key, self.epoch);
+                }
+                Locate::Volatile(_) => unreachable!("owner_of covers volatile regions"),
+                Locate::Missing => return Err(PmError::NotFound(format!("{key:?}"))),
+            }
+        }
+        self.leaves += 7;
+        self.depth = self.depth.max(key.level() + 1);
+        self.after_mutation();
+        Ok(())
+    }
+
+    /// Coarsen the octant at `key`: its children (which must all be
+    /// leaves) are removed.
+    pub fn coarsen(&mut self, key: OctKey) -> Result<(), PmError> {
+        if let Some(id) = self.forest.owner_of(&key) {
+            let store = &mut self.store;
+            let r = self.forest.with_tree(id, |t| match t.find(key, &mut store.arena) {
+                None => Err(PmError::NotFound(format!("{key:?}"))),
+                Some(i) => t.coarsen(i, &mut store.arena).map_err(|e| match e {
+                    crate::c0::CoarsenError::Leaf => PmError::NotALeaf(format!("{key:?}")),
+                    crate::c0::CoarsenError::DeepChildren => {
+                        PmError::NotCoarsenable(format!("{key:?}"))
+                    }
+                }),
+            });
+            r?;
+        } else {
+            match c1::locate(&mut self.store, self.current_root, key) {
+                Locate::Nvbm(p) => {
+                    // Children that are single-leaf DRAM subtrees get
+                    // merged back first so the coarsening can proceed
+                    // entirely in NVBM; deeper DRAM children mean the
+                    // region is refined and coarsening is illegal anyway.
+                    let mut absorb = Vec::new();
+                    let mut has_child = false;
+                    for i in 0..8 {
+                        match self.store.child(p, i) {
+                            ChildPtr::Null => {}
+                            ChildPtr::Volatile(id) => {
+                                has_child = true;
+                                if self.forest.get(id).octant_count() > 1 {
+                                    return Err(PmError::NotCoarsenable(format!("{key:?}")));
+                                }
+                                absorb.push(id);
+                            }
+                            ChildPtr::Nvbm(c) => {
+                                has_child = true;
+                                if !(0..8).all(|j| self.store.child(c, j).is_null()) {
+                                    return Err(PmError::NotCoarsenable(format!("{key:?}")));
+                                }
+                            }
+                        }
+                    }
+                    if !has_child {
+                        return Err(PmError::NotALeaf(format!("{key:?}")));
+                    }
+                    for id in absorb {
+                        self.evict_c0(id);
+                    }
+                    self.current_root =
+                        c1::coarsen(&mut self.store, self.current_root, key, self.epoch);
+                }
+                Locate::Volatile(_) => unreachable!("owner_of covers volatile regions"),
+                Locate::Missing => return Err(PmError::NotFound(format!("{key:?}"))),
+            }
+        }
+        self.leaves -= 7;
+        self.after_mutation();
+        Ok(())
+    }
+
+    /// Overwrite the payload of the octant at `key`.
+    pub fn set_data(&mut self, key: OctKey, data: CellData) -> Result<(), PmError> {
+        if let Some(id) = self.forest.owner_of(&key) {
+            let store = &mut self.store;
+            return self.forest.with_tree(id, |t| match t.find(key, &mut store.arena) {
+                None => Err(PmError::NotFound(format!("{key:?}"))),
+                Some(i) => {
+                    t.set_data(i, data, &mut store.arena);
+                    Ok(())
+                }
+            });
+        }
+        match c1::locate(&mut self.store, self.current_root, key) {
+            Locate::Nvbm(_) => {
+                self.current_root =
+                    c1::update_data(&mut self.store, self.current_root, key, &data, self.epoch);
+                Ok(())
+            }
+            Locate::Volatile(_) => unreachable!("owner_of covers volatile regions"),
+            Locate::Missing => Err(PmError::NotFound(format!("{key:?}"))),
+        }
+    }
+
+    // ---- traversal ---------------------------------------------------------
+
+    /// Visit every leaf of `V_i` (NVBM leaves first, then DRAM subtrees;
+    /// order within each part is pre-order).
+    pub fn for_each_leaf(&mut self, mut f: impl FnMut(OctKey, &CellData)) {
+        let mut volatile_ids = Vec::new();
+        let root = self.current_root;
+        c1::traverse(
+            &mut self.store,
+            root,
+            &mut |store, p, k, leaf| {
+                if leaf {
+                    let d = store.data(p);
+                    f(k, &d);
+                }
+            },
+            &mut |id| volatile_ids.push(id),
+        );
+        for id in volatile_ids {
+            let store = &mut self.store;
+            self.forest.with_tree(id, |t| t.for_each_leaf(&mut store.arena, &mut f));
+        }
+    }
+
+    /// Collect all leaves as `(key, data)` pairs, sorted by Z-order.
+    pub fn leaves_sorted(&mut self) -> Vec<(OctKey, CellData)> {
+        let mut out = Vec::with_capacity(self.leaves);
+        self.for_each_leaf(|k, d| out.push((k, *d)));
+        out.sort_by_key(|a| a.0);
+        out
+    }
+
+    /// Solver sweep: `f` inspects each leaf and returns `Some(new_data)`
+    /// to update it. NVBM updates are copy-on-write.
+    pub fn update_leaves(&mut self, mut f: impl FnMut(OctKey, &CellData) -> Option<CellData>) {
+        // NVBM side: gather the updates first, then apply (applying
+        // mutates the tree shape via COW, which would invalidate a live
+        // traversal).
+        let mut updates: Vec<(OctKey, CellData)> = Vec::new();
+        let mut volatile_ids = Vec::new();
+        let root = self.current_root;
+        c1::traverse(
+            &mut self.store,
+            root,
+            &mut |store, p, k, leaf| {
+                if leaf {
+                    let d = store.data(p);
+                    if let Some(nd) = f(k, &d) {
+                        updates.push((k, nd));
+                    }
+                }
+            },
+            &mut |id| volatile_ids.push(id),
+        );
+        for (k, nd) in updates {
+            self.current_root =
+                c1::update_data(&mut self.store, self.current_root, k, &nd, self.epoch);
+        }
+        for id in volatile_ids {
+            let store = &mut self.store;
+            self.forest.with_tree(id, |t| t.update_leaves(&mut store.arena, &mut f));
+        }
+        self.after_mutation();
+    }
+
+    // ---- persistence ---------------------------------------------------------
+
+    /// `pm_persistent`: merge `C0` into `C1`, flush, atomically advance
+    /// the persistent roots, GC the previous version, then (if enabled)
+    /// run the dynamic layout transformation. On return, `V_{i-1}` is the
+    /// tree as of this call.
+    pub fn persist(&mut self) {
+        self.persist_with_failpoint(None);
+    }
+
+    /// Failpoint-instrumented persist: execute the persist protocol only
+    /// up to (and including) `stop_after`, then return without completing
+    /// the remaining phases — as if the process died there. Combined with
+    /// [`NvbmArena::crash`], this lets tests and operators verify that a
+    /// failure at *any* point of the protocol recovers to a consistent
+    /// version. `None` runs the full protocol.
+    pub fn persist_with_failpoint(&mut self, stop_after: Option<PersistPhase>) {
+        // (1) Merge every DRAM subtree into NVBM with diff-sharing.
+        let ids = self.forest.ids();
+        let mut merged_offsets: Vec<(u32, POffset)> = Vec::with_capacity(ids.len());
+        let mut root = self.current_root;
+        for id in &ids {
+            let shadow = self.shadow_of(*id);
+            // Clean trees: the shadow image is still exact; re-link it
+            // without reading a single octant.
+            let (dirty, key) = {
+                let t = self.forest.get(*id);
+                (t.dirty, t.subtree_key)
+            };
+            let off = if !dirty && !shadow.is_null() {
+                shadow
+            } else {
+                let octants = self.forest.get(*id).collect();
+                let off = c1::merge_subtree(&mut self.store, &octants, shadow.opt(), self.epoch);
+                self.events.merges += 1;
+                off
+            };
+            root = c1::replace_slot(&mut self.store, root, key, ChildPtr::Nvbm(off), self.epoch);
+            merged_offsets.push((*id, off));
+        }
+        if stop_after == Some(PersistPhase::Merge) {
+            return;
+        }
+        // (2) Overlap measurement (Fig. 3): shared = older than this epoch.
+        let overlap = c1::count_shared(&mut self.store, root, self.epoch);
+        self.events.last_overlap = Some(overlap);
+        // (3) Flush everything, then the atomic root/epoch advance. Until
+        // the set_root below lands, recovery uses the old V_{i-1}.
+        self.store.arena.flush_all();
+        if stop_after == Some(PersistPhase::Flush) {
+            return;
+        }
+        self.store.arena.set_bump_hint(self.store.alloc.bump());
+        self.store.arena.set_root(0, root);
+        if stop_after == Some(PersistPhase::RootSwapHalf) {
+            return;
+        }
+        self.store.arena.set_root(1, root);
+        self.store.arena.set_epoch(self.epoch as u64);
+        if stop_after == Some(PersistPhase::RootSwap) {
+            return;
+        }
+        // (4) The previous version is now garbage; reclaim it.
+        self.prev_root = root;
+        self.current_root = root;
+        let report = gc::collect(&mut self.store, &[root]);
+        self.events.gc_runs += 1;
+        self.events.last_gc = Some(report);
+        self.events.persists += 1;
+        // (5) Replica delta shipping (before the epoch advances). The
+        // registry now holds exactly the live set of the persisted tree;
+        // octants created this epoch are the delta.
+        if self.replicas.is_some() {
+            let epoch = self.epoch;
+            let offsets: Vec<POffset> = self.store.registry.clone();
+            let new_octants: Vec<POffset> = offsets
+                .into_iter()
+                .filter(|&p| self.store.epoch_of(p) == epoch)
+                .collect();
+            if let Some(mut r) = self.replicas.take() {
+                r.push_delta(&mut self.store.arena, &new_octants);
+                self.replicas = Some(r);
+            }
+        }
+        // (6) New working epoch; everything persisted is now shared.
+        self.epoch += 1;
+        // (7) Re-attach the retained DRAM subtrees to the working tree
+        //     and remember their merged images as diff shadows.
+        self.shadows = Vec::new();
+        for (id, off) in merged_offsets {
+            self.set_shadow(id, off);
+            let key = self.forest.get(id).subtree_key;
+            self.forest.get_mut(id).dirty = false;
+            self.current_root = c1::replace_slot(
+                &mut self.store,
+                self.current_root,
+                key,
+                ChildPtr::Volatile(id),
+                self.epoch,
+            );
+        }
+        self.forest.decay_access(0.5);
+        // (8) Dynamic layout transformation (§3.3) runs after merging:
+        // one detection pass, promoting up to 16 of the hottest NVBM
+        // subtrees.
+        if self.cfg.dynamic_transform {
+            self.transform_pass(16);
+        }
+    }
+
+    // ---- internals -------------------------------------------------------------
+
+    pub(crate) fn shadow_of(&self, id: u32) -> POffset {
+        self.shadows.get(id as usize).copied().unwrap_or(POffset::NULL)
+    }
+
+    pub(crate) fn set_shadow(&mut self, id: u32, off: POffset) {
+        if self.shadows.len() <= id as usize {
+            self.shadows.resize(id as usize + 1, POffset::NULL);
+        }
+        self.shadows[id as usize] = off;
+    }
+
+    pub(crate) fn register_c0(&mut self, tree: C0Tree, shadow: POffset) -> u32 {
+        let id = self.forest.insert(tree);
+        self.set_shadow(id, shadow);
+        id
+    }
+
+    /// Should a refine at `key` seed a new DRAM subtree there?
+    fn should_seed_c0(&mut self, key: OctKey) -> bool {
+        if key.level() == 0 {
+            return false; // the root must remain in NVBM
+        }
+        if !self.cfg.seed_c0 {
+            return false;
+        }
+        let l = sampling::l_sub(self.depth.max(key.level() + 1), self.cfg.c0_capacity_octants);
+        key.level() >= l
+            && self.forest.total_octants + 9 <= self.cfg.c0_capacity_octants
+    }
+
+    /// Post-mutation housekeeping: DRAM-pressure eviction and on-demand GC.
+    fn after_mutation(&mut self) {
+        // DRAM pressure: evict least-frequently-accessed subtrees.
+        let cap = (self.cfg.c0_capacity_octants as f64 * self.cfg.threshold_dram) as usize;
+        while self.forest.total_octants > cap && !self.forest.is_empty() {
+            let Some(victim) = self.forest.coldest() else { break };
+            self.evict_c0(victim);
+            self.events.evictions += 1;
+        }
+        // NVBM pressure: on-demand GC.
+        if self.store.alloc.available_fraction() < self.cfg.threshold_nvbm {
+            let roots = [self.current_root, self.prev_root];
+            let report = gc::collect(&mut self.store, &roots);
+            self.events.gc_runs += 1;
+            self.events.last_gc = Some(report);
+        }
+    }
+
+    /// Merge one C0 subtree out to C1 and drop it from the forest.
+    pub(crate) fn evict_c0(&mut self, id: u32) {
+        let tree = self.forest.remove(id);
+        let shadow = self.shadow_of(id);
+        self.set_shadow(id, POffset::NULL);
+        let off = if !tree.dirty && !shadow.is_null() {
+            shadow
+        } else {
+            let octants = tree.collect();
+            c1::merge_subtree(&mut self.store, &octants, shadow.opt(), self.epoch)
+        };
+        self.current_root = c1::replace_slot(
+            &mut self.store,
+            self.current_root,
+            tree.subtree_key,
+            ChildPtr::Nvbm(off),
+            self.epoch,
+        );
+        self.events.merges += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmoctree_nvbm::{CrashMode, DeviceModel};
+
+    fn arena() -> NvbmArena {
+        NvbmArena::new(16 << 20, DeviceModel::default())
+    }
+
+    fn small_cfg() -> PmConfig {
+        PmConfig { dynamic_transform: false, ..PmConfig::default() }
+    }
+
+    #[test]
+    fn create_refine_query() {
+        let mut t = PmOctree::create(arena(), small_cfg());
+        assert_eq!(t.leaf_count(), 1);
+        t.refine(OctKey::root()).unwrap();
+        assert_eq!(t.leaf_count(), 8);
+        t.refine(OctKey::root().child(3)).unwrap();
+        assert_eq!(t.leaf_count(), 15);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.is_leaf(OctKey::root().child(3)), Some(false));
+        assert_eq!(t.is_leaf(OctKey::root().child(3).child(1)), Some(true));
+        assert_eq!(t.is_leaf(OctKey::root().child(2).child(0)), None);
+    }
+
+    #[test]
+    fn refine_errors() {
+        let mut t = PmOctree::create(arena(), small_cfg());
+        t.refine(OctKey::root()).unwrap();
+        assert!(matches!(t.refine(OctKey::root()), Err(PmError::NotALeaf(_))));
+        assert!(matches!(
+            t.refine(OctKey::root().child(0).child(0)),
+            Err(PmError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn coarsen_roundtrip() {
+        let mut t = PmOctree::create(arena(), small_cfg());
+        t.refine(OctKey::root()).unwrap();
+        t.refine(OctKey::root().child(5)).unwrap();
+        t.coarsen(OctKey::root().child(5)).unwrap();
+        assert_eq!(t.leaf_count(), 8);
+        t.coarsen(OctKey::root()).unwrap();
+        assert_eq!(t.leaf_count(), 1);
+        assert!(matches!(t.coarsen(OctKey::root()), Err(PmError::NotALeaf(_))));
+    }
+
+    #[test]
+    fn coarsen_rejects_deep_children() {
+        let mut t = PmOctree::create(arena(), small_cfg());
+        t.refine(OctKey::root()).unwrap();
+        t.refine(OctKey::root().child(1)).unwrap();
+        assert!(matches!(
+            t.coarsen(OctKey::root()),
+            Err(PmError::NotCoarsenable(_))
+        ));
+    }
+
+    #[test]
+    fn set_get_data() {
+        let mut t = PmOctree::create(arena(), small_cfg());
+        t.refine(OctKey::root()).unwrap();
+        let k = OctKey::root().child(2);
+        t.set_data(k, CellData { phi: 3.5, ..Default::default() }).unwrap();
+        assert_eq!(t.get_data(k).unwrap().phi, 3.5);
+        assert!(t.set_data(k.child(0), CellData::default()).is_err());
+    }
+
+    #[test]
+    fn for_each_leaf_visits_all() {
+        let mut t = PmOctree::create(arena(), small_cfg());
+        t.refine(OctKey::root()).unwrap();
+        t.refine(OctKey::root().child(7)).unwrap();
+        let leaves = t.leaves_sorted();
+        assert_eq!(leaves.len(), t.leaf_count());
+        // Leaves tile the domain: keys are unique.
+        for w in leaves.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn persist_then_continue() {
+        let mut t = PmOctree::create(arena(), small_cfg());
+        t.refine(OctKey::root()).unwrap();
+        t.persist();
+        assert_eq!(t.events.persists, 1);
+        let (total, _shared) = t.events.last_overlap.unwrap();
+        assert_eq!(total, 9);
+        // Keep meshing after the persist.
+        t.refine(OctKey::root().child(0)).unwrap();
+        assert_eq!(t.leaf_count(), 15);
+        t.persist();
+        let (total2, shared2) = t.events.last_overlap.unwrap();
+        assert_eq!(total2, 17);
+        // The 7 untouched children + their 0 descendants are shared; the
+        // copied path (root, child 0) and the 8 new leaves are not.
+        assert_eq!(shared2, 7);
+    }
+
+    #[test]
+    fn crash_recovers_last_persisted_version() {
+        let mut t = PmOctree::create(arena(), small_cfg());
+        t.refine(OctKey::root()).unwrap();
+        t.set_data(OctKey::root().child(1), CellData { phi: 42.0, ..Default::default() })
+            .unwrap();
+        t.persist();
+        let persisted = t.leaves_sorted();
+        // Keep working: these mutations must vanish on crash.
+        t.refine(OctKey::root().child(0)).unwrap();
+        t.set_data(OctKey::root().child(1), CellData { phi: -1.0, ..Default::default() })
+            .unwrap();
+        let mut arena = {
+            let PmOctree { store, .. } = t;
+            store.arena
+        };
+        arena.crash(CrashMode::LoseDirty);
+        let mut r = PmOctree::restore(arena, small_cfg());
+        assert_eq!(r.leaves_sorted(), persisted);
+        assert_eq!(r.get_data(OctKey::root().child(1)).unwrap().phi, 42.0);
+    }
+
+    #[test]
+    fn crash_with_random_commit_still_recovers() {
+        for seed in 0..5 {
+            let mut t = PmOctree::create(arena(), small_cfg());
+            t.refine(OctKey::root()).unwrap();
+            t.refine(OctKey::root().child(2)).unwrap();
+            t.persist();
+            let persisted = t.leaves_sorted();
+            // Unpersisted chaos.
+            t.refine(OctKey::root().child(2).child(0)).unwrap();
+            t.coarsen(OctKey::root().child(2)).ok();
+            t.refine(OctKey::root().child(5)).unwrap();
+            let mut arena = {
+                let PmOctree { store, .. } = t;
+                store.arena
+            };
+            arena.crash(CrashMode::CommitRandom { p: 0.5, seed });
+            let mut r = PmOctree::restore(arena, small_cfg());
+            assert_eq!(r.leaves_sorted(), persisted, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn update_leaves_sweep_both_tiers() {
+        let mut cfg = small_cfg();
+        cfg.c0_capacity_octants = 32; // force some DRAM subtrees
+        let mut t = PmOctree::create(arena(), cfg);
+        t.refine(OctKey::root()).unwrap();
+        t.refine(OctKey::root().child(0)).unwrap(); // seeds C0 at child 0
+        assert!(t.c0_octants() > 0, "seeding expected");
+        t.update_leaves(|_, d| Some(CellData { pressure: d.pressure + 2.0, ..*d }));
+        t.for_each_leaf(|_, d| assert_eq!(d.pressure, 2.0));
+    }
+
+    #[test]
+    fn dram_pressure_evicts() {
+        let mut cfg = small_cfg();
+        cfg.c0_capacity_octants = 16;
+        cfg.threshold_dram = 0.5; // evict above 8 octants
+        let mut t = PmOctree::create(arena(), cfg);
+        t.refine(OctKey::root()).unwrap();
+        t.refine(OctKey::root().child(0)).unwrap(); // seed: 9 DRAM octants > 8
+        assert_eq!(t.c0_octants(), 0, "eviction should have emptied C0");
+        assert!(t.events.evictions >= 1);
+        // The tree is still correct.
+        assert_eq!(t.leaf_count(), 15);
+        assert_eq!(t.is_leaf(OctKey::root().child(0).child(3)), Some(true));
+    }
+
+    #[test]
+    fn persist_after_eviction_shares() {
+        let mut cfg = small_cfg();
+        cfg.c0_capacity_octants = 16;
+        cfg.threshold_dram = 0.5;
+        let mut t = PmOctree::create(arena(), cfg);
+        t.refine(OctKey::root()).unwrap();
+        t.refine(OctKey::root().child(0)).unwrap();
+        t.persist();
+        t.persist(); // nothing changed: V_i == V_{i-1} fully shared
+        let (total, shared) = t.events.last_overlap.unwrap();
+        assert_eq!(total, shared, "identical steps must share 100%");
+    }
+
+    #[test]
+    fn delete_clears_roots() {
+        let mut t = PmOctree::create(arena(), small_cfg());
+        t.refine(OctKey::root()).unwrap();
+        t.persist();
+        let mut arena = t.delete();
+        assert_eq!(arena.root(0), POffset::NULL);
+        assert_eq!(arena.root(1), POffset::NULL);
+    }
+
+    #[test]
+    fn memory_usage_tracks_sharing() {
+        let mut t = PmOctree::create(arena(), small_cfg());
+        t.refine(OctKey::root()).unwrap();
+        t.persist();
+        let m1 = t.memory_usage_bytes();
+        // An unchanged persist must not grow memory (full sharing + GC).
+        t.persist();
+        let m2 = t.memory_usage_bytes();
+        assert_eq!(m1, m2);
+    }
+}

@@ -1,0 +1,585 @@
+//! The persistent `C1` tree: NVBM-resident octants with copy-on-write
+//! multi-versioning.
+//!
+//! Invariants maintained by every function here (§3.2 of the paper):
+//!
+//! 1. **Exclusivity is hereditary.** An octant whose `epoch` equals the
+//!    current working epoch is *exclusive* to `V_i` and may be mutated in
+//!    place; all of its ancestors are then exclusive too, because the only
+//!    way an exclusive octant comes into existence is a path copy that
+//!    made its whole ancestor chain exclusive first.
+//! 2. **Shared octants are immutable.** Octants with an older epoch may be
+//!    referenced by `V_{i-1}`; they are never written. Mutation copies
+//!    them (and their shared ancestors) — `V_{i-1}` keeps the originals.
+//! 3. **Deletion never writes shared octants.** Unlinking rewrites only
+//!    the (exclusive) parent; the shared child octant itself is untouched
+//!    and reclaimed by GC once no version references it. Exclusive
+//!    deleted octants get their `deleted` flag set for GC.
+//!
+//! Because of (1)–(3), a crash at *any* point leaves the tree reachable
+//! from the persisted `V_{i-1}` root byte-identical to what
+//! `pm_persistent` flushed — no fence or flush ordering is required on
+//! the octant writes themselves.
+
+use pmoctree_morton::OctKey;
+use pmoctree_nvbm::POffset;
+
+use crate::octant::{CellData, ChildPtr, Octant, PmStore, FANOUT};
+
+/// Outcome of a root-descent for `key`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Locate {
+    /// Found as a persistent octant.
+    Nvbm(POffset),
+    /// The descent hit a volatile handle at `ancestor_level`; the octant,
+    /// if it exists, lives in C0 tree `id`.
+    Volatile(u32),
+    /// No such octant in the tree.
+    Missing,
+}
+
+/// Walk from `root` towards `key`; stop at the octant, a volatile handle,
+/// or a missing link.
+pub fn locate(store: &mut PmStore, root: POffset, key: OctKey) -> Locate {
+    debug_assert!(!root.is_null());
+    let root_key = store.key(root);
+    if !root_key.contains(&key) {
+        return Locate::Missing;
+    }
+    let mut cur = root;
+    for l in root_key.level()..key.level() {
+        let idx = key.ancestor_at(l + 1).sibling_index();
+        match store.child(cur, idx) {
+            ChildPtr::Null => return Locate::Missing,
+            ChildPtr::Volatile(id) => return Locate::Volatile(id),
+            ChildPtr::Nvbm(p) => cur = p,
+        }
+    }
+    Locate::Nvbm(cur)
+}
+
+/// Make the octant at `key` exclusive to the current epoch, copying the
+/// shared suffix of its root path (the paper's Figure 4 walk: copy 9→9',
+/// copy u→u', link, repeat to the root). Returns the possibly-new root
+/// and the exclusive octant's offset.
+///
+/// `key` must exist as an NVBM octant under `root`.
+pub fn cow_path(store: &mut PmStore, root: POffset, key: OctKey, epoch: u32) -> (POffset, POffset) {
+    // Record the descent: (offset, child index taken from it).
+    let root_key = store.key(root);
+    debug_assert!(root_key.contains(&key), "cow_path outside tree");
+    let mut path: Vec<(POffset, usize)> = Vec::with_capacity((key.level() - root_key.level()) as usize);
+    let mut cur = root;
+    for l in root_key.level()..key.level() {
+        let idx = key.ancestor_at(l + 1).sibling_index();
+        match store.child(cur, idx) {
+            ChildPtr::Nvbm(p) => {
+                path.push((cur, idx));
+                cur = p;
+            }
+            other => panic!("cow_path: expected NVBM child on path, found {other:?}"),
+        }
+    }
+    // `cur` is the target. Copy the shared suffix bottom-up.
+    if store.epoch_of(cur) == epoch {
+        return (root, cur); // already exclusive; ancestors are too.
+    }
+    let mut copy = store.read_octant(cur);
+    copy.epoch = epoch;
+    let mut child_off = store.alloc_octant(&copy).expect("NVBM full during COW");
+    let mut child_key_level = key.level();
+    // Walk ancestors from deepest to root, re-linking.
+    while let Some((anc, idx)) = path.pop() {
+        if store.epoch_of(anc) == epoch {
+            // Exclusive ancestor: just update its child slot in place.
+            store.set_child(anc, idx, ChildPtr::Nvbm(child_off));
+            store.set_parent(child_off, anc);
+            return (root, deepest(store, root, key, child_key_level));
+        }
+        let mut anc_copy = store.read_octant(anc);
+        anc_copy.epoch = epoch;
+        anc_copy.children[idx] = ChildPtr::Nvbm(child_off);
+        let anc_off = store.alloc_octant(&anc_copy).expect("NVBM full during COW");
+        store.set_parent(child_off, anc_off);
+        child_off = anc_off;
+        child_key_level -= 1;
+    }
+    // The root itself was copied: child_off is the new root.
+    store.set_parent(child_off, POffset::NULL);
+    let new_root = child_off;
+    (new_root, deepest(store, new_root, key, key.level()))
+}
+
+/// Re-locate `key` (must exist, as NVBM) under `root`. `_lvl` documents
+/// intent; descent is by key.
+fn deepest(store: &mut PmStore, root: POffset, key: OctKey, _lvl: u8) -> POffset {
+    match locate(store, root, key) {
+        Locate::Nvbm(p) => p,
+        other => panic!("octant vanished during COW: {other:?}"),
+    }
+}
+
+/// Refine the NVBM leaf at `key`: create its 8 children (all exclusive),
+/// each inheriting the parent's payload. Returns the possibly-new root.
+pub fn refine(store: &mut PmStore, root: POffset, key: OctKey, epoch: u32) -> POffset {
+    let (root, leaf) = cow_path(store, root, key, epoch);
+    debug_assert!(
+        (0..FANOUT).all(|i| store.child(leaf, i).is_null()),
+        "refine of non-leaf NVBM octant"
+    );
+    let data = store.data(leaf);
+    for i in 0..FANOUT {
+        let o = Octant::leaf(key.child(i), leaf, epoch, data);
+        let p = store.alloc_octant(&o).expect("NVBM full during refine");
+        store.set_child(leaf, i, ChildPtr::Nvbm(p));
+    }
+    root
+}
+
+/// Coarsen the NVBM octant at `key`: unlink its children (which must all
+/// be NVBM leaves), making it a leaf. Shared children are left untouched
+/// for `V_{i-1}`; exclusive children are flagged deleted for GC.
+pub fn coarsen(store: &mut PmStore, root: POffset, key: OctKey, epoch: u32) -> POffset {
+    let (root, node) = cow_path(store, root, key, epoch);
+    let mut mean = CellData::default();
+    for i in 0..FANOUT {
+        match store.child(node, i) {
+            ChildPtr::Nvbm(c) => {
+                debug_assert!(
+                    (0..FANOUT).all(|j| store.child(c, j).is_null()),
+                    "coarsen with non-leaf child"
+                );
+                let d = store.data(c);
+                mean.phi += d.phi / 8.0;
+                mean.pressure += d.pressure / 8.0;
+                mean.vof += d.vof / 8.0;
+                mean.work += d.work / 8.0;
+                if store.epoch_of(c) == epoch {
+                    store.set_deleted(c, true);
+                }
+                store.set_child(node, i, ChildPtr::Null);
+            }
+            ChildPtr::Null => {}
+            ChildPtr::Volatile(_) => panic!("coarsen across the DRAM boundary"),
+        }
+    }
+    // Restriction operator: the new leaf takes the mean of its children.
+    store.set_data(node, &mean);
+    root
+}
+
+/// Update the payload of the NVBM octant at `key` (copy-on-write if
+/// shared). Returns the possibly-new root.
+pub fn update_data(
+    store: &mut PmStore,
+    root: POffset,
+    key: OctKey,
+    data: &CellData,
+    epoch: u32,
+) -> POffset {
+    let (root, node) = cow_path(store, root, key, epoch);
+    store.set_data(node, data);
+    root
+}
+
+/// Replace the child slot that holds `key`'s position under `root` with
+/// `ptr` (used to attach merged subtrees and volatile handles). `key`
+/// must not be the root itself. Returns the possibly-new root.
+pub fn replace_slot(
+    store: &mut PmStore,
+    root: POffset,
+    key: OctKey,
+    ptr: ChildPtr,
+    epoch: u32,
+) -> POffset {
+    let parent_key = key.parent().expect("cannot replace the root slot");
+    let (root, parent) = cow_path(store, root, parent_key, epoch);
+    store.set_child(parent, key.sibling_index(), ptr);
+    if let ChildPtr::Nvbm(p) = ptr {
+        store.set_parent(p, parent);
+    }
+    root
+}
+
+/// Pre-order traversal of the NVBM part of the tree under `p`; volatile
+/// handles are reported to `on_volatile` and not descended.
+pub fn traverse(
+    store: &mut PmStore,
+    p: POffset,
+    f: &mut impl FnMut(&mut PmStore, POffset, OctKey, bool),
+    on_volatile: &mut impl FnMut(u32),
+) {
+    let mut stack = vec![p];
+    while let Some(cur) = stack.pop() {
+        let mut leaf = true;
+        let mut kids = Vec::new();
+        let children = store.children(cur);
+        for i in (0..FANOUT).rev() {
+            match children[i] {
+                ChildPtr::Null => {}
+                ChildPtr::Nvbm(c) => {
+                    leaf = false;
+                    kids.push(c);
+                }
+                ChildPtr::Volatile(id) => {
+                    leaf = false;
+                    on_volatile(id);
+                }
+            }
+        }
+        let key = store.key(cur);
+        f(store, cur, key, leaf);
+        stack.extend(kids);
+    }
+}
+
+/// Count octants reachable from `p` (NVBM only), and how many of them are
+/// *shared* (epoch older than `epoch`). Drives the Fig. 3 overlap-ratio
+/// measurement.
+pub fn count_shared(store: &mut PmStore, p: POffset, epoch: u32) -> (usize, usize) {
+    let mut total = 0usize;
+    let mut shared = 0usize;
+    let mut stack = vec![p];
+    while let Some(cur) = stack.pop() {
+        total += 1;
+        if store.epoch_of(cur) < epoch {
+            shared += 1;
+        }
+        for c in store.children(cur) {
+            if let ChildPtr::Nvbm(c) = c {
+                stack.push(c);
+            }
+        }
+    }
+    (total, shared)
+}
+
+/// Merge a pre-order list of (key, data, is_leaf) octants — a C0 subtree —
+/// into NVBM, *diffing against the shadow subtree* (the NVBM image this
+/// region had at the last persist) so unchanged octants are shared rather
+/// than rewritten. Returns the ChildPtr for the subtree root.
+///
+/// Sharing rule: an old octant is reused iff its payload is bit-identical
+/// and every child slot resolved to the same offset (i.e. the entire
+/// subtree below it is unchanged). This is what keeps the Fig. 3 overlap
+/// ratio high when the mesh barely changes between steps.
+pub fn merge_subtree(
+    store: &mut PmStore,
+    octants: &[(OctKey, CellData, bool)],
+    shadow: Option<POffset>,
+    epoch: u32,
+) -> POffset {
+    assert!(!octants.is_empty(), "merging an empty subtree");
+    let (off, _shared, consumed) = merge_rec(store, octants, 0, shadow, epoch);
+    debug_assert_eq!(consumed, octants.len(), "pre-order list not fully consumed");
+    off
+}
+
+/// Returns (offset, was_shared, entries_consumed).
+fn merge_rec(
+    store: &mut PmStore,
+    octants: &[(OctKey, CellData, bool)],
+    at: usize,
+    shadow: Option<POffset>,
+    epoch: u32,
+) -> (POffset, bool, usize) {
+    let (key, data, is_leaf) = octants[at];
+    let mut consumed = 1usize;
+    let mut children = [ChildPtr::Null; FANOUT];
+    let mut all_children_shared = true;
+    if !is_leaf {
+        // Pre-order: children appear consecutively (each with its own
+        // descendants) right after the parent, in Morton order.
+        while at + consumed < octants.len() {
+            let ck = octants[at + consumed].0;
+            if ck.parent() != Some(key) {
+                break;
+            }
+            let idx = ck.sibling_index();
+            let child_shadow = shadow.and_then(|s| match store.child(s, idx) {
+                ChildPtr::Nvbm(p) => Some(p),
+                _ => None,
+            });
+            let (coff, cshared, ccons) = merge_rec(store, octants, at + consumed, child_shadow, epoch);
+            children[idx] = ChildPtr::Nvbm(coff);
+            all_children_shared &= cshared;
+            consumed += ccons;
+        }
+    }
+    // Try to share the shadow octant.
+    if let Some(s) = shadow {
+        if all_children_shared && !store.is_deleted(s) {
+            let old = store.read_octant(s);
+            let data_same = old.data.phi.to_bits() == data.phi.to_bits()
+                && old.data.pressure.to_bits() == data.pressure.to_bits()
+                && old.data.vof.to_bits() == data.vof.to_bits()
+                && old.data.work.to_bits() == data.work.to_bits();
+            let children_same = old.children == children && old.key == key;
+            if data_same && children_same {
+                return (s, true, consumed);
+            }
+        }
+    }
+    // Parent pointers are advisory (no algorithm walks upward — see the
+    // module docs), so merged octants keep parent = NULL rather than
+    // paying an extra cacheline write per child to fix them up.
+    let o = Octant { children, parent: POffset::NULL, key, deleted: false, epoch, data };
+    let off = store.alloc_octant(&o).expect("NVBM full during merge");
+    (off, false, consumed)
+}
+
+/// Collect an NVBM subtree into a pre-order (key, data) list (used when
+/// promoting a hot subtree into DRAM). Deleted octants are skipped.
+/// Returns `None` when the subtree contains a volatile handle — such a
+/// region is already partly DRAM-resident and cannot be promoted
+/// wholesale.
+pub fn collect_subtree(store: &mut PmStore, p: POffset) -> Option<Vec<(OctKey, CellData)>> {
+    let mut out = Vec::new();
+    if collect_rec(store, p, &mut out) {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+fn collect_rec(store: &mut PmStore, p: POffset, out: &mut Vec<(OctKey, CellData)>) -> bool {
+    if store.is_deleted(p) {
+        return true;
+    }
+    let o = store.read_octant(p);
+    out.push((o.key, o.data));
+    for c in o.children {
+        match c {
+            ChildPtr::Nvbm(cp) => {
+                if !collect_rec(store, cp, out) {
+                    return false;
+                }
+            }
+            ChildPtr::Null => {}
+            ChildPtr::Volatile(_) => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmoctree_nvbm::{DeviceModel, NvbmArena};
+
+    fn store() -> PmStore {
+        PmStore::new(NvbmArena::new(4 << 20, DeviceModel::default()))
+    }
+
+    /// Build a fresh single-root tree at epoch `e`.
+    fn root_tree(s: &mut PmStore, e: u32) -> POffset {
+        let o = Octant::leaf(OctKey::root(), POffset::NULL, e, CellData::default());
+        s.alloc_octant(&o).unwrap()
+    }
+
+    #[test]
+    fn locate_finds_descendants() {
+        let mut s = store();
+        let mut root = root_tree(&mut s, 1);
+        root = refine(&mut s, root, OctKey::root(), 1);
+        let k = OctKey::root().child(3);
+        match locate(&mut s, root, k) {
+            Locate::Nvbm(p) => assert_eq!(s.key(p), k),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(locate(&mut s, root, k.child(0)), Locate::Missing);
+    }
+
+    #[test]
+    fn refine_exclusive_keeps_root() {
+        let mut s = store();
+        let root = root_tree(&mut s, 1);
+        // Root is exclusive at epoch 1: refining must not copy it.
+        let new_root = refine(&mut s, root, OctKey::root(), 1);
+        assert_eq!(new_root, root);
+    }
+
+    #[test]
+    fn refine_shared_copies_path() {
+        let mut s = store();
+        let mut root = root_tree(&mut s, 1);
+        root = refine(&mut s, root, OctKey::root(), 1);
+        let old_root = root;
+        // Epoch advances: everything is now shared.
+        let new_root = refine(&mut s, root, OctKey::root().child(2), 2);
+        assert_ne!(new_root, old_root, "shared root must be copied");
+        // Old version intact: child 2 of the old root is still a leaf.
+        match locate(&mut s, old_root, OctKey::root().child(2)) {
+            Locate::Nvbm(p) => {
+                assert!((0..8).all(|i| s.child(p, i).is_null()), "old version mutated!");
+            }
+            other => panic!("{other:?}"),
+        }
+        // New version has the refinement.
+        match locate(&mut s, new_root, OctKey::root().child(2).child(5)) {
+            Locate::Nvbm(p) => assert_eq!(s.key(p), OctKey::root().child(2).child(5)),
+            other => panic!("{other:?}"),
+        }
+        // Unmodified siblings are shared, not copied.
+        let old_c3 = match locate(&mut s, old_root, OctKey::root().child(3)) {
+            Locate::Nvbm(p) => p,
+            other => panic!("{other:?}"),
+        };
+        let new_c3 = match locate(&mut s, new_root, OctKey::root().child(3)) {
+            Locate::Nvbm(p) => p,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(old_c3, new_c3, "untouched sibling should be shared");
+    }
+
+    #[test]
+    fn update_data_cow_preserves_old_value() {
+        let mut s = store();
+        let mut root = root_tree(&mut s, 1);
+        root = refine(&mut s, root, OctKey::root(), 1);
+        let k = OctKey::root().child(1);
+        root = update_data(&mut s, root, k, &CellData { phi: 7.0, ..Default::default() }, 1);
+        let old_root = root;
+        let new_root =
+            update_data(&mut s, root, k, &CellData { phi: 9.0, ..Default::default() }, 2);
+        let old = match locate(&mut s, old_root, k) {
+            Locate::Nvbm(p) => s.data(p),
+            other => panic!("{other:?}"),
+        };
+        let new = match locate(&mut s, new_root, k) {
+            Locate::Nvbm(p) => s.data(p),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(old.phi, 7.0);
+        assert_eq!(new.phi, 9.0);
+    }
+
+    #[test]
+    fn coarsen_unlinks_without_writing_shared_children() {
+        let mut s = store();
+        let mut root = root_tree(&mut s, 1);
+        root = refine(&mut s, root, OctKey::root(), 1);
+        root = refine(&mut s, root, OctKey::root().child(0), 1);
+        let old_root = root;
+        let writes_before = s.arena.stats.nvbm.write_lines;
+        let new_root = coarsen(&mut s, root, OctKey::root().child(0), 2);
+        let _ = writes_before;
+        // New version: child 0 is a leaf again.
+        match locate(&mut s, new_root, OctKey::root().child(0)) {
+            Locate::Nvbm(p) => assert!((0..8).all(|i| s.child(p, i).is_null())),
+            other => panic!("{other:?}"),
+        }
+        // Old version: grandchildren still reachable and not deleted.
+        match locate(&mut s, old_root, OctKey::root().child(0).child(4)) {
+            Locate::Nvbm(p) => assert!(!s.is_deleted(p), "shared child must not be flagged"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn coarsen_flags_exclusive_children_deleted() {
+        let mut s = store();
+        let mut root = root_tree(&mut s, 1);
+        root = refine(&mut s, root, OctKey::root(), 1);
+        // Children created at epoch 1; coarsen at the SAME epoch.
+        let before: Vec<POffset> = (0..8)
+            .map(|i| match s.child(root, i) {
+                ChildPtr::Nvbm(p) => p,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        let _ = coarsen(&mut s, root, OctKey::root(), 1);
+        for p in before {
+            assert!(s.is_deleted(p), "exclusive child should be flagged for GC");
+        }
+    }
+
+    #[test]
+    fn merge_subtree_shares_unchanged_octants() {
+        let mut s = store();
+        // Build a shadow subtree in NVBM: one node + 8 leaves at epoch 1.
+        let sub_key = OctKey::root().child(6);
+        let octants: Vec<(OctKey, CellData, bool)> = std::iter::once((sub_key, CellData::default(), false))
+            .chain((0..8).map(|i| (sub_key.child(i), CellData::default(), true)))
+            .collect();
+        let shadow = merge_subtree(&mut s, &octants, None, 1);
+        // Re-merge identical content at epoch 2 against the shadow.
+        let merged = merge_subtree(&mut s, &octants, Some(shadow), 2);
+        assert_eq!(merged, shadow, "identical subtree must be fully shared");
+        // Change one leaf's data: only the path to it should be new.
+        let mut octants2 = octants.clone();
+        octants2[3].1.phi = 1.5;
+        let alloc_before = s.registry.len();
+        let merged2 = merge_subtree(&mut s, &octants2, Some(shadow), 2);
+        assert_ne!(merged2, shadow);
+        assert_eq!(s.registry.len() - alloc_before, 2, "new leaf + new subtree root only");
+        let (total, shared) = count_shared(&mut s, merged2, 2);
+        assert_eq!(total, 9);
+        assert_eq!(shared, 7);
+    }
+
+    #[test]
+    fn merge_subtree_structure_change_is_detected() {
+        let mut s = store();
+        let sub_key = OctKey::root().child(1);
+        let flat: Vec<(OctKey, CellData, bool)> = std::iter::once((sub_key, CellData::default(), false))
+            .chain((0..8).map(|i| (sub_key.child(i), CellData::default(), true)))
+            .collect();
+        let shadow = merge_subtree(&mut s, &flat, None, 1);
+        // Refine child 0 in the new version.
+        let mut deep = vec![(sub_key, CellData::default(), false), (sub_key.child(0), CellData::default(), false)];
+        deep.extend((0..8).map(|i| (sub_key.child(0).child(i), CellData::default(), true)));
+        deep.extend((1..8).map(|i| (sub_key.child(i), CellData::default(), true)));
+        let merged = merge_subtree(&mut s, &deep, Some(shadow), 2);
+        assert_ne!(merged, shadow);
+        let (total, shared) = count_shared(&mut s, merged, 2);
+        assert_eq!(total, 17);
+        assert_eq!(shared, 7, "the 7 untouched leaves are shared");
+    }
+
+    #[test]
+    fn collect_roundtrip() {
+        let mut s = store();
+        let sub_key = OctKey::root().child(4);
+        let octants: Vec<(OctKey, CellData, bool)> = std::iter::once((sub_key, CellData { vof: 0.2, ..Default::default() }, false))
+            .chain((0..8).map(|i| (sub_key.child(i), CellData { vof: i as f64, ..Default::default() }, true)))
+            .collect();
+        let off = merge_subtree(&mut s, &octants, None, 1);
+        let collected = collect_subtree(&mut s, off).expect("pure NVBM subtree");
+        assert_eq!(collected.len(), 9);
+        assert_eq!(collected[0].0, sub_key);
+        assert_eq!(collected[0].1.vof, 0.2);
+        let rebuilt: Vec<(OctKey, CellData, bool)> = collected
+            .iter()
+            .map(|&(k, d)| (k, d, k.level() > sub_key.level()))
+            .collect();
+        // Re-merging the collected set against the original shares 100%.
+        let again = merge_subtree(&mut s, &rebuilt, Some(off), 2);
+        assert_eq!(again, off);
+    }
+
+    #[test]
+    fn replace_slot_attaches_volatile_handle() {
+        let mut s = store();
+        let mut root = root_tree(&mut s, 1);
+        root = refine(&mut s, root, OctKey::root(), 1);
+        let k = OctKey::root().child(5);
+        let root2 = replace_slot(&mut s, root, k, ChildPtr::Volatile(42), 2);
+        assert_eq!(locate(&mut s, root2, k), Locate::Volatile(42));
+        // The old version still sees the NVBM child.
+        assert!(matches!(locate(&mut s, root, k), Locate::Nvbm(_)));
+    }
+
+    #[test]
+    fn traverse_visits_all_and_reports_volatile() {
+        let mut s = store();
+        let mut root = root_tree(&mut s, 1);
+        root = refine(&mut s, root, OctKey::root(), 1);
+        root = replace_slot(&mut s, root, OctKey::root().child(2), ChildPtr::Volatile(7), 1);
+        let mut keys = Vec::new();
+        let mut vols = Vec::new();
+        traverse(&mut s, root, &mut |_, _, k, _| keys.push(k), &mut |id| vols.push(id));
+        assert_eq!(keys.len(), 8, "root + 7 NVBM children");
+        assert_eq!(vols, vec![7]);
+    }
+}

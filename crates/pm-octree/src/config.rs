@@ -1,0 +1,89 @@
+//! Tunables of the PM-octree (§3 defaults).
+
+/// Configuration for a [`PmOctree`](crate::api::PmOctree).
+#[derive(Clone, Copy, Debug)]
+pub struct PmConfig {
+    /// DRAM capacity reserved for the C0 tree, in octants (the paper
+    /// configures this in GB — 8 GB default; we configure in octants:
+    /// `bytes / 128`).
+    pub c0_capacity_octants: usize,
+    /// Merge a least-frequently-accessed C0 subtree out to C1 when C0
+    /// holds more than this fraction of its capacity
+    /// (`threshold_DRAM` in §3.2).
+    pub threshold_dram: f64,
+    /// Run GC on demand when the NVBM free fraction drops below this
+    /// (`threshold_NVBM` in §3.2).
+    pub threshold_nvbm: f64,
+    /// Number of octants sampled per subtree by feature-directed sampling;
+    /// the effective count is `min(n_sample, subtree_size)` (§3.3).
+    pub n_sample: usize,
+    /// Transformation threshold `T_transform`: re-layout when the hottest
+    /// NVBM subtree's access frequency exceeds the coldest DRAM subtree's
+    /// by this factor (§3.3, "set empirically").
+    pub t_transform: f64,
+    /// Enable the dynamic layout transformation (§3.3). Off reproduces
+    /// the "without transformation" arm of Fig. 11.
+    pub dynamic_transform: bool,
+    /// Seed new DRAM subtrees on first refinement at eligible levels
+    /// (first-come-first-served placement — the "brute-force" layout the
+    /// paper contrasts with the feature-directed one). Disable to study
+    /// transformation in isolation.
+    pub seed_c0: bool,
+    /// Keep remote replicas of `V_{i-1}` (§3.4, user-enabled feature).
+    pub replicas: bool,
+    /// Use the wear-aware (FIFO-rotating) block reuse policy instead of
+    /// LIFO, spreading writes across the device ("extend the lifetime of
+    /// NVBM", §5.5; Table 2 endurance).
+    pub wear_leveling: bool,
+}
+
+impl Default for PmConfig {
+    fn default() -> Self {
+        PmConfig {
+            c0_capacity_octants: 64 * 1024,
+            threshold_dram: 0.9,
+            threshold_nvbm: 0.1,
+            n_sample: 100,
+            t_transform: 1.5,
+            dynamic_transform: true,
+            seed_c0: true,
+            replicas: false,
+            wear_leveling: false,
+        }
+    }
+}
+
+impl PmConfig {
+    /// Express the C0 capacity as simulated DRAM bytes (128 B/octant).
+    pub fn c0_capacity_bytes(&self) -> usize {
+        self.c0_capacity_octants * crate::octant::OCTANT_SIZE
+    }
+
+    /// Build a config whose C0 holds `bytes` of DRAM, like the paper's
+    /// "8GB DRAM is configured to store the octants of the C0 tree".
+    pub fn with_c0_bytes(mut self, bytes: usize) -> Self {
+        self.c0_capacity_octants = bytes / crate::octant::OCTANT_SIZE;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_sane() {
+        let c = PmConfig::default();
+        assert!(c.threshold_dram > 0.0 && c.threshold_dram <= 1.0);
+        assert!(c.threshold_nvbm >= 0.0 && c.threshold_nvbm < 1.0);
+        assert_eq!(c.n_sample, 100);
+        assert!(c.t_transform > 1.0);
+    }
+
+    #[test]
+    fn c0_bytes_roundtrip() {
+        let c = PmConfig::default().with_c0_bytes(1 << 20);
+        assert_eq!(c.c0_capacity_octants, (1 << 20) / 128);
+        assert_eq!(c.c0_capacity_bytes(), 1 << 20);
+    }
+}

@@ -1,0 +1,195 @@
+//! Mark-and-sweep garbage collection over the NVBM octant registry.
+//!
+//! §3.2: deletion only *marks* octants; the space is reclaimed here. GC
+//! runs (a) before each new time step and (b) on demand when the free
+//! NVBM fraction drops below `threshold_NVBM`. It is disabled during
+//! merging (the caller simply does not invoke it there).
+//!
+//! The sweep set is the volatile [`PmStore::registry`]; after a crash the
+//! registry is itself rebuilt from the mark set (see
+//! [`rebuild_after_crash`]), which doubles as allocator recovery — the
+//! paper's "no allocator logging" property.
+
+use std::collections::HashSet;
+
+use pmoctree_nvbm::{PmemAllocator, POffset};
+
+use crate::octant::{ChildPtr, PmStore, OCTANT_SIZE};
+
+/// Result of a collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcReport {
+    /// Octants reachable from the roots.
+    pub live: usize,
+    /// Octants freed.
+    pub freed: usize,
+    /// Of the freed octants, how many carried the `deleted` flag.
+    pub freed_flagged: usize,
+}
+
+/// Mark every octant reachable from `roots` (descending only NVBM child
+/// pointers; volatile handles refer to DRAM and are not swept here).
+pub fn mark(store: &mut PmStore, roots: &[POffset]) -> HashSet<POffset> {
+    let mut marked: HashSet<POffset> = HashSet::new();
+    let mut stack: Vec<POffset> = roots.iter().copied().filter(|p| !p.is_null()).collect();
+    while let Some(p) = stack.pop() {
+        if !marked.insert(p) {
+            continue;
+        }
+        for c in store.children(p) {
+            if let ChildPtr::Nvbm(c) = c {
+                stack.push(c);
+            }
+        }
+    }
+    marked
+}
+
+/// Mark from `roots`, then sweep the registry: unreachable octants are
+/// freed and dropped from the registry.
+pub fn collect(store: &mut PmStore, roots: &[POffset]) -> GcReport {
+    let marked = mark(store, roots);
+    let mut freed = 0usize;
+    let mut freed_flagged = 0usize;
+    let registry = std::mem::take(&mut store.registry);
+    let mut kept = Vec::with_capacity(marked.len());
+    for p in registry {
+        if marked.contains(&p) {
+            kept.push(p);
+        } else {
+            if store.is_deleted(p) {
+                freed_flagged += 1;
+            }
+            store.free_octant(p);
+            freed += 1;
+        }
+    }
+    store.registry = kept;
+    GcReport { live: marked.len(), freed, freed_flagged }
+}
+
+/// Post-crash recovery of the volatile store state: mark from the
+/// persisted roots, then rebuild both the registry and the allocator from
+/// the live set alone. Returns the number of live octants.
+pub fn rebuild_after_crash(store: &mut PmStore, roots: &[POffset]) -> usize {
+    let marked = mark(store, roots);
+    let mut live: Vec<POffset> = marked.iter().copied().collect();
+    live.sort_unstable();
+    let bump_hint = store.arena.bump_hint().max(
+        live.last().map(|p| p.0 + OCTANT_SIZE as u64).unwrap_or(pmoctree_nvbm::HEADER_SIZE),
+    );
+    let policy = store.alloc.policy();
+    store.alloc = PmemAllocator::rebuild(
+        store.arena.capacity(),
+        bump_hint,
+        live.iter().map(|&p| (p, OCTANT_SIZE)),
+    );
+    store.alloc.set_policy(policy);
+    store.registry = live;
+    store.registry.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::c1::{coarsen, refine};
+    use crate::octant::{CellData, Octant};
+    use pmoctree_morton::OctKey;
+    use pmoctree_nvbm::{DeviceModel, NvbmArena};
+
+    fn store() -> PmStore {
+        PmStore::new(NvbmArena::new(4 << 20, DeviceModel::default()))
+    }
+
+    fn root_tree(s: &mut PmStore, e: u32) -> POffset {
+        let o = Octant::leaf(OctKey::root(), POffset::NULL, e, CellData::default());
+        s.alloc_octant(&o).unwrap()
+    }
+
+    #[test]
+    fn collect_frees_unreachable() {
+        let mut s = store();
+        let mut root = root_tree(&mut s, 1);
+        root = refine(&mut s, root, OctKey::root(), 1);
+        assert_eq!(s.registry.len(), 9);
+        // Coarsen at the same epoch: children flagged deleted + unlinked.
+        let root = coarsen(&mut s, root, OctKey::root(), 1);
+        let r = collect(&mut s, &[root]);
+        assert_eq!(r.live, 1);
+        assert_eq!(r.freed, 8);
+        assert_eq!(r.freed_flagged, 8);
+        assert_eq!(s.registry.len(), 1);
+    }
+
+    #[test]
+    fn collect_with_two_roots_keeps_both_versions() {
+        let mut s = store();
+        let mut root = root_tree(&mut s, 1);
+        root = refine(&mut s, root, OctKey::root(), 1);
+        let old_root = root;
+        // New epoch: refine child 0 → path copy creates new root.
+        let new_root = refine(&mut s, root, OctKey::root().child(0), 2);
+        let before = s.registry.len();
+        let r = collect(&mut s, &[old_root, new_root]);
+        assert_eq!(r.freed, 0, "both versions reachable, nothing to free");
+        assert_eq!(r.live, before);
+        // Dropping the old version frees its exclusive octants
+        // (old root + old child 0; the other 7 children are shared).
+        let r2 = collect(&mut s, &[new_root]);
+        assert_eq!(r2.freed, 2);
+    }
+
+    #[test]
+    fn freed_space_is_reused() {
+        let mut s = store();
+        let mut root = root_tree(&mut s, 1);
+        root = refine(&mut s, root, OctKey::root(), 1);
+        root = coarsen(&mut s, root, OctKey::root(), 1);
+        collect(&mut s, &[root]);
+        let live_before = s.alloc.live_bytes();
+        // New refinement reuses the freed blocks.
+        let _ = refine(&mut s, root, OctKey::root(), 1);
+        assert_eq!(s.alloc.live_bytes(), live_before + 8 * OCTANT_SIZE as u64);
+    }
+
+    #[test]
+    fn rebuild_after_crash_restores_allocator_and_registry() {
+        let mut s = store();
+        let mut root = root_tree(&mut s, 1);
+        root = refine(&mut s, root, OctKey::root(), 1);
+        root = refine(&mut s, root, OctKey::root().child(3), 1);
+        s.arena.flush_all();
+        s.arena.set_root(1, root);
+        let live_expected = 17;
+        // Simulate crash: volatile state gone.
+        s.arena.crash(pmoctree_nvbm::CrashMode::LoseDirty);
+        s.registry.clear();
+        s.alloc = PmemAllocator::new(s.arena.capacity());
+        let root = s.arena.root(1);
+        let live = rebuild_after_crash(&mut s, &[root]);
+        assert_eq!(live, live_expected);
+        // Allocator hands out fresh space that doesn't collide with live octants.
+        let live_set: HashSet<POffset> = s.registry.iter().copied().collect();
+        for _ in 0..20 {
+            let o = Octant::leaf(OctKey::root(), POffset::NULL, 2, CellData::default());
+            let p = s.alloc_octant(&o).unwrap();
+            assert!(!live_set.contains(&p), "allocator reused a live octant");
+        }
+    }
+
+    #[test]
+    fn mark_stops_at_volatile_handles() {
+        let mut s = store();
+        let mut root = root_tree(&mut s, 1);
+        root = refine(&mut s, root, OctKey::root(), 1);
+        let root = crate::c1::replace_slot(
+            &mut s,
+            root,
+            OctKey::root().child(0),
+            ChildPtr::Volatile(3),
+            1,
+        );
+        let marked = mark(&mut s, &[root]);
+        assert_eq!(marked.len(), 8, "root + 7 children (one slot volatile)");
+    }
+}

@@ -1,0 +1,407 @@
+//! On-media octant layout and the persistent store.
+//!
+//! Each NVBM-resident octant is a fixed 128-byte record — exactly two
+//! cachelines, split so that *navigation* (the eight child pointers) lives
+//! in the first line and *identity + payload* in the second. Tree walks
+//! therefore touch one line per hop; data sweeps touch the other.
+//!
+//! ```text
+//! line 0:   0..64   children[8]  u64 little-endian (see pointer encoding)
+//! line 1:  64..72   parent       u64 NVBM offset (0 = none/root)
+//!          72..80   key code     u64 Morton code
+//!          80       key level    u8
+//!          81       flags        u8  (bit0 DELETED, bit1 reserved)
+//!          82..84   (pad)
+//!          84..88   epoch        u32 creation epoch (version ownership)
+//!          88..120  payload      4 × f64 (CellData)
+//!         120..128  (pad)
+//! ```
+//!
+//! **Pointer encoding** (the paper's "special pointers" linking persistent
+//! and volatile octants): a child slot holds either 0 (null), an NVBM
+//! offset, or — with the high bit set — a *volatile handle*: the id of a
+//! DRAM-resident C0 subtree. Volatile handles are meaningless after a
+//! crash; that is safe because recovery never follows `V_i` pointers, it
+//! returns to the fully-NVBM `V_{i-1}`.
+
+use pmoctree_morton::OctKey;
+use pmoctree_nvbm::{NvbmArena, PmemAllocator, POffset};
+
+/// Size of one on-media octant record.
+pub const OCTANT_SIZE: usize = 128;
+
+/// Fanout of the 3D octree.
+pub const FANOUT: usize = 8;
+
+const OFF_CHILDREN: u64 = 0;
+const OFF_PARENT: u64 = 64;
+const OFF_CODE: u64 = 72;
+const OFF_LEVEL: u64 = 80;
+const OFF_FLAGS: u64 = 81;
+const OFF_EPOCH: u64 = 84;
+const OFF_DATA: u64 = 88;
+
+const FLAG_DELETED: u8 = 1;
+
+/// High bit of a child slot marks a volatile (DRAM) handle.
+const VOLATILE_BIT: u64 = 1 << 63;
+
+/// A decoded child pointer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChildPtr {
+    /// Empty slot.
+    Null,
+    /// Persistent octant in NVBM.
+    Nvbm(POffset),
+    /// DRAM-resident C0 subtree with this volatile id.
+    Volatile(u32),
+}
+
+impl ChildPtr {
+    /// Encode for the media.
+    #[inline]
+    pub fn encode(self) -> u64 {
+        match self {
+            ChildPtr::Null => 0,
+            ChildPtr::Nvbm(p) => {
+                debug_assert!(p.0 & VOLATILE_BIT == 0 && !p.is_null());
+                p.0
+            }
+            ChildPtr::Volatile(id) => VOLATILE_BIT | id as u64,
+        }
+    }
+
+    /// Decode from the media.
+    #[inline]
+    pub fn decode(raw: u64) -> Self {
+        if raw == 0 {
+            ChildPtr::Null
+        } else if raw & VOLATILE_BIT != 0 {
+            ChildPtr::Volatile((raw & 0xffff_ffff) as u32)
+        } else {
+            ChildPtr::Nvbm(POffset(raw))
+        }
+    }
+
+    /// Is this an empty slot?
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, ChildPtr::Null)
+    }
+}
+
+/// Per-cell simulation payload: the fields a Gerris-style finite-volume
+/// multiphase solver keeps per cell.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CellData {
+    /// Signed distance to the liquid interface (level-set value).
+    pub phi: f64,
+    /// Pressure (smoothed by solver sweeps).
+    pub pressure: f64,
+    /// Volume-of-fluid fraction in `[0, 1]`.
+    pub vof: f64,
+    /// Accumulated work estimate (used as a partitioning weight).
+    pub work: f64,
+}
+
+impl CellData {
+    fn to_bytes(self) -> [u8; 32] {
+        let mut b = [0u8; 32];
+        b[0..8].copy_from_slice(&self.phi.to_le_bytes());
+        b[8..16].copy_from_slice(&self.pressure.to_le_bytes());
+        b[16..24].copy_from_slice(&self.vof.to_le_bytes());
+        b[24..32].copy_from_slice(&self.work.to_le_bytes());
+        b
+    }
+
+    fn from_bytes(b: &[u8; 32]) -> Self {
+        let f = |r: std::ops::Range<usize>| f64::from_le_bytes(b[r].try_into().expect("8 bytes"));
+        CellData { phi: f(0..8), pressure: f(8..16), vof: f(16..24), work: f(24..32) }
+    }
+}
+
+/// A fully decoded octant (for tests and bulk operations; hot paths use
+/// the field-level accessors on [`PmStore`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Octant {
+    /// Child pointers in Morton order.
+    pub children: [ChildPtr; FANOUT],
+    /// Parent NVBM offset (null for the root).
+    pub parent: POffset,
+    /// Locational code.
+    pub key: OctKey,
+    /// Deleted flag (§3.2 deferred deletion).
+    pub deleted: bool,
+    /// Creation epoch: octants with `epoch < current` are shared with
+    /// `V_{i-1}` and must be copied before mutation.
+    pub epoch: u32,
+    /// Simulation payload.
+    pub data: CellData,
+}
+
+impl Octant {
+    /// A fresh leaf octant.
+    pub fn leaf(key: OctKey, parent: POffset, epoch: u32, data: CellData) -> Self {
+        Octant { children: [ChildPtr::Null; FANOUT], parent, key, deleted: false, epoch, data }
+    }
+
+    /// Is this octant a leaf (no children at all)?
+    pub fn is_leaf(&self) -> bool {
+        self.children.iter().all(ChildPtr::is_null)
+    }
+}
+
+/// The persistent store: an NVBM arena + allocator + the volatile registry
+/// of allocated octants (rebuilt from the GC mark set after a crash).
+pub struct PmStore {
+    /// The emulated NVBM device.
+    pub arena: NvbmArena,
+    /// Volatile free-space management.
+    pub alloc: PmemAllocator,
+    /// Every currently-allocated octant offset (sweep set for GC).
+    pub registry: Vec<POffset>,
+}
+
+impl PmStore {
+    /// A store over a fresh arena.
+    pub fn new(arena: NvbmArena) -> Self {
+        let cap = arena.capacity();
+        PmStore { arena, alloc: PmemAllocator::new(cap), registry: Vec::new() }
+    }
+
+    /// Allocate and write a new octant; returns its offset.
+    /// `None` when the device is full.
+    pub fn alloc_octant(&mut self, o: &Octant) -> Option<POffset> {
+        let p = self.alloc.alloc(OCTANT_SIZE)?;
+        self.registry.push(p);
+        self.write_octant(p, o);
+        Some(p)
+    }
+
+    /// Free an octant's space (GC sweep). The registry entry must be
+    /// removed separately (GC rebuilds the registry wholesale).
+    pub fn free_octant(&mut self, p: POffset) {
+        self.alloc.free(p, OCTANT_SIZE);
+    }
+
+    /// Write a complete octant record.
+    pub fn write_octant(&mut self, p: POffset, o: &Octant) {
+        let mut buf = [0u8; OCTANT_SIZE];
+        for (i, c) in o.children.iter().enumerate() {
+            buf[i * 8..i * 8 + 8].copy_from_slice(&c.encode().to_le_bytes());
+        }
+        buf[OFF_PARENT as usize..OFF_PARENT as usize + 8].copy_from_slice(&o.parent.0.to_le_bytes());
+        buf[OFF_CODE as usize..OFF_CODE as usize + 8].copy_from_slice(&o.key.raw().to_le_bytes());
+        buf[OFF_LEVEL as usize] = o.key.level();
+        buf[OFF_FLAGS as usize] = if o.deleted { FLAG_DELETED } else { 0 };
+        buf[OFF_EPOCH as usize..OFF_EPOCH as usize + 4].copy_from_slice(&o.epoch.to_le_bytes());
+        buf[OFF_DATA as usize..OFF_DATA as usize + 32].copy_from_slice(&o.data.to_bytes());
+        self.arena.write(p.0, &buf);
+    }
+
+    /// Read a complete octant record.
+    pub fn read_octant(&mut self, p: POffset) -> Octant {
+        let mut buf = [0u8; OCTANT_SIZE];
+        self.arena.read(p.0, &mut buf);
+        let mut children = [ChildPtr::Null; FANOUT];
+        for (i, c) in children.iter_mut().enumerate() {
+            *c = ChildPtr::decode(u64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().expect("8")));
+        }
+        let parent = POffset(u64::from_le_bytes(
+            buf[OFF_PARENT as usize..OFF_PARENT as usize + 8].try_into().expect("8"),
+        ));
+        let code =
+            u64::from_le_bytes(buf[OFF_CODE as usize..OFF_CODE as usize + 8].try_into().expect("8"));
+        let level = buf[OFF_LEVEL as usize];
+        let flags = buf[OFF_FLAGS as usize];
+        let epoch =
+            u32::from_le_bytes(buf[OFF_EPOCH as usize..OFF_EPOCH as usize + 4].try_into().expect("4"));
+        let data = CellData::from_bytes(
+            buf[OFF_DATA as usize..OFF_DATA as usize + 32].try_into().expect("32"),
+        );
+        Octant {
+            children,
+            parent,
+            key: OctKey::from_raw(code, level),
+            deleted: flags & FLAG_DELETED != 0,
+            epoch,
+            data,
+        }
+    }
+
+    // ---- field-level accessors (single-cacheline traffic) ----------------
+
+    /// Read one child pointer (touches only the navigation line).
+    #[inline]
+    pub fn child(&mut self, p: POffset, i: usize) -> ChildPtr {
+        debug_assert!(i < FANOUT);
+        ChildPtr::decode(self.arena.read_u64(p.0 + OFF_CHILDREN + 8 * i as u64))
+    }
+
+    /// Read all 8 child pointers with a single cacheline access — the
+    /// navigation line is exactly 64 bytes, so traversals pay one read
+    /// per visited octant, not eight.
+    #[inline]
+    pub fn children(&mut self, p: POffset) -> [ChildPtr; FANOUT] {
+        let mut buf = [0u8; 64];
+        self.arena.read(p.0 + OFF_CHILDREN, &mut buf);
+        let mut out = [ChildPtr::Null; FANOUT];
+        for (i, c) in out.iter_mut().enumerate() {
+            *c = ChildPtr::decode(u64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().expect("8")));
+        }
+        out
+    }
+
+    /// Write one child pointer.
+    #[inline]
+    pub fn set_child(&mut self, p: POffset, i: usize, c: ChildPtr) {
+        debug_assert!(i < FANOUT);
+        self.arena.write_u64(p.0 + OFF_CHILDREN + 8 * i as u64, c.encode());
+    }
+
+    /// Read the parent offset.
+    #[inline]
+    pub fn parent(&mut self, p: POffset) -> POffset {
+        POffset(self.arena.read_u64(p.0 + OFF_PARENT))
+    }
+
+    /// Write the parent offset.
+    #[inline]
+    pub fn set_parent(&mut self, p: POffset, parent: POffset) {
+        self.arena.write_u64(p.0 + OFF_PARENT, parent.0);
+    }
+
+    /// Read the locational code.
+    #[inline]
+    pub fn key(&mut self, p: POffset) -> OctKey {
+        let code = self.arena.read_u64(p.0 + OFF_CODE);
+        let mut lvl = [0u8; 1];
+        self.arena.read(p.0 + OFF_LEVEL, &mut lvl);
+        OctKey::from_raw(code, lvl[0])
+    }
+
+    /// Read the deleted flag.
+    #[inline]
+    pub fn is_deleted(&mut self, p: POffset) -> bool {
+        let mut f = [0u8; 1];
+        self.arena.read(p.0 + OFF_FLAGS, &mut f);
+        f[0] & FLAG_DELETED != 0
+    }
+
+    /// Set or clear the deleted flag.
+    #[inline]
+    pub fn set_deleted(&mut self, p: POffset, deleted: bool) {
+        let mut f = [0u8; 1];
+        self.arena.read(p.0 + OFF_FLAGS, &mut f);
+        let nf = if deleted { f[0] | FLAG_DELETED } else { f[0] & !FLAG_DELETED };
+        self.arena.write(p.0 + OFF_FLAGS, &[nf]);
+    }
+
+    /// Read the creation epoch.
+    #[inline]
+    pub fn epoch_of(&mut self, p: POffset) -> u32 {
+        let mut b = [0u8; 4];
+        self.arena.read(p.0 + OFF_EPOCH, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Read the payload.
+    #[inline]
+    pub fn data(&mut self, p: POffset) -> CellData {
+        let mut b = [0u8; 32];
+        self.arena.read(p.0 + OFF_DATA, &mut b);
+        CellData::from_bytes(&b)
+    }
+
+    /// Write the payload.
+    #[inline]
+    pub fn set_data(&mut self, p: POffset, d: &CellData) {
+        self.arena.write(p.0 + OFF_DATA, &d.to_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmoctree_nvbm::DeviceModel;
+
+    fn store() -> PmStore {
+        PmStore::new(NvbmArena::new(1 << 20, DeviceModel::default()))
+    }
+
+    #[test]
+    fn octant_roundtrip() {
+        let mut s = store();
+        let key = OctKey::root().child(3).child(5);
+        let mut o = Octant::leaf(key, POffset(4242), 7, CellData {
+            phi: -0.5,
+            pressure: 101.3,
+            vof: 0.25,
+            work: 2.0,
+        });
+        o.children[2] = ChildPtr::Nvbm(POffset(0x1000));
+        o.children[5] = ChildPtr::Volatile(17);
+        o.deleted = true;
+        let p = s.alloc_octant(&o).unwrap();
+        let r = s.read_octant(p);
+        assert_eq!(r, o);
+    }
+
+    #[test]
+    fn field_accessors_match_bulk() {
+        let mut s = store();
+        let key = OctKey::root().child(1);
+        let o = Octant::leaf(key, POffset::NULL, 3, CellData { phi: 1.0, ..Default::default() });
+        let p = s.alloc_octant(&o).unwrap();
+        assert_eq!(s.key(p), key);
+        assert_eq!(s.epoch_of(p), 3);
+        assert!(!s.is_deleted(p));
+        assert_eq!(s.child(p, 0), ChildPtr::Null);
+        s.set_child(p, 0, ChildPtr::Nvbm(POffset(512)));
+        assert_eq!(s.child(p, 0), ChildPtr::Nvbm(POffset(512)));
+        s.set_deleted(p, true);
+        assert!(s.is_deleted(p));
+        s.set_data(p, &CellData { vof: 0.75, ..Default::default() });
+        assert_eq!(s.data(p).vof, 0.75);
+        assert_eq!(s.read_octant(p).children[0], ChildPtr::Nvbm(POffset(512)));
+    }
+
+    #[test]
+    fn child_read_touches_one_line() {
+        let mut s = store();
+        let o = Octant::leaf(OctKey::root(), POffset::NULL, 0, CellData::default());
+        let p = s.alloc_octant(&o).unwrap();
+        let before = s.arena.stats.nvbm.read_lines;
+        let _ = s.child(p, 3);
+        assert_eq!(s.arena.stats.nvbm.read_lines - before, 1);
+    }
+
+    #[test]
+    fn octant_is_two_lines() {
+        let mut s = store();
+        let o = Octant::leaf(OctKey::root(), POffset::NULL, 0, CellData::default());
+        let before = s.arena.stats.nvbm.write_lines;
+        let p = s.alloc_octant(&o).unwrap();
+        assert_eq!(s.arena.stats.nvbm.write_lines - before, 2);
+        assert_eq!(p.0 % 64, 0, "octants are cacheline aligned");
+    }
+
+    #[test]
+    fn child_ptr_encoding() {
+        assert_eq!(ChildPtr::decode(0), ChildPtr::Null);
+        assert_eq!(ChildPtr::decode(0x2000), ChildPtr::Nvbm(POffset(0x2000)));
+        let v = ChildPtr::Volatile(99);
+        assert_eq!(ChildPtr::decode(v.encode()), v);
+        let n = ChildPtr::Nvbm(POffset(12345));
+        assert_eq!(ChildPtr::decode(n.encode()), n);
+    }
+
+    #[test]
+    fn leaf_detection() {
+        let o = Octant::leaf(OctKey::root(), POffset::NULL, 0, CellData::default());
+        assert!(o.is_leaf());
+        let mut o2 = o;
+        o2.children[7] = ChildPtr::Nvbm(POffset(64));
+        assert!(!o2.is_leaf());
+    }
+}

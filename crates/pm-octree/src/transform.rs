@@ -1,0 +1,254 @@
+//! Dynamic layout transformation (§3.3).
+//!
+//! After merging completes, PM-octree asks: is some NVBM subtree about to
+//! be hotter than what currently sits in DRAM? Candidates are subtrees at
+//! level `L_sub` (Equation 1 — sized so one subtree roughly fits the C0
+//! budget). Frequencies come from feature-directed sampling
+//! ([`crate::sampling`]); when the hottest NVBM candidate beats the
+//! coldest DRAM subtree by more than `T_transform`, the two swap places:
+//! the cold subtree is merged out, the hot one is promoted (its NVBM
+//! image stays behind as both the `V_{i-1}` copy and the diff shadow, so
+//! promotion itself writes nothing to NVBM beyond one path copy).
+
+use pmoctree_nvbm::POffset;
+
+use crate::api::PmOctree;
+use crate::c0::C0Tree;
+use crate::c1::{self};
+use crate::octant::ChildPtr;
+use crate::sampling;
+
+impl PmOctree {
+    /// Run one transformation check; swap at most one subtree per call
+    /// (the paper swaps "the subtree having the maximum Ratio_access").
+    /// Returns whether a swap happened.
+    pub fn maybe_transform(&mut self) -> bool {
+        self.transform_pass(1) > 0
+    }
+
+    /// One detection pass: scan + sample the NVBM candidates *once*, then
+    /// promote up to `max_swaps` of the hottest (demoting cold DRAM
+    /// residents when the budget requires it). Returns the number of
+    /// swaps performed.
+    pub fn transform_pass(&mut self, max_swaps: usize) -> usize {
+        if self.features.is_empty() || max_swaps == 0 {
+            return 0;
+        }
+        let l = sampling::l_sub(self.depth(), self.cfg.c0_capacity_octants);
+        // Candidate NVBM subtrees: *maximal volatile-free* subtrees at
+        // level ≥ L_sub (a region already partly in DRAM cannot be
+        // promoted wholesale; one shallower than L_sub would not fit the
+        // C0 budget).
+        let root = self.root_offset();
+        let (_, candidates) = candidate_scan(&mut self.store, root, l);
+        if candidates.is_empty() {
+            return 0;
+        }
+        // Sample candidates, capping the per-subtree count at the paper's
+        // min(N_sample, subtree size) with a size estimate from the
+        // candidate's depth budget.
+        let depth = self.depth();
+        let mut scored: Vec<(POffset, f64)> = Vec::with_capacity(candidates.len());
+        // Split borrows: move rng and features out during sampling.
+        let mut rng = self.rng.clone();
+        let features = std::mem::take(&mut self.features);
+        for (p, lvl) in candidates {
+            let est_size = 8usize.saturating_pow(depth.saturating_sub(lvl).min(6) as u32).max(1);
+            let n = self.cfg.n_sample.min(est_size);
+            let f = sampling::sample_nvbm_freq(&mut self.store, p, n, &features, &mut rng);
+            if f > 0.0 {
+                scored.push((p, f));
+            }
+        }
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+        // Sample DRAM trees once; coldest-first is the demotion order.
+        let n = self.cfg.n_sample;
+        let mut dram: Vec<(u32, f64)> = self
+            .forest
+            .ids()
+            .into_iter()
+            .map(|id| (id, sampling::sample_c0_freq(self.forest.get(id), n, &features, &mut rng)))
+            .collect();
+        dram.sort_by(|a, b| a.1.total_cmp(&b.1));
+        self.features = features;
+        self.rng = rng;
+
+        let mut swaps = 0usize;
+        let mut victims = dram.into_iter();
+        'promote: for (hot_off, hot_f) in scored.into_iter().take(max_swaps) {
+            // Subtrees containing DRAM regions cannot be promoted.
+            let Some(octants) = c1::collect_subtree(&mut self.store, hot_off) else {
+                continue;
+            };
+            if octants.is_empty() {
+                continue;
+            }
+            let cap = (self.cfg.c0_capacity_octants as f64 * self.cfg.threshold_dram) as usize;
+            // Demote cold residents until the hot subtree fits, but only
+            // while Ratio_access clears T_transform (paper step 4).
+            while self.forest.total_octants + octants.len() > cap {
+                let Some((vid, vf)) = victims.next() else { continue 'promote };
+                let ratio = if vf > 0.0 { hot_f / vf } else { f64::INFINITY };
+                if ratio <= self.cfg.t_transform {
+                    continue 'promote;
+                }
+                // The victim may already have been demoted by pressure.
+                if self.forest.ids().contains(&vid) {
+                    self.evict_c0(vid);
+                }
+            }
+            let subtree_key = octants[0].0;
+            let tree = C0Tree::from_octants(subtree_key, &octants);
+            let id = self.register_c0(tree, hot_off);
+            let (root, epoch) = (self.root_offset(), self.epoch());
+            let new_root = c1::replace_slot(
+                &mut self.store,
+                root,
+                subtree_key,
+                ChildPtr::Volatile(id),
+                epoch,
+            );
+            self.set_root_offset(new_root);
+            self.events.transforms += 1;
+            swaps += 1;
+        }
+        swaps
+    }
+
+    pub(crate) fn root_offset(&self) -> POffset {
+        self.current_root
+    }
+
+    pub(crate) fn set_root_offset(&mut self, p: POffset) {
+        self.current_root = p;
+    }
+}
+
+/// Bottom-up scan for promotion candidates: returns whether the subtree
+/// at `off` is volatile-free, plus the list of maximal volatile-free
+/// subtree roots at level ≥ `l_sub` (with their levels). A pure subtree
+/// at level ≥ `l_sub` supersedes any candidates inside it.
+fn candidate_scan(
+    store: &mut crate::octant::PmStore,
+    off: POffset,
+    l_sub: u8,
+) -> (bool, Vec<(POffset, u8)>) {
+    let key = store.key(off);
+    let children = store.children(off);
+    let mut pure = true;
+    let mut collected: Vec<(POffset, u8)> = Vec::new();
+    for c in children {
+        match c {
+            ChildPtr::Null => {}
+            ChildPtr::Volatile(_) => pure = false,
+            ChildPtr::Nvbm(p) => {
+                let (cp, mut cands) = candidate_scan(store, p, l_sub);
+                pure &= cp;
+                collected.append(&mut cands);
+            }
+        }
+    }
+    if pure && key.level() >= l_sub {
+        // Maximal: this whole subtree is one candidate.
+        (true, vec![(off, key.level())])
+    } else {
+        (pure, collected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PmConfig;
+    use crate::octant::CellData;
+    use pmoctree_morton::OctKey;
+    use pmoctree_nvbm::{DeviceModel, NvbmArena};
+
+    fn arena() -> NvbmArena {
+        NvbmArena::new(16 << 20, DeviceModel::default())
+    }
+
+    /// Build a two-level tree whose child-0 region is "hot" (phi ≈ 0) and
+    /// the rest cold, but place NOTHING in DRAM: the transformation should
+    /// promote the hot subtree.
+    #[test]
+    fn transformation_promotes_hot_subtree() {
+        let mut cfg = PmConfig { dynamic_transform: true, ..PmConfig::default() };
+        cfg.c0_capacity_octants = 1 << 12;
+        let mut t = PmOctree::create(arena(), cfg);
+        t.refine(OctKey::root()).unwrap();
+        for i in 0..8 {
+            let k = OctKey::root().child(i);
+            let phi = if i == 0 { 0.0 } else { 10.0 };
+            t.set_data(k, CellData { phi, ..Default::default() }).unwrap();
+        }
+        t.add_feature(Box::new(|_k, d| d.phi.abs() < 0.5));
+        // Depth 1, capacity huge → L_sub clamps to 1: children are candidates.
+        let swapped = t.maybe_transform();
+        assert!(swapped, "hot subtree should be promoted");
+        assert!(t.c0_octants() >= 1);
+        assert_eq!(t.events.transforms, 1);
+        // The hot region now updates at DRAM cost.
+        let nvbm_writes_before = t.store.arena.stats.nvbm.write_lines;
+        t.set_data(OctKey::root().child(0), CellData { phi: 0.1, ..Default::default() })
+            .unwrap();
+        assert_eq!(
+            t.store.arena.stats.nvbm.write_lines, nvbm_writes_before,
+            "write to promoted subtree must not touch NVBM"
+        );
+    }
+
+    #[test]
+    fn no_features_no_transform() {
+        let mut t = PmOctree::create(arena(), PmConfig::default());
+        t.refine(OctKey::root()).unwrap();
+        assert!(!t.maybe_transform());
+    }
+
+    #[test]
+    fn cold_subtrees_not_promoted() {
+        let mut t = PmOctree::create(arena(), PmConfig { dynamic_transform: true, ..PmConfig::default() });
+        t.refine(OctKey::root()).unwrap();
+        t.update_leaves(|_, d| Some(CellData { phi: 100.0, ..*d }));
+        t.add_feature(Box::new(|_k, d| d.phi.abs() < 0.5));
+        assert!(!t.maybe_transform(), "nothing is hot; no swap");
+        assert_eq!(t.events.transforms, 0);
+    }
+
+    /// The §3.3 motivating claim: a locality-aware layout serves far
+    /// fewer NVBM writes for a refinement pass over the hot region.
+    #[test]
+    fn transformation_reduces_nvbm_writes_for_hot_refinement() {
+        let run = |transform: bool| -> u64 {
+            let mut cfg =
+                PmConfig { dynamic_transform: false, seed_c0: false, ..PmConfig::default() };
+            cfg.c0_capacity_octants = 1 << 14;
+            let mut t = PmOctree::create(arena(), cfg);
+            t.refine(OctKey::root()).unwrap();
+            // Mark child 0 hot.
+            t.set_data(OctKey::root().child(0), CellData { phi: 0.0, ..Default::default() })
+                .unwrap();
+            for i in 1..8 {
+                t.set_data(OctKey::root().child(i), CellData { phi: 9.0, ..Default::default() })
+                    .unwrap();
+            }
+            t.add_feature(Box::new(|_k, d| d.phi.abs() < 0.5));
+            if transform {
+                assert!(t.maybe_transform());
+            }
+            let before = t.store.arena.stats.nvbm.write_lines;
+            // Refinement burst inside the hot region.
+            t.refine(OctKey::root().child(0)).unwrap();
+            for i in 0..8 {
+                t.refine(OctKey::root().child(0).child(i)).unwrap();
+            }
+            t.store.arena.stats.nvbm.write_lines - before
+        };
+        let without = run(false);
+        let with = run(true);
+        assert!(
+            with < without / 2,
+            "transformed layout should serve far fewer NVBM writes: {with} vs {without}"
+        );
+    }
+}

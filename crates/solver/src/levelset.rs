@@ -1,0 +1,364 @@
+//! The level-set abstraction and the other two workloads the paper's
+//! introduction motivates.
+//!
+//! §1 lists three simulations enabled by octree AMR: "droplet ejection in
+//! inkjet technology, droplet impact on a solid surface, and rapid
+//! boiling flow". The ejection case drives the evaluation
+//! ([`crate::interface::DropletEjection`]); this module adds analytic
+//! interfaces for the other two, behind a common [`LevelSet`] trait so
+//! the adaptation criterion and sweeps work with any of them.
+
+use pmoctree_amr::{AdaptCriterion, Cell, OctreeBackend, Target};
+use pmoctree_morton::OctKey;
+
+use crate::criteria::SharedTime;
+use crate::interface::DropletEjection;
+use crate::sweeps::NARROW_BAND;
+
+/// A time-dependent signed-distance field describing a liquid interface.
+pub trait LevelSet {
+    /// Signed distance to the interface at `x`, time `t` (negative =
+    /// liquid).
+    fn phi(&self, x: [f64; 3], t: f64) -> f64;
+
+    /// Volume-of-fluid fraction: smoothed Heaviside of `phi` over `eps`.
+    fn vof(&self, x: [f64; 3], t: f64, eps: f64) -> f64 {
+        let p = self.phi(x, t);
+        if p < -eps {
+            1.0
+        } else if p > eps {
+            0.0
+        } else {
+            0.5 * (1.0 - p / eps - (std::f64::consts::PI * p / eps).sin() / std::f64::consts::PI)
+        }
+    }
+
+    /// Is `x` within `band` of the interface?
+    fn near_interface(&self, x: [f64; 3], t: f64, band: f64) -> bool {
+        self.phi(x, t).abs() < band
+    }
+}
+
+impl LevelSet for DropletEjection {
+    fn phi(&self, x: [f64; 3], t: f64) -> f64 {
+        DropletEjection::phi(self, x, t)
+    }
+
+    fn vof(&self, x: [f64; 3], t: f64, eps: f64) -> f64 {
+        DropletEjection::vof(self, x, t, eps)
+    }
+}
+
+/// Droplet impact on a solid surface (Josserand & Thoroddsen, Yarin):
+/// a sphere falls onto the `z = 0` wall, then spreads into a thinning
+/// lamella whose radius grows like √t (the classic spreading law).
+#[derive(Clone, Copy, Debug)]
+pub struct DropletImpact {
+    /// Droplet radius.
+    pub radius: f64,
+    /// Center height at `t = 0`.
+    pub height0: f64,
+    /// Fall speed (domain lengths per unit time).
+    pub speed: f64,
+    /// Lamella spreading coefficient (`r(t) = radius·(1 + c·√τ)`).
+    pub spread: f64,
+}
+
+impl Default for DropletImpact {
+    fn default() -> Self {
+        DropletImpact { radius: 0.12, height0: 0.6, speed: 1.2, spread: 2.5 }
+    }
+}
+
+impl DropletImpact {
+    /// Time at which the droplet's lower pole reaches the wall.
+    pub fn impact_time(&self) -> f64 {
+        (self.height0 - self.radius) / self.speed
+    }
+}
+
+impl LevelSet for DropletImpact {
+    fn phi(&self, x: [f64; 3], t: f64) -> f64 {
+        let t_i = self.impact_time();
+        let r_xy = ((x[0] - 0.5).powi(2) + (x[1] - 0.5).powi(2)).sqrt();
+        if t < t_i {
+            // Falling sphere.
+            let zc = self.height0 - self.speed * t;
+            ((x[0] - 0.5).powi(2) + (x[1] - 0.5).powi(2) + (x[2] - zc).powi(2)).sqrt()
+                - self.radius
+        } else {
+            // Spreading lamella: a flattening disc on the wall. Volume
+            // conservation thins the sheet as it spreads.
+            let tau = t - t_i;
+            let r_l = self.radius * (1.0 + self.spread * tau.sqrt());
+            let h = (4.0 / 3.0) * self.radius.powi(3) / (r_l * r_l); // ~volume / area
+            // Distance to a disc of radius r_l, height h on z = 0.
+            let dr = r_xy - r_l;
+            let dz = x[2] - h;
+            if dr <= 0.0 {
+                dz.max(-x[2].min(h)) // inside the rim: distance to the top face
+            } else if dz <= 0.0 {
+                dr
+            } else {
+                (dr * dr + dz * dz).sqrt()
+            }
+        }
+    }
+}
+
+/// Rapid boiling flow (Carey, *Liquid-Vapor Phase-Change Phenomena*):
+/// vapor bubbles nucleate at fixed wall sites, grow like √t, and rise.
+/// `phi` is negative inside the vapor (the tracked phase).
+#[derive(Clone, Debug)]
+pub struct BoilingFlow {
+    /// Nucleation sites on the bottom wall with their activation times.
+    pub sites: Vec<([f64; 2], f64)>,
+    /// Bubble growth coefficient (`r = g·√(t−t0)`).
+    pub growth: f64,
+    /// Rise speed once detached.
+    pub rise: f64,
+    /// Radius at which a bubble detaches from the wall.
+    pub detach_radius: f64,
+}
+
+impl Default for BoilingFlow {
+    fn default() -> Self {
+        // Deterministic pseudo-random sites (no RNG: positions from a
+        // low-discrepancy sequence so runs are reproducible).
+        let sites = (0..6)
+            .map(|i| {
+                let g = 0.618_033_988_75f64;
+                let x = (0.17 + g * i as f64).fract();
+                let y = (0.39 + g * g * i as f64).fract();
+                ([0.1 + 0.8 * x, 0.1 + 0.8 * y], 0.08 * i as f64)
+            })
+            .collect();
+        BoilingFlow { sites, growth: 0.22, rise: 0.6, detach_radius: 0.09 }
+    }
+}
+
+impl LevelSet for BoilingFlow {
+    fn phi(&self, x: [f64; 3], t: f64) -> f64 {
+        let mut d = f64::INFINITY;
+        for &([sx, sy], t0) in &self.sites {
+            if t <= t0 {
+                continue;
+            }
+            let age = t - t0;
+            let r = (self.growth * age.sqrt()).min(0.14);
+            // Time the bubble reaches detachment size.
+            let t_detach = (self.detach_radius / self.growth).powi(2);
+            let zc = if age < t_detach {
+                r * 0.8 // still attached: center near the wall
+            } else {
+                self.detach_radius * 0.8 + self.rise * (age - t_detach)
+            };
+            let zc = zc.min(1.2); // leaves through the top
+            let dd = ((x[0] - sx).powi(2) + (x[1] - sy).powi(2) + (x[2] - zc).powi(2)).sqrt() - r;
+            d = d.min(dd);
+        }
+        d.min(2.0)
+    }
+}
+
+/// An adaptation criterion for any [`LevelSet`]: refine in a band around
+/// the interface (the generic form of
+/// [`InterfaceCriterion`](crate::criteria::InterfaceCriterion)).
+pub struct LevelSetCriterion<L: LevelSet> {
+    /// The interface.
+    pub levelset: L,
+    /// Shared simulation time.
+    pub time: SharedTime,
+    /// Band half-width in cell sizes.
+    pub band_cells: f64,
+    /// Maximum refinement level.
+    pub max_level: u8,
+}
+
+impl<L: LevelSet> AdaptCriterion for LevelSetCriterion<L> {
+    fn target(&self, key: &OctKey, _data: &Cell) -> Target {
+        let t = self.time.get();
+        let h = key.extent();
+        let d = self.levelset.phi(key.center(), t).abs();
+        if d < self.band_cells * h {
+            Target::Refine
+        } else if d > 4.0 * self.band_cells * h {
+            Target::Coarsen
+        } else {
+            Target::Keep
+        }
+    }
+
+    fn max_level(&self) -> u8 {
+        self.max_level
+    }
+}
+
+/// Generic advection sweep for any [`LevelSet`] (the
+/// [`advect`](crate::sweeps::advect) kernel without the concrete type).
+pub fn advect_levelset(b: &mut dyn OctreeBackend, ls: &dyn LevelSet, t: f64) -> usize {
+    let mut written = 0usize;
+    b.update_leaves(&mut |k, d: &Cell| {
+        let h = k.extent();
+        let phi = ls.phi(k.center(), t).clamp(-NARROW_BAND, NARROW_BAND);
+        let vof = ls.vof(k.center(), t, h);
+        let changed = (d[0] - phi).abs() > 1e-6 * h || (d[2] - vof).abs() > 1e-9;
+        if changed {
+            written += 1;
+            Some([phi, d[1], vof, d[3]])
+        } else {
+            None
+        }
+    });
+    written
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmoctree_amr::{adapt, check_balance, construct_uniform, InCoreBackend};
+
+    #[test]
+    fn impact_sphere_falls_then_spreads() {
+        let f = DropletImpact::default();
+        let t_i = f.impact_time();
+        assert!(t_i > 0.0);
+        // Before impact: liquid at the falling center, wall dry.
+        let zc0 = f.height0 - f.speed * (t_i * 0.5);
+        assert!(f.phi([0.5, 0.5, zc0], t_i * 0.5) < 0.0);
+        assert!(f.phi([0.5, 0.5, 0.01], t_i * 0.5) > 0.0, "wall dry before impact");
+        // After impact: a sheet on the wall, wider than the droplet.
+        let t = t_i + 0.2;
+        assert!(f.phi([0.5, 0.5, 0.01], t) < 0.0, "wall wetted");
+        let r_probe = f.radius * 1.5;
+        assert!(
+            f.phi([0.5 + r_probe, 0.5, 0.01], t) < 0.0,
+            "lamella spreads past the droplet radius"
+        );
+        // High above the wall: gas again.
+        assert!(f.phi([0.5, 0.5, 0.5], t) > 0.0);
+    }
+
+    #[test]
+    fn lamella_radius_grows() {
+        let f = DropletImpact::default();
+        let t_i = f.impact_time();
+        let wet = |t: f64| -> f64 {
+            // Largest r with liquid at the wall.
+            let mut r = 0.0;
+            for i in 0..200 {
+                let rr = i as f64 / 400.0;
+                if f.phi([0.5 + rr, 0.5, 0.005], t) < 0.0 {
+                    r = rr;
+                }
+            }
+            r
+        };
+        let r1 = wet(t_i + 0.05);
+        let r2 = wet(t_i + 0.4);
+        assert!(r2 > r1, "lamella must spread: {r1} -> {r2}");
+    }
+
+    #[test]
+    fn boiling_bubbles_nucleate_grow_and_rise() {
+        let f = BoilingFlow::default();
+        let site = f.sites[0].0;
+        // Before activation: no vapor.
+        assert!(f.phi([site[0], site[1], 0.05], 0.0) > 0.0);
+        // Shortly after: a small bubble at the wall.
+        assert!(f.phi([site[0], site[1], 0.03], 0.1) < 0.0);
+        // Much later: the first bubble has risen off the wall.
+        let t = 1.2;
+        assert!(f.phi([site[0], site[1], 0.02], t) > 0.0, "wall site vacated");
+        let mut found_above = false;
+        for i in 1..40 {
+            let z = i as f64 / 40.0;
+            if f.phi([site[0], site[1], z], t) < 0.0 {
+                found_above = true;
+            }
+        }
+        assert!(found_above, "risen bubble somewhere in the column");
+    }
+
+    #[test]
+    fn multiple_bubbles_active_simultaneously() {
+        let f = BoilingFlow::default();
+        let t = 0.6;
+        let active = f
+            .sites
+            .iter()
+            .filter(|&&([x, y], _)| {
+                (0..30).any(|i| f.phi([x, y, i as f64 / 30.0], t) < 0.0)
+            })
+            .count();
+        assert!(active >= 3, "only {active} active bubble columns at t={t}");
+    }
+
+    #[test]
+    fn generic_criterion_adapts_to_any_levelset() {
+        let time = SharedTime::new();
+        for (name, ls) in [
+            ("impact", Box::new(DropletImpact::default()) as Box<dyn LevelSet>),
+            ("boiling", Box::new(BoilingFlow::default())),
+        ] {
+            let mut b = InCoreBackend::new();
+            construct_uniform(&mut b, 2);
+            time.set(0.5);
+            struct DynCrit<'a> {
+                ls: &'a dyn LevelSet,
+                time: SharedTime,
+            }
+            impl AdaptCriterion for DynCrit<'_> {
+                fn target(&self, key: &OctKey, _d: &Cell) -> Target {
+                    let t = self.time.get();
+                    let h = key.extent();
+                    let d = self.ls.phi(key.center(), t).abs();
+                    if d < 1.2 * h {
+                        Target::Refine
+                    } else if d > 4.8 * h {
+                        Target::Coarsen
+                    } else {
+                        Target::Keep
+                    }
+                }
+                fn max_level(&self) -> u8 {
+                    4
+                }
+            }
+            let crit = DynCrit { ls: ls.as_ref(), time: time.clone() };
+            for _ in 0..2 {
+                adapt(&mut b, &crit);
+            }
+            advect_levelset(&mut b, ls.as_ref(), 0.5);
+            assert!(b.depth() >= 3, "{name}: interface must drive refinement");
+            assert!(check_balance(&mut b).is_none(), "{name}: 2:1 holds");
+            // Fine cells hug the interface.
+            let mut fine_far = 0usize;
+            b.for_each_leaf(&mut |k, _| {
+                if k.level() == 4 && ls.phi(k.center(), 0.5).abs() > 0.3 {
+                    fine_far += 1;
+                }
+            });
+            assert_eq!(fine_far, 0, "{name}: no fine cells far from the interface");
+        }
+    }
+
+    #[test]
+    fn typed_levelset_criterion_compiles_and_votes() {
+        let time = SharedTime::new();
+        time.set(0.3);
+        let c = LevelSetCriterion {
+            levelset: DropletImpact::default(),
+            time,
+            band_cells: 1.0,
+            max_level: 5,
+        };
+        // The falling droplet's surface cell refines; a far corner coarsens.
+        let f = DropletImpact::default();
+        let zc = f.height0 - f.speed * 0.3;
+        let on = OctKey::from_coords([8, 8, (zc * 16.0) as u64 + 2], 4);
+        let far = OctKey::from_coords([0, 0, 15], 4);
+        assert_eq!(c.target(&on, &[0.0; 4]), Target::Refine);
+        assert_eq!(c.target(&far, &[0.0; 4]), Target::Coarsen);
+    }
+}

@@ -1,0 +1,24 @@
+//! The droplet-ejection workload (§5.1's "driving scientific problem").
+//!
+//! An inkjet liquid jet grows from a nozzle, necks under a
+//! Rayleigh–Plateau perturbation, pinches off, and breaks into primary
+//! and satellite droplets. The interface is prescribed analytically
+//! ([`interface::DropletEjection`]); refinement criteria
+//! ([`criteria::InterfaceCriterion`]) keep the mesh fine in a band around
+//! it, and finite-volume-style sweeps ([`sweeps`]) reproduce the
+//! write-intensive access mix the paper measured. [`driver::Simulation`]
+//! ties it together with per-routine virtual-time breakdowns.
+#![warn(missing_docs)]
+
+
+pub mod criteria;
+pub mod driver;
+pub mod interface;
+pub mod levelset;
+pub mod sweeps;
+
+pub use criteria::{refinement_feature, solver_feature, InterfaceCriterion, SharedTime};
+pub use driver::{RunReport, SimConfig, Simulation, StepBreakdown};
+pub use interface::{DropletEjection, DropletParams};
+pub use levelset::{advect_levelset, BoilingFlow, DropletImpact, LevelSet, LevelSetCriterion};
+pub use sweeps::{advect, estimate_work, relax_pressure, relax_pressure_neighbors};

@@ -1,0 +1,219 @@
+//! Finite-volume-style solver sweeps over the mesh.
+//!
+//! These produce the read/write mix the paper measured for the droplet
+//! workload (writes are 41% of accesses on average, up to 72% in
+//! interface-heavy steps): an advection/field update concentrated near
+//! the interface, plus pressure relaxation passes.
+
+use pmoctree_amr::{Cell, OctreeBackend};
+
+use crate::interface::DropletEjection;
+
+/// Width of the maintained level-set band (absolute, in domain units —
+/// roughly one jet radius).
+pub const NARROW_BAND: f64 = 0.05;
+
+/// Update `phi`/`vof` on every leaf from the interface position at `t`
+/// (the outcome of Gerris' VOF advection step). Only leaves whose value
+/// actually changes are written — field updates are localized around the
+/// moving interface. Returns the number of leaves written.
+pub fn advect(b: &mut dyn OctreeBackend, interface: &DropletEjection, t: f64) -> usize {
+    let mut written = 0usize;
+    b.update_leaves(&mut |k, d: &Cell| {
+        let h = k.extent();
+        // Narrow-band level set: phi is only maintained within a fixed
+        // absolute band around the interface; cells beyond it store the
+        // saturated value ±NARROW_BAND, which does not change while the
+        // interface stays away — so far-field cells are read but not
+        // written, exactly like a real VOF/level-set advection.
+        let phi = interface.phi(k.center(), t).clamp(-NARROW_BAND, NARROW_BAND);
+        let vof = interface.vof(k.center(), t, h);
+        let changed = (d[0] - phi).abs() > 1e-6 * h || (d[2] - vof).abs() > 1e-9;
+        if changed {
+            written += 1;
+            Some([phi, d[1], vof, d[3]])
+        } else {
+            None
+        }
+    });
+    written
+}
+
+/// `iters` Jacobi-style pressure relaxation passes. Interface cells (with
+/// mixed VOF) converge towards the capillary pressure jump; pure cells
+/// relax towards zero. Cheap per cell, touching every leaf — this is the
+/// read-heavy "solve" component.
+pub fn relax_pressure(b: &mut dyn OctreeBackend, iters: usize) -> usize {
+    let mut writes = 0usize;
+    for _ in 0..iters {
+        b.update_leaves(&mut |_k, d: &Cell| {
+            let target = if d[2] > 0.01 && d[2] < 0.99 {
+                // Young–Laplace-ish jump scaled by the local VOF gradient proxy.
+                2.0 * (d[2] - 0.5).abs()
+            } else {
+                0.0
+            };
+            let p_new = 0.5 * d[1] + 0.5 * target;
+            // Absolute convergence floor: once a cell is near its target
+            // it stops being written (otherwise the geometric decay would
+            // rewrite every cell forever and destroy the cross-version
+            // sharing the multi-version design relies on).
+            if (p_new - d[1]).abs() > 1e-6 {
+                writes += 1;
+                Some([d[0], p_new, d[2], d[3]])
+            } else {
+                None
+            }
+        });
+    }
+    writes
+}
+
+/// Neighbor-coupled relaxation: each leaf averages with its face
+/// neighbors' pressure. Exercises `containing_leaf` heavily — on the
+/// Etree baseline every neighbor read is an index lookup plus a page
+/// read, which is why the paper's out-of-core balance/solve phases are so
+/// expensive. Used by ablation benches; the plain [`relax_pressure`] is
+/// the default per-step solve.
+pub fn relax_pressure_neighbors(b: &mut dyn OctreeBackend) -> usize {
+    let mut leaves = Vec::with_capacity(b.leaf_count());
+    b.for_each_leaf(&mut |k, d| leaves.push((k, *d)));
+    let mut writes = 0usize;
+    for (k, d) in &leaves {
+        let mut sum = d[1];
+        let mut n = 1.0;
+        for axis in 0..3 {
+            for dir in [-1i8, 1] {
+                if let Some(nk) = k.face_neighbor(axis, dir) {
+                    if let Some(leaf) = b.containing_leaf(nk) {
+                        if let Some(nd) = b.get_data(leaf) {
+                            sum += nd[1];
+                            n += 1.0;
+                        }
+                    }
+                }
+            }
+        }
+        let p_new = sum / n;
+        if (p_new - d[1]).abs() > 1e-12 {
+            b.set_data(*k, [d[0], p_new, d[2], d[3]]);
+            writes += 1;
+        }
+    }
+    writes
+}
+
+/// Record per-leaf work estimates (partitioning weights): interface
+/// cells cost several times a bulk cell.
+pub fn estimate_work(b: &mut dyn OctreeBackend) {
+    b.update_leaves(&mut |_k, d: &Cell| {
+        let w = if d[2] > 0.01 && d[2] < 0.99 { 4.0 } else { 1.0 };
+        if (d[3] - w).abs() > 1e-12 {
+            Some([d[0], d[1], d[2], w])
+        } else {
+            None
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmoctree_amr::{construct_uniform, InCoreBackend};
+
+    #[test]
+    fn advect_writes_near_interface_only() {
+        let mut b = InCoreBackend::new();
+        construct_uniform(&mut b, 4);
+        let f = DropletEjection::default();
+        let w1 = advect(&mut b, &f, 0.3);
+        assert!(w1 > 0);
+        // Re-advection at the same time writes (almost) nothing.
+        let w2 = advect(&mut b, &f, 0.3);
+        assert_eq!(w2, 0, "idempotent advection must not rewrite");
+        // A later time rewrites only the band that moved.
+        let w3 = advect(&mut b, &f, 0.35);
+        assert!(w3 > 0 && w3 < b.leaf_count(), "moved band: {w3} of {}", b.leaf_count());
+    }
+
+    #[test]
+    fn relaxation_converges() {
+        let mut b = InCoreBackend::new();
+        construct_uniform(&mut b, 3);
+        advect(&mut b, &DropletEjection::default(), 0.3);
+        relax_pressure(&mut b, 50);
+        // Bulk cells end up at ~0 pressure; interface cells at their jump.
+        b.for_each_leaf(&mut |_, d| {
+            if d[2] == 0.0 || d[2] == 1.0 {
+                assert!(d[1].abs() < 1e-3, "bulk pressure {}", d[1]);
+            }
+        });
+        // Converged: further iterations write nothing much.
+        let w = relax_pressure(&mut b, 1);
+        let leaves = b.leaf_count();
+        assert!(w < leaves / 10, "{w} writes after convergence");
+    }
+
+    #[test]
+    fn neighbor_relaxation_smooths() {
+        let mut b = InCoreBackend::new();
+        construct_uniform(&mut b, 2);
+        // A pressure spike in one cell.
+        let mut first = None;
+        b.for_each_leaf(&mut |k, _| {
+            if first.is_none() {
+                first = Some(k);
+            }
+        });
+        let k = first.unwrap();
+        b.set_data(k, [0.0, 64.0, 0.0, 0.0]);
+        relax_pressure_neighbors(&mut b);
+        let spiked = b.get_data(k).unwrap()[1];
+        assert!(spiked < 64.0, "spike must diffuse, got {spiked}");
+        // Total pressure should be conserved-ish (diffusion): some
+        // neighbor gained pressure.
+        let mut max_other = 0.0f64;
+        b.for_each_leaf(&mut |kk, d| {
+            if kk != k {
+                max_other = max_other.max(d[1]);
+            }
+        });
+        assert!(max_other > 0.0);
+    }
+
+    #[test]
+    fn write_fraction_realistic() {
+        // The §1 claim: meshing + solving is write-intensive (41% average).
+        let mut b = InCoreBackend::new();
+        construct_uniform(&mut b, 4);
+        let f = DropletEjection::default();
+        for step in 0..5 {
+            let t = 0.25 + step as f64 * 0.05;
+            advect(&mut b, &f, t);
+            relax_pressure(&mut b, 2);
+        }
+        let frac = b.tree.stats.overall_write_fraction();
+        assert!(
+            (0.05..0.8).contains(&frac),
+            "write fraction {frac} outside plausible range"
+        );
+    }
+
+    #[test]
+    fn work_estimates_weight_interface() {
+        let mut b = InCoreBackend::new();
+        construct_uniform(&mut b, 4);
+        advect(&mut b, &DropletEjection::default(), 0.3);
+        estimate_work(&mut b);
+        let mut heavy = 0usize;
+        let mut light = 0usize;
+        b.for_each_leaf(&mut |_, d| {
+            if d[3] == 4.0 {
+                heavy += 1;
+            } else if d[3] == 1.0 {
+                light += 1;
+            }
+        });
+        assert!(heavy > 0 && light > heavy, "heavy={heavy} light={light}");
+    }
+}

@@ -1,0 +1,60 @@
+//! §5.6 failure recovery, end to end: run the droplet simulation under
+//! each persistence scheme, kill it at a time step, restart, and report
+//! the recovery times for the same-node and new-node scenarios.
+//!
+//! ```text
+//! cargo run --release --example failure_recovery
+//! ```
+
+use pmoctree::cluster::recovery_comparison;
+use pmoctree::morton::OctKey;
+use pmoctree::nvbm::{CrashMode, DeviceModel, NvbmArena};
+use pmoctree::pm::{CellData, PmConfig, PmOctree};
+use pmoctree::solver::SimConfig;
+
+fn main() {
+    // Part 1: the §5.6 comparison table.
+    let cfg = SimConfig { steps: 14, max_level: 5, base_level: 2, ..SimConfig::default() };
+    println!("running the droplet simulation, killing at step 12...\n");
+    let reports = recovery_comparison(cfg, 12, 128 << 20);
+    println!("scheme       | elements | same-node restart | new-node restart");
+    for r in &reports {
+        println!(
+            "{:<12} | {:>8} | {:>14.4} s | {}",
+            r.scheme,
+            r.elements,
+            r.same_node_secs,
+            r.new_node_secs.map_or("unrecoverable".into(), |t| format!("{t:.4} s")),
+        );
+    }
+    println!("\n(paper, 6.75M elements: in-core 42.9 s / 42.9 s; pm-octree 2.1 s / 3.48 s;");
+    println!(" out-of-core ~0 / unrecoverable — same ordering, scaled-down mesh)\n");
+
+    // Part 2: show *why* PM-octree recovery is safe — torn writes cannot
+    // corrupt the persisted version, under any cache-eviction pattern.
+    println!("crash-consistency demo: 20 random crash patterns mid-update...");
+    let mut intact = 0;
+    for seed in 0..20 {
+        let arena = NvbmArena::new(32 << 20, DeviceModel::default());
+        let mut t = PmOctree::create(arena, PmConfig::default());
+        t.refine(OctKey::root()).unwrap();
+        t.set_data(OctKey::root().child(1), CellData { phi: 1.0, ..Default::default() })
+            .unwrap();
+        t.persist();
+        let expect = t.leaves_sorted();
+        // A storm of unpersisted updates, then a crash that commits a
+        // random half of the dirty cachelines in arbitrary order.
+        t.refine(OctKey::root().child(2)).unwrap();
+        t.refine(OctKey::root().child(3)).unwrap();
+        t.update_leaves(|_, d| Some(CellData { pressure: d.pressure + 1.0, ..*d }));
+        let PmOctree { store, .. } = t;
+        let mut arena = store.arena;
+        arena.crash(CrashMode::CommitRandom { p: 0.5, seed });
+        let mut r = PmOctree::restore(arena, PmConfig::default());
+        if r.leaves_sorted() == expect {
+            intact += 1;
+        }
+    }
+    println!("recovered the exact persisted version in {intact}/20 crash patterns");
+    assert_eq!(intact, 20);
+}

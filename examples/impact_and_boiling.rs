@@ -1,0 +1,82 @@
+//! The other two workloads the paper's introduction motivates (§1):
+//! droplet impact on a solid surface, and rapid boiling flow — both run
+//! on PM-octree with per-step persistence, demonstrating that the
+//! orthogonal-persistence interface is workload-agnostic.
+//!
+//! ```text
+//! cargo run --release -p pmoctree --example impact_and_boiling
+//! ```
+
+use pmoctree::amr::{adapt, AdaptCriterion, Cell, OctreeBackend, PmBackend, Target};
+use pmoctree::morton::OctKey;
+use pmoctree::nvbm::{DeviceModel, NvbmArena};
+use pmoctree::pm::{PmConfig, PmOctree};
+use pmoctree::solver::{advect_levelset, BoilingFlow, DropletImpact, LevelSet, SharedTime};
+
+struct Crit<'a> {
+    ls: &'a dyn LevelSet,
+    time: SharedTime,
+    max_level: u8,
+}
+
+impl AdaptCriterion for Crit<'_> {
+    fn target(&self, key: &OctKey, _d: &Cell) -> Target {
+        let t = self.time.get();
+        let h = key.extent();
+        let d = self.ls.phi(key.center(), t).abs();
+        if d < 1.2 * h {
+            Target::Refine
+        } else if d > 4.8 * h {
+            Target::Coarsen
+        } else {
+            Target::Keep
+        }
+    }
+
+    fn max_level(&self) -> u8 {
+        self.max_level
+    }
+}
+
+fn run(name: &str, ls: &dyn LevelSet, t0: f64, dt: f64, steps: usize) {
+    let mut b = PmBackend::new(PmOctree::create(
+        NvbmArena::new(128 << 20, DeviceModel::default()),
+        PmConfig::default(),
+    ));
+    let time = SharedTime::new();
+    // Construct: base grid + adapt to the interface at t0.
+    time.set(t0);
+    pmoctree::amr::construct_uniform(&mut b, 2);
+    let crit = Crit { ls, time: time.clone(), max_level: 5 };
+    for _ in 0..4 {
+        adapt(&mut b, &crit);
+    }
+    advect_levelset(&mut b, ls, t0);
+    println!("== {name} ==");
+    for s in 0..steps {
+        let t = t0 + dt * (s as f64 + 1.0);
+        time.set(t);
+        adapt(&mut b, &crit);
+        let written = advect_levelset(&mut b, ls, t);
+        b.end_of_step(s + 1); // pm_persistent every step
+        println!(
+            "  step {s:>2} (t={t:.2}): {:>6} elements, {:>5} cells re-advected, overlap {:>5.1}%",
+            b.leaf_count(),
+            written,
+            100.0 * b.tree.events.overlap_ratio(),
+        );
+    }
+    println!(
+        "  done: {:.3} virt-s, {} NVBM write-lines, {} persists\n",
+        b.elapsed_ns() as f64 * 1e-9,
+        b.tree.store.arena.stats.nvbm.write_lines,
+        b.tree.events.persists,
+    );
+}
+
+fn main() {
+    let impact = DropletImpact::default();
+    run("droplet impact on a solid surface", &impact, 0.05, 0.06, 10);
+    let boiling = BoilingFlow::default();
+    run("rapid boiling flow", &boiling, 0.0, 0.1, 10);
+}

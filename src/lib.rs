@@ -1,0 +1,47 @@
+//! # pmoctree — umbrella crate
+//!
+//! A reproduction of *"Large-Scale Adaptive Mesh Simulations Through
+//! Non-Volatile Byte-Addressable Memory"* (SC'17): the **PM-octree**
+//! persistent merged octree, its NVBM substrate, the two baseline octree
+//! implementations from the paper's evaluation, the AMR meshing
+//! routines, the droplet-ejection workload, and the multi-rank scaling
+//! harness.
+//!
+//! This crate just re-exports the workspace members under friendly
+//! names; see each module for the real documentation:
+//!
+//! * [`morton`] — locational codes and Morton-curve partitioning,
+//! * [`nvbm`] — the emulated NVBM device (latency model, crash
+//!   injection, persistent allocator),
+//! * [`simfs`] — the simulated file system used by the baselines,
+//! * [`pm`] — the PM-octree itself (`pm_create` / `pm_persistent` /
+//!   `pm_restore` / `pm_delete`),
+//! * [`baselines`] — the in-core (Gerris-style) and out-of-core
+//!   (Etree-style) octrees,
+//! * [`amr`] — Construct / Refine & Coarsen / Balance / Partition /
+//!   Extract over any backend,
+//! * [`solver`] — the droplet-ejection workload,
+//! * [`cluster`] — weak/strong scaling and failure-recovery harness.
+//!
+//! ```
+//! use pmoctree::pm::{PmConfig, PmOctree};
+//! use pmoctree::morton::OctKey;
+//! use pmoctree::nvbm::{DeviceModel, NvbmArena};
+//!
+//! let arena = NvbmArena::new(8 << 20, DeviceModel::default());
+//! let mut tree = PmOctree::create(arena, PmConfig::default());
+//! tree.refine(OctKey::root()).unwrap();
+//! tree.persist();
+//! assert_eq!(tree.leaf_count(), 8);
+//! ```
+#![warn(missing_docs)]
+
+
+pub use pm_octree as pm;
+pub use pmoctree_amr as amr;
+pub use pmoctree_baselines as baselines;
+pub use pmoctree_cluster as cluster;
+pub use pmoctree_morton as morton;
+pub use pmoctree_nvbm as nvbm;
+pub use pmoctree_simfs as simfs;
+pub use pmoctree_solver as solver;
