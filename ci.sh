@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Local CI gate: build, full test suite, lints, formatting.
+# Run from the repo root; fails fast on the first broken step.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test --workspace -q
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --check

@@ -1,0 +1,172 @@
+//! Offline, dependency-free stand-in for the slice of the `criterion` API
+//! the bench harnesses use.
+//!
+//! The build environment cannot reach a crates registry, so the workspace
+//! path-redirects `criterion` here. No statistics engine: each benchmark
+//! closure runs a small fixed number of iterations and the harness prints
+//! the mean wall-clock time per iteration. That is enough to (a) keep
+//! `cargo bench` compiling and running offline and (b) give a coarse
+//! trend line; the repro binary's virtual-clock numbers remain the
+//! authoritative perf metric.
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Iterations per benchmark when the group does not override
+/// `sample_size`. Kept deliberately low: the closures here run whole
+/// droplet simulations.
+const DEFAULT_SAMPLES: usize = 5;
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.to_string(), samples: DEFAULT_SAMPLES }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", &id.to_string(), DEFAULT_SAMPLES, f);
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of iterations for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Real criterion collects `n` statistical samples; here it is the
+        // iteration count, capped so heavyweight sims stay quick.
+        self.samples = n.clamp(1, 20);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.to_string(), self.samples, f);
+    }
+
+    /// Run one parameterised benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.to_string(), self.samples, |b| f(b, input));
+    }
+
+    /// Finish the group (no-op; reports are printed as benches run).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterised benchmark (`function_name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a parameter value into one id.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { full: format!("{function_name}/{parameter}") }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Mean nanoseconds per iteration, recorded by [`Bencher::iter`].
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, running it `samples` times (plus one warm-up).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / self.samples as f64;
+    }
+}
+
+fn run_one<F>(group: &str, id: &str, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher { samples, mean_ns: 0.0 };
+    f(&mut b);
+    let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    if b.mean_ns >= 1e6 {
+        println!("bench {label:<50} {:>12.3} ms/iter ({samples} iters)", b.mean_ns / 1e6);
+    } else {
+        println!("bench {label:<50} {:>12.0} ns/iter ({samples} iters)", b.mean_ns);
+    }
+}
+
+/// Collect benchmark functions into a callable group (stand-in for
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `fn main` running the given groups (stand-in for
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_closures() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        let mut runs = 0usize;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7, |b, &p| b.iter(|| p * 2));
+        g.finish();
+        // one warm-up + three samples
+        assert_eq!(runs, 4);
+    }
+}

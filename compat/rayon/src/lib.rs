@@ -1,0 +1,100 @@
+//! Offline, dependency-free stand-in for the slice of the `rayon` API the
+//! workspace uses (`par_iter`, `par_iter_mut`, `into_par_iter`).
+//!
+//! The build environment cannot reach a crates registry, so the workspace
+//! path-redirects `rayon` here. The "parallel" iterators are sequential
+//! `std` iterators: the simulator's virtual clock models device latency,
+//! not wall-clock threading, so a sequential schedule is both honest and
+//! required for deterministic cost accounting. The `Send + Sync` bounds of
+//! real rayon are preserved so the code stays ready for a true parallel
+//! backend.
+#![warn(missing_docs)]
+
+/// The rayon prelude: parallel-iterator entry-point traits.
+pub mod prelude {
+    /// Types convertible into a (here: sequential) parallel iterator by value.
+    pub trait IntoParallelIterator {
+        /// Iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type produced.
+        type Item: Send;
+        /// Consume `self` and iterate.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// `par_iter()` — iterate by shared reference.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type produced.
+        type Item: Send + 'data;
+        /// Iterate over `&self`.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    /// `par_iter_mut()` — iterate by exclusive reference.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// Iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type produced.
+        type Item: Send + 'data;
+        /// Iterate over `&mut self`.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        type Item = T;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl<'data, T: Sync + Send + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        type Item = &'data T;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: Sync + Send + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        type Item = &'data T;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Iter = std::slice::IterMut<'data, T>;
+        type Item = &'data mut T;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type Iter = std::slice::IterMut<'data, T>;
+        type Item = &'data mut T;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_mut_matches_sequential() {
+        let mut v = vec![1u32, 2, 3];
+        v.par_iter_mut().for_each(|x| *x *= 10);
+        assert_eq!(v, vec![10, 20, 30]);
+        let doubled: Vec<u32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![20, 40, 60]);
+        let sum: u32 = v.into_par_iter().sum();
+        assert_eq!(sum, 60);
+    }
+}

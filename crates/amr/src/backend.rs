@@ -14,6 +14,7 @@
 use pm_octree::{CellData, PmOctree};
 use pmoctree_baselines::{EtreeOctree, InCoreOctree};
 use pmoctree_morton::OctKey;
+use pmoctree_nvbm::MemStats;
 use pmoctree_simfs::SimFs;
 
 /// Cell payload as a plain array: `[phi, pressure, vof, work]`.
@@ -52,6 +53,89 @@ pub trait OctreeBackend {
     fn end_of_step(&mut self, step: usize);
     /// Short scheme name for reports.
     fn name(&self) -> &'static str;
+
+    /// Aggregated memory-tier and traversal statistics. File-system-backed
+    /// persistence traffic (snapshots, Etree pages) is folded into the
+    /// NVBM tier at cacheline granularity so schemes stay comparable.
+    fn mem_stats(&self) -> MemStats {
+        MemStats::new(0)
+    }
+
+    // ---- batched queries (leaf-index fast paths) -------------------------
+    //
+    // Backends override these with their Morton-sorted leaf-index kernels;
+    // the defaults fall back to the per-key entry points so the trait stays
+    // drop-in for simple implementations.
+
+    /// All leaf keys in Z-order.
+    fn leaf_keys_sorted(&mut self) -> Vec<OctKey> {
+        let mut out = Vec::with_capacity(self.leaf_count());
+        self.for_each_leaf(&mut |k, _| out.push(k));
+        out.sort_unstable();
+        out
+    }
+
+    /// Batched [`OctreeBackend::containing_leaf`]: results match input
+    /// order; input order is arbitrary.
+    fn containing_leaf_many(&mut self, keys: &[OctKey]) -> Vec<Option<OctKey>> {
+        keys.iter().map(|&k| self.containing_leaf(k)).collect()
+    }
+
+    /// Batched [`OctreeBackend::get_data`] for leaf keys.
+    fn get_data_many(&mut self, keys: &[OctKey]) -> Vec<Option<Cell>> {
+        keys.iter().map(|&k| self.get_data(k)).collect()
+    }
+
+    /// Neighbor-resolution kernel: resolve the face (6) or full (26)
+    /// same-level neighborhood of every source leaf in one batched query.
+    /// Returns, per source, the distinct containing leaves of its neighbor
+    /// keys (sorted, deduplicated; unresolved/internal neighbors omitted).
+    fn neighbor_leaves_many(&mut self, sources: &[OctKey], full: bool) -> Vec<Vec<OctKey>> {
+        let (queries, spans) = neighbor_queries(sources, full);
+        let resolved = self.containing_leaf_many(&queries);
+        spans
+            .iter()
+            .map(|&(s, e)| {
+                let mut v: Vec<OctKey> = resolved[s..e].iter().flatten().copied().collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect()
+    }
+}
+
+/// Generate the flat neighbor-key query batch for `sources` plus the
+/// per-source `[start, end)` spans into it. Pure read-only preparation, so
+/// the per-source key generation runs data-parallel.
+pub fn neighbor_queries(sources: &[OctKey], full: bool) -> (Vec<OctKey>, Vec<(usize, usize)>) {
+    use rayon::prelude::*;
+    let per_source: Vec<Vec<OctKey>> = sources
+        .par_iter()
+        .map(|k| {
+            if full {
+                k.all_neighbors()
+            } else {
+                let mut v = Vec::with_capacity(6);
+                for axis in 0..3 {
+                    for dir in [-1i8, 1] {
+                        if let Some(nk) = k.face_neighbor(axis, dir) {
+                            v.push(nk);
+                        }
+                    }
+                }
+                v
+            }
+        })
+        .collect();
+    let mut queries = Vec::new();
+    let mut spans = Vec::with_capacity(sources.len());
+    for v in per_source {
+        let start = queries.len();
+        queries.extend(v);
+        spans.push((start, queries.len()));
+    }
+    (queries, spans)
 }
 
 // ---------------------------------------------------------------- PM-octree
@@ -141,6 +225,22 @@ impl OctreeBackend for PmBackend {
 
     fn name(&self) -> &'static str {
         "pm-octree"
+    }
+
+    fn leaf_keys_sorted(&mut self) -> Vec<OctKey> {
+        self.tree.leaf_keys_sorted()
+    }
+
+    fn containing_leaf_many(&mut self, keys: &[OctKey]) -> Vec<Option<OctKey>> {
+        self.tree.containing_leaf_many(keys)
+    }
+
+    fn get_data_many(&mut self, keys: &[OctKey]) -> Vec<Option<Cell>> {
+        self.tree.get_data_many(keys).into_iter().map(|r| r.map(|d| to_cell(&d))).collect()
+    }
+
+    fn mem_stats(&self) -> MemStats {
+        self.tree.store.arena.stats.clone()
     }
 }
 
@@ -238,6 +338,26 @@ impl OctreeBackend for InCoreBackend {
     fn name(&self) -> &'static str {
         "in-core"
     }
+
+    fn leaf_keys_sorted(&mut self) -> Vec<OctKey> {
+        self.tree.leaf_keys_sorted()
+    }
+
+    fn containing_leaf_many(&mut self, keys: &[OctKey]) -> Vec<Option<OctKey>> {
+        self.tree.containing_leaf_many(keys)
+    }
+
+    fn get_data_many(&mut self, keys: &[OctKey]) -> Vec<Option<Cell>> {
+        self.tree.get_data_many(keys)
+    }
+
+    fn mem_stats(&self) -> MemStats {
+        let mut s = self.tree.stats.clone();
+        let fs = &self.fs.stats;
+        s.nvbm_read(fs.bytes_read as usize, fs.bytes_read.div_ceil(64));
+        s.nvbm_write(fs.bytes_written as usize, fs.bytes_written.div_ceil(64));
+        s
+    }
 }
 
 // ---------------------------------------------------------------- etree
@@ -324,6 +444,26 @@ impl OctreeBackend for EtreeBackend {
 
     fn name(&self) -> &'static str {
         "out-of-core"
+    }
+
+    fn leaf_keys_sorted(&mut self) -> Vec<OctKey> {
+        self.tree.leaf_keys_sorted()
+    }
+
+    fn containing_leaf_many(&mut self, keys: &[OctKey]) -> Vec<Option<OctKey>> {
+        self.tree.containing_leaf_many(keys)
+    }
+
+    fn get_data_many(&mut self, keys: &[OctKey]) -> Vec<Option<Cell>> {
+        self.tree.get_data_many(keys)
+    }
+
+    fn mem_stats(&self) -> MemStats {
+        let mut s = self.tree.stats.clone();
+        let fs = &self.tree.fs.stats;
+        s.nvbm_read(fs.bytes_read as usize, fs.bytes_read.div_ceil(64));
+        s.nvbm_write(fs.bytes_written as usize, fs.bytes_written.div_ceil(64));
+        s
     }
 }
 

@@ -76,34 +76,61 @@ pub fn coarsen_balanced(b: &mut dyn OctreeBackend, key: OctKey) -> bool {
     can_coarsen(b, key) && b.coarsen(key)
 }
 
-/// One full balancing sweep over the tree: refine any leaf that violates
-/// 2:1 with a face neighbor. Repeats until a fixed point; returns the
-/// number of refinements performed.
-pub fn balance(b: &mut dyn OctreeBackend) -> usize {
+/// Worklist-driven 2:1 balancing over the face (6) or full (26)
+/// adjacency, built on the backends' batched leaf-index kernels.
+///
+/// Violations are only *observable* from the fine side (the coarse side
+/// sees `containing_leaf → None` for a refined-deeper neighbor), so the
+/// worklist holds fine-side *source* leaves. The worklist is seeded once
+/// from the sorted leaf set; after each round it contains exactly
+/// (a) the children of every octant refined this round (new fine leaves
+/// that may now out-level their neighbors) and (b) the sources that still
+/// observed a violation (a 3-levels-coarser neighbor closes by one level
+/// per round and must be re-checked). Refining can never introduce a
+/// violation anywhere else, so no full-tree re-snapshot is needed.
+///
+/// The 2:1 closure of a tree is unique and independent of refinement
+/// order, so the resulting leaf set is identical to the former
+/// sweep-until-fixed-point implementation.
+fn balance_worklist(b: &mut dyn OctreeBackend, mut worklist: Vec<OctKey>, full: bool) -> usize {
     let mut total = 0usize;
-    loop {
-        let mut leaves = Vec::with_capacity(b.leaf_count());
-        b.for_each_leaf(&mut |k, _| leaves.push(k));
-        let mut refined_this_round = 0usize;
-        for k in &leaves {
-            // If a face neighbor's leaf is 2+ levels coarser, refine it.
-            for axis in 0..3 {
-                for dir in [-1i8, 1] {
-                    if let Some(nk) = k.face_neighbor(axis, dir) {
-                        if let Some(leaf) = b.containing_leaf(nk) {
-                            if leaf.level() + 1 < k.level() && b.refine(leaf) {
-                                refined_this_round += 1;
-                            }
-                        }
-                    }
+    while !worklist.is_empty() {
+        worklist.sort_unstable();
+        worklist.dedup();
+        let neighborhoods = b.neighbor_leaves_many(&worklist, full);
+        let mut targets: Vec<OctKey> = Vec::new();
+        let mut next: Vec<OctKey> = Vec::new();
+        for (k, neighbors) in worklist.iter().zip(&neighborhoods) {
+            let mut violated = false;
+            for leaf in neighbors {
+                if leaf.level() + 1 < k.level() {
+                    violated = true;
+                    targets.push(*leaf);
                 }
             }
+            if violated {
+                next.push(*k);
+            }
         }
-        total += refined_this_round;
-        if refined_this_round == 0 {
-            return total;
+        targets.sort_unstable();
+        targets.dedup();
+        for t in targets {
+            if b.refine(t) {
+                total += 1;
+                next.extend(t.children());
+            }
         }
+        worklist = next;
     }
+    total
+}
+
+/// One full balancing sweep over the tree: refine any leaf that violates
+/// 2:1 with a face neighbor. Runs the batched worklist algorithm to a
+/// fixed point; returns the number of refinements performed.
+pub fn balance(b: &mut dyn OctreeBackend) -> usize {
+    let seed = b.leaf_keys_sorted();
+    balance_worklist(b, seed, false)
 }
 
 /// Full-adjacency 2:1 balance: like [`balance`] but across **all 26
@@ -112,88 +139,45 @@ pub fn balance(b: &mut dyn OctreeBackend) -> usize {
 /// balancing "very time-consuming ... it needs to search all its 26
 /// neighbors" (§5.4). Returns the number of refinements.
 pub fn balance26(b: &mut dyn OctreeBackend) -> usize {
-    let mut total = 0usize;
-    loop {
-        let mut leaves = Vec::with_capacity(b.leaf_count());
-        b.for_each_leaf(&mut |k, _| leaves.push(k));
-        let mut refined_this_round = 0usize;
-        for k in &leaves {
-            for nk in k.all_neighbors() {
-                if let Some(leaf) = b.containing_leaf(nk) {
-                    if leaf.level() + 1 < k.level() && b.refine(leaf) {
-                        refined_this_round += 1;
-                    }
-                }
-            }
-        }
-        total += refined_this_round;
-        if refined_this_round == 0 {
-            return total;
-        }
-    }
+    let seed = b.leaf_keys_sorted();
+    balance_worklist(b, seed, true)
 }
 
-/// Verify the full 26-neighbor 2:1 constraint.
-pub fn check_balance26(b: &mut dyn OctreeBackend) -> Option<(OctKey, OctKey)> {
-    let mut leaves = Vec::with_capacity(b.leaf_count());
-    b.for_each_leaf(&mut |k, _| leaves.push(k));
-    for k in &leaves {
-        for nk in k.all_neighbors() {
-            if let Some(leaf) = b.containing_leaf(nk) {
-                if leaf.level() + 1 < k.level() {
-                    return Some((*k, leaf));
-                }
+/// Batched constraint check shared by [`check_balance`] /
+/// [`check_balance26`]: one neighbor-resolution pass over the sorted leaf
+/// set, returning the first (fine, coarse) violating pair in Z-order.
+fn check_with(b: &mut dyn OctreeBackend, full: bool) -> Option<(OctKey, OctKey)> {
+    let leaves = b.leaf_keys_sorted();
+    let neighborhoods = b.neighbor_leaves_many(&leaves, full);
+    for (k, neighbors) in leaves.iter().zip(&neighborhoods) {
+        for leaf in neighbors {
+            if leaf.level() + 1 < k.level() {
+                return Some((*k, *leaf));
             }
         }
     }
     None
 }
 
+/// Verify the full 26-neighbor 2:1 constraint.
+pub fn check_balance26(b: &mut dyn OctreeBackend) -> Option<(OctKey, OctKey)> {
+    check_with(b, true)
+}
+
 /// Balance restricted to a set of recently-changed leaves ("enforced on
 /// the fly", §2): checks only the given keys' neighborhoods and refines
-/// coarse neighbors. Far cheaper than a full sweep when the change set
-/// is a thin band. Returns refinements performed.
+/// coarse neighbors, propagating through the same worklist scheme as
+/// [`balance`] (children of refined octants plus still-violating
+/// sources). Far cheaper than a full sweep when the change set is a thin
+/// band. Returns refinements performed.
 pub fn balance_subset(b: &mut dyn OctreeBackend, keys: &[OctKey]) -> usize {
-    let mut total = 0usize;
-    for k in keys {
-        for axis in 0..3 {
-            for dir in [-1i8, 1] {
-                if let Some(nk) = k.face_neighbor(axis, dir) {
-                    while let Some(leaf) = b.containing_leaf(nk) {
-                        if leaf.level() + 1 >= k.level() {
-                            break;
-                        }
-                        if !refine_balanced(b, leaf) {
-                            break;
-                        }
-                        total += 1;
-                    }
-                }
-            }
-        }
-    }
-    total
+    balance_worklist(b, keys.to_vec(), false)
 }
 
 /// Verify the 2:1 constraint across all face-adjacent leaves. Returns the
 /// violating pair if any.
 pub fn check_balance(b: &mut dyn OctreeBackend) -> Option<(OctKey, OctKey)> {
-    let mut leaves = Vec::with_capacity(b.leaf_count());
-    b.for_each_leaf(&mut |k, _| leaves.push(k));
-    for k in &leaves {
-        for axis in 0..3 {
-            for dir in [-1i8, 1] {
-                if let Some(nk) = k.face_neighbor(axis, dir) {
-                    if let Some(leaf) = b.containing_leaf(nk) {
-                        if leaf.level() + 1 < k.level() {
-                            return Some((*k, leaf));
-                        }
-                    }
-                }
-            }
-        }
-    }
-    None
+    check_with(b, false)
 }
 
 #[cfg(test)]
@@ -251,8 +235,8 @@ mod tests {
             b.refine(OctKey::root());
             b.refine(OctKey::root().child(0));
             b.refine(OctKey::root().child(0).child(7)); // deep center
-            // Coarsening child 0 would leave a level-1 leaf next to
-            // level-3 leaves: forbidden.
+                                                        // Coarsening child 0 would leave a level-1 leaf next to
+                                                        // level-3 leaves: forbidden.
             assert!(!can_coarsen(b.as_mut(), OctKey::root().child(0)), "{}", b.name());
             // Coarsening the deep corner itself is fine.
             assert!(can_coarsen(b.as_mut(), OctKey::root().child(0).child(7)), "{}", b.name());
@@ -296,10 +280,7 @@ mod tests {
         let t0 = full.elapsed_ns();
         balance26(&mut full);
         let full_cost = full.elapsed_ns() - t0;
-        assert!(
-            full_cost > 2 * face_cost,
-            "26-neighbor {full_cost} vs face {face_cost}"
-        );
+        assert!(full_cost > 2 * face_cost, "26-neighbor {full_cost} vs face {face_cost}");
     }
 
     #[test]

@@ -44,8 +44,7 @@ fn corner_coord(key: &OctKey, corner: usize) -> VCoord {
 /// and is **dangling** — its field value must be interpolated rather than
 /// solved (Gerris treats these as constrained nodes).
 pub fn extract(b: &mut dyn OctreeBackend) -> Mesh {
-    let mut leaves = Vec::with_capacity(b.leaf_count());
-    b.for_each_leaf(&mut |k, _| leaves.push(k));
+    let leaves = b.leaf_keys_sorted();
 
     let mut vid: HashMap<VCoord, u32> = HashMap::new();
     let mut mesh = Mesh::default();
@@ -78,6 +77,11 @@ pub fn extract(b: &mut dyn OctreeBackend) -> Mesh {
         }
         v
     };
+    // Gather every vertex's (up to 8) diagonal finest-grid probes, then
+    // resolve the whole batch through the backend's sorted leaf index in
+    // one pass instead of one root descent per probe.
+    let mut probe_keys: Vec<OctKey> = Vec::new();
+    let mut probe_owner: Vec<u32> = Vec::new();
     for (id, vc) in coords.iter().enumerate() {
         'octants: for oct in 0..8usize {
             // The cell of the finest grid diagonally adjacent to the
@@ -96,14 +100,22 @@ pub fn extract(b: &mut dyn OctreeBackend) -> Mesh {
                     probe[a] = vc[a] - 1;
                 }
             }
-            let probe_key = OctKey::from_coords(probe, MAXL);
-            let Some(leaf) = b.containing_leaf(probe_key) else { continue };
-            // Is `vc` one of leaf's corners?
-            let is_corner = (0..8).any(|c| corner_coord(&leaf, c) == *vc);
-            if !is_corner {
-                mesh.anchored[id] = false;
-                break;
-            }
+            probe_keys.push(OctKey::from_coords(probe, MAXL));
+            probe_owner.push(id as u32);
+        }
+    }
+    let resolved = b.containing_leaf_many(&probe_keys);
+    for (owner, leaf) in probe_owner.iter().zip(&resolved) {
+        let id = *owner as usize;
+        if !mesh.anchored[id] {
+            continue;
+        }
+        let Some(leaf) = leaf else { continue };
+        // Is the vertex one of the containing leaf's corners?
+        let vc = coords[id];
+        let is_corner = (0..8).any(|c| corner_coord(leaf, c) == vc);
+        if !is_corner {
+            mesh.anchored[id] = false;
         }
     }
     mesh

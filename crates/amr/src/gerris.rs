@@ -195,7 +195,7 @@ mod tests {
         ftt_cell_refine(&mut b, OctKey::root());
         ftt_cell_write(&mut b, OctKey::root().child(5), &[7.0, 0.0, 0.0, 0.0]);
         pm_persistent(&mut b); // instead of gfs_output_write()
-        // Crash the node.
+                               // Crash the node.
         let arena = {
             let mut a = pm_delete_keep_media(b);
             a.crash(CrashMode::LoseDirty);

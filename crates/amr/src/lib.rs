@@ -14,7 +14,6 @@
 //! | Extract             | [`mod@extract`]   |
 #![warn(missing_docs)]
 
-
 pub mod backend;
 pub mod balance;
 pub mod construct;
@@ -24,8 +23,11 @@ pub mod partition;
 pub mod refine;
 pub mod vtk;
 
-pub use backend::{Cell, EtreeBackend, InCoreBackend, OctreeBackend, PmBackend};
-pub use balance::{balance, balance26, balance_subset, can_coarsen, check_balance, check_balance26, coarsen_balanced, refine_balanced};
+pub use backend::{neighbor_queries, Cell, EtreeBackend, InCoreBackend, OctreeBackend, PmBackend};
+pub use balance::{
+    balance, balance26, balance_subset, can_coarsen, check_balance, check_balance26,
+    coarsen_balanced, refine_balanced,
+};
 pub use construct::{construct_path, construct_uniform};
 pub use extract::{extract, Mesh};
 pub use partition::{migration_plan, partition, weighted_leaves, Migration};

@@ -47,18 +47,13 @@ pub fn migration_plan(
         std::collections::HashMap::new();
     for (k, _) in leaves {
         let from = old_owner(k);
-        let to = new_ranges
-            .iter()
-            .position(|r| r.owns(k))
-            .expect("ranges cover the curve");
+        let to = new_ranges.iter().position(|r| r.owns(k)).expect("ranges cover the curve");
         if from != to {
             map.entry((from, to)).or_default().push(*k);
         }
     }
-    let mut out: Vec<Migration> = map
-        .into_iter()
-        .map(|((from, to), keys)| Migration { from, to, keys })
-        .collect();
+    let mut out: Vec<Migration> =
+        map.into_iter().map(|((from, to), keys)| Migration { from, to, keys }).collect();
     out.sort_by_key(|m| (m.from, m.to));
     out
 }
@@ -86,7 +81,7 @@ mod tests {
     fn partition_honors_work_weights() {
         let mut b = InCoreBackend::new();
         construct_uniform(&mut b, 2); // 64 leaves
-        // The Z-order-first leaf carries huge work.
+                                      // The Z-order-first leaf carries huge work.
         let leaves = weighted_leaves(&mut b);
         let first = leaves[0].0;
         b.set_data(first, [0.0, 0.0, 0.0, 63.0]);

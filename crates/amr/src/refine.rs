@@ -66,11 +66,7 @@ pub fn adapt(b: &mut dyn OctreeBackend, criterion: &dyn AdaptCriterion) -> Adapt
             }
         }
     });
-    let mut parents: Vec<OctKey> = votes
-        .iter()
-        .filter(|(_, &n)| n == 8)
-        .map(|(k, _)| *k)
-        .collect();
+    let mut parents: Vec<OctKey> = votes.iter().filter(|(_, &n)| n == 8).map(|(k, _)| *k).collect();
     // Deepest first, so nested coarsening cascades within one pass.
     parents.sort_by(|a, b| b.level().cmp(&a.level()).then(a.cmp(b)));
     for p in parents {

@@ -129,8 +129,7 @@ mod tests {
         let vtk = m.to_vtk();
         let cells_at = vtk.lines().position(|l| l.starts_with("CELLS")).unwrap();
         let line = vtk.lines().nth(cells_at + 1).unwrap();
-        let ids: Vec<usize> =
-            line.split_whitespace().skip(1).map(|t| t.parse().unwrap()).collect();
+        let ids: Vec<usize> = line.split_whitespace().skip(1).map(|t| t.parse().unwrap()).collect();
         let p = |i: usize| m.vertices[ids[i]];
         // Bottom quad all at z = 0, top at z = 1.
         for i in 0..4 {

@@ -1,0 +1,44 @@
+//! Acceptance check for the batched-neighbor balance path: on a ~10^5
+//! octant tree, `balance26` must locate neighbors through the sorted
+//! leaf index (one merge-scan per worklist) instead of per-key root
+//! descents. The traversal counters make the reduction observable:
+//! every index hit stands for a lookup that the scan-based
+//! implementation answered with a full root descent.
+
+use pmoctree_amr::{balance26, check_balance26, InCoreBackend, OctreeBackend};
+
+#[test]
+fn balance26_uses_index_not_root_descents_at_1e5_octants() {
+    let mut b = InCoreBackend::new();
+    // Uniform refine to level 5 (32768 leaves), then deepen a Morton
+    // prefix to level 6 to cross 10^5 leaves. A contiguous prefix keeps
+    // every adjacent pair within one level, so the mesh is 26-balanced
+    // and the pass measures pure lookup traffic.
+    for _ in 0..5 {
+        for k in b.leaf_keys_sorted() {
+            b.refine(k);
+        }
+    }
+    for k in b.leaf_keys_sorted().into_iter().take(9728) {
+        b.refine(k);
+    }
+    assert!(b.leaf_count() >= 100_000, "setup too small: {}", b.leaf_count());
+
+    let before = b.mem_stats().trav;
+    let refined = balance26(&mut b);
+    let after = b.mem_stats().trav;
+    assert_eq!(refined, 0, "prefix-deepened mesh must already be 26-balanced");
+    assert!(check_balance26(&mut b).is_none());
+
+    let descents = after.root_descents - before.root_descents;
+    let hits = after.index_hits - before.index_hits;
+    // Every leaf contributes up to 26 neighbor lookups (fewer on the
+    // domain boundary, where out-of-range directions are clipped); all
+    // must be index hits. The seed implementation performed one root
+    // descent per lookup, so `hits` is the seed's descent count.
+    assert!(hits >= 24 * 100_000, "expected >=2.4M batched lookups, got {hits}");
+    assert!(
+        5 * descents <= hits,
+        "root descents not reduced >=5x: {descents} descents vs {hits} batched lookups"
+    );
+}

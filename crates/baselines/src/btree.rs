@@ -141,7 +141,8 @@ impl DiskBTree {
         fs.read_at(&self.file, page as usize * PAGE, &mut buf).expect("index page read");
         let node = BNode::deserialize(&buf);
         self.tick += 1;
-        self.cache.insert(page, CacheSlot { node: node.clone(), dirty: false, last_use: self.tick });
+        self.cache
+            .insert(page, CacheSlot { node: node.clone(), dirty: false, last_use: self.tick });
         self.evict_over_cap(fs);
         node
     }
@@ -263,33 +264,31 @@ impl DiskBTree {
         val: u64,
     ) -> (Option<u64>, Option<(u64, u32)>) {
         match self.get_node(fs, page) {
-            BNode::Leaf { mut keys, mut vals } => {
-                match keys.binary_search(&key) {
-                    Ok(i) => {
-                        let old = vals[i];
-                        vals[i] = val;
+            BNode::Leaf { mut keys, mut vals } => match keys.binary_search(&key) {
+                Ok(i) => {
+                    let old = vals[i];
+                    vals[i] = val;
+                    self.put(fs, page, BNode::Leaf { keys, vals });
+                    (Some(old), None)
+                }
+                Err(i) => {
+                    keys.insert(i, key);
+                    vals.insert(i, val);
+                    if keys.len() > MAX_KEYS {
+                        let mid = keys.len() / 2;
+                        let rk = keys.split_off(mid);
+                        let rv = vals.split_off(mid);
+                        let sep = rk[0];
+                        let right = self.alloc_page();
+                        self.put(fs, right, BNode::Leaf { keys: rk, vals: rv });
                         self.put(fs, page, BNode::Leaf { keys, vals });
-                        (Some(old), None)
-                    }
-                    Err(i) => {
-                        keys.insert(i, key);
-                        vals.insert(i, val);
-                        if keys.len() > MAX_KEYS {
-                            let mid = keys.len() / 2;
-                            let rk = keys.split_off(mid);
-                            let rv = vals.split_off(mid);
-                            let sep = rk[0];
-                            let right = self.alloc_page();
-                            self.put(fs, right, BNode::Leaf { keys: rk, vals: rv });
-                            self.put(fs, page, BNode::Leaf { keys, vals });
-                            (None, Some((sep, right)))
-                        } else {
-                            self.put(fs, page, BNode::Leaf { keys, vals });
-                            (None, None)
-                        }
+                        (None, Some((sep, right)))
+                    } else {
+                        self.put(fs, page, BNode::Leaf { keys, vals });
+                        (None, None)
                     }
                 }
-            }
+            },
             BNode::Internal { mut keys, mut kids } => {
                 let i = keys.partition_point(|&k| k <= key);
                 let (old, split) = self.insert_rec(fs, kids[i], key, val);

@@ -12,8 +12,8 @@
 //! is written through to the file system, so recovery after a failure is
 //! immediate: re-open the metadata, no replay needed.
 
-use pmoctree_morton::{anchor, OctKey};
-use pmoctree_nvbm::PAGE;
+use pmoctree_morton::{anchor, LeafIndex, OctKey};
+use pmoctree_nvbm::{MemStats, PAGE};
 use pmoctree_simfs::SimFs;
 
 use crate::btree::DiskBTree;
@@ -34,12 +34,24 @@ pub struct EtreeOctree {
     next_page: u32,
     leaves: usize,
     depth: u8,
+    /// DRAM-side accounting: leaf-index probe costs and traversal
+    /// counters. Page and B-tree I/O stays on `fs`.
+    pub stats: MemStats,
+    /// Morton-sorted DRAM view of the leaf set, maintained incrementally
+    /// by `refine`/`coarsen` and rebuilt lazily after `reopen`.
+    leaf_view: LeafIndex<3>,
 }
+
+/// DRAM read latency charged for leaf-index probes (matches the in-core
+/// baseline and `DeviceModel::default().dram`).
+const DRAM_READ_NS: u64 = 60;
 
 fn page_decode(buf: &[u8]) -> Vec<OctantRecord> {
     let n = u16::from_le_bytes(buf[0..2].try_into().expect("2")) as usize;
     (0..n)
-        .map(|i| decode_record(&buf[16 + i * RECORD_SIZE..16 + (i + 1) * RECORD_SIZE]).expect("record"))
+        .map(|i| {
+            decode_record(&buf[16 + i * RECORD_SIZE..16 + (i + 1) * RECORD_SIZE]).expect("record")
+        })
         .collect()
 }
 
@@ -62,7 +74,15 @@ impl EtreeOctree {
         let page0 = page_encode(&[root]);
         fs.write_at(DATA_FILE, 0, &page0).expect("page 0");
         index.insert(&mut fs, anchor::<3>(&OctKey::root()), 0);
-        let mut t = EtreeOctree { fs, index, next_page: 1, leaves: 1, depth: 0 };
+        let mut t = EtreeOctree {
+            fs,
+            index,
+            next_page: 1,
+            leaves: 1,
+            depth: 0,
+            stats: MemStats::new(0),
+            leaf_view: LeafIndex::new(),
+        };
         t.save_meta();
         t
     }
@@ -78,7 +98,119 @@ impl EtreeOctree {
         let next_page = u32::from_le_bytes(meta[0..4].try_into().expect("4"));
         let leaves = u64::from_le_bytes(meta[8..16].try_into().expect("8")) as usize;
         let depth = meta[16];
-        Ok(EtreeOctree { fs, index, next_page, leaves, depth })
+        // The leaf view starts invalid after a reopen: the first batched
+        // query rebuilds it from a full page sweep.
+        Ok(EtreeOctree {
+            fs,
+            index,
+            next_page,
+            leaves,
+            depth,
+            stats: MemStats::new(0),
+            leaf_view: LeafIndex::new(),
+        })
+    }
+
+    /// Charge DRAM costs for touching `entries` leaf-view entries.
+    fn charge_index_entries(&mut self, entries: usize) {
+        let lines = LeafIndex::<3>::lines_for_entries(entries);
+        self.fs.clock.advance(lines * DRAM_READ_NS);
+        self.stats.dram_read(entries * pmoctree_morton::index::ENTRY_BYTES, lines);
+    }
+
+    /// Rebuild the DRAM leaf view from a full page sweep (the sweep's page
+    /// I/O is charged through `fs` by `read_page`).
+    fn ensure_index(&mut self) {
+        if self.leaf_view.is_valid() {
+            return;
+        }
+        let pages: Vec<u32> =
+            self.index.items(&mut self.fs).iter().map(|&(_, p)| p as u32).collect();
+        let mut entries = Vec::with_capacity(self.leaves);
+        for page in pages {
+            for r in self.read_page(page) {
+                entries.push((r.key, page as u64));
+            }
+        }
+        let n = self.leaf_view.rebuild(entries);
+        self.stats.index_rebuild(n as u64);
+    }
+
+    /// Z-order-sorted leaf keys from the DRAM leaf view (no page I/O once
+    /// the view is built).
+    pub fn leaf_keys_sorted(&mut self) -> Vec<OctKey> {
+        self.ensure_index();
+        self.charge_index_entries(self.leaf_view.len());
+        self.leaf_view.entries().iter().map(|e| e.0).collect()
+    }
+
+    /// Resolve a batch of containment queries against the DRAM leaf view
+    /// in one merge-scan — no per-key B-tree lookups or page reads.
+    /// Input order is arbitrary; results match input order.
+    pub fn containing_leaf_many(&mut self, keys: &[OctKey]) -> Vec<Option<OctKey>> {
+        self.ensure_index();
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_unstable_by(|&a, &b| keys[a].zcmp(&keys[b]));
+        let sorted: Vec<OctKey> = order.iter().map(|&i| keys[i]).collect();
+        let (resolved, touched) = self.leaf_view.resolve_sorted(&sorted);
+        self.charge_index_entries(touched);
+        self.stats.index_hits(keys.len() as u64);
+        let mut out = vec![None; keys.len()];
+        for (slot, r) in order.into_iter().zip(resolved) {
+            out[slot] = r.map(|e| self.leaf_view.entries()[e].0);
+        }
+        out
+    }
+
+    /// Batched leaf payload reads: queries resolve against the DRAM leaf
+    /// view, then every data page holding at least one queried leaf is
+    /// read exactly once (instead of one B-tree lookup + page read per
+    /// key). Keys that are not current leaves fall back to
+    /// [`EtreeOctree::get_data`].
+    pub fn get_data_many(&mut self, keys: &[OctKey]) -> Vec<Option<[f64; 4]>> {
+        self.ensure_index();
+        let resolved = self.containing_leaf_many(keys);
+        let mut out = vec![None; keys.len()];
+        // Exact leaf hits, grouped by anchor for the page merge below.
+        let mut wanted: Vec<(u64, usize)> = Vec::new();
+        let mut fallbacks = Vec::new();
+        for (pos, r) in resolved.iter().enumerate() {
+            match r {
+                Some(k) if *k == keys[pos] => wanted.push((anchor::<3>(k), pos)),
+                _ => fallbacks.push(pos),
+            }
+        }
+        wanted.sort_unstable();
+        if !wanted.is_empty() {
+            let items = self.index.items(&mut self.fs);
+            let mut w = 0usize;
+            for (pi, &(first, page)) in items.iter().enumerate() {
+                if w >= wanted.len() {
+                    break;
+                }
+                let next_first = items.get(pi + 1).map(|&(a, _)| a).unwrap_or(u64::MAX);
+                if wanted[w].0 >= next_first {
+                    continue;
+                }
+                // At least one wanted anchor lives in [first, next_first).
+                debug_assert!(wanted[w].0 >= first || pi == 0);
+                let records = self.read_page(page as u32);
+                while w < wanted.len() && wanted[w].0 < next_first {
+                    let (a, pos) = wanted[w];
+                    let ri = records.partition_point(|r| anchor::<3>(&r.key) < a);
+                    if ri < records.len() && records[ri].key == keys[pos] {
+                        out[pos] = Some(records[ri].data);
+                    } else {
+                        fallbacks.push(pos);
+                    }
+                    w += 1;
+                }
+            }
+        }
+        for pos in fallbacks {
+            out[pos] = self.get_data(keys[pos]);
+        }
+        out
     }
 
     fn save_meta(&mut self) {
@@ -136,6 +268,9 @@ impl EtreeOctree {
     /// ancestor-or-self of `key` whenever key addresses an existing or
     /// coarser region).
     pub fn containing_leaf(&mut self, key: OctKey) -> Option<OctKey> {
+        // Counted as a root descent: a full B-tree + page lookup, the
+        // per-key slow path the batched leaf-view queries avoid.
+        self.stats.root_descent();
         let a = anchor::<3>(&key);
         let page = self.page_for(a)?;
         let records = self.read_page(page);
@@ -156,7 +291,7 @@ impl EtreeOctree {
     pub fn is_leaf(&mut self, key: OctKey) -> Option<bool> {
         match self.containing_leaf(key) {
             Some(k) if k == key => Some(true),
-            Some(_) => None, // a coarser leaf covers it: key itself absent
+            Some(_) => None,     // a coarser leaf covers it: key itself absent
             None => Some(false), // key region is refined deeper → internal
         }
     }
@@ -224,8 +359,7 @@ impl EtreeOctree {
             let right: Vec<OctantRecord> = records.split_off(records.len() / 2);
             let right_page = self.next_page;
             self.next_page += 1;
-            self.index
-                .insert(&mut self.fs, anchor::<3>(&right[0].key), right_page as u64);
+            self.index.insert(&mut self.fs, anchor::<3>(&right[0].key), right_page as u64);
             self.write_page(right_page, &right);
         }
         self.write_page(page, &records);
@@ -247,8 +381,7 @@ impl EtreeOctree {
             }
         } else if i == 0 {
             self.index.remove(&mut self.fs, anchor::<3>(&rec.key));
-            self.index
-                .insert(&mut self.fs, anchor::<3>(&records[0].key), page as u64);
+            self.index.insert(&mut self.fs, anchor::<3>(&records[0].key), page as u64);
         }
         self.write_page(page, &records);
         Some(rec)
@@ -256,12 +389,17 @@ impl EtreeOctree {
 
     /// Refine the leaf at `key`: replace it with its 8 children.
     pub fn refine(&mut self, key: OctKey) -> bool {
-        let Some(rec) = self.remove_record(key) else { return false };
+        let Some(rec) = self.remove_record(key) else {
+            return false;
+        };
         for c in 0..8 {
             self.insert_record(OctantRecord { key: key.child(c), data: rec.data, is_leaf: true });
         }
         self.leaves += 7;
         self.depth = self.depth.max(key.level() + 1);
+        // Slot is unused for this backend (pages shift on splits); payload
+        // batches re-group by page at query time.
+        self.leaf_view.on_refine_uniform(key, 0);
         true
     }
 
@@ -285,12 +423,14 @@ impl EtreeOctree {
         }
         self.insert_record(OctantRecord { key, data, is_leaf: true });
         self.leaves -= 7;
+        self.leaf_view.on_coarsen(key, 0);
         true
     }
 
     /// Visit all leaves in Z-order.
     pub fn for_each_leaf(&mut self, mut f: impl FnMut(OctKey, &[f64; 4])) {
-        let pages: Vec<u32> = self.index.items(&mut self.fs).iter().map(|&(_, p)| p as u32).collect();
+        let pages: Vec<u32> =
+            self.index.items(&mut self.fs).iter().map(|&(_, p)| p as u32).collect();
         for page in pages {
             for r in self.read_page(page) {
                 f(r.key, &r.data);
@@ -300,7 +440,8 @@ impl EtreeOctree {
 
     /// Solver sweep with read-modify-write page I/O.
     pub fn update_leaves(&mut self, mut f: impl FnMut(OctKey, &[f64; 4]) -> Option<[f64; 4]>) {
-        let pages: Vec<u32> = self.index.items(&mut self.fs).iter().map(|&(_, p)| p as u32).collect();
+        let pages: Vec<u32> =
+            self.index.items(&mut self.fs).iter().map(|&(_, p)| p as u32).collect();
         for page in pages {
             let mut records = self.read_page(page);
             let mut dirty = false;

@@ -7,7 +7,7 @@
 //! back — that file I/O is exactly what makes this baseline slow to
 //! recover (42.9 s vs PM-octree's 2.1 s in §5.6).
 
-use pmoctree_morton::OctKey;
+use pmoctree_morton::{LeafIndex, OctKey};
 use pmoctree_nvbm::{MemStats, VirtualClock};
 use pmoctree_simfs::SimFs;
 
@@ -43,6 +43,9 @@ pub struct InCoreOctree {
     pub clock: VirtualClock,
     /// Access statistics (DRAM tier only).
     pub stats: MemStats,
+    /// Morton-sorted leaf view (DRAM): slot = node slab index. Maintained
+    /// incrementally by `refine`/`coarsen`, rebuilt lazily on first use.
+    index: LeafIndex<3>,
 }
 
 impl Default for InCoreOctree {
@@ -55,14 +58,112 @@ impl InCoreOctree {
     /// A tree holding the single root cell.
     pub fn new() -> Self {
         InCoreOctree {
-            nodes: vec![Node { key: OctKey::root(), children: [NIL; 8], data: [0.0; 4], live: true }],
+            nodes: vec![Node {
+                key: OctKey::root(),
+                children: [NIL; 8],
+                data: [0.0; 4],
+                live: true,
+            }],
             free: Vec::new(),
             root: 0,
             leaves: 1,
             depth: 0,
             clock: VirtualClock::new(),
             stats: MemStats::new(0),
+            index: LeafIndex::new(),
         }
+    }
+
+    /// Charge the DRAM clock/stats for touching `entries` leaf-index
+    /// entries (the index lives in DRAM; it never costs NVBM accesses).
+    fn charge_index_entries(&mut self, entries: usize) {
+        let lines = LeafIndex::<3>::lines_for_entries(entries);
+        self.clock.advance(lines * DRAM_READ_NS);
+        self.stats.dram_read(entries * pmoctree_morton::index::ENTRY_BYTES, lines);
+    }
+
+    /// Rebuild the leaf index if a wholesale change invalidated it. The
+    /// rebuild enumerates every node once and charges that DRAM traversal.
+    fn ensure_index(&mut self) {
+        if self.index.is_valid() {
+            return;
+        }
+        let mut entries = Vec::with_capacity(self.leaves);
+        let mut stack = vec![self.root];
+        let mut hops = 0u64;
+        while let Some(i) = stack.pop() {
+            hops += 1;
+            let n = &self.nodes[i as usize];
+            if n.children.iter().all(|&c| c == NIL) {
+                entries.push((n.key, i as u64));
+            } else {
+                for &c in n.children.iter().rev() {
+                    if c != NIL {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        self.charge_read(hops);
+        let n = self.index.rebuild(entries);
+        self.stats.index_rebuild(n as u64);
+    }
+
+    /// Z-order-sorted leaf keys, answered from the DRAM leaf index.
+    pub fn leaf_keys_sorted(&mut self) -> Vec<OctKey> {
+        self.ensure_index();
+        self.charge_index_entries(self.index.len());
+        self.index.entries().iter().map(|e| e.0).collect()
+    }
+
+    /// Resolve a batch of containment queries against the sorted leaf
+    /// index in one merge-scan. Input order is arbitrary; results match
+    /// input order. Each query costs DRAM index reads only.
+    pub fn containing_leaf_many(&mut self, keys: &[OctKey]) -> Vec<Option<OctKey>> {
+        self.ensure_index();
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_unstable_by(|&a, &b| keys[a].zcmp(&keys[b]));
+        let sorted: Vec<OctKey> = order.iter().map(|&i| keys[i]).collect();
+        let (resolved, touched) = self.index.resolve_sorted(&sorted);
+        self.charge_index_entries(touched);
+        self.stats.index_hits(keys.len() as u64);
+        let mut out = vec![None; keys.len()];
+        for (slot, r) in order.into_iter().zip(resolved) {
+            out[slot] = r.map(|e| self.index.entries()[e].0);
+        }
+        out
+    }
+
+    /// Batched leaf payload reads: index probes (DRAM) locate each leaf's
+    /// slab slot, then exactly one destination node read is charged per
+    /// resolved key — no per-key root descent. Keys that are not current
+    /// leaves fall back to [`InCoreOctree::get_data`].
+    pub fn get_data_many(&mut self, keys: &[OctKey]) -> Vec<Option<[f64; 4]>> {
+        self.ensure_index();
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_unstable_by(|&a, &b| keys[a].zcmp(&keys[b]));
+        let sorted: Vec<OctKey> = order.iter().map(|&i| keys[i]).collect();
+        let (resolved, touched) = self.index.resolve_sorted(&sorted);
+        self.charge_index_entries(touched);
+        self.stats.index_hits(keys.len() as u64);
+        let mut out = vec![None; keys.len()];
+        let mut payload_reads = 0u64;
+        let mut fallbacks = Vec::new();
+        for (pos, r) in order.iter().zip(resolved) {
+            match r {
+                Some(e) if self.index.entries()[e].0 == keys[*pos] => {
+                    let slot = self.index.entries()[e].1 as usize;
+                    out[*pos] = Some(self.nodes[slot].data);
+                    payload_reads += 1;
+                }
+                _ => fallbacks.push(*pos),
+            }
+        }
+        self.charge_read(payload_reads);
+        for pos in fallbacks {
+            out[pos] = self.get_data(keys[pos]);
+        }
+        out
     }
 
     fn charge_read(&mut self, nodes: u64) {
@@ -128,6 +229,7 @@ impl InCoreOctree {
 
     /// The leaf containing `key`'s region, or `None` if `key` is internal.
     pub fn containing_leaf(&mut self, key: OctKey) -> Option<OctKey> {
+        self.stats.root_descent();
         let mut cur = self.root;
         let mut cur_key = OctKey::root();
         let mut hops = 1u64;
@@ -175,7 +277,9 @@ impl InCoreOctree {
 
     /// Split the leaf at `key` into 8 children inheriting its payload.
     pub fn refine(&mut self, key: OctKey) -> bool {
-        let Some(i) = self.find(key) else { return false };
+        let Some(i) = self.find(key) else {
+            return false;
+        };
         if !self.is_leaf_idx(i) {
             return false;
         }
@@ -191,12 +295,16 @@ impl InCoreOctree {
         self.charge_write(9);
         self.leaves += 7;
         self.depth = self.depth.max(key.level() + 1);
+        let slots: Vec<u64> = kids.iter().map(|&c| c as u64).collect();
+        self.index.on_refine(key, &slots);
         true
     }
 
     /// Remove the (all-leaf) children of `key`.
     pub fn coarsen(&mut self, key: OctKey) -> bool {
-        let Some(i) = self.find(key) else { return false };
+        let Some(i) = self.find(key) else {
+            return false;
+        };
         if self.is_leaf_idx(i) {
             return false;
         }
@@ -219,6 +327,7 @@ impl InCoreOctree {
         self.nodes[i as usize].children = [NIL; 8];
         self.charge_write(1);
         self.leaves -= 7;
+        self.index.on_coarsen(key, i as u64);
         true
     }
 
@@ -355,7 +464,10 @@ mod tests {
         t.refine(OctKey::root().child(0));
         let deep = OctKey::root().child(0).child(3).child(5);
         assert_eq!(t.containing_leaf(deep), Some(OctKey::root().child(0).child(3)));
-        assert_eq!(t.containing_leaf(OctKey::root().child(1).child(0)), Some(OctKey::root().child(1)));
+        assert_eq!(
+            t.containing_leaf(OctKey::root().child(1).child(0)),
+            Some(OctKey::root().child(1))
+        );
         assert_eq!(t.containing_leaf(OctKey::root()), None, "root is internal");
     }
 

@@ -13,7 +13,6 @@
 //! and `bench` crates.
 #![warn(missing_docs)]
 
-
 pub mod btree;
 pub mod etree;
 pub mod incore;

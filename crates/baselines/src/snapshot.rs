@@ -68,9 +68,7 @@ pub fn decode_octants(bytes: &[u8]) -> Result<Vec<OctantRecord>, String> {
     if bytes.len() < 8 + n * RECORD_SIZE {
         return Err(format!("snapshot truncated: {n} records claimed"));
     }
-    (0..n)
-        .map(|i| decode_record(&bytes[8 + i * RECORD_SIZE..8 + (i + 1) * RECORD_SIZE]))
-        .collect()
+    (0..n).map(|i| decode_record(&bytes[8 + i * RECORD_SIZE..8 + (i + 1) * RECORD_SIZE])).collect()
 }
 
 #[cfg(test)]

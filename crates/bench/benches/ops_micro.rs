@@ -104,5 +104,70 @@ fn traversal(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, refine_coarsen_cycle, persist_cost, traversal);
+/// Virtual-clock cost of resolving all 6 face neighbors of every leaf,
+/// per-key (one root descent each) vs batched (one sorted merge-scan
+/// over the leaf index). Printed once per run; the criterion loops
+/// below time the in-core wall clock.
+fn neighbor_virtual_clock(name: &str, b: &mut dyn pmoctree_amr::OctreeBackend) {
+    let leaves = b.leaf_keys_sorted();
+    let t0 = b.elapsed_ns();
+    let mut n = 0usize;
+    for k in &leaves {
+        for q in k.face_neighbors() {
+            if b.containing_leaf(q).is_some() {
+                n += 1;
+            }
+        }
+    }
+    let per_key = b.elapsed_ns() - t0;
+    let t1 = b.elapsed_ns();
+    let m: usize = b.neighbor_leaves_many(&leaves, false).iter().map(|v| v.len()).sum();
+    let batched = b.elapsed_ns() - t1;
+    assert_eq!(n, m, "per-key and batched neighbor counts must agree");
+    eprintln!(
+        "ops_neighbor_lookup/{name}: virtual clock per sweep ({} leaves): \
+         per-key {per_key} ns, batched {batched} ns ({:.1}x less)",
+        leaves.len(),
+        per_key as f64 / batched.max(1) as f64
+    );
+}
+
+fn neighbor_resolution(c: &mut Criterion) {
+    use pm_octree::{PmConfig, PmOctree};
+    use pmoctree_amr::{construct_uniform, InCoreBackend, OctreeBackend, PmBackend};
+    let mut g = c.benchmark_group("ops_neighbor_lookup");
+    g.sample_size(20);
+    // 4096 leaves; resolve all 6 face neighbors of every leaf. The
+    // per-key path answers each query with a root descent; the batched
+    // path answers the whole sorted batch with one index merge-scan.
+    let mut t = InCoreBackend::new();
+    construct_uniform(&mut t, 4);
+    let mut pm = PmBackend::new(PmOctree::create(
+        NvbmArena::new(64 << 20, DeviceModel::default()),
+        PmConfig { dynamic_transform: false, ..PmConfig::default() },
+    ));
+    construct_uniform(&mut pm, 4);
+    neighbor_virtual_clock("in_core", &mut t);
+    neighbor_virtual_clock("pm_octree", &mut pm);
+    let leaves = t.leaf_keys_sorted();
+    g.bench_function("per_key_descent", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for k in &leaves {
+                for q in k.face_neighbors() {
+                    if t.containing_leaf(q).is_some() {
+                        n += 1;
+                    }
+                }
+            }
+            black_box(n)
+        });
+    });
+    g.bench_function("batched_index", |b| {
+        b.iter(|| black_box(t.neighbor_leaves_many(&leaves, false).len()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, refine_coarsen_cycle, persist_cost, traversal, neighbor_resolution);
 criterion_main!(benches);

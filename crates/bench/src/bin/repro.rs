@@ -12,6 +12,7 @@
 //! EXPERIMENTS.md.
 
 use pmoctree_bench::fmt::*;
+use pmoctree_bench::json::*;
 use pmoctree_bench::*;
 
 struct Scale {
@@ -73,7 +74,9 @@ fn main() {
         println!("{}", fig3_str(&fig3_overlap(scale.fig3_steps, scale.fig3_level)));
     }
     if all || what == "write_fraction" {
-        println!("{}", write_fraction_str(&write_fraction(8, 4)));
+        let w = write_fraction(8, 4);
+        println!("{}", write_fraction_str(&w));
+        write_bench_json("write_fraction", &write_fraction_json(&w));
     }
     if all || what == "layout" {
         println!("{}", layout_str(&layout_ablation()));
@@ -87,9 +90,11 @@ fn main() {
                 &rows
             )
         );
+        write_bench_json("fig6", &scaling_json("fig6", &rows));
     }
     if all || what == "fig8" || what == "fig9" {
         let rows = fig8_strong_scaling(&scale.strong_procs, scale.strong_level, scale.steps);
+        write_bench_json("fig8", &scaling_json("fig8", &rows));
         println!(
             "{}",
             scaling_str("Fig 8/9: strong scaling (fixed problem size, varying processors)", &rows)
@@ -113,16 +118,19 @@ fn main() {
         }
     }
     if all || what == "fig10" {
-        println!(
-            "{}",
-            fig10_str(&fig10_dram_size(&scale.fig10_sizes, scale.fig10_level, scale.steps))
-        );
+        let rows = fig10_dram_size(&scale.fig10_sizes, scale.fig10_level, scale.steps);
+        println!("{}", fig10_str(&rows));
+        write_bench_json("fig10", &fig10_json(&rows));
     }
     if all || what == "fig11" {
-        println!("{}", fig11_str(&fig11_transform(&scale.fig11_levels, 0.3, 8)));
+        let rows = fig11_transform(&scale.fig11_levels, 0.3, 8);
+        println!("{}", fig11_str(&rows));
+        write_bench_json("fig11", &fig11_json(&rows));
     }
     if all || what == "recovery" {
-        println!("{}", recovery_str(&recovery(scale.recovery_level, 12)));
+        let rows = recovery(scale.recovery_level, 12);
+        println!("{}", recovery_str(&rows));
+        write_bench_json("recovery", &recovery_json(&rows));
     }
     if all || what == "ablations" {
         println!("{}", sampling_str(&ablation_sampling(&[1, 10, 100, 1000])));

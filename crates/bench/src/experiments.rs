@@ -112,6 +112,10 @@ pub struct WriteFraction {
     pub max: f64,
     /// Whole-run aggregate (includes read-only verification sweeps).
     pub aggregate: f64,
+    /// Octant-location counters over the whole run: how often queries
+    /// walked the tree from the root vs. hit the Morton-sorted leaf
+    /// index, and what the index rebuilds cost.
+    pub trav: pmoctree_nvbm::TraversalStats,
 }
 
 /// Measure per-step write fractions of the droplet workload on the
@@ -151,10 +155,16 @@ pub fn write_fraction(steps: usize, max_level: u8) -> WriteFraction {
             fracs.push(dw as f64 / (dr + dw) as f64);
         }
     }
+    // Whole-run aggregate includes one read-only 2:1 verification sweep
+    // (outside the per-step windows above, so avg/max keep the paper's
+    // op mix). The sweep runs on the batched neighbor kernel, so the
+    // traversal counters show index hits vs root descents side by side.
+    assert!(pmoctree_amr::check_balance(&mut b).is_none());
     WriteFraction {
         avg: fracs.iter().sum::<f64>() / fracs.len().max(1) as f64,
         max: fracs.iter().copied().fold(0.0, f64::max),
         aggregate: b.tree.stats.overall_write_fraction(),
+        trav: b.tree.stats.trav,
     }
 }
 
@@ -236,18 +246,29 @@ pub struct ScalingRow {
     pub exec_secs: f64,
     /// Phase percentages `[refine, balance, partition, solve, persist]`.
     pub phase_percent: [f64; 5],
+    /// NVBM cacheline reads summed across ranks (FS-backed persistence
+    /// traffic included at line granularity).
+    pub nvbm_read_lines: u64,
+    /// NVBM cacheline writes summed across ranks.
+    pub nvbm_write_lines: u64,
 }
 
 /// Run one cluster configuration and summarize.
 pub fn run_point(scheme: Scheme, procs: usize, max_level: u8, steps: usize) -> ScalingRow {
     let mut c = ClusterSim::new(scheme, procs, sim_cfg(steps, max_level), ARENA_BYTES);
     let r: ClusterReport = c.run(steps);
+    let mut stats = pmoctree_nvbm::MemStats::new(0);
+    for rank in &c.ranks {
+        stats.merge(&rank.backend.mem_stats());
+    }
     ScalingRow {
         scheme: r.scheme,
         procs,
         elements: r.peak_elements,
         exec_secs: r.exec_secs(),
         phase_percent: r.phase_percent(),
+        nvbm_read_lines: stats.nvbm.read_lines,
+        nvbm_write_lines: stats.nvbm.write_lines,
     }
 }
 
@@ -288,6 +309,10 @@ pub struct Fig10Row {
     pub exec_secs: f64,
     /// C0↔C1 merge operations over the run (PM only).
     pub merges: u64,
+    /// NVBM cacheline reads over the run.
+    pub nvbm_read_lines: u64,
+    /// NVBM cacheline writes over the run.
+    pub nvbm_write_lines: u64,
 }
 
 /// Figure 10: PM-octree execution time as the DRAM budget for `C0`
@@ -298,28 +323,41 @@ pub fn fig10_dram_size(c0_sizes: &[usize], max_level: u8, steps: usize) -> Vec<F
     let cfg = sim_cfg(steps, max_level);
     // Out-of-core bound.
     let r = run_point(Scheme::Etree, 1, max_level, steps);
-    rows.push(Fig10Row { c0_octants: None, scheme: "out-of-core", exec_secs: r.exec_secs, merges: 0 });
+    rows.push(Fig10Row {
+        c0_octants: None,
+        scheme: "out-of-core",
+        exec_secs: r.exec_secs,
+        merges: 0,
+        nvbm_read_lines: r.nvbm_read_lines,
+        nvbm_write_lines: r.nvbm_write_lines,
+    });
     for &c0 in c0_sizes {
         let sim = Simulation::new(cfg);
         let mut b = PmBackend::new(PmOctree::create(
             NvbmArena::new(ARENA_BYTES, DeviceModel::default()),
-            PmConfig {
-                dynamic_transform: true,
-                c0_capacity_octants: c0,
-                ..PmConfig::default()
-            },
+            PmConfig { dynamic_transform: true, c0_capacity_octants: c0, ..PmConfig::default() },
         ));
         let report = sim.run(&mut b);
+        let stats = &b.tree.store.arena.stats;
         rows.push(Fig10Row {
             c0_octants: Some(c0),
             scheme: "pm-octree",
             exec_secs: report.total_secs(),
             merges: b.tree.events.merges,
+            nvbm_read_lines: stats.nvbm.read_lines,
+            nvbm_write_lines: stats.nvbm.write_lines,
         });
     }
     // In-core bound.
     let r = run_point(Scheme::InCore, 1, max_level, steps);
-    rows.push(Fig10Row { c0_octants: None, scheme: "in-core", exec_secs: r.exec_secs, merges: 0 });
+    rows.push(Fig10Row {
+        c0_octants: None,
+        scheme: "in-core",
+        exec_secs: r.exec_secs,
+        merges: 0,
+        nvbm_read_lines: r.nvbm_read_lines,
+        nvbm_write_lines: r.nvbm_write_lines,
+    });
     rows
 }
 
@@ -383,11 +421,7 @@ pub fn fig11_transform(levels: &[u8], c0_fraction: f64, steps: usize) -> Vec<Fig
                 b.tree.add_feature(pmoctree_solver::solver_feature());
             }
             let report = sim.run(&mut b);
-            (
-                report.total_secs(),
-                b.tree.store.arena.stats.nvbm.write_lines,
-                report.peak_leaves(),
-            )
+            (report.total_secs(), b.tree.store.arena.stats.nvbm.write_lines, report.peak_leaves())
         };
         let (without_secs, without_writes, elements) = run(false);
         let (with_secs, with_writes, _) = run(true);
@@ -428,8 +462,7 @@ pub fn ablation_sampling(ns: &[usize]) -> Vec<SamplingRow> {
                 c0_capacity_octants: 1 << 14,
                 ..PmConfig::default()
             };
-            let mut t =
-                PmOctree::create(NvbmArena::new(ARENA_BYTES, DeviceModel::default()), cfg);
+            let mut t = PmOctree::create(NvbmArena::new(ARENA_BYTES, DeviceModel::default()), cfg);
             t.refine(pmoctree_morton::OctKey::root()).unwrap();
             // Make child 0 deeply refined and hot, the rest cold.
             let k0 = pmoctree_morton::OctKey::root().child(0);
@@ -483,7 +516,11 @@ pub struct SnapshotRow {
 }
 
 /// Run the cadence sweep.
-pub fn ablation_snapshot_interval(intervals: &[usize], steps: usize, max_level: u8) -> Vec<SnapshotRow> {
+pub fn ablation_snapshot_interval(
+    intervals: &[usize],
+    steps: usize,
+    max_level: u8,
+) -> Vec<SnapshotRow> {
     let mut rows = Vec::new();
     for &interval in intervals {
         let sim = Simulation::new(sim_cfg(steps, max_level));

@@ -50,14 +50,20 @@ pub fn fig3_str(rows: &[Fig3Row]) -> String {
     s
 }
 
-/// Render the write-fraction statistic.
+/// Render the write-fraction statistic plus the traversal counters.
 pub fn write_fraction_str(w: &WriteFraction) -> String {
     format!(
         "S1 write fraction during meshing+solve: avg {:.0}%, max {:.0}% (paper: 41% avg, 72% max); \
-         whole-run aggregate incl. balance verification: {:.0}%\n",
+         whole-run aggregate incl. balance verification: {:.0}%\n\
+         octant location: {} root descents, {} leaf-index hits \
+         ({} index rebuilds over {} octants)\n",
         100.0 * w.avg,
         100.0 * w.max,
-        100.0 * w.aggregate
+        100.0 * w.aggregate,
+        w.trav.root_descents,
+        w.trav.index_hits,
+        w.trav.index_rebuilds,
+        w.trav.index_rebuild_octants,
     )
 }
 
@@ -130,9 +136,8 @@ pub fn fig11_str(rows: &[Fig11Row]) -> String {
 
 /// Render the §5.6 recovery table.
 pub fn recovery_str(rows: &[pmoctree_cluster::RecoveryReport]) -> String {
-    let mut s = String::from(
-        "S5.6 failure recovery (virtual s)\nscheme       | same node | new node\n",
-    );
+    let mut s =
+        String::from("S5.6 failure recovery (virtual s)\nscheme       | same node | new node\n");
     for r in rows {
         s.push_str(&format!(
             "{:<12} | {:>9.4} | {}\n",

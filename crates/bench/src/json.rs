@@ -1,0 +1,147 @@
+//! Machine-readable experiment output: `BENCH_<experiment>.json` files
+//! next to the `repro` run, so regressions in virtual execution time or
+//! NVBM traffic can be diffed without parsing the human tables.
+//!
+//! The format is hand-rolled (no serde in the dependency closure): flat
+//! objects and arrays of numbers/strings only.
+
+use crate::experiments::*;
+
+/// One `"key": value` JSON pair, already rendered.
+fn field(key: &str, value: String) -> String {
+    format!("\"{key}\": {value}")
+}
+
+fn obj(fields: Vec<String>) -> String {
+    format!("{{{}}}", fields.join(", "))
+}
+
+fn arr(items: Vec<String>) -> String {
+    format!("[{}]", items.join(",\n  "))
+}
+
+fn s(v: &str) -> String {
+    format!("\"{v}\"")
+}
+
+/// Write `BENCH_<experiment>.json` in the current directory. Errors are
+/// reported to stderr but never abort the run (the text tables remain
+/// the primary output).
+pub fn write_bench_json(experiment: &str, body: &str) {
+    let path = format!("BENCH_{experiment}.json");
+    if let Err(e) = std::fs::write(&path, format!("{body}\n")) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
+}
+
+/// JSON for the write-fraction experiment, including the traversal
+/// counters that make the leaf-index optimisation observable.
+pub fn write_fraction_json(w: &WriteFraction) -> String {
+    obj(vec![
+        field("experiment", s("write_fraction")),
+        field("avg", format!("{:.6}", w.avg)),
+        field("max", format!("{:.6}", w.max)),
+        field("aggregate", format!("{:.6}", w.aggregate)),
+        field("root_descents", w.trav.root_descents.to_string()),
+        field("index_hits", w.trav.index_hits.to_string()),
+        field("index_rebuilds", w.trav.index_rebuilds.to_string()),
+        field("index_rebuild_octants", w.trav.index_rebuild_octants.to_string()),
+    ])
+}
+
+/// JSON for a scaling experiment (Figs 6/7 or 8/9).
+pub fn scaling_json(experiment: &str, rows: &[ScalingRow]) -> String {
+    let items = rows
+        .iter()
+        .map(|r| {
+            obj(vec![
+                field("scheme", s(r.scheme)),
+                field("procs", r.procs.to_string()),
+                field("elements", r.elements.to_string()),
+                field("exec_secs", format!("{:.9}", r.exec_secs)),
+                field("nvbm_read_lines", r.nvbm_read_lines.to_string()),
+                field("nvbm_write_lines", r.nvbm_write_lines.to_string()),
+            ])
+        })
+        .collect();
+    obj(vec![field("experiment", s(experiment)), field("rows", arr(items))])
+}
+
+/// JSON for Figure 10 (DRAM size sweep).
+pub fn fig10_json(rows: &[Fig10Row]) -> String {
+    let items = rows
+        .iter()
+        .map(|r| {
+            obj(vec![
+                field("scheme", s(r.scheme)),
+                field("c0_octants", r.c0_octants.map_or("null".to_string(), |n| n.to_string())),
+                field("exec_secs", format!("{:.9}", r.exec_secs)),
+                field("merges", r.merges.to_string()),
+                field("nvbm_read_lines", r.nvbm_read_lines.to_string()),
+                field("nvbm_write_lines", r.nvbm_write_lines.to_string()),
+            ])
+        })
+        .collect();
+    obj(vec![field("experiment", s("fig10")), field("rows", arr(items))])
+}
+
+/// JSON for Figure 11 (dynamic transformation off/on).
+pub fn fig11_json(rows: &[Fig11Row]) -> String {
+    let items = rows
+        .iter()
+        .map(|r| {
+            obj(vec![
+                field("elements", r.elements.to_string()),
+                field("without_secs", format!("{:.9}", r.without_secs)),
+                field("with_secs", format!("{:.9}", r.with_secs)),
+                field("nvbm_write_lines_without", r.without_writes.to_string()),
+                field("nvbm_write_lines_with", r.with_writes.to_string()),
+            ])
+        })
+        .collect();
+    obj(vec![field("experiment", s("fig11")), field("rows", arr(items))])
+}
+
+/// JSON for the §5.6 recovery comparison.
+pub fn recovery_json(rows: &[pmoctree_cluster::RecoveryReport]) -> String {
+    let items = rows
+        .iter()
+        .map(|r| {
+            obj(vec![
+                field("scheme", s(r.scheme)),
+                field("same_node_secs", format!("{:.9}", r.same_node_secs)),
+                field(
+                    "new_node_secs",
+                    r.new_node_secs.map_or("null".to_string(), |t| format!("{t:.9}")),
+                ),
+            ])
+        })
+        .collect();
+    obj(vec![field("experiment", s("recovery")), field("rows", arr(items))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_json_is_wellformed() {
+        let rows = vec![ScalingRow {
+            scheme: "pm-octree",
+            procs: 4,
+            elements: 624,
+            exec_secs: 0.01,
+            phase_percent: [0.0; 5],
+            nvbm_read_lines: 100,
+            nvbm_write_lines: 50,
+        }];
+        let j = scaling_json("fig6", &rows);
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"nvbm_read_lines\": 100"));
+        assert!(j.contains("\"exec_secs\": 0.010000000"));
+        // Balanced braces/brackets (cheap well-formedness proxy).
+        let open = j.matches('{').count() + j.matches('[').count();
+        let close = j.matches('}').count() + j.matches(']').count();
+        assert_eq!(open, close);
+    }
+}

@@ -7,8 +7,8 @@
 //! recorded paper-vs-measured comparison.
 #![warn(missing_docs)]
 
-
 pub mod experiments;
 pub mod fmt;
+pub mod json;
 
 pub use experiments::*;

@@ -18,7 +18,6 @@ use pmoctree_baselines::InCoreOctree;
 use pmoctree_nvbm::{CrashMode, DeviceModel, NetworkModel, NvbmArena};
 use pmoctree_solver::{SimConfig, Simulation};
 
-
 /// Recovery timings for one scheme, in virtual seconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RecoveryReport {
@@ -36,11 +35,7 @@ pub struct RecoveryReport {
 /// steps, crash, restore. Uses replicas for the new-node scenario.
 pub fn pm_recovery(cfg: SimConfig, steps_before_kill: usize, arena_bytes: usize) -> RecoveryReport {
     let sim = Simulation::new(cfg);
-    let pm_cfg = PmConfig {
-        dynamic_transform: false,
-        replicas: true,
-        ..PmConfig::default()
-    };
+    let pm_cfg = PmConfig { dynamic_transform: false, replicas: true, ..PmConfig::default() };
     let mut b = PmBackend::new(PmOctree::create(
         NvbmArena::new(arena_bytes, DeviceModel::default()),
         pm_cfg,
@@ -146,7 +141,11 @@ pub fn etree_recovery(cfg: SimConfig, steps_before_kill: usize) -> RecoveryRepor
 }
 
 /// Run all three recovery experiments at the same scale.
-pub fn recovery_comparison(cfg: SimConfig, steps_before_kill: usize, arena_bytes: usize) -> Vec<RecoveryReport> {
+pub fn recovery_comparison(
+    cfg: SimConfig,
+    steps_before_kill: usize,
+    arena_bytes: usize,
+) -> Vec<RecoveryReport> {
     vec![
         incore_recovery(cfg, steps_before_kill),
         pm_recovery(cfg, steps_before_kill, arena_bytes),

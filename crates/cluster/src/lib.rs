@@ -13,13 +13,14 @@
 //! * [`failure`] — the §5.6 kill-and-restart experiments.
 #![warn(missing_docs)]
 
-
 pub mod failure;
 pub mod rank;
 pub mod replica_sched;
 pub mod scaling;
 
-pub use failure::{etree_recovery, incore_recovery, pm_recovery, recovery_comparison, RecoveryReport};
+pub use failure::{
+    etree_recovery, incore_recovery, pm_recovery, recovery_comparison, RecoveryReport,
+};
 pub use rank::{RangedCriterion, Rank, Scheme};
 pub use replica_sched::{NodeNvbm, Placement, PlacementError, ReplicaScheduler};
 pub use scaling::{max_level_for, ClusterReport, ClusterSim, ClusterStep};

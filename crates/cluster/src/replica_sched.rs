@@ -171,9 +171,6 @@ mod tests {
         let mut s = ReplicaScheduler::new(nodes(2, 100));
         // The two cross placements fit; a third replica has nowhere to go.
         assert!(s.place_all(&[(0, 90), (1, 90)]).is_ok());
-        assert!(matches!(
-            s.place(0, 90),
-            Err(PlacementError::NoCapacity { source: 0 })
-        ));
+        assert!(matches!(s.place(0, 90), Err(PlacementError::NoCapacity { source: 0 })));
     }
 }

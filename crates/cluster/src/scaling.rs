@@ -308,7 +308,8 @@ impl ClusterSim {
                 r.local_step(s, step_idx, t)
             })
             .collect();
-        let max_elapsed = |c: &Self| c.ranks.iter().map(|r| r.backend.elapsed_ns()).max().unwrap_or(0);
+        let max_elapsed =
+            |c: &Self| c.ranks.iter().map(|r| r.backend.elapsed_ns()).max().unwrap_or(0);
         // Cross-rank balance exchange (part of the Balance routine).
         let t_bal0 = max_elapsed(self);
         self.global_balance();
@@ -408,10 +409,7 @@ mod tests {
         let counts: Vec<usize> = c.ranks.iter_mut().map(|r| r.owned_leaf_count()).collect();
         let max = *counts.iter().max().unwrap() as f64;
         let min = *counts.iter().min().unwrap() as f64;
-        assert!(
-            max / min.max(1.0) < 3.0,
-            "load imbalance after initial partition: {counts:?}"
-        );
+        assert!(max / min.max(1.0) < 3.0, "load imbalance after initial partition: {counts:?}");
     }
 
     #[test]

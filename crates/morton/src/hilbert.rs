@@ -175,8 +175,7 @@ mod tests {
             let mut prev = hilbert_coords(0, level);
             for i in 1..n {
                 let cur = hilbert_coords(i, level);
-                let dist: u64 =
-                    (0..3).map(|a| prev[a].abs_diff(cur[a])).sum();
+                let dist: u64 = (0..3).map(|a| prev[a].abs_diff(cur[a])).sum();
                 assert_eq!(dist, 1, "step {i} at level {level}: {prev:?} -> {cur:?}");
                 prev = cur;
             }
@@ -186,12 +185,9 @@ mod tests {
     #[test]
     fn deep_roundtrip_spot_checks() {
         let level = MAX_HILBERT_LEVEL;
-        for &coords in &[
-            [0u64, 0, 0],
-            [1, 2, 3],
-            [(1 << 21) - 1, 0, 1 << 20],
-            [123_456, 654_321, 2_000_000],
-        ] {
+        for &coords in
+            &[[0u64, 0, 0], [1, 2, 3], [(1 << 21) - 1, 0, 1 << 20], [123_456, 654_321, 2_000_000]]
+        {
             let h = hilbert_index(coords, level);
             assert_eq!(hilbert_coords(h, level), coords);
         }

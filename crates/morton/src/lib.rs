@@ -10,15 +10,19 @@
 //! * [`code`] — the [`Key`] type: parent/child/ancestor/neighbor calculus,
 //!   Z-order total order,
 //! * [`range`] — Morton-curve intervals and the weighted splitting used by
-//!   the `Partition` meshing routine.
+//!   the `Partition` meshing routine,
+//! * [`index`] — [`LeafIndex`]: a Morton-sorted linear view of a leaf set
+//!   with incremental refine/coarsen maintenance and merge-scan batch
+//!   containment queries.
 #![warn(missing_docs)]
-
 
 pub mod bits;
 pub mod code;
 pub mod hilbert;
+pub mod index;
 pub mod range;
 
 pub use code::{Key, OctKey, QuadKey};
 pub use hilbert::{hilbert_coords, hilbert_index, hilbert_of_key, hilbert_partition};
+pub use index::LeafIndex;
 pub use range::{anchor, anchor_end, partition_by_weight, ZRange};

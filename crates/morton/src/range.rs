@@ -185,7 +185,7 @@ mod tests {
     #[test]
     fn partition_skewed_weights() {
         let mut leaves = leaves_at_level(3); // 64 leaves
-        // First leaf carries half of all the weight.
+                                             // First leaf carries half of all the weight.
         leaves[0].1 = 63.0;
         let parts = partition_by_weight(&leaves, 2);
         let n0 = leaves.iter().filter(|(k, _)| parts[0].owns(k)).count();
@@ -198,7 +198,8 @@ mod tests {
         let leaves = leaves_at_level(1); // 4 leaves
         let parts = partition_by_weight(&leaves, 16);
         assert_eq!(parts.len(), 16);
-        let owned: usize = parts.iter().map(|r| leaves.iter().filter(|(k, _)| r.owns(k)).count()).sum();
+        let owned: usize =
+            parts.iter().map(|r| leaves.iter().filter(|(k, _)| r.owns(k)).count()).sum();
         assert_eq!(owned, 4);
     }
 

@@ -116,7 +116,8 @@ impl NvbmArena {
     /// freshly formatted device is by definition persistent).
     fn format(&mut self) {
         self.media[..HEADER_SIZE as usize].fill(0);
-        self.media[OFF_MAGIC as usize..OFF_MAGIC as usize + 8].copy_from_slice(&MAGIC.to_le_bytes());
+        self.media[OFF_MAGIC as usize..OFF_MAGIC as usize + 8]
+            .copy_from_slice(&MAGIC.to_le_bytes());
         let bump = HEADER_SIZE;
         self.media[OFF_BUMP as usize..OFF_BUMP as usize + 8].copy_from_slice(&bump.to_le_bytes());
     }

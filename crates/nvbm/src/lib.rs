@@ -22,7 +22,6 @@
 //!   experiments.
 #![warn(missing_docs)]
 
-
 pub mod alloc;
 pub mod arena;
 pub mod clock;
@@ -33,4 +32,4 @@ pub use alloc::{size_class, PmemAllocator, ReusePolicy};
 pub use arena::{CrashMode, NvbmArena, POffset, HEADER_SIZE, ROOT_SLOTS};
 pub use clock::{SpinMode, VirtualClock};
 pub use model::{BlockDeviceModel, DeviceModel, MemLatency, NetworkModel, CACHELINE, PAGE};
-pub use stats::{MemStats, TierStats, WEAR_BLOCK};
+pub use stats::{MemStats, TierStats, TraversalStats, WEAR_BLOCK};

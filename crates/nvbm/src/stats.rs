@@ -42,6 +42,34 @@ impl TierStats {
     }
 }
 
+/// Counters for *how* octants were located, independent of which tier paid
+/// for the accesses. They make the sorted-leaf-index optimisation
+/// observable: a query answered by the DRAM index bumps `index_hits`, a
+/// query that had to walk the tree from the root bumps `root_descents`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TraversalStats {
+    /// Full root-to-leaf descents taken (per-hop octant reads charged to
+    /// whichever tier each hop lived in).
+    pub root_descents: u64,
+    /// Containment / neighbor queries answered from the Morton-sorted
+    /// DRAM leaf index (no tree walk).
+    pub index_hits: u64,
+    /// Times the leaf index was rebuilt from a full leaf enumeration.
+    pub index_rebuilds: u64,
+    /// Octants enumerated across all index rebuilds (the rebuild cost; the
+    /// enumeration's tier charges are accounted separately by the owner).
+    pub index_rebuild_octants: u64,
+}
+
+impl TraversalStats {
+    fn add(&mut self, other: &TraversalStats) {
+        self.root_descents += other.root_descents;
+        self.index_hits += other.index_hits;
+        self.index_rebuilds += other.index_rebuilds;
+        self.index_rebuild_octants += other.index_rebuild_octants;
+    }
+}
+
 /// Combined DRAM + NVBM accounting plus a per-block wear map for the NVBM
 /// device.
 #[derive(Debug, Default, Clone)]
@@ -50,6 +78,8 @@ pub struct MemStats {
     pub dram: TierStats,
     /// NVBM tier counters.
     pub nvbm: TierStats,
+    /// Octant-location counters (root descents vs. leaf-index hits).
+    pub trav: TraversalStats,
     /// Writes per 4 KiB wear block of the NVBM arena (committed lines).
     wear: Vec<u32>,
 }
@@ -63,8 +93,28 @@ impl MemStats {
         MemStats {
             dram: TierStats::default(),
             nvbm: TierStats::default(),
+            trav: TraversalStats::default(),
             wear: vec![0; capacity.div_ceil(WEAR_BLOCK)],
         }
+    }
+
+    /// Record one full root-to-leaf descent.
+    #[inline]
+    pub fn root_descent(&mut self) {
+        self.trav.root_descents += 1;
+    }
+
+    /// Record `n` queries answered from the sorted leaf index.
+    #[inline]
+    pub fn index_hits(&mut self, n: u64) {
+        self.trav.index_hits += n;
+    }
+
+    /// Record a leaf-index rebuild that enumerated `octants` leaves.
+    #[inline]
+    pub fn index_rebuild(&mut self, octants: u64) {
+        self.trav.index_rebuilds += 1;
+        self.trav.index_rebuild_octants += octants;
     }
 
     /// Record an NVBM read of `len` bytes spanning `lines` cachelines.
@@ -135,6 +185,7 @@ impl MemStats {
     pub fn merge(&mut self, other: &MemStats) {
         self.dram.add(&other.dram);
         self.nvbm.add(&other.nvbm);
+        self.trav.add(&other.trav);
         if self.wear.len() < other.wear.len() {
             self.wear.resize(other.wear.len(), 0);
         }
@@ -147,6 +198,7 @@ impl MemStats {
     pub fn reset(&mut self) {
         self.dram = TierStats::default();
         self.nvbm = TierStats::default();
+        self.trav = TraversalStats::default();
         self.wear.fill(0);
     }
 

@@ -13,7 +13,7 @@
 //! | `pm_restore`       | [`PmOctree::restore`] |
 //! | `pm_delete`        | [`PmOctree::delete`]  |
 
-use pmoctree_morton::OctKey;
+use pmoctree_morton::{LeafIndex, OctKey};
 use pmoctree_nvbm::{NvbmArena, POffset};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -125,6 +125,11 @@ pub struct PmOctree {
     /// Remote replicas of `V_{i-1}` (present when `cfg.replicas`).
     pub replicas: Option<ReplicaSet>,
     pub(crate) rng: StdRng,
+    /// Morton-sorted DRAM view of the leaf set, maintained incrementally
+    /// on refine/coarsen and rebuilt lazily on first batched query. Slots
+    /// are unused (payloads move under COW); the index answers *where*
+    /// queries, payload reads still walk to (and charge) the owning tier.
+    pub(crate) index: LeafIndex<3>,
 }
 
 impl PmOctree {
@@ -161,6 +166,7 @@ impl PmOctree {
             events: Events::default(),
             replicas,
             rng: StdRng::seed_from_u64(0x00C0_FFEE),
+            index: LeafIndex::new(),
         }
     }
 
@@ -195,6 +201,7 @@ impl PmOctree {
             events: Events::default(),
             replicas: None,
             rng: StdRng::seed_from_u64(0x00C0_FFEE),
+            index: LeafIndex::new(),
         };
         // One traversal to re-derive depth and leaf count.
         let (mut leaves, mut depth) = (0usize, 0u8);
@@ -287,9 +294,9 @@ impl PmOctree {
     pub fn is_leaf(&mut self, key: OctKey) -> Option<bool> {
         if let Some(id) = self.forest.owner_of(&key) {
             let store = &mut self.store;
-            return self.forest.with_tree(id, |t| {
-                t.find(key, &mut store.arena).map(|i| t.is_leaf(i))
-            });
+            return self
+                .forest
+                .with_tree(id, |t| t.find(key, &mut store.arena).map(|i| t.is_leaf(i)));
         }
         match c1::locate(&mut self.store, self.current_root, key) {
             Locate::Nvbm(p) => {
@@ -304,6 +311,7 @@ impl PmOctree {
     /// in-domain key has one. Returns `None` only if `key`'s cell is
     /// *refined deeper* than `key` (i.e. key names an internal octant).
     pub fn containing_leaf(&mut self, key: OctKey) -> Option<OctKey> {
+        self.store.arena.stats.root_descent();
         if let Some(id) = self.forest.owner_of(&key) {
             let store = &mut self.store;
             return self.forest.with_tree(id, |t| t.containing_leaf(key, &mut store.arena));
@@ -389,7 +397,8 @@ impl PmOctree {
                         );
                         return self.refine(key);
                     }
-                    self.current_root = c1::refine(&mut self.store, self.current_root, key, self.epoch);
+                    self.current_root =
+                        c1::refine(&mut self.store, self.current_root, key, self.epoch);
                 }
                 Locate::Volatile(_) => unreachable!("owner_of covers volatile regions"),
                 Locate::Missing => return Err(PmError::NotFound(format!("{key:?}"))),
@@ -397,6 +406,7 @@ impl PmOctree {
         }
         self.leaves += 7;
         self.depth = self.depth.max(key.level() + 1);
+        self.index.on_refine_uniform(key, 0);
         self.after_mutation();
         Ok(())
     }
@@ -457,6 +467,7 @@ impl PmOctree {
             }
         }
         self.leaves -= 7;
+        self.index.on_coarsen(key, 0);
         self.after_mutation();
         Ok(())
     }
@@ -513,6 +524,80 @@ impl PmOctree {
         let mut out = Vec::with_capacity(self.leaves);
         self.for_each_leaf(|k, d| out.push((k, *d)));
         out.sort_by_key(|a| a.0);
+        out
+    }
+
+    // ---- batched leaf-index queries --------------------------------------
+
+    /// Charge DRAM-read cost for touching `entries` leaf-index entries
+    /// (the index lives in DRAM regardless of where octants live).
+    fn charge_index_entries(&mut self, entries: usize) {
+        let lines = LeafIndex::<3>::lines_for_entries(entries);
+        let ns = self.store.arena.model().dram.read_ns;
+        self.store.arena.clock.advance(lines * ns);
+        self.store.arena.stats.dram_read(entries * pmoctree_morton::index::ENTRY_BYTES, lines);
+    }
+
+    /// Rebuild the leaf index if stale. The enumeration runs through
+    /// [`PmOctree::for_each_leaf`], which charges each octant read to the
+    /// tier (C0/C1) it actually lives in.
+    fn ensure_index(&mut self) {
+        if self.index.is_valid() {
+            return;
+        }
+        let mut entries: Vec<(OctKey, u64)> = Vec::with_capacity(self.leaves);
+        self.for_each_leaf(|k, _| entries.push((k, 0)));
+        let n = self.index.rebuild(entries);
+        self.store.arena.stats.index_rebuild(n as u64);
+    }
+
+    /// Z-order-sorted leaf keys, answered from the DRAM leaf index.
+    pub fn leaf_keys_sorted(&mut self) -> Vec<OctKey> {
+        self.ensure_index();
+        self.charge_index_entries(self.index.len());
+        self.index.entries().iter().map(|e| e.0).collect()
+    }
+
+    /// Resolve a batch of containment queries against the sorted leaf
+    /// index in one merge-scan. Input order is arbitrary; results match
+    /// input order. Each query costs DRAM index reads only — no per-query
+    /// root-to-leaf NVBM descent.
+    pub fn containing_leaf_many(&mut self, keys: &[OctKey]) -> Vec<Option<OctKey>> {
+        self.ensure_index();
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_unstable_by(|&a, &b| keys[a].zcmp(&keys[b]));
+        let sorted: Vec<OctKey> = order.iter().map(|&i| keys[i]).collect();
+        let (resolved, touched) = self.index.resolve_sorted(&sorted);
+        self.charge_index_entries(touched);
+        self.store.arena.stats.index_hits(keys.len() as u64);
+        let mut out = vec![None; keys.len()];
+        for (slot, r) in order.into_iter().zip(resolved) {
+            out[slot] = r.map(|e| self.index.entries()[e].0);
+        }
+        out
+    }
+
+    /// Batched leaf payload reads. The DRAM index filters out keys that
+    /// are not current leaves without touching NVBM; each resolved leaf's
+    /// payload is then fetched through the normal tiered path (octant
+    /// reads charge the tier they live in — the index never caches
+    /// payloads).
+    pub fn get_data_many(&mut self, keys: &[OctKey]) -> Vec<Option<CellData>> {
+        self.ensure_index();
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_unstable_by(|&a, &b| keys[a].zcmp(&keys[b]));
+        let sorted: Vec<OctKey> = order.iter().map(|&i| keys[i]).collect();
+        let (resolved, touched) = self.index.resolve_sorted(&sorted);
+        self.charge_index_entries(touched);
+        self.store.arena.stats.index_hits(keys.len() as u64);
+        let mut out = vec![None; keys.len()];
+        for (pos, r) in order.into_iter().zip(resolved) {
+            if let Some(e) = r {
+                if self.index.entries()[e].0 == keys[pos] {
+                    out[pos] = self.get_data(keys[pos]);
+                }
+            }
+        }
         out
     }
 
@@ -624,10 +709,8 @@ impl PmOctree {
         if self.replicas.is_some() {
             let epoch = self.epoch;
             let offsets: Vec<POffset> = self.store.registry.clone();
-            let new_octants: Vec<POffset> = offsets
-                .into_iter()
-                .filter(|&p| self.store.epoch_of(p) == epoch)
-                .collect();
+            let new_octants: Vec<POffset> =
+                offsets.into_iter().filter(|&p| self.store.epoch_of(p) == epoch).collect();
             if let Some(mut r) = self.replicas.take() {
                 r.push_delta(&mut self.store.arena, &new_octants);
                 self.replicas = Some(r);
@@ -687,8 +770,7 @@ impl PmOctree {
             return false;
         }
         let l = sampling::l_sub(self.depth.max(key.level() + 1), self.cfg.c0_capacity_octants);
-        key.level() >= l
-            && self.forest.total_octants + 9 <= self.cfg.c0_capacity_octants
+        key.level() >= l && self.forest.total_octants + 9 <= self.cfg.c0_capacity_octants
     }
 
     /// Post-mutation housekeeping: DRAM-pressure eviction and on-demand GC.
@@ -696,7 +778,9 @@ impl PmOctree {
         // DRAM pressure: evict least-frequently-accessed subtrees.
         let cap = (self.cfg.c0_capacity_octants as f64 * self.cfg.threshold_dram) as usize;
         while self.forest.total_octants > cap && !self.forest.is_empty() {
-            let Some(victim) = self.forest.coldest() else { break };
+            let Some(victim) = self.forest.coldest() else {
+                break;
+            };
             self.evict_c0(victim);
             self.events.evictions += 1;
         }
@@ -763,10 +847,7 @@ mod tests {
         let mut t = PmOctree::create(arena(), small_cfg());
         t.refine(OctKey::root()).unwrap();
         assert!(matches!(t.refine(OctKey::root()), Err(PmError::NotALeaf(_))));
-        assert!(matches!(
-            t.refine(OctKey::root().child(0).child(0)),
-            Err(PmError::NotFound(_))
-        ));
+        assert!(matches!(t.refine(OctKey::root().child(0).child(0)), Err(PmError::NotFound(_))));
     }
 
     #[test]
@@ -786,10 +867,7 @@ mod tests {
         let mut t = PmOctree::create(arena(), small_cfg());
         t.refine(OctKey::root()).unwrap();
         t.refine(OctKey::root().child(1)).unwrap();
-        assert!(matches!(
-            t.coarsen(OctKey::root()),
-            Err(PmError::NotCoarsenable(_))
-        ));
+        assert!(matches!(t.coarsen(OctKey::root()), Err(PmError::NotCoarsenable(_))));
     }
 
     #[test]
@@ -838,14 +916,12 @@ mod tests {
     fn crash_recovers_last_persisted_version() {
         let mut t = PmOctree::create(arena(), small_cfg());
         t.refine(OctKey::root()).unwrap();
-        t.set_data(OctKey::root().child(1), CellData { phi: 42.0, ..Default::default() })
-            .unwrap();
+        t.set_data(OctKey::root().child(1), CellData { phi: 42.0, ..Default::default() }).unwrap();
         t.persist();
         let persisted = t.leaves_sorted();
         // Keep working: these mutations must vanish on crash.
         t.refine(OctKey::root().child(0)).unwrap();
-        t.set_data(OctKey::root().child(1), CellData { phi: -1.0, ..Default::default() })
-            .unwrap();
+        t.set_data(OctKey::root().child(1), CellData { phi: -1.0, ..Default::default() }).unwrap();
         let mut arena = {
             let PmOctree { store, .. } = t;
             store.arena

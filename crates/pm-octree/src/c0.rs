@@ -326,7 +326,10 @@ impl C0Tree {
     /// a hot NVBM subtree into DRAM). The first entry must be the subtree
     /// root; parents must precede children.
     pub fn from_octants(subtree_key: OctKey, octants: &[(OctKey, CellData)]) -> Self {
-        assert!(!octants.is_empty() && octants[0].0 == subtree_key, "first octant must be the root");
+        assert!(
+            !octants.is_empty() && octants[0].0 == subtree_key,
+            "first octant must be the root"
+        );
         let mut t = C0Tree::new(subtree_key, octants[0].1);
         // A promoted tree is byte-identical to its NVBM shadow.
         t.dirty = false;
@@ -427,11 +430,7 @@ impl C0Forest {
 
     /// Ids of all live trees.
     pub fn ids(&self) -> Vec<u32> {
-        self.trees
-            .iter()
-            .enumerate()
-            .filter_map(|(i, t)| t.as_ref().map(|_| i as u32))
-            .collect()
+        self.trees.iter().enumerate().filter_map(|(i, t)| t.as_ref().map(|_| i as u32)).collect()
     }
 
     /// Id of the least-frequently-accessed tree (LFU eviction victim).
@@ -536,10 +535,8 @@ mod tests {
         t.refine(kids[0], &mut a);
         let collected = t.collect();
         assert_eq!(collected.len(), 17);
-        let rebuilt = C0Tree::from_octants(
-            k,
-            &collected.iter().map(|&(k, d, _)| (k, d)).collect::<Vec<_>>(),
-        );
+        let rebuilt =
+            C0Tree::from_octants(k, &collected.iter().map(|&(k, d, _)| (k, d)).collect::<Vec<_>>());
         assert_eq!(rebuilt.octant_count(), 17);
         let mut got = rebuilt.collect();
         let mut want = collected;

@@ -68,7 +68,8 @@ pub fn cow_path(store: &mut PmStore, root: POffset, key: OctKey, epoch: u32) -> 
     // Record the descent: (offset, child index taken from it).
     let root_key = store.key(root);
     debug_assert!(root_key.contains(&key), "cow_path outside tree");
-    let mut path: Vec<(POffset, usize)> = Vec::with_capacity((key.level() - root_key.level()) as usize);
+    let mut path: Vec<(POffset, usize)> =
+        Vec::with_capacity((key.level() - root_key.level()) as usize);
     let mut cur = root;
     for l in root_key.level()..key.level() {
         let idx = key.ancestor_at(l + 1).sibling_index();
@@ -300,7 +301,8 @@ fn merge_rec(
                 ChildPtr::Nvbm(p) => Some(p),
                 _ => None,
             });
-            let (coff, cshared, ccons) = merge_rec(store, octants, at + consumed, child_shadow, epoch);
+            let (coff, cshared, ccons) =
+                merge_rec(store, octants, at + consumed, child_shadow, epoch);
             children[idx] = ChildPtr::Nvbm(coff);
             all_children_shared &= cshared;
             consumed += ccons;
@@ -499,9 +501,10 @@ mod tests {
         let mut s = store();
         // Build a shadow subtree in NVBM: one node + 8 leaves at epoch 1.
         let sub_key = OctKey::root().child(6);
-        let octants: Vec<(OctKey, CellData, bool)> = std::iter::once((sub_key, CellData::default(), false))
-            .chain((0..8).map(|i| (sub_key.child(i), CellData::default(), true)))
-            .collect();
+        let octants: Vec<(OctKey, CellData, bool)> =
+            std::iter::once((sub_key, CellData::default(), false))
+                .chain((0..8).map(|i| (sub_key.child(i), CellData::default(), true)))
+                .collect();
         let shadow = merge_subtree(&mut s, &octants, None, 1);
         // Re-merge identical content at epoch 2 against the shadow.
         let merged = merge_subtree(&mut s, &octants, Some(shadow), 2);
@@ -522,12 +525,16 @@ mod tests {
     fn merge_subtree_structure_change_is_detected() {
         let mut s = store();
         let sub_key = OctKey::root().child(1);
-        let flat: Vec<(OctKey, CellData, bool)> = std::iter::once((sub_key, CellData::default(), false))
-            .chain((0..8).map(|i| (sub_key.child(i), CellData::default(), true)))
-            .collect();
+        let flat: Vec<(OctKey, CellData, bool)> =
+            std::iter::once((sub_key, CellData::default(), false))
+                .chain((0..8).map(|i| (sub_key.child(i), CellData::default(), true)))
+                .collect();
         let shadow = merge_subtree(&mut s, &flat, None, 1);
         // Refine child 0 in the new version.
-        let mut deep = vec![(sub_key, CellData::default(), false), (sub_key.child(0), CellData::default(), false)];
+        let mut deep = vec![
+            (sub_key, CellData::default(), false),
+            (sub_key.child(0), CellData::default(), false),
+        ];
         deep.extend((0..8).map(|i| (sub_key.child(0).child(i), CellData::default(), true)));
         deep.extend((1..8).map(|i| (sub_key.child(i), CellData::default(), true)));
         let merged = merge_subtree(&mut s, &deep, Some(shadow), 2);
@@ -541,18 +548,19 @@ mod tests {
     fn collect_roundtrip() {
         let mut s = store();
         let sub_key = OctKey::root().child(4);
-        let octants: Vec<(OctKey, CellData, bool)> = std::iter::once((sub_key, CellData { vof: 0.2, ..Default::default() }, false))
-            .chain((0..8).map(|i| (sub_key.child(i), CellData { vof: i as f64, ..Default::default() }, true)))
-            .collect();
+        let octants: Vec<(OctKey, CellData, bool)> =
+            std::iter::once((sub_key, CellData { vof: 0.2, ..Default::default() }, false))
+                .chain((0..8).map(|i| {
+                    (sub_key.child(i), CellData { vof: i as f64, ..Default::default() }, true)
+                }))
+                .collect();
         let off = merge_subtree(&mut s, &octants, None, 1);
         let collected = collect_subtree(&mut s, off).expect("pure NVBM subtree");
         assert_eq!(collected.len(), 9);
         assert_eq!(collected[0].0, sub_key);
         assert_eq!(collected[0].1.vof, 0.2);
-        let rebuilt: Vec<(OctKey, CellData, bool)> = collected
-            .iter()
-            .map(|&(k, d)| (k, d, k.level() > sub_key.level()))
-            .collect();
+        let rebuilt: Vec<(OctKey, CellData, bool)> =
+            collected.iter().map(|&(k, d)| (k, d, k.level() > sub_key.level())).collect();
         // Re-merging the collected set against the original shares 100%.
         let again = merge_subtree(&mut s, &rebuilt, Some(off), 2);
         assert_eq!(again, off);

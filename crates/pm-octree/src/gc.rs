@@ -12,7 +12,7 @@
 
 use std::collections::HashSet;
 
-use pmoctree_nvbm::{PmemAllocator, POffset};
+use pmoctree_nvbm::{POffset, PmemAllocator};
 
 use crate::octant::{ChildPtr, PmStore, OCTANT_SIZE};
 
@@ -75,9 +75,10 @@ pub fn rebuild_after_crash(store: &mut PmStore, roots: &[POffset]) -> usize {
     let marked = mark(store, roots);
     let mut live: Vec<POffset> = marked.iter().copied().collect();
     live.sort_unstable();
-    let bump_hint = store.arena.bump_hint().max(
-        live.last().map(|p| p.0 + OCTANT_SIZE as u64).unwrap_or(pmoctree_nvbm::HEADER_SIZE),
-    );
+    let bump_hint = store
+        .arena
+        .bump_hint()
+        .max(live.last().map(|p| p.0 + OCTANT_SIZE as u64).unwrap_or(pmoctree_nvbm::HEADER_SIZE));
     let policy = store.alloc.policy();
     store.alloc = PmemAllocator::rebuild(
         store.arena.capacity(),

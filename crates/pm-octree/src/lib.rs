@@ -40,7 +40,6 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod api;
 pub mod c0;
 pub mod c1;

@@ -25,7 +25,7 @@
 //! returns to the fully-NVBM `V_{i-1}`.
 
 use pmoctree_morton::OctKey;
-use pmoctree_nvbm::{NvbmArena, PmemAllocator, POffset};
+use pmoctree_nvbm::{NvbmArena, POffset, PmemAllocator};
 
 /// Size of one on-media octant record.
 pub const OCTANT_SIZE: usize = 128;
@@ -190,7 +190,8 @@ impl PmStore {
         for (i, c) in o.children.iter().enumerate() {
             buf[i * 8..i * 8 + 8].copy_from_slice(&c.encode().to_le_bytes());
         }
-        buf[OFF_PARENT as usize..OFF_PARENT as usize + 8].copy_from_slice(&o.parent.0.to_le_bytes());
+        buf[OFF_PARENT as usize..OFF_PARENT as usize + 8]
+            .copy_from_slice(&o.parent.0.to_le_bytes());
         buf[OFF_CODE as usize..OFF_CODE as usize + 8].copy_from_slice(&o.key.raw().to_le_bytes());
         buf[OFF_LEVEL as usize] = o.key.level();
         buf[OFF_FLAGS as usize] = if o.deleted { FLAG_DELETED } else { 0 };
@@ -210,12 +211,14 @@ impl PmStore {
         let parent = POffset(u64::from_le_bytes(
             buf[OFF_PARENT as usize..OFF_PARENT as usize + 8].try_into().expect("8"),
         ));
-        let code =
-            u64::from_le_bytes(buf[OFF_CODE as usize..OFF_CODE as usize + 8].try_into().expect("8"));
+        let code = u64::from_le_bytes(
+            buf[OFF_CODE as usize..OFF_CODE as usize + 8].try_into().expect("8"),
+        );
         let level = buf[OFF_LEVEL as usize];
         let flags = buf[OFF_FLAGS as usize];
-        let epoch =
-            u32::from_le_bytes(buf[OFF_EPOCH as usize..OFF_EPOCH as usize + 4].try_into().expect("4"));
+        let epoch = u32::from_le_bytes(
+            buf[OFF_EPOCH as usize..OFF_EPOCH as usize + 4].try_into().expect("4"),
+        );
         let data = CellData::from_bytes(
             buf[OFF_DATA as usize..OFF_DATA as usize + 32].try_into().expect("32"),
         );
@@ -333,12 +336,12 @@ mod tests {
     fn octant_roundtrip() {
         let mut s = store();
         let key = OctKey::root().child(3).child(5);
-        let mut o = Octant::leaf(key, POffset(4242), 7, CellData {
-            phi: -0.5,
-            pressure: 101.3,
-            vof: 0.25,
-            work: 2.0,
-        });
+        let mut o = Octant::leaf(
+            key,
+            POffset(4242),
+            7,
+            CellData { phi: -0.5, pressure: 101.3, vof: 0.25, work: 2.0 },
+        );
         o.children[2] = ChildPtr::Nvbm(POffset(0x1000));
         o.children[5] = ChildPtr::Volatile(17);
         o.deleted = true;

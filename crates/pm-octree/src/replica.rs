@@ -81,7 +81,7 @@ impl ReplicaSet {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::api::PmOctree;
     use crate::config::PmConfig;
     use crate::octant::CellData;
@@ -109,15 +109,13 @@ mod tests {
     fn restore_on_new_node_from_replica() {
         let mut t = PmOctree::create(NvbmArena::new(8 << 20, DeviceModel::default()), cfg());
         t.refine(OctKey::root()).unwrap();
-        t.set_data(OctKey::root().child(6), CellData { vof: 0.66, ..Default::default() })
-            .unwrap();
+        t.set_data(OctKey::root().child(6), CellData { vof: 0.66, ..Default::default() }).unwrap();
         t.persist();
         let persisted = t.leaves_sorted();
         let replica = t.replicas.as_ref().unwrap().clone();
         // The node is gone: build a brand-new arena from the replica.
         let fresh = NvbmArena::new(8 << 20, DeviceModel::default());
-        let (mut r, moved) =
-            PmOctree::restore_from_replica(fresh, &replica, PmConfig::default());
+        let (mut r, moved) = PmOctree::restore_from_replica(fresh, &replica, PmConfig::default());
         assert!(moved > 0);
         assert_eq!(r.leaves_sorted(), persisted);
         assert_eq!(r.get_data(OctKey::root().child(6)).unwrap().vof, 0.66);
@@ -133,11 +131,8 @@ mod tests {
         t.persist();
         let big_delta = t.replicas.as_ref().unwrap().last_delta_bytes;
         // A step that changes one octant ships a far smaller delta.
-        t.set_data(
-            OctKey::root().child(0).child(0),
-            CellData { phi: 1.0, ..Default::default() },
-        )
-        .unwrap();
+        t.set_data(OctKey::root().child(0).child(0), CellData { phi: 1.0, ..Default::default() })
+            .unwrap();
         t.persist();
         let small_delta = t.replicas.as_ref().unwrap().last_delta_bytes;
         assert!(small_delta < big_delta / 2, "{small_delta} vs {big_delta}");

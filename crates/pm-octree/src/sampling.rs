@@ -59,11 +59,7 @@ pub fn sample_nvbm_freq(
         // Random walk from the subtree root to some leaf.
         let mut cur = off;
         loop {
-            let children = if cur == off {
-                root_children
-            } else {
-                store.children(cur)
-            };
+            let children = if cur == off { root_children } else { store.children(cur) };
             let start = rng.gen_range(0..FANOUT);
             let mut next = None;
             for d in 0..FANOUT {
@@ -91,12 +87,7 @@ pub fn sample_nvbm_freq(
 }
 
 /// Estimate the access frequency of a DRAM (C0) subtree the same way.
-pub fn sample_c0_freq(
-    tree: &C0Tree,
-    n: usize,
-    features: &[FeatureFn],
-    rng: &mut impl Rng,
-) -> f64 {
+pub fn sample_c0_freq(tree: &C0Tree, n: usize, features: &[FeatureFn], rng: &mut impl Rng) -> f64 {
     if features.is_empty() || n == 0 {
         return 0.0;
     }
@@ -162,7 +153,8 @@ mod tests {
 
     #[test]
     fn c0_sampling_uses_features() {
-        let tree = C0Tree::new(OctKey::root().child(3), CellData { vof: 0.9, ..Default::default() });
+        let tree =
+            C0Tree::new(OctKey::root().child(3), CellData { vof: 0.9, ..Default::default() });
         let features: Vec<FeatureFn> = vec![Box::new(|_k, d: &CellData| d.vof > 0.5)];
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(sample_c0_freq(&tree, 10, &features, &mut rng), 1.0);

@@ -87,7 +87,9 @@ impl PmOctree {
             // Demote cold residents until the hot subtree fits, but only
             // while Ratio_access clears T_transform (paper step 4).
             while self.forest.total_octants + octants.len() > cap {
-                let Some((vid, vf)) = victims.next() else { continue 'promote };
+                let Some((vid, vf)) = victims.next() else {
+                    continue 'promote;
+                };
                 let ratio = if vf > 0.0 { hot_f / vf } else { f64::INFINITY };
                 if ratio <= self.cfg.t_transform {
                     continue 'promote;
@@ -101,13 +103,8 @@ impl PmOctree {
             let tree = C0Tree::from_octants(subtree_key, &octants);
             let id = self.register_c0(tree, hot_off);
             let (root, epoch) = (self.root_offset(), self.epoch());
-            let new_root = c1::replace_slot(
-                &mut self.store,
-                root,
-                subtree_key,
-                ChildPtr::Volatile(id),
-                epoch,
-            );
+            let new_root =
+                c1::replace_slot(&mut self.store, root, subtree_key, ChildPtr::Volatile(id), epoch);
             self.set_root_offset(new_root);
             self.events.transforms += 1;
             swaps += 1;
@@ -190,8 +187,7 @@ mod tests {
         assert_eq!(t.events.transforms, 1);
         // The hot region now updates at DRAM cost.
         let nvbm_writes_before = t.store.arena.stats.nvbm.write_lines;
-        t.set_data(OctKey::root().child(0), CellData { phi: 0.1, ..Default::default() })
-            .unwrap();
+        t.set_data(OctKey::root().child(0), CellData { phi: 0.1, ..Default::default() }).unwrap();
         assert_eq!(
             t.store.arena.stats.nvbm.write_lines, nvbm_writes_before,
             "write to promoted subtree must not touch NVBM"
@@ -207,7 +203,8 @@ mod tests {
 
     #[test]
     fn cold_subtrees_not_promoted() {
-        let mut t = PmOctree::create(arena(), PmConfig { dynamic_transform: true, ..PmConfig::default() });
+        let mut t =
+            PmOctree::create(arena(), PmConfig { dynamic_transform: true, ..PmConfig::default() });
         t.refine(OctKey::root()).unwrap();
         t.update_leaves(|_, d| Some(CellData { phi: 100.0, ..*d }));
         t.add_feature(Box::new(|_k, d| d.phi.abs() < 0.5));

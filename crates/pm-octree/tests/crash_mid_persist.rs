@@ -17,16 +17,11 @@ use proptest::prelude::*;
 fn build_and_persist() -> (PmOctree, Vec<(OctKey, CellData)>) {
     let arena = NvbmArena::new(32 << 20, DeviceModel::default());
     // Small C0 so the persist protocol really merges DRAM subtrees.
-    let cfg = PmConfig {
-        c0_capacity_octants: 64,
-        dynamic_transform: false,
-        ..PmConfig::default()
-    };
+    let cfg = PmConfig { c0_capacity_octants: 64, dynamic_transform: false, ..PmConfig::default() };
     let mut t = PmOctree::create(arena, cfg);
     t.refine(OctKey::root()).unwrap();
     t.refine(OctKey::root().child(2)).unwrap();
-    t.set_data(OctKey::root().child(1), CellData { phi: 1.5, ..Default::default() })
-        .unwrap();
+    t.set_data(OctKey::root().child(1), CellData { phi: 1.5, ..Default::default() }).unwrap();
     t.persist();
     let old = t.leaves_sorted();
     (t, old)
@@ -36,8 +31,7 @@ fn mutate(t: &mut PmOctree) -> Vec<(OctKey, CellData)> {
     // Changes that the interrupted persist is trying to make durable.
     t.refine(OctKey::root().child(5)).unwrap();
     t.coarsen(OctKey::root().child(2)).unwrap();
-    t.set_data(OctKey::root().child(1), CellData { phi: -9.0, ..Default::default() })
-        .unwrap();
+    t.set_data(OctKey::root().child(1), CellData { phi: -9.0, ..Default::default() }).unwrap();
     t.leaves_sorted()
 }
 

@@ -55,7 +55,12 @@ fn apply(t: &mut PmOctree, op: &Op) {
 fn configs() -> Vec<PmConfig> {
     vec![
         // Plain: no DRAM tier at all.
-        PmConfig { seed_c0: false, dynamic_transform: false, c0_capacity_octants: 0, ..PmConfig::default() },
+        PmConfig {
+            seed_c0: false,
+            dynamic_transform: false,
+            c0_capacity_octants: 0,
+            ..PmConfig::default()
+        },
         // DRAM tier with aggressive eviction pressure.
         PmConfig {
             seed_c0: true,

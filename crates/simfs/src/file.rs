@@ -34,7 +34,12 @@ pub struct SimFs {
 impl SimFs {
     /// A file system on the given device model.
     pub fn new(model: BlockDeviceModel) -> Self {
-        SimFs { files: BTreeMap::new(), model, clock: VirtualClock::new(), stats: FsStats::default() }
+        SimFs {
+            files: BTreeMap::new(),
+            model,
+            clock: VirtualClock::new(),
+            stats: FsStats::default(),
+        }
     }
 
     /// File system on NVBM accessed through the FS software stack.
@@ -186,7 +191,10 @@ mod tests {
         fs.write_at("f", 0, &vec![0u8; 8 * PAGE]).unwrap();
         let eight_pages = fs.clock.now_ns() - t1;
         assert!(eight_pages > one_page);
-        assert_eq!(fs.stats.pages, (1 + 8) /* create charged 1 page min? no: 0-byte op charges 1 page */ + 1);
+        assert_eq!(
+            fs.stats.pages,
+            (1 + 8) /* create charged 1 page min? no: 0-byte op charges 1 page */ + 1
+        );
     }
 
     #[test]

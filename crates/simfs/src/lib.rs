@@ -14,7 +14,6 @@
 //! accesses.
 #![warn(missing_docs)]
 
-
 pub mod file;
 pub mod posix;
 

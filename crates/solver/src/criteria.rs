@@ -69,7 +69,11 @@ impl AdaptCriterion for InterfaceCriterion {
 /// condition (§3.3: "the application features … realized as functions for
 /// octant refinement/coarsening"). The closure reads the shared time, so
 /// one registration tracks the whole simulation.
-pub fn refinement_feature(interface: DropletEjection, time: SharedTime, band_cells: f64) -> FeatureFn {
+pub fn refinement_feature(
+    interface: DropletEjection,
+    time: SharedTime,
+    band_cells: f64,
+) -> FeatureFn {
     Box::new(move |key: &OctKey, _data| {
         let t = time.get();
         let h = key.extent();

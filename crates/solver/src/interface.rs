@@ -70,7 +70,8 @@ impl DropletEjection {
             // Growing jet column with a growing varicose perturbation.
             let tip = (p.jet_velocity * t).min(0.95);
             let growth = (t / p.t_pinch).powi(2);
-            let neck = 1.0 - 0.85 * growth * (0.5 + 0.5 * (p.wavenumber * std::f64::consts::TAU * x[2]).cos());
+            let neck = 1.0
+                - 0.85 * growth * (0.5 + 0.5 * (p.wavenumber * std::f64::consts::TAU * x[2]).cos());
             let radius = p.jet_radius * neck.max(0.05);
             if x[2] <= tip {
                 // Column region: radial distance, capped by tip cap.
@@ -94,11 +95,10 @@ impl DropletEjection {
                 let z0 = (p.jet_velocity * p.t_pinch).min(0.95) - i as f64 * spacing;
                 let z = (z0 + p.jet_velocity * dt * (1.0 - 0.08 * i as f64)).min(0.98);
                 let r = p.jet_radius * (1.25 - 0.1 * i as f64);
-                let dd = ((x[0] - p.axis[0]).powi(2)
-                    + (x[1] - p.axis[1]).powi(2)
-                    + (x[2] - z).powi(2))
-                .sqrt()
-                    - r;
+                let dd =
+                    ((x[0] - p.axis[0]).powi(2) + (x[1] - p.axis[1]).powi(2) + (x[2] - z).powi(2))
+                        .sqrt()
+                        - r;
                 d = d.min(dd);
                 // Satellite between this primary and the next.
                 if i + 1 < p.droplets {

@@ -84,15 +84,14 @@ impl LevelSet for DropletImpact {
         if t < t_i {
             // Falling sphere.
             let zc = self.height0 - self.speed * t;
-            ((x[0] - 0.5).powi(2) + (x[1] - 0.5).powi(2) + (x[2] - zc).powi(2)).sqrt()
-                - self.radius
+            ((x[0] - 0.5).powi(2) + (x[1] - 0.5).powi(2) + (x[2] - zc).powi(2)).sqrt() - self.radius
         } else {
             // Spreading lamella: a flattening disc on the wall. Volume
             // conservation thins the sheet as it spreads.
             let tau = t - t_i;
             let r_l = self.radius * (1.0 + self.spread * tau.sqrt());
             let h = (4.0 / 3.0) * self.radius.powi(3) / (r_l * r_l); // ~volume / area
-            // Distance to a disc of radius r_l, height h on z = 0.
+                                                                     // Distance to a disc of radius r_l, height h on z = 0.
             let dr = r_xy - r_l;
             let dz = x[2] - h;
             if dr <= 0.0 {
@@ -287,9 +286,7 @@ mod tests {
         let active = f
             .sites
             .iter()
-            .filter(|&&([x, y], _)| {
-                (0..30).any(|i| f.phi([x, y, i as f64 / 30.0], t) < 0.0)
-            })
+            .filter(|&&([x, y], _)| (0..30).any(|i| f.phi([x, y, i as f64 / 30.0], t) < 0.0))
             .count();
         assert!(active >= 3, "only {active} active bubble columns at t={t}");
     }

@@ -10,7 +10,6 @@
 //! ties it together with per-routine virtual-time breakdowns.
 #![warn(missing_docs)]
 
-
 pub mod criteria;
 pub mod driver;
 pub mod interface;

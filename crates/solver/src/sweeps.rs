@@ -70,33 +70,38 @@ pub fn relax_pressure(b: &mut dyn OctreeBackend, iters: usize) -> usize {
 }
 
 /// Neighbor-coupled relaxation: each leaf averages with its face
-/// neighbors' pressure. Exercises `containing_leaf` heavily — on the
-/// Etree baseline every neighbor read is an index lookup plus a page
-/// read, which is why the paper's out-of-core balance/solve phases are so
-/// expensive. Used by ablation benches; the plain [`relax_pressure`] is
-/// the default per-step solve.
+/// neighbors' pressure, Gauss–Seidel style in Z-order. Exercises neighbor
+/// resolution heavily — formerly one `containing_leaf` root descent plus
+/// one payload read *per neighbor per leaf*; now the whole sweep is one
+/// leaf enumeration (each payload read exactly once from its tier) plus a
+/// single batched neighbor resolution against the sorted leaf index. Used
+/// by ablation benches; the plain [`relax_pressure`] is the default
+/// per-step solve.
 pub fn relax_pressure_neighbors(b: &mut dyn OctreeBackend) -> usize {
-    let mut leaves = Vec::with_capacity(b.leaf_count());
-    b.for_each_leaf(&mut |k, d| leaves.push((k, *d)));
+    // Snapshot the leaves in Z-order: keys and payloads, read once.
+    let order = b.leaf_keys_sorted();
+    let mut data = b.get_data_many(&order);
+    // Resolve every leaf's face neighborhood in one batched merge-scan.
+    let neighborhoods = b.neighbor_leaves_many(&order, false);
     let mut writes = 0usize;
-    for (k, d) in &leaves {
+    for i in 0..order.len() {
+        let Some(d) = data[i] else { continue };
         let mut sum = d[1];
         let mut n = 1.0;
-        for axis in 0..3 {
-            for dir in [-1i8, 1] {
-                if let Some(nk) = k.face_neighbor(axis, dir) {
-                    if let Some(leaf) = b.containing_leaf(nk) {
-                        if let Some(nd) = b.get_data(leaf) {
-                            sum += nd[1];
-                            n += 1.0;
-                        }
-                    }
+        for leaf in &neighborhoods[i] {
+            // Gauss–Seidel: read the working copy, which already holds
+            // this sweep's updates for Z-order-earlier neighbors.
+            if let Ok(j) = order.binary_search(leaf) {
+                if let Some(nd) = data[j] {
+                    sum += nd[1];
+                    n += 1.0;
                 }
             }
         }
         let p_new = sum / n;
         if (p_new - d[1]).abs() > 1e-12 {
-            b.set_data(*k, [d[0], p_new, d[2], d[3]]);
+            data[i] = Some([d[0], p_new, d[2], d[3]]);
+            b.set_data(order[i], [d[0], p_new, d[2], d[3]]);
             writes += 1;
         }
     }
@@ -193,10 +198,7 @@ mod tests {
             relax_pressure(&mut b, 2);
         }
         let frac = b.tree.stats.overall_write_fraction();
-        assert!(
-            (0.05..0.8).contains(&frac),
-            "write fraction {frac} outside plausible range"
-        );
+        assert!((0.05..0.8).contains(&frac), "write fraction {frac} outside plausible range");
     }
 
     #[test]

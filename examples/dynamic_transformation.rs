@@ -50,8 +50,7 @@ fn run(transform: bool, c0_octants: usize, cfg: SimConfig) -> (f64, u64, u64, us
 }
 
 fn main() {
-    let cfg =
-        SimConfig { steps: 8, max_level: 6, base_level: 2, dt: 0.09, ..SimConfig::default() };
+    let cfg = SimConfig { steps: 8, max_level: 6, base_level: 2, dt: 0.09, ..SimConfig::default() };
     // DRAM holds ~30% of the mesh — the regime where placement matters.
     let est = 520 + 2 * 4usize.pow(cfg.max_level as u32);
     let c0 = est * 30 / 100;

@@ -38,8 +38,7 @@ fn main() {
         let arena = NvbmArena::new(32 << 20, DeviceModel::default());
         let mut t = PmOctree::create(arena, PmConfig::default());
         t.refine(OctKey::root()).unwrap();
-        t.set_data(OctKey::root().child(1), CellData { phi: 1.0, ..Default::default() })
-            .unwrap();
+        t.set_data(OctKey::root().child(1), CellData { phi: 1.0, ..Default::default() }).unwrap();
         t.persist();
         let expect = t.leaves_sorted();
         // A storm of unpersisted updates, then a crash that commits a

@@ -36,7 +36,6 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub use pm_octree as pm;
 pub use pmoctree_amr as amr;
 pub use pmoctree_baselines as baselines;

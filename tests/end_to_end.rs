@@ -2,7 +2,9 @@
 //! pm-octree → nvbm) exercised end to end, including the paper's
 //! headline behaviours.
 
-use pmoctree::amr::{check_balance, extract, EtreeBackend, InCoreBackend, OctreeBackend, PmBackend};
+use pmoctree::amr::{
+    check_balance, extract, EtreeBackend, InCoreBackend, OctreeBackend, PmBackend,
+};
 use pmoctree::cluster::{ClusterSim, Scheme};
 use pmoctree::nvbm::{CrashMode, DeviceModel, NvbmArena};
 use pmoctree::pm::{PmConfig, PmOctree};
@@ -125,10 +127,7 @@ fn nvbm_wear_stays_bounded() {
     let stats = &b.tree.store.arena.stats;
     let max = stats.max_wear() as f64;
     let mean = stats.mean_wear().max(1.0);
-    assert!(
-        max / mean < 3_000.0,
-        "wear hotspot: max {max} vs mean {mean}"
-    );
+    assert!(max / mean < 3_000.0, "wear hotspot: max {max} vs mean {mean}");
 }
 
 #[test]
@@ -153,11 +152,14 @@ fn memory_extension_story() {
         dynamic_transform: false,
         ..PmConfig::default()
     };
-    let mut b = PmBackend::new(PmOctree::create(
-        NvbmArena::new(96 << 20, DeviceModel::default()),
-        cfg,
-    ));
-    let s = Simulation::new(SimConfig { steps: 4, max_level: 5, base_level: 2, ..SimConfig::default() });
+    let mut b =
+        PmBackend::new(PmOctree::create(NvbmArena::new(96 << 20, DeviceModel::default()), cfg));
+    let s = Simulation::new(SimConfig {
+        steps: 4,
+        max_level: 5,
+        base_level: 2,
+        ..SimConfig::default()
+    });
     s.construct(&mut b);
     for step in 0..4 {
         s.step(&mut b, step);
