@@ -8,3 +8,6 @@ cargo build --release
 cargo test --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
+# Crash-consistency gate: every crash opportunity x every injection mode
+# must recover to exactly V_i or V_{i-1} (exits non-zero on violation).
+cargo run --release -p pmoctree-bench --bin repro -- crash-sweep --smoke

@@ -11,7 +11,7 @@
 //! * [`EtreeBackend`] — Etree out-of-core tree; every op is already
 //!   write-through, `end_of_step` flushes index pages.
 
-use pm_octree::{CellData, PmOctree};
+use pm_octree::{CellData, PmError, PmOctree};
 use pmoctree_baselines::{EtreeOctree, InCoreOctree};
 use pmoctree_morton::OctKey;
 use pmoctree_nvbm::MemStats;
@@ -21,19 +21,26 @@ use pmoctree_simfs::SimFs;
 pub type Cell = [f64; 4];
 
 /// Uniform interface over the three octree implementations.
+///
+/// Mutators are fallible and report *why* they were rejected via
+/// [`PmError`] (`NotFound` / `NotALeaf` / `NotCoarsenable`), so meshing
+/// drivers can distinguish "that cell doesn't exist" from "that cell
+/// can't legally change". Baseline adapters classify their trees' boolean
+/// rejections through the same taxonomy. The Gerris-style boolean shims
+/// live in [`crate::gerris`].
 pub trait OctreeBackend {
-    /// Split the leaf at `key` into 8 children. `false` if absent/non-leaf.
-    fn refine(&mut self, key: OctKey) -> bool;
-    /// Remove the (all-leaf) children of `key`. `false` if illegal.
-    fn coarsen(&mut self, key: OctKey) -> bool;
+    /// Split the leaf at `key` into 8 children.
+    fn refine(&mut self, key: OctKey) -> Result<(), PmError>;
+    /// Remove the (all-leaf) children of `key`.
+    fn coarsen(&mut self, key: OctKey) -> Result<(), PmError>;
     /// `Some(true)` leaf, `Some(false)` internal, `None` absent.
     fn is_leaf(&mut self, key: OctKey) -> Option<bool>;
     /// The leaf whose region contains `key` (None if `key` is internal).
     fn containing_leaf(&mut self, key: OctKey) -> Option<OctKey>;
     /// Read a leaf/octant payload.
     fn get_data(&mut self, key: OctKey) -> Option<Cell>;
-    /// Write a leaf/octant payload.
-    fn set_data(&mut self, key: OctKey, data: Cell) -> bool;
+    /// Write a leaf payload (payloads live on leaves only).
+    fn set_data(&mut self, key: OctKey, data: Cell) -> Result<(), PmError>;
     /// Visit every leaf.
     fn for_each_leaf(&mut self, f: &mut dyn FnMut(OctKey, &Cell));
     /// Sweep: return `Some(new)` from `f` to update a leaf.
@@ -161,13 +168,39 @@ fn from_cell(c: &Cell) -> CellData {
     CellData { phi: c[0], pressure: c[1], vof: c[2], work: c[3] }
 }
 
+fn not_found(key: OctKey) -> PmError {
+    PmError::NotFound(format!("{key:?}"))
+}
+
+fn not_a_leaf(key: OctKey) -> PmError {
+    PmError::NotALeaf(format!("{key:?}"))
+}
+
+/// Classify a baseline tree's boolean `refine` rejection: the trees only
+/// say *no*; the `is_leaf` probe recovers *why*.
+fn classify_refine(exists: Option<bool>, key: OctKey) -> PmError {
+    match exists {
+        None => not_found(key),
+        _ => not_a_leaf(key),
+    }
+}
+
+/// Classify a baseline tree's boolean `coarsen` rejection.
+fn classify_coarsen(exists: Option<bool>, key: OctKey) -> PmError {
+    match exists {
+        None => not_found(key),
+        Some(true) => not_a_leaf(key), // a leaf has no children to remove
+        Some(false) => PmError::NotCoarsenable(format!("{key:?}")),
+    }
+}
+
 impl OctreeBackend for PmBackend {
-    fn refine(&mut self, key: OctKey) -> bool {
-        self.tree.refine(key).is_ok()
+    fn refine(&mut self, key: OctKey) -> Result<(), PmError> {
+        self.tree.refine(key)
     }
 
-    fn coarsen(&mut self, key: OctKey) -> bool {
-        self.tree.coarsen(key).is_ok()
+    fn coarsen(&mut self, key: OctKey) -> Result<(), PmError> {
+        self.tree.coarsen(key)
     }
 
     fn is_leaf(&mut self, key: OctKey) -> Option<bool> {
@@ -182,13 +215,14 @@ impl OctreeBackend for PmBackend {
         self.tree.get_data(key).map(|d| to_cell(&d))
     }
 
-    fn set_data(&mut self, key: OctKey, data: Cell) -> bool {
+    fn set_data(&mut self, key: OctKey, data: Cell) -> Result<(), PmError> {
         // Trait semantics: payloads live on leaves (a linear octree has
         // no internal payload, so the common interface exposes none).
-        if self.tree.is_leaf(key) != Some(true) {
-            return false;
+        match self.tree.is_leaf(key) {
+            None => Err(not_found(key)),
+            Some(false) => Err(not_a_leaf(key)),
+            Some(true) => self.tree.set_data(key, from_cell(&data)),
         }
-        self.tree.set_data(key, from_cell(&data)).is_ok()
     }
 
     fn for_each_leaf(&mut self, f: &mut dyn FnMut(OctKey, &Cell)) {
@@ -270,12 +304,22 @@ impl Default for InCoreBackend {
 }
 
 impl OctreeBackend for InCoreBackend {
-    fn refine(&mut self, key: OctKey) -> bool {
-        self.tree.refine(key)
+    fn refine(&mut self, key: OctKey) -> Result<(), PmError> {
+        let exists = self.tree.is_leaf(key);
+        if self.tree.refine(key) {
+            Ok(())
+        } else {
+            Err(classify_refine(exists, key))
+        }
     }
 
-    fn coarsen(&mut self, key: OctKey) -> bool {
-        self.tree.coarsen(key)
+    fn coarsen(&mut self, key: OctKey) -> Result<(), PmError> {
+        let exists = self.tree.is_leaf(key);
+        if self.tree.coarsen(key) {
+            Ok(())
+        } else {
+            Err(classify_coarsen(exists, key))
+        }
     }
 
     fn is_leaf(&mut self, key: OctKey) -> Option<bool> {
@@ -290,12 +334,19 @@ impl OctreeBackend for InCoreBackend {
         self.tree.get_data(key)
     }
 
-    fn set_data(&mut self, key: OctKey, data: Cell) -> bool {
+    fn set_data(&mut self, key: OctKey, data: Cell) -> Result<(), PmError> {
         // Leaves only — see the PmBackend note.
-        if self.tree.is_leaf(key) != Some(true) {
-            return false;
+        match self.tree.is_leaf(key) {
+            None => Err(not_found(key)),
+            Some(false) => Err(not_a_leaf(key)),
+            Some(true) => {
+                if self.tree.set_data(key, data) {
+                    Ok(())
+                } else {
+                    Err(not_found(key))
+                }
+            }
         }
-        self.tree.set_data(key, data)
     }
 
     fn for_each_leaf(&mut self, f: &mut dyn FnMut(OctKey, &Cell)) {
@@ -382,12 +433,22 @@ impl EtreeBackend {
 }
 
 impl OctreeBackend for EtreeBackend {
-    fn refine(&mut self, key: OctKey) -> bool {
-        self.tree.refine(key)
+    fn refine(&mut self, key: OctKey) -> Result<(), PmError> {
+        let exists = self.tree.is_leaf(key);
+        if self.tree.refine(key) {
+            Ok(())
+        } else {
+            Err(classify_refine(exists, key))
+        }
     }
 
-    fn coarsen(&mut self, key: OctKey) -> bool {
-        self.tree.coarsen(key)
+    fn coarsen(&mut self, key: OctKey) -> Result<(), PmError> {
+        let exists = self.tree.is_leaf(key);
+        if self.tree.coarsen(key) {
+            Ok(())
+        } else {
+            Err(classify_coarsen(exists, key))
+        }
     }
 
     fn is_leaf(&mut self, key: OctKey) -> Option<bool> {
@@ -406,8 +467,18 @@ impl OctreeBackend for EtreeBackend {
         self.tree.get_data(key)
     }
 
-    fn set_data(&mut self, key: OctKey, data: Cell) -> bool {
-        self.tree.set_data(key, data)
+    fn set_data(&mut self, key: OctKey, data: Cell) -> Result<(), PmError> {
+        match self.tree.is_leaf(key) {
+            None => Err(not_found(key)),
+            Some(false) => Err(not_a_leaf(key)),
+            Some(true) => {
+                if self.tree.set_data(key, data) {
+                    Ok(())
+                } else {
+                    Err(not_found(key))
+                }
+            }
+        }
     }
 
     fn for_each_leaf(&mut self, f: &mut dyn FnMut(OctKey, &Cell)) {
@@ -488,8 +559,8 @@ mod tests {
     fn all_backends_agree_on_basic_meshing() {
         for mut b in backends() {
             assert_eq!(b.leaf_count(), 1, "{}", b.name());
-            assert!(b.refine(OctKey::root()), "{}", b.name());
-            assert!(b.refine(OctKey::root().child(2)), "{}", b.name());
+            b.refine(OctKey::root()).unwrap();
+            b.refine(OctKey::root().child(2)).unwrap();
             assert_eq!(b.leaf_count(), 15, "{}", b.name());
             assert_eq!(b.is_leaf(OctKey::root().child(2)), Some(false), "{}", b.name());
             assert_eq!(b.is_leaf(OctKey::root().child(3)), Some(true), "{}", b.name());
@@ -499,9 +570,9 @@ mod tests {
                 "{}",
                 b.name()
             );
-            assert!(b.set_data(OctKey::root().child(3), [1.0, 2.0, 3.0, 4.0]), "{}", b.name());
+            b.set_data(OctKey::root().child(3), [1.0, 2.0, 3.0, 4.0]).unwrap();
             assert_eq!(b.get_data(OctKey::root().child(3)), Some([1.0, 2.0, 3.0, 4.0]));
-            assert!(b.coarsen(OctKey::root().child(2)), "{}", b.name());
+            b.coarsen(OctKey::root().child(2)).unwrap();
             assert_eq!(b.leaf_count(), 8, "{}", b.name());
             let mut n = 0;
             b.for_each_leaf(&mut |_, _| n += 1);
@@ -512,9 +583,42 @@ mod tests {
     }
 
     #[test]
+    fn all_backends_agree_on_error_taxonomy() {
+        for mut b in backends() {
+            b.refine(OctKey::root()).unwrap();
+            let name = b.name();
+            let missing = OctKey::root().child(0).child(0);
+            assert!(
+                matches!(b.refine(missing), Err(PmError::NotFound(_))),
+                "{name}: refine on a missing key"
+            );
+            assert!(
+                matches!(b.refine(OctKey::root()), Err(PmError::NotALeaf(_))),
+                "{name}: refine on an internal octant"
+            );
+            assert!(
+                matches!(b.coarsen(OctKey::root().child(1)), Err(PmError::NotALeaf(_))),
+                "{name}: coarsen on a leaf"
+            );
+            assert!(
+                matches!(b.coarsen(missing), Err(PmError::NotFound(_))),
+                "{name}: coarsen on a missing key"
+            );
+            assert!(
+                matches!(b.set_data(missing, [0.0; 4]), Err(PmError::NotFound(_))),
+                "{name}: set_data on a missing key"
+            );
+            assert!(
+                matches!(b.set_data(OctKey::root(), [0.0; 4]), Err(PmError::NotALeaf(_))),
+                "{name}: set_data on an internal octant"
+            );
+        }
+    }
+
+    #[test]
     fn update_leaves_consistent_across_backends() {
         for mut b in backends() {
-            b.refine(OctKey::root());
+            b.refine(OctKey::root()).unwrap();
             b.update_leaves(&mut |_, d| Some([d[0] + 1.0, d[1], d[2], d[3]]));
             let name = b.name();
             b.for_each_leaf(&mut |_, d| assert_eq!(d[0], 1.0, "{name}"));

@@ -37,7 +37,7 @@ pub fn refine_balanced(b: &mut dyn OctreeBackend, key: OctKey) -> bool {
             }
         }
     }
-    b.refine(key)
+    b.refine(key).is_ok()
 }
 
 /// Is it legal (2:1-wise) to coarsen the children of `key` away? All face
@@ -73,7 +73,7 @@ pub fn can_coarsen(b: &mut dyn OctreeBackend, key: OctKey) -> bool {
 
 /// Coarsen with a 2:1 legality check. Returns whether it happened.
 pub fn coarsen_balanced(b: &mut dyn OctreeBackend, key: OctKey) -> bool {
-    can_coarsen(b, key) && b.coarsen(key)
+    can_coarsen(b, key) && b.coarsen(key).is_ok()
 }
 
 /// Worklist-driven 2:1 balancing over the face (6) or full (26)
@@ -115,7 +115,7 @@ fn balance_worklist(b: &mut dyn OctreeBackend, mut worklist: Vec<OctKey>, full: 
         targets.sort_unstable();
         targets.dedup();
         for t in targets {
-            if b.refine(t) {
+            if b.refine(t).is_ok() {
                 total += 1;
                 next.extend(t.children());
             }
@@ -232,11 +232,11 @@ mod tests {
     #[test]
     fn can_coarsen_respects_neighbors() {
         for mut b in backends() {
-            b.refine(OctKey::root());
-            b.refine(OctKey::root().child(0));
-            b.refine(OctKey::root().child(0).child(7)); // deep center
-                                                        // Coarsening child 0 would leave a level-1 leaf next to
-                                                        // level-3 leaves: forbidden.
+            b.refine(OctKey::root()).unwrap();
+            b.refine(OctKey::root().child(0)).unwrap();
+            b.refine(OctKey::root().child(0).child(7)).unwrap(); // deep center
+                                                                 // Coarsening child 0 would leave a level-1 leaf next to
+                                                                 // level-3 leaves: forbidden.
             assert!(!can_coarsen(b.as_mut(), OctKey::root().child(0)), "{}", b.name());
             // Coarsening the deep corner itself is fine.
             assert!(can_coarsen(b.as_mut(), OctKey::root().child(0).child(7)), "{}", b.name());

@@ -17,7 +17,7 @@ pub fn construct_uniform(b: &mut dyn OctreeBackend, level: u8) {
             }
         });
         for k in to_refine {
-            b.refine(k);
+            let _ = b.refine(k);
         }
     }
 }
@@ -28,7 +28,7 @@ pub fn construct_path(b: &mut dyn OctreeBackend, key: OctKey) {
     for l in 0..key.level() {
         let anc = key.ancestor_at(l);
         if b.is_leaf(anc) == Some(true) {
-            b.refine(anc);
+            let _ = b.refine(anc);
         }
     }
 }

@@ -166,8 +166,8 @@ mod tests {
     #[test]
     fn one_refined_cell_creates_hanging_nodes() {
         let mut b = InCoreBackend::new();
-        b.refine(pmoctree_morton::OctKey::root());
-        b.refine(pmoctree_morton::OctKey::root().child(0));
+        b.refine(pmoctree_morton::OctKey::root()).unwrap();
+        b.refine(pmoctree_morton::OctKey::root().child(0)).unwrap();
         let m = extract(&mut b);
         assert_eq!(m.cell_count(), 15);
         // The refined octant adds face/edge midpoints that hang on the

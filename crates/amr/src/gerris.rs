@@ -95,7 +95,7 @@ pub fn ftt_cell_coarsen(b: &mut dyn OctreeBackend, cell: OctKey) -> bool {
 
 /// `ftt_cell_write()`: store the cell payload.
 pub fn ftt_cell_write(b: &mut dyn OctreeBackend, cell: OctKey, data: &Cell) -> bool {
-    b.set_data(cell, *data)
+    b.set_data(cell, *data).is_ok()
 }
 
 /// `ftt_cell_read()`: load the cell payload.
@@ -117,8 +117,17 @@ pub fn pm_persistent(b: &mut PmBackend) {
 
 /// `pm_restore()` (replaces `gfs_output_read()` at restart): reopen the
 /// last persistent version from the NVBM device.
+///
+/// # Panics
+///
+/// Aborts (like the C original) if the device does not hold a
+/// recoverable PM-octree; call [`PmOctree::restore`] directly for
+/// fallible recovery.
 pub fn pm_restore(arena: NvbmArena, cfg: PmConfig) -> PmBackend {
-    PmBackend::new(PmOctree::restore(arena, cfg))
+    match PmOctree::restore(arena, cfg) {
+        Ok(t) => PmBackend::new(t),
+        Err(e) => panic!("pm_restore: {e}"),
+    }
 }
 
 /// `pm_delete()` (Table 1): drop all octants and release the device.

@@ -84,7 +84,7 @@ mod tests {
                                       // The Z-order-first leaf carries huge work.
         let leaves = weighted_leaves(&mut b);
         let first = leaves[0].0;
-        b.set_data(first, [0.0, 0.0, 0.0, 63.0]);
+        b.set_data(first, [0.0, 0.0, 0.0, 63.0]).unwrap();
         let ranges = partition(&mut b, 2);
         let leaves = weighted_leaves(&mut b);
         let n0 = leaves.iter().filter(|(k, _)| ranges[0].owns(k)).count();

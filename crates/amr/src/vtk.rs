@@ -105,8 +105,8 @@ mod tests {
     #[test]
     fn vtk_connectivity_indices_in_range() {
         let mut b = InCoreBackend::new();
-        b.refine(OctKey::root());
-        b.refine(OctKey::root().child(0));
+        b.refine(OctKey::root()).unwrap();
+        b.refine(OctKey::root().child(0)).unwrap();
         let m = extract(&mut b);
         let vtk = m.to_vtk();
         let cells_at = vtk.lines().position(|l| l.starts_with("CELLS")).unwrap();
@@ -145,8 +145,8 @@ mod tests {
     #[test]
     fn fields_are_attached() {
         let mut b = InCoreBackend::new();
-        b.refine(OctKey::root());
-        b.set_data(OctKey::root().child(3), [1.5, 2.5, 0.5, 0.0]);
+        b.refine(OctKey::root()).unwrap();
+        b.set_data(OctKey::root().child(3), [1.5, 2.5, 0.5, 0.0]).unwrap();
         let vtk = export_vtk_with_fields(&mut b);
         assert!(vtk.contains("SCALARS phi double 1"));
         assert!(vtk.contains("SCALARS pressure double 1"));
@@ -158,8 +158,8 @@ mod tests {
     #[test]
     fn hanging_nodes_marked_in_point_data() {
         let mut b = InCoreBackend::new();
-        b.refine(OctKey::root());
-        b.refine(OctKey::root().child(0));
+        b.refine(OctKey::root()).unwrap();
+        b.refine(OctKey::root().child(0)).unwrap();
         let m = extract(&mut b);
         let vtk = m.to_vtk();
         let pd = vtk.split("SCALARS anchored int 1").nth(1).unwrap();

@@ -16,11 +16,11 @@ fn balance26_uses_index_not_root_descents_at_1e5_octants() {
     // and the pass measures pure lookup traffic.
     for _ in 0..5 {
         for k in b.leaf_keys_sorted() {
-            b.refine(k);
+            let _ = b.refine(k);
         }
     }
     for k in b.leaf_keys_sorted().into_iter().take(9728) {
-        b.refine(k);
+        let _ = b.refine(k);
     }
     assert!(b.leaf_count() >= 100_000, "setup too small: {}", b.leaf_count());
 

@@ -54,7 +54,7 @@ fn apply(b: &mut dyn OctreeBackend, op: &MeshOp) {
             coarsen_balanced(b, key_of(p));
         }
         MeshOp::SetData(p, v) => {
-            b.set_data(key_of(p), [*v, 0.0, 0.0, 0.0]);
+            let _ = b.set_data(key_of(p), [*v, 0.0, 0.0, 0.0]);
         }
     }
 }

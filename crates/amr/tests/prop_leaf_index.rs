@@ -62,13 +62,13 @@ fn walk_keys(b: &mut dyn OctreeBackend) -> Vec<OctKey> {
 fn apply_and_check(b: &mut dyn OctreeBackend, op: &Op, step: &mut usize) -> Result<(), String> {
     match op {
         Op::Refine(p) => {
-            b.refine(key_of(p));
+            let _ = b.refine(key_of(p));
         }
         Op::Coarsen(p) => {
-            b.coarsen(key_of(p));
+            let _ = b.coarsen(key_of(p));
         }
         Op::SetData(p, v) => {
-            b.set_data(key_of(p), [*v, 0.0, 0.0, 0.0]);
+            let _ = b.set_data(key_of(p), [*v, 0.0, 0.0, 0.0]);
         }
         Op::Step => {
             b.end_of_step(*step);
@@ -139,7 +139,7 @@ proptest! {
                 let PmOctree { store, .. } = t;
                 let mut arena = store.arena;
                 arena.crash(CrashMode::LoseDirty);
-                t = PmOctree::restore(arena, cfg);
+                t = PmOctree::restore(arena, cfg).unwrap();
                 // Fresh recovery: the index starts invalid and must
                 // rebuild to exactly the recovered version's leaves.
                 let keys: Vec<OctKey> =

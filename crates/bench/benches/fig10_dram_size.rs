@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
                 let sim = Simulation::new(sim_cfg(3, 4));
                 let mut t = PmBackend::new(PmOctree::create(
                     NvbmArena::new(ARENA_BYTES, DeviceModel::default()),
-                    PmConfig { c0_capacity_octants: c0, ..PmConfig::default() },
+                    PmConfig::builder().c0_capacity_octants(c0).build().expect("valid config"),
                 ));
                 black_box(sim.run(&mut t))
             });

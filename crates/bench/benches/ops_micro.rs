@@ -15,7 +15,11 @@ fn refine_coarsen_cycle(c: &mut Criterion) {
     g.bench_function("pm_octree", |b| {
         let mut t = PmOctree::create(
             NvbmArena::new(16 << 20, DeviceModel::default()),
-            PmConfig { dynamic_transform: false, seed_c0: false, ..PmConfig::default() },
+            PmConfig::builder()
+                .dynamic_transform(false)
+                .seed_c0(false)
+                .build()
+                .expect("valid config"),
         );
         t.refine(OctKey::root()).unwrap();
         b.iter(|| {
@@ -51,7 +55,7 @@ fn persist_cost(c: &mut Criterion) {
     g.bench_function("persist_unchanged", |b| {
         let mut t = PmOctree::create(
             NvbmArena::new(64 << 20, DeviceModel::default()),
-            PmConfig { dynamic_transform: false, ..PmConfig::default() },
+            PmConfig::builder().dynamic_transform(false).build().expect("valid config"),
         );
         t.refine(OctKey::root()).unwrap();
         for i in 0..8 {
@@ -66,7 +70,7 @@ fn persist_cost(c: &mut Criterion) {
     g.bench_function("persist_all_dirty", |b| {
         let mut t = PmOctree::create(
             NvbmArena::new(256 << 20, DeviceModel::default()),
-            PmConfig { dynamic_transform: false, ..PmConfig::default() },
+            PmConfig::builder().dynamic_transform(false).build().expect("valid config"),
         );
         t.refine(OctKey::root()).unwrap();
         for i in 0..8 {
@@ -89,7 +93,11 @@ fn traversal(c: &mut Criterion) {
     g.bench_function("pm_octree_513", |b| {
         let mut t = PmOctree::create(
             NvbmArena::new(16 << 20, DeviceModel::default()),
-            PmConfig { dynamic_transform: false, seed_c0: false, ..PmConfig::default() },
+            PmConfig::builder()
+                .dynamic_transform(false)
+                .seed_c0(false)
+                .build()
+                .expect("valid config"),
         );
         t.refine(OctKey::root()).unwrap();
         for i in 0..8 {
@@ -144,7 +152,7 @@ fn neighbor_resolution(c: &mut Criterion) {
     construct_uniform(&mut t, 4);
     let mut pm = PmBackend::new(PmOctree::create(
         NvbmArena::new(64 << 20, DeviceModel::default()),
-        PmConfig { dynamic_transform: false, ..PmConfig::default() },
+        PmConfig::builder().dynamic_transform(false).build().expect("valid config"),
     ));
     construct_uniform(&mut pm, 4);
     neighbor_virtual_clock("in_core", &mut t);

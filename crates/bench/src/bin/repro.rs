@@ -4,7 +4,13 @@
 //! ```text
 //! repro [table2|fig3|write_fraction|layout|fig6|fig7|fig8|fig9|fig10|fig11|recovery|ablations|all]
 //! [--quick]
+//! repro crash-sweep [--smoke]
 //! ```
+//!
+//! `crash-sweep` (not part of `all`) enumerates every crash opportunity
+//! of a droplet workload under every crash mode and verifies recovery at
+//! each one, writing `BENCH_crash_sweep.json`; it exits non-zero on any
+//! contract violation.
 //!
 //! `--quick` shrinks problem sizes (used by CI/tests); default sizes take
 //! a few minutes. Output is plain text in the papers' row format —
@@ -136,5 +142,19 @@ fn main() {
         println!("{}", sampling_str(&ablation_sampling(&[1, 10, 100, 1000])));
         println!("{}", versions_str(&ablation_versions(5, 8, 4)));
         println!("{}", snapshot_interval_str(&ablation_snapshot_interval(&[1, 2, 5, 10], 20, 4)));
+    }
+    if what == "crash-sweep" {
+        let cfg = if args.iter().any(|a| a == "--smoke") || quick {
+            CrashSweepConfig::smoke()
+        } else {
+            CrashSweepConfig::full()
+        };
+        let sweep = crash_sweep(&cfg);
+        println!("{}", crash_sweep_str(&sweep));
+        write_bench_json("crash_sweep", &crash_sweep_json(&sweep));
+        if sweep.total_violations() > 0 {
+            eprintln!("crash sweep found {} contract violations", sweep.total_violations());
+            std::process::exit(1);
+        }
     }
 }

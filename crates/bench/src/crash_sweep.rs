@@ -1,0 +1,326 @@
+//! Deterministic crash-point sweep (the recovery-verification harness).
+//!
+//! Drives an N-step moving-droplet adaptation workload on a PM-octree
+//! with a [`FailPlan`] hook installed, so **every** crash opportunity the
+//! workload has — every store, every cacheline writeback, every labelled
+//! protocol point (`persist::*`, `gc::sweep`, `c0::evict`,
+//! `replica::ship`, `transform`) — is visited exactly once. At each
+//! opportunity the hook materialises the media image a reboot would find
+//! under each [`CrashMode`] (drop dirty lines, commit a random subset,
+//! tear each line at a random word boundary), restores a fresh tree from
+//! it, runs the full invariant checker, and compares the recovered leaf
+//! set against the version oracle: it must be *exactly* the last
+//! committed version `V_{i-1}`, or — for opportunities inside `persist`
+//! after the root publication — the in-flight version `V_i`. Never a
+//! mixture, never a panic.
+//!
+//! A single workload pass therefore proves the crash-consistency
+//! contract for every (opportunity × mode) pair, instead of `O(n)`
+//! record/replay reruns.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use pm_octree::{check_invariants, CellData, PmConfig, PmOctree};
+use pmoctree_morton::OctKey;
+use pmoctree_nvbm::{CrashMode, DeviceModel, FailPlan, NvbmArena};
+
+/// One persisted (or in-flight) version: the sorted leaf set.
+type Snapshot = Vec<(OctKey, CellData)>;
+
+/// Sweep scale knobs.
+#[derive(Clone, Debug)]
+pub struct CrashSweepConfig {
+    /// Adaptation steps (each ends in a persist).
+    pub steps: usize,
+    /// Maximum refinement level of the droplet band.
+    pub max_level: u8,
+    /// Emulated device size in bytes (small keeps image copies cheap).
+    pub arena_bytes: usize,
+    /// Seeds for the randomised crash modes; each seed adds a
+    /// `CommitRandom` and a `TornWrite` column to the matrix.
+    pub seeds: Vec<u64>,
+    /// Commit probability for `CommitRandom`.
+    pub p_commit: f64,
+}
+
+impl CrashSweepConfig {
+    /// CI-sized sweep: a couple of steps on a coarse mesh.
+    pub fn smoke() -> Self {
+        CrashSweepConfig {
+            steps: 2,
+            max_level: 3,
+            arena_bytes: 1 << 20,
+            seeds: vec![7],
+            p_commit: 0.5,
+        }
+    }
+
+    /// Default sweep: a few steps, three seeds per randomised mode.
+    pub fn full() -> Self {
+        CrashSweepConfig {
+            steps: 4,
+            max_level: 4,
+            arena_bytes: 2 << 20,
+            seeds: vec![1, 2, 3],
+            p_commit: 0.5,
+        }
+    }
+}
+
+/// Per-crash-mode outcome over all opportunities.
+#[derive(Clone, Debug)]
+pub struct CrashModeRow {
+    /// Human-readable mode name (e.g. `torn_write[seed=3]`).
+    pub mode: String,
+    /// Opportunities checked under this mode.
+    pub checked: u64,
+    /// Recoveries that yielded the last committed version.
+    pub recovered_committed: u64,
+    /// Recoveries that yielded the in-flight (just-published) version.
+    pub recovered_in_flight: u64,
+    /// Contract violations (restore error, invariant failure, or a leaf
+    /// set that matches neither valid version).
+    pub violations: u64,
+}
+
+/// A contract violation, kept for the report (first few only).
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Opportunity index the crash was injected at.
+    pub opportunity: u64,
+    /// Failpoint label, when the opportunity was a labelled one.
+    pub label: Option<&'static str>,
+    /// Mode name.
+    pub mode: String,
+    /// What went wrong.
+    pub reason: String,
+}
+
+/// Full sweep outcome.
+#[derive(Clone, Debug)]
+pub struct CrashSweep {
+    /// Total crash opportunities the workload had.
+    pub opportunities: u64,
+    /// Occurrence count per failpoint label (protocol coverage).
+    pub label_counts: Vec<(String, u64)>,
+    /// One row per crash mode.
+    pub rows: Vec<CrashModeRow>,
+    /// First violations encountered (empty on a clean sweep).
+    pub violations: Vec<Violation>,
+    /// Leaf count of the final persisted version.
+    pub elements: usize,
+    /// Steps executed.
+    pub steps: usize,
+}
+
+impl CrashSweep {
+    /// Total violations across all modes.
+    pub fn total_violations(&self) -> u64 {
+        self.rows.iter().map(|r| r.violations).sum()
+    }
+}
+
+/// Oracle shared between the workload (which appends versions) and the
+/// hook (which checks recoveries against them).
+struct Oracle {
+    /// Versions a crash right now may legally recover to. Index 0 is the
+    /// last committed version; index 1 (present only while a persist is
+    /// executing) is the in-flight version being published.
+    valid: Vec<Snapshot>,
+}
+
+struct SweepStats {
+    rows: Vec<CrashModeRow>,
+    violations: Vec<Violation>,
+}
+
+const MAX_RECORDED_VIOLATIONS: usize = 16;
+
+fn signed_distance(k: OctKey, center: [f64; 3], radius: f64) -> f64 {
+    let c = k.center();
+    let d2: f64 = (0..3).map(|i| (c[i] - center[i]).powi(2)).sum();
+    d2.sqrt() - radius
+}
+
+/// Run the sweep. Every opportunity of the workload is checked under
+/// every mode; a correct implementation returns
+/// [`CrashSweep::total_violations`] `== 0`.
+pub fn crash_sweep(cfg: &CrashSweepConfig) -> CrashSweep {
+    let mut modes: Vec<(String, CrashMode)> = vec![("lose_dirty".into(), CrashMode::LoseDirty)];
+    for &seed in &cfg.seeds {
+        modes.push((
+            format!("commit_random[p={},seed={seed}]", cfg.p_commit),
+            CrashMode::CommitRandom { p: cfg.p_commit, seed },
+        ));
+        modes
+            .push((format!("torn_write[seed={seed}]", seed = seed), CrashMode::TornWrite { seed }));
+    }
+
+    // Exercise the whole protocol surface: replica shipping, C0
+    // eviction pressure, and the dynamic transformation all on.
+    let pm_cfg = PmConfig::builder()
+        .c0_capacity_octants(96)
+        .dynamic_transform(true)
+        .replicas(true)
+        .build()
+        .expect("valid sweep config");
+
+    let arena = NvbmArena::new(cfg.arena_bytes, DeviceModel::default());
+    let mut t = PmOctree::create(arena, pm_cfg);
+    t.add_feature(Box::new(|_k, d| d.phi.abs() < 0.25));
+
+    // Base mesh, committed before the plan is installed: the sweep
+    // starts from a device that holds a recoverable V_0.
+    t.refine(OctKey::root()).expect("refine root");
+    for i in 0..8 {
+        t.refine(OctKey::root().child(i)).expect("refine base");
+    }
+    t.persist();
+    let v0 = t.leaves_sorted();
+
+    let oracle = Arc::new(Mutex::new(Oracle { valid: vec![v0] }));
+    let stats = Arc::new(Mutex::new(SweepStats {
+        rows: modes
+            .iter()
+            .map(|(name, _)| CrashModeRow {
+                mode: name.clone(),
+                checked: 0,
+                recovered_committed: 0,
+                recovered_in_flight: 0,
+                violations: 0,
+            })
+            .collect(),
+        violations: Vec::new(),
+    }));
+
+    let hook_oracle = oracle.clone();
+    let hook_stats = stats.clone();
+    let hook_modes = modes.clone();
+    t.store.arena.set_fail_plan(FailPlan::with_hook(Box::new(move |view| {
+        let valid = hook_oracle.lock().expect("oracle lock").valid.clone();
+        let mut st = hook_stats.lock().expect("stats lock");
+        for (i, (name, mode)) in hook_modes.iter().enumerate() {
+            st.rows[i].checked += 1;
+            let image = view.image(*mode);
+            let rebooted = NvbmArena::from_media(image, DeviceModel::default());
+            let verdict: Result<usize, String> = match PmOctree::restore(rebooted, pm_cfg) {
+                Err(e) => Err(format!("restore failed: {e}")),
+                Ok(mut r) => match check_invariants(&mut r) {
+                    Err(e) => Err(format!("invariants violated: {e}")),
+                    Ok(_) => {
+                        let got = r.leaves_sorted();
+                        match valid.iter().position(|v| *v == got) {
+                            Some(i) => Ok(i),
+                            None => Err(format!(
+                                "recovered leaf set ({} leaves) is neither V_i nor V_i-1",
+                                got.len()
+                            )),
+                        }
+                    }
+                },
+            };
+            match verdict {
+                Ok(0) => st.rows[i].recovered_committed += 1,
+                Ok(_) => st.rows[i].recovered_in_flight += 1,
+                Err(reason) => {
+                    st.rows[i].violations += 1;
+                    if st.violations.len() < MAX_RECORDED_VIOLATIONS {
+                        st.violations.push(Violation {
+                            opportunity: view.opportunity,
+                            label: view.label,
+                            mode: name.clone(),
+                            reason,
+                        });
+                    }
+                }
+            }
+        }
+    })));
+
+    // The droplet sweeps across the domain; every step updates the level
+    // set on all leaves, adapts the band, and persists.
+    for s in 0..cfg.steps {
+        let tt = (s + 1) as f64 / cfg.steps as f64;
+        let center = [0.25 + 0.5 * tt, 0.5, 0.5];
+        let radius = 0.25;
+        for k in t.leaf_keys_sorted() {
+            let phi = signed_distance(k, center, radius);
+            let _ = t.set_data(k, CellData { phi, pressure: s as f64, ..Default::default() });
+        }
+        // Refine the interface band; coarsen families that left it.
+        for k in t.leaf_keys_sorted() {
+            let phi = signed_distance(k, center, radius);
+            if phi.abs() < k.extent() && k.level() < cfg.max_level {
+                let _ = t.refine(k);
+            }
+        }
+        for k in t.leaf_keys_sorted() {
+            if let Some(p) = k.parent() {
+                if p.level() >= 1 && signed_distance(p, center, radius).abs() > 4.0 * p.extent() {
+                    let _ = t.coarsen(p);
+                }
+            }
+        }
+        // Persist under the oracle: while persist runs, a crash may
+        // legally land on either the committed or the in-flight version.
+        let new = t.leaves_sorted();
+        {
+            let mut o = oracle.lock().expect("oracle lock");
+            let committed = o.valid[0].clone();
+            o.valid = vec![committed, new.clone()];
+        }
+        t.persist();
+        oracle.lock().expect("oracle lock").valid = vec![new];
+    }
+
+    let plan = t.store.arena.take_fail_plan().expect("plan installed");
+    let opportunities = plan.opportunities();
+    let mut label_counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for (_, l) in plan.labels() {
+        *label_counts.entry(l).or_insert(0) += 1;
+    }
+    drop(plan); // releases the hook's clones of the shared state
+    let st = Arc::try_unwrap(stats).map_err(|_| "stats still shared").expect("hook dropped");
+    let st = st.into_inner().expect("stats lock");
+    CrashSweep {
+        opportunities,
+        label_counts: label_counts.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        rows: st.rows,
+        violations: st.violations,
+        elements: t.leaf_count(),
+        steps: cfg.steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_is_clean_and_covers_the_protocol() {
+        let sweep = crash_sweep(&CrashSweepConfig::smoke());
+        assert!(sweep.opportunities > 100, "workload too small: {}", sweep.opportunities);
+        assert_eq!(sweep.total_violations(), 0, "violations: {:#?}", sweep.violations);
+        for row in &sweep.rows {
+            assert_eq!(row.checked, sweep.opportunities, "{}", row.mode);
+            assert!(row.recovered_committed > 0, "{}", row.mode);
+        }
+        // Every protocol failpoint must have fired at least once.
+        for label in [
+            "persist::merge",
+            "persist::flush",
+            "persist::root_swap_half",
+            "persist::root_swap",
+            "gc::sweep",
+            "replica::ship",
+            "transform",
+        ] {
+            assert!(
+                sweep.label_counts.iter().any(|(l, n)| l == label && *n > 0),
+                "failpoint {label} never fired; coverage: {:?}",
+                sweep.label_counts
+            );
+        }
+    }
+}

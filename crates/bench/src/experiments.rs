@@ -67,7 +67,7 @@ pub fn fig3_overlap(steps: usize, max_level: u8) -> Vec<Fig3Row> {
     let sim = Simulation::new(sim_cfg(steps, max_level));
     let mut b = PmBackend::new(PmOctree::create(
         NvbmArena::new(ARENA_BYTES, DeviceModel::default()),
-        PmConfig { dynamic_transform: false, ..PmConfig::default() },
+        PmConfig::builder().dynamic_transform(false).build().expect("valid config"),
     ));
     sim.construct(&mut b);
     // Persist the constructed mesh so step 0 measures a real V_{i-1}/V_i
@@ -191,12 +191,12 @@ impl LayoutAblation {
 /// subdomain under both layouts.
 pub fn layout_ablation() -> LayoutAblation {
     let run = |aware: bool| -> u64 {
-        let cfg = PmConfig {
-            dynamic_transform: false,
-            seed_c0: false,
-            c0_capacity_octants: 1 << 14,
-            ..PmConfig::default()
-        };
+        let cfg = PmConfig::builder()
+            .dynamic_transform(false)
+            .seed_c0(false)
+            .c0_capacity_octants(1 << 14)
+            .build()
+            .expect("valid config");
         let mut t = PmOctree::create(NvbmArena::new(ARENA_BYTES, DeviceModel::default()), cfg);
         t.refine(pmoctree_morton::OctKey::root()).unwrap();
         for i in 0..8 {
@@ -335,7 +335,11 @@ pub fn fig10_dram_size(c0_sizes: &[usize], max_level: u8, steps: usize) -> Vec<F
         let sim = Simulation::new(cfg);
         let mut b = PmBackend::new(PmOctree::create(
             NvbmArena::new(ARENA_BYTES, DeviceModel::default()),
-            PmConfig { dynamic_transform: true, c0_capacity_octants: c0, ..PmConfig::default() },
+            PmConfig::builder()
+                .dynamic_transform(true)
+                .c0_capacity_octants(c0)
+                .build()
+                .expect("valid config"),
         ));
         let report = sim.run(&mut b);
         let stats = &b.tree.store.arena.stats;
@@ -406,11 +410,11 @@ pub fn fig11_transform(levels: &[u8], c0_fraction: f64, steps: usize) -> Vec<Fig
             let sim = Simulation::new(sim_cfg(steps, level));
             let mut b = PmBackend::new(PmOctree::create(
                 NvbmArena::new(ARENA_BYTES.max(1 << (2 * level + 10)), DeviceModel::default()),
-                PmConfig {
-                    dynamic_transform: transform,
-                    c0_capacity_octants: c0_octants,
-                    ..PmConfig::default()
-                },
+                PmConfig::builder()
+                    .dynamic_transform(transform)
+                    .c0_capacity_octants(c0_octants)
+                    .build()
+                    .expect("valid config"),
             ));
             if transform {
                 b.tree.add_feature(pmoctree_solver::refinement_feature(
@@ -455,13 +459,13 @@ pub struct SamplingRow {
 pub fn ablation_sampling(ns: &[usize]) -> Vec<SamplingRow> {
     ns.iter()
         .map(|&n| {
-            let cfg = PmConfig {
-                dynamic_transform: false,
-                seed_c0: false,
-                n_sample: n,
-                c0_capacity_octants: 1 << 14,
-                ..PmConfig::default()
-            };
+            let cfg = PmConfig::builder()
+                .dynamic_transform(false)
+                .seed_c0(false)
+                .n_sample(n)
+                .c0_capacity_octants(1 << 14)
+                .build()
+                .expect("valid config");
             let mut t = PmOctree::create(NvbmArena::new(ARENA_BYTES, DeviceModel::default()), cfg);
             t.refine(pmoctree_morton::OctKey::root()).unwrap();
             // Make child 0 deeply refined and hot, the rest cold.
@@ -536,7 +540,7 @@ pub fn ablation_snapshot_interval(
     let sim = Simulation::new(sim_cfg(steps, max_level));
     let mut b = PmBackend::new(PmOctree::create(
         NvbmArena::new(ARENA_BYTES, DeviceModel::default()),
-        PmConfig { dynamic_transform: false, ..PmConfig::default() },
+        PmConfig::builder().dynamic_transform(false).build().expect("valid config"),
     ));
     let report = sim.run(&mut b);
     rows.push(SnapshotRow { interval: None, exec_secs: report.total_secs(), max_lost_steps: 0 });
@@ -550,7 +554,7 @@ pub fn ablation_versions(max_versions: usize, steps: usize, max_level: u8) -> Ve
     let sim = Simulation::new(sim_cfg(steps, max_level));
     let mut b = PmBackend::new(PmOctree::create(
         NvbmArena::new(ARENA_BYTES, DeviceModel::default()),
-        PmConfig { dynamic_transform: false, ..PmConfig::default() },
+        PmConfig::builder().dynamic_transform(false).build().expect("valid config"),
     ));
     sim.construct(&mut b);
     let mut new_bytes_per_step = Vec::new();

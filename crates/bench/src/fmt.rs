@@ -185,3 +185,38 @@ pub fn versions_str(rows: &[VersionRow]) -> String {
     s.push_str("(PM-octree keeps 2; each extra version retains its exclusive delta)\n");
     s
 }
+
+/// Render the crash-point sweep outcome.
+pub fn crash_sweep_str(sweep: &crate::crash_sweep::CrashSweep) -> String {
+    let mut s = format!(
+        "Crash-point sweep: {} opportunities x {} modes over {} steps ({} final elements)\n",
+        sweep.opportunities,
+        sweep.rows.len(),
+        sweep.steps,
+        sweep.elements
+    );
+    s.push_str("mode                          |  checked | V_i-1 | V_i | violations\n");
+    for r in &sweep.rows {
+        s.push_str(&format!(
+            "{:<29} | {:>8} | {:>5} | {:>3} | {:>10}\n",
+            r.mode, r.checked, r.recovered_committed, r.recovered_in_flight, r.violations
+        ));
+    }
+    s.push_str("failpoint coverage: ");
+    let cov: Vec<String> = sweep.label_counts.iter().map(|(l, n)| format!("{l} x{n}")).collect();
+    s.push_str(&cov.join(", "));
+    s.push('\n');
+    for v in &sweep.violations {
+        s.push_str(&format!(
+            "VIOLATION at opportunity {} ({}) under {}: {}\n",
+            v.opportunity,
+            v.label.unwrap_or("unlabelled"),
+            v.mode,
+            v.reason
+        ));
+    }
+    if sweep.total_violations() == 0 {
+        s.push_str("every crash recovers to exactly V_i or V_i-1 with invariants intact\n");
+    }
+    s
+}

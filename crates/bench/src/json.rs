@@ -120,6 +120,38 @@ pub fn recovery_json(rows: &[pmoctree_cluster::RecoveryReport]) -> String {
     obj(vec![field("experiment", s("recovery")), field("rows", arr(items))])
 }
 
+/// JSON for the crash-point sweep: per-mode recovery outcomes plus
+/// failpoint coverage.
+pub fn crash_sweep_json(sweep: &crate::crash_sweep::CrashSweep) -> String {
+    let rows = sweep
+        .rows
+        .iter()
+        .map(|r| {
+            obj(vec![
+                field("mode", s(&r.mode)),
+                field("checked", r.checked.to_string()),
+                field("recovered_committed", r.recovered_committed.to_string()),
+                field("recovered_in_flight", r.recovered_in_flight.to_string()),
+                field("violations", r.violations.to_string()),
+            ])
+        })
+        .collect();
+    let labels = sweep
+        .label_counts
+        .iter()
+        .map(|(l, n)| obj(vec![field("label", s(l)), field("count", n.to_string())]))
+        .collect();
+    obj(vec![
+        field("experiment", s("crash_sweep")),
+        field("steps", sweep.steps.to_string()),
+        field("elements", sweep.elements.to_string()),
+        field("opportunities", sweep.opportunities.to_string()),
+        field("total_violations", sweep.total_violations().to_string()),
+        field("labels", arr(labels)),
+        field("rows", arr(rows)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

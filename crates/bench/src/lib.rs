@@ -7,8 +7,10 @@
 //! recorded paper-vs-measured comparison.
 #![warn(missing_docs)]
 
+pub mod crash_sweep;
 pub mod experiments;
 pub mod fmt;
 pub mod json;
 
+pub use crash_sweep::*;
 pub use experiments::*;

@@ -53,14 +53,21 @@ pub fn pm_recovery(cfg: SimConfig, steps_before_kill: usize, arena_bytes: usize)
 
     // Scenario 1: same node. Recovery = header read + reachability pass.
     let t0 = arena.clock.now_ns();
-    let restored = PmOctree::restore(arena, PmConfig::default());
+    let restored = match PmOctree::restore(arena, PmConfig::default()) {
+        Ok(t) => t,
+        Err(e) => panic!("same-node recovery after clean kill must succeed: {e}"),
+    };
     let same_node_secs = (restored.store.arena.clock.now_ns() - t0) as f64 * 1e-9;
 
     // Scenario 2: new node. The replica image crosses the §5.6
     // InfiniBand network, then the same restore runs locally.
     let net = NetworkModel::infiniband_fdr();
     let fresh = NvbmArena::new(arena_bytes, DeviceModel::default());
-    let (restored2, moved) = PmOctree::restore_from_replica(fresh, &replica, PmConfig::default());
+    let (restored2, moved) =
+        match PmOctree::restore_from_replica(fresh, &replica, PmConfig::default()) {
+            Ok(r) => r,
+            Err(e) => panic!("replica recovery must succeed: {e}"),
+        };
     let transfer_secs = net.transfer_ns(moved) as f64 * 1e-9;
     let restore2_secs = restored2.store.arena.clock.now_ns() as f64 * 1e-9;
     RecoveryReport {

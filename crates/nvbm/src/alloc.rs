@@ -126,6 +126,18 @@ impl PmemAllocator {
         self.bump
     }
 
+    /// Every block currently on a free list, as `(offset, size_class)`
+    /// pairs. Recovery invariant checking uses this to prove no reachable
+    /// octant sits on the free list.
+    pub fn free_blocks(&self) -> Vec<(POffset, usize)> {
+        let mut out = Vec::new();
+        for (&cls, list) in &self.free {
+            out.extend(list.iter().map(|&off| (POffset(off), cls)));
+        }
+        out.sort_unstable();
+        out
+    }
+
     /// Rebuild the allocator after a crash from the live set discovered by
     /// GC's mark phase: `live` is an iterator of `(offset, size)` pairs of
     /// reachable blocks; everything else below `bump_hint` becomes free.

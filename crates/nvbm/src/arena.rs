@@ -16,6 +16,7 @@ use std::collections::BTreeMap;
 use std::path::Path;
 
 use crate::clock::VirtualClock;
+use crate::failplan::FailPlan;
 use crate::model::{DeviceModel, CACHELINE};
 use crate::stats::MemStats;
 
@@ -59,6 +60,85 @@ pub enum CrashMode {
         /// RNG seed.
         seed: u64,
     },
+    /// Torn cacheline write-back: each dirty line commits a random
+    /// *prefix* of its 64 bytes — the line was mid-transfer when power
+    /// failed. Prefix lengths are 8-byte-aligned (0..=64 in steps of 8)
+    /// because the platform guarantees atomic persistence of aligned
+    /// 8-byte stores; anything wider can tear. `seed` makes the outcome
+    /// reproducible.
+    TornWrite {
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// Apply a crash to `media`: commit (part of) the dirty lines according to
+/// `mode`. Shared by [`NvbmArena::crash`] (which destroys the cache) and
+/// [`CrashView::image`](crate::failplan::CrashView::image) (which builds a
+/// virtual snapshot while the run continues). `stats` is charged for wear
+/// only when the caller is the live arena.
+pub(crate) fn apply_crash(
+    media: &mut [u8],
+    cache: &BTreeMap<u64, [u8; CACHELINE]>,
+    mode: CrashMode,
+    mut stats: Option<&mut MemStats>,
+) {
+    // Small deterministic xorshift so the crate doesn't need a rand
+    // dependency on its hot path.
+    let mut state = match mode {
+        CrashMode::LoseDirty => 0,
+        CrashMode::CommitRandom { seed, .. } | CrashMode::TornWrite { seed } => seed | 1,
+    };
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    match mode {
+        CrashMode::LoseDirty => {}
+        CrashMode::CommitRandom { p, .. } => {
+            for (&line, data) in cache {
+                let u = (next() >> 11) as f64 / (1u64 << 53) as f64;
+                if u < p {
+                    commit_line_to(media, stats.as_deref_mut(), line, data);
+                }
+            }
+        }
+        CrashMode::TornWrite { .. } => {
+            for (&line, data) in cache {
+                // Prefix of k words, k uniform in 0..=8.
+                let words = (next() % 9) as usize;
+                if words == 0 {
+                    continue;
+                }
+                let s = line as usize * CACHELINE;
+                let e = (s + words * 8).min(media.len());
+                if s >= e {
+                    continue;
+                }
+                media[s..e].copy_from_slice(&data[..e - s]);
+                if let Some(st) = stats.as_deref_mut() {
+                    st.wear_commit(s as u64);
+                }
+            }
+        }
+    }
+}
+
+/// Commit one full cacheline to `media`, charging wear when stats are live.
+fn commit_line_to(
+    media: &mut [u8],
+    stats: Option<&mut MemStats>,
+    line: u64,
+    data: &[u8; CACHELINE],
+) {
+    let s = line as usize * CACHELINE;
+    let e = (s + CACHELINE).min(media.len());
+    media[s..e].copy_from_slice(&data[..e - s]);
+    if let Some(st) = stats {
+        st.wear_commit(s as u64);
+    }
 }
 
 /// Size of the device header (root slots, epoch, allocator bump pointer).
@@ -87,6 +167,8 @@ pub struct NvbmArena {
     pub clock: VirtualClock,
     /// Access statistics (NVBM tier + caller-recorded DRAM tier).
     pub stats: MemStats,
+    /// Installed crash-opportunity plan (see [`FailPlan`]).
+    plan: Option<FailPlan>,
 }
 
 impl NvbmArena {
@@ -101,9 +183,61 @@ impl NvbmArena {
             model,
             clock: VirtualClock::new(),
             stats: MemStats::new(capacity),
+            plan: None,
         };
         a.format();
         a
+    }
+
+    /// Build an arena directly over a media image (e.g. a crash snapshot
+    /// from a [`FailPlan`] capture). The dirty cache starts cold, exactly
+    /// like a rebooted node.
+    pub fn from_media(media: Vec<u8>, model: DeviceModel) -> Self {
+        assert!(media.len() as u64 >= HEADER_SIZE, "image too small");
+        let stats = MemStats::new(media.len());
+        NvbmArena {
+            media,
+            cache: BTreeMap::new(),
+            cache_cap: 4096,
+            model,
+            clock: VirtualClock::new(),
+            stats,
+            plan: None,
+        }
+    }
+
+    // ---- crash-opportunity plan -----------------------------------------
+
+    /// Install a crash-opportunity plan. Replaces any existing plan.
+    pub fn set_fail_plan(&mut self, plan: FailPlan) {
+        self.plan = Some(plan);
+    }
+
+    /// Remove and return the installed plan (with its counters/capture).
+    pub fn take_fail_plan(&mut self) -> Option<FailPlan> {
+        self.plan.take()
+    }
+
+    /// The installed plan, if any.
+    pub fn fail_plan(&self) -> Option<&FailPlan> {
+        self.plan.as_ref()
+    }
+
+    /// An explicit, labelled crash opportunity: protocol code calls this
+    /// between phases (e.g. `"gc::sweep"`, `"persist::root_swap"`) so
+    /// sweeps can attribute opportunities to protocol phases.
+    pub fn failpoint(&mut self, label: &'static str) {
+        self.opportunity(Some(label));
+    }
+
+    /// Fire one crash opportunity. No-op unless a plan is installed.
+    #[inline]
+    fn opportunity(&mut self, label: Option<&'static str>) {
+        let Some(mut plan) = self.plan.take() else {
+            return;
+        };
+        plan.observe(label, &self.media, &self.cache);
+        self.plan = Some(plan);
     }
 
     /// Change the dirty-line cache capacity (lines).
@@ -176,6 +310,7 @@ impl NvbmArena {
         if data.is_empty() {
             return;
         }
+        self.opportunity(None);
         let lines = DeviceModel::lines(offset, data.len());
         self.clock.advance(lines * self.model.nvbm.write_ns);
         self.stats.nvbm_write(data.len(), lines);
@@ -201,10 +336,7 @@ impl NvbmArena {
     }
 
     fn commit_line(media: &mut [u8], stats: &mut MemStats, line: u64, data: &[u8; CACHELINE]) {
-        let s = line as usize * CACHELINE;
-        let e = (s + CACHELINE).min(media.len());
-        media[s..e].copy_from_slice(&data[..e - s]);
-        stats.wear_commit(s as u64);
+        commit_line_to(media, Some(stats), line, data);
     }
 
     fn evict_over_cap(&mut self) {
@@ -218,6 +350,9 @@ impl NvbmArena {
     /// latency for the media commit.
     pub fn flush_line(&mut self, offset: u64) {
         let line = offset / CACHELINE as u64;
+        if self.cache.contains_key(&line) {
+            self.opportunity(None);
+        }
         if let Some(data) = self.cache.remove(&line) {
             self.clock.advance(self.model.nvbm.write_ns);
             Self::commit_line(&mut self.media, &mut self.stats, line, &data);
@@ -227,6 +362,9 @@ impl NvbmArena {
     /// Flush every dirty line (an `sfence` + full write-back). Used at
     /// persist points and before [`Self::save`].
     pub fn flush_all(&mut self) {
+        if !self.cache.is_empty() {
+            self.opportunity(None);
+        }
         let cache = std::mem::take(&mut self.cache);
         self.clock.advance(cache.len() as u64 * self.model.nvbm.write_ns);
         for (line, data) in cache {
@@ -244,23 +382,7 @@ impl NvbmArena {
     /// exactly what a rebooted node would find in its NVBM.
     pub fn crash(&mut self, mode: CrashMode) {
         let cache = std::mem::take(&mut self.cache);
-        match mode {
-            CrashMode::LoseDirty => {}
-            CrashMode::CommitRandom { p, seed } => {
-                // Small deterministic xorshift so the crate doesn't need a
-                // rand dependency on its hot path.
-                let mut state = seed | 1;
-                for (line, data) in cache {
-                    state ^= state << 13;
-                    state ^= state >> 7;
-                    state ^= state << 17;
-                    let u = (state >> 11) as f64 / (1u64 << 53) as f64;
-                    if u < p {
-                        Self::commit_line(&mut self.media, &mut self.stats, line, &data);
-                    }
-                }
-            }
-        }
+        apply_crash(&mut self.media, &cache, mode, Some(&mut self.stats));
     }
 
     // ---- device header -------------------------------------------------
@@ -353,16 +475,7 @@ impl NvbmArena {
     /// fresh; the dirty cache is empty (a rebooted CPU cache is cold).
     pub fn load(path: &Path, model: DeviceModel) -> std::io::Result<Self> {
         let media = std::fs::read(path)?;
-        assert!(media.len() as u64 >= HEADER_SIZE, "image too small");
-        let stats = MemStats::new(media.len());
-        Ok(NvbmArena {
-            media,
-            cache: BTreeMap::new(),
-            cache_cap: 4096,
-            model,
-            clock: VirtualClock::new(),
-            stats,
-        })
+        Ok(Self::from_media(media, model))
     }
 
     /// Clone the persistent image of this arena (flushes first). Used by
@@ -456,6 +569,32 @@ mod tests {
         // With p=0.5 over 31 distinguishable lines, some but not all survive.
         let s = run(42);
         assert!(s > 0 && s < 31, "survived {s}");
+    }
+
+    #[test]
+    fn torn_write_commits_aligned_prefixes() {
+        let run = |seed| {
+            let mut a = arena();
+            for i in 0..16u64 {
+                a.write(4096 + i * 64, &[0xAB; 64]);
+            }
+            a.crash(CrashMode::TornWrite { seed });
+            let mut prefixes = Vec::new();
+            for i in 0..16u64 {
+                let mut b = [0u8; 64];
+                a.read(4096 + i * 64, &mut b);
+                let committed = b.iter().take_while(|&&x| x == 0xAB).count();
+                // Prefix property: after the committed prefix, nothing.
+                assert!(b[committed..].iter().all(|&x| x == 0), "suffix leaked");
+                assert_eq!(committed % 8, 0, "prefix must be 8-byte aligned");
+                prefixes.push(committed);
+            }
+            prefixes
+        };
+        assert_eq!(run(3), run(3), "torn writes must be deterministic");
+        let p = run(3);
+        assert!(p.iter().any(|&x| x > 0 && x < 64), "some line should tear mid-way: {p:?}");
+        assert_ne!(run(3), run(99), "different seeds tear differently");
     }
 
     #[test]

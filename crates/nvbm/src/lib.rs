@@ -25,11 +25,13 @@
 pub mod alloc;
 pub mod arena;
 pub mod clock;
+pub mod failplan;
 pub mod model;
 pub mod stats;
 
 pub use alloc::{size_class, PmemAllocator, ReusePolicy};
 pub use arena::{CrashMode, NvbmArena, POffset, HEADER_SIZE, ROOT_SLOTS};
 pub use clock::{SpinMode, VirtualClock};
+pub use failplan::{CrashCapture, CrashView, FailHook, FailPlan};
 pub use model::{BlockDeviceModel, DeviceModel, MemLatency, NetworkModel, CACHELINE, PAGE};
 pub use stats::{MemStats, TierStats, TraversalStats, WEAR_BLOCK};

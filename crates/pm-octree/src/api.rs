@@ -43,7 +43,7 @@ pub enum PersistPhase {
     RootSwap,
 }
 
-/// Errors surfaced by the meshing interface.
+/// Errors surfaced by the meshing and recovery interface.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PmError {
     /// No octant exists at this key in `V_i`.
@@ -52,6 +52,15 @@ pub enum PmError {
     NotALeaf(String),
     /// Coarsening would violate structure (children not all leaves).
     NotCoarsenable(String),
+    /// On-media state failed structural validation: an out-of-bounds or
+    /// misaligned pointer, a key inconsistent with its position, a cycle,
+    /// a reachable deleted octant, or a live octant on the free list.
+    /// Recovery and the invariant checker report this instead of
+    /// panicking on corrupt media.
+    Corrupt(String),
+    /// Recovery could not start (unformatted device, no persisted
+    /// version) or a configuration was rejected.
+    Recovery(String),
 }
 
 impl std::fmt::Display for PmError {
@@ -60,6 +69,8 @@ impl std::fmt::Display for PmError {
             PmError::NotFound(k) => write!(f, "octant not found: {k}"),
             PmError::NotALeaf(k) => write!(f, "octant is not a leaf: {k}"),
             PmError::NotCoarsenable(k) => write!(f, "octant cannot be coarsened: {k}"),
+            PmError::Corrupt(what) => write!(f, "persistent state corrupt: {what}"),
+            PmError::Recovery(what) => write!(f, "recovery failed: {what}"),
         }
     }
 }
@@ -172,20 +183,61 @@ impl PmOctree {
 
     /// `pm_restore`: recover from `arena` after a failure on the same
     /// node. Returns a handle whose working tree is exactly the last
-    /// persisted version `V_{i-1}` — near-instantaneous: only the header
-    /// is read, plus one reachability pass to rebuild volatile state.
-    pub fn restore(mut arena: NvbmArena, cfg: PmConfig) -> Self {
-        assert!(arena.is_formatted(), "restore from an unformatted device");
+    /// persisted version — near-instantaneous: only the header is read,
+    /// plus one validated reachability pass to rebuild volatile state.
+    ///
+    /// The pass ([`crate::verify::scan_tree`]) checks every pointer before
+    /// following it, so a device whose persisted tree is structurally
+    /// damaged (which the protocol makes impossible for real crashes, but
+    /// media corruption can still produce) yields
+    /// [`PmError::Corrupt`] rather than a panic. An unformatted or empty
+    /// device yields [`PmError::Recovery`].
+    pub fn restore(mut arena: NvbmArena, cfg: PmConfig) -> Result<Self, PmError> {
+        if !arena.is_formatted() {
+            return Err(PmError::Recovery("device is not a PM-octree (bad magic)".into()));
+        }
         let prev = arena.root(1);
-        assert!(!prev.is_null(), "no persisted version to restore");
-        let epoch = arena.epoch() as u32 + 1;
+        if prev.is_null() {
+            return Err(PmError::Recovery(
+                "no persisted version to restore (null recovery root)".into(),
+            ));
+        }
+        let header_epoch = arena.epoch() as u32;
         let mut store = PmStore::new(arena);
         if cfg.wear_leveling {
             store.alloc.set_policy(pmoctree_nvbm::ReusePolicy::WearAware);
         }
-        gc::rebuild_after_crash(&mut store, &[prev]);
-        // V_i octants not in V_{i-1} were implicitly discarded by the
-        // mark pass (the paper's "mark deleted, GC recycles in background").
+        // Validated reachability scan: the recovery root must name a
+        // structurally closed tree. V_i octants not in V_{i-1} are
+        // implicitly discarded (the paper's "mark deleted, GC recycles in
+        // background") — the allocator and registry are rebuilt from the
+        // live set alone, so every orphan's space is reclaimed here.
+        let scan = crate::verify::scan_tree(&mut store, prev)?;
+        if scan.max_epoch > header_epoch + 1 {
+            return Err(PmError::Corrupt(format!(
+                "reachable octant from epoch {} but header says {header_epoch}",
+                scan.max_epoch
+            )));
+        }
+        let bump_hint = store.arena.bump_hint().max(
+            scan.live
+                .last()
+                .map_or(pmoctree_nvbm::HEADER_SIZE, |p| p.0 + crate::octant::OCTANT_SIZE as u64),
+        );
+        let policy = store.alloc.policy();
+        store.alloc = pmoctree_nvbm::PmemAllocator::rebuild(
+            store.arena.capacity(),
+            bump_hint,
+            scan.live.iter().map(|&p| (p, crate::octant::OCTANT_SIZE)),
+        );
+        store.alloc.set_policy(policy);
+        store.registry = scan.live.clone();
+        // Resume strictly above every persisted octant's epoch. The header
+        // epoch alone is not enough: a crash between the root swap and the
+        // epoch publish leaves slot 1 pointing at octants stamped
+        // `header_epoch + 1`, and treating those as exclusive would mutate
+        // the persisted version in place.
+        let epoch = header_epoch.max(scan.max_epoch) + 1;
         store.arena.set_root(0, prev);
         let mut t = PmOctree {
             store,
@@ -195,35 +247,20 @@ impl PmOctree {
             current_root: prev,
             prev_root: prev,
             epoch,
-            depth: 0,
-            leaves: 0,
+            depth: scan.depth,
+            leaves: scan.leaves,
             features: Vec::new(),
             events: Events::default(),
             replicas: None,
             rng: StdRng::seed_from_u64(0x00C0_FFEE),
             index: LeafIndex::new(),
         };
-        // One traversal to re-derive depth and leaf count.
-        let (mut leaves, mut depth) = (0usize, 0u8);
-        c1::traverse(
-            &mut t.store,
-            prev,
-            &mut |_, _, k, leaf| {
-                if leaf {
-                    leaves += 1;
-                }
-                depth = depth.max(k.level());
-            },
-            &mut |_| {},
-        );
-        t.leaves = leaves;
-        t.depth = depth;
         if cfg.replicas {
             let mut r = ReplicaSet::new();
             r.full_sync(&mut t.store.arena);
             t.replicas = Some(r);
         }
-        t
+        Ok(t)
     }
 
     /// Restore onto a *new* node from a remote replica (§3.4 second
@@ -234,11 +271,11 @@ impl PmOctree {
         mut arena: NvbmArena,
         replica: &ReplicaSet,
         cfg: PmConfig,
-    ) -> (Self, u64) {
+    ) -> Result<(Self, u64), PmError> {
         let image = replica.image();
         arena.restore_media(image);
         let moved = replica.live_bytes();
-        (Self::restore(arena, cfg), moved)
+        Ok((Self::restore(arena, cfg)?, moved))
     }
 
     /// `pm_delete`: drop every octant and clear the persistent roots.
@@ -674,6 +711,7 @@ impl PmOctree {
             root = c1::replace_slot(&mut self.store, root, key, ChildPtr::Nvbm(off), self.epoch);
             merged_offsets.push((*id, off));
         }
+        self.store.arena.failpoint("persist::merge");
         if stop_after == Some(PersistPhase::Merge) {
             return;
         }
@@ -683,16 +721,19 @@ impl PmOctree {
         // (3) Flush everything, then the atomic root/epoch advance. Until
         // the set_root below lands, recovery uses the old V_{i-1}.
         self.store.arena.flush_all();
+        self.store.arena.failpoint("persist::flush");
         if stop_after == Some(PersistPhase::Flush) {
             return;
         }
         self.store.arena.set_bump_hint(self.store.alloc.bump());
         self.store.arena.set_root(0, root);
+        self.store.arena.failpoint("persist::root_swap_half");
         if stop_after == Some(PersistPhase::RootSwapHalf) {
             return;
         }
         self.store.arena.set_root(1, root);
         self.store.arena.set_epoch(self.epoch as u64);
+        self.store.arena.failpoint("persist::root_swap");
         if stop_after == Some(PersistPhase::RootSwap) {
             return;
         }
@@ -712,6 +753,7 @@ impl PmOctree {
             let new_octants: Vec<POffset> =
                 offsets.into_iter().filter(|&p| self.store.epoch_of(p) == epoch).collect();
             if let Some(mut r) = self.replicas.take() {
+                self.store.arena.failpoint("replica::ship");
                 r.push_delta(&mut self.store.arena, &new_octants);
                 self.replicas = Some(r);
             }
@@ -795,6 +837,7 @@ impl PmOctree {
 
     /// Merge one C0 subtree out to C1 and drop it from the forest.
     pub(crate) fn evict_c0(&mut self, id: u32) {
+        self.store.arena.failpoint("c0::evict");
         let tree = self.forest.remove(id);
         let shadow = self.shadow_of(id);
         self.set_shadow(id, POffset::NULL);
@@ -816,6 +859,7 @@ impl PmOctree {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use pmoctree_nvbm::{CrashMode, DeviceModel};
@@ -927,7 +971,7 @@ mod tests {
             store.arena
         };
         arena.crash(CrashMode::LoseDirty);
-        let mut r = PmOctree::restore(arena, small_cfg());
+        let mut r = PmOctree::restore(arena, small_cfg()).unwrap();
         assert_eq!(r.leaves_sorted(), persisted);
         assert_eq!(r.get_data(OctKey::root().child(1)).unwrap().phi, 42.0);
     }
@@ -949,7 +993,7 @@ mod tests {
                 store.arena
             };
             arena.crash(CrashMode::CommitRandom { p: 0.5, seed });
-            let mut r = PmOctree::restore(arena, small_cfg());
+            let mut r = PmOctree::restore(arena, small_cfg()).unwrap();
             assert_eq!(r.leaves_sorted(), persisted, "seed {seed}");
         }
     }

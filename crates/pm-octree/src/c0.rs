@@ -463,6 +463,7 @@ impl C0Forest {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use pmoctree_nvbm::DeviceModel;

@@ -365,6 +365,7 @@ fn collect_rec(store: &mut PmStore, p: POffset, out: &mut Vec<(OctKey, CellData)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use pmoctree_nvbm::{DeviceModel, NvbmArena};

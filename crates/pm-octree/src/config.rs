@@ -65,9 +65,120 @@ impl PmConfig {
         self.c0_capacity_octants = bytes / crate::octant::OCTANT_SIZE;
         self
     }
+
+    /// Validating builder, starting from [`PmConfig::default`]. Prefer
+    /// this over field-literal construction: [`PmConfigBuilder::build`]
+    /// rejects configurations the runtime would silently misbehave under
+    /// (zero DRAM capacity, thresholds outside their ranges, a zero
+    /// sampling rate).
+    pub fn builder() -> PmConfigBuilder {
+        PmConfigBuilder { cfg: PmConfig::default() }
+    }
+}
+
+/// Builder for [`PmConfig`]; see [`PmConfig::builder`].
+#[derive(Clone, Copy, Debug)]
+pub struct PmConfigBuilder {
+    cfg: PmConfig,
+}
+
+impl PmConfigBuilder {
+    /// DRAM (C0) capacity in octants.
+    pub fn c0_capacity_octants(mut self, n: usize) -> Self {
+        self.cfg.c0_capacity_octants = n;
+        self
+    }
+
+    /// DRAM (C0) capacity in bytes (128 B/octant).
+    pub fn c0_capacity_bytes(mut self, bytes: usize) -> Self {
+        self.cfg.c0_capacity_octants = bytes / crate::octant::OCTANT_SIZE;
+        self
+    }
+
+    /// `threshold_DRAM`: C0 eviction high-water fraction, in `(0, 1]`.
+    pub fn threshold_dram(mut self, v: f64) -> Self {
+        self.cfg.threshold_dram = v;
+        self
+    }
+
+    /// `threshold_NVBM`: on-demand GC low-water free fraction, in `[0, 1)`.
+    pub fn threshold_nvbm(mut self, v: f64) -> Self {
+        self.cfg.threshold_nvbm = v;
+        self
+    }
+
+    /// Octants sampled per subtree by feature-directed sampling (≥ 1).
+    pub fn n_sample(mut self, n: usize) -> Self {
+        self.cfg.n_sample = n;
+        self
+    }
+
+    /// Transformation threshold `T_transform` (must exceed 1).
+    pub fn t_transform(mut self, v: f64) -> Self {
+        self.cfg.t_transform = v;
+        self
+    }
+
+    /// Enable/disable the §3.3 dynamic layout transformation.
+    pub fn dynamic_transform(mut self, on: bool) -> Self {
+        self.cfg.dynamic_transform = on;
+        self
+    }
+
+    /// Enable/disable first-refinement C0 seeding.
+    pub fn seed_c0(mut self, on: bool) -> Self {
+        self.cfg.seed_c0 = on;
+        self
+    }
+
+    /// Keep remote replicas of `V_{i-1}`.
+    pub fn replicas(mut self, on: bool) -> Self {
+        self.cfg.replicas = on;
+        self
+    }
+
+    /// Use the wear-aware block reuse policy.
+    pub fn wear_leveling(mut self, on: bool) -> Self {
+        self.cfg.wear_leveling = on;
+        self
+    }
+
+    /// Validate and produce the config. Violations come back as
+    /// [`PmError::Recovery`](crate::PmError::Recovery) naming the field.
+    pub fn build(self) -> Result<PmConfig, crate::api::PmError> {
+        use crate::api::PmError;
+        let c = self.cfg;
+        if c.c0_capacity_octants == 0 {
+            return Err(PmError::Recovery("c0_capacity_octants must be nonzero".into()));
+        }
+        if !(c.threshold_dram > 0.0 && c.threshold_dram <= 1.0) {
+            return Err(PmError::Recovery(format!(
+                "threshold_dram {} outside (0, 1]",
+                c.threshold_dram
+            )));
+        }
+        if !(0.0..1.0).contains(&c.threshold_nvbm) {
+            return Err(PmError::Recovery(format!(
+                "threshold_nvbm {} outside [0, 1)",
+                c.threshold_nvbm
+            )));
+        }
+        if c.n_sample == 0 {
+            return Err(PmError::Recovery("n_sample must be at least 1".into()));
+        }
+        // `<= 1.0` would accept NaN; an explicit partial_cmp rejects it.
+        if c.t_transform.partial_cmp(&1.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(PmError::Recovery(format!(
+                "t_transform {} must exceed 1 (a ratio at which a swap pays off)",
+                c.t_transform
+            )));
+        }
+        Ok(c)
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -85,5 +196,44 @@ mod tests {
         let c = PmConfig::default().with_c0_bytes(1 << 20);
         assert_eq!(c.c0_capacity_octants, (1 << 20) / 128);
         assert_eq!(c.c0_capacity_bytes(), 1 << 20);
+    }
+
+    #[test]
+    fn builder_accepts_defaults_and_setters() {
+        let c = PmConfig::builder().build().unwrap();
+        assert_eq!(c.n_sample, PmConfig::default().n_sample);
+        let c = PmConfig::builder()
+            .c0_capacity_bytes(1 << 20)
+            .threshold_dram(0.5)
+            .threshold_nvbm(0.2)
+            .n_sample(10)
+            .t_transform(2.0)
+            .dynamic_transform(false)
+            .seed_c0(false)
+            .replicas(true)
+            .wear_leveling(true)
+            .build()
+            .unwrap();
+        assert_eq!(c.c0_capacity_octants, (1 << 20) / 128);
+        assert!(c.replicas && c.wear_leveling);
+        assert!(!c.dynamic_transform && !c.seed_c0);
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range() {
+        use crate::api::PmError;
+        let bad = [
+            PmConfig::builder().c0_capacity_octants(0).build(),
+            PmConfig::builder().threshold_dram(0.0).build(),
+            PmConfig::builder().threshold_dram(1.5).build(),
+            PmConfig::builder().threshold_nvbm(1.0).build(),
+            PmConfig::builder().threshold_nvbm(-0.1).build(),
+            PmConfig::builder().n_sample(0).build(),
+            PmConfig::builder().t_transform(1.0).build(),
+            PmConfig::builder().threshold_dram(f64::NAN).build(),
+        ];
+        for b in bad {
+            assert!(matches!(b, Err(PmError::Recovery(_))), "{b:?}");
+        }
     }
 }

@@ -48,6 +48,7 @@ pub fn mark(store: &mut PmStore, roots: &[POffset]) -> HashSet<POffset> {
 /// Mark from `roots`, then sweep the registry: unreachable octants are
 /// freed and dropped from the registry.
 pub fn collect(store: &mut PmStore, roots: &[POffset]) -> GcReport {
+    store.arena.failpoint("gc::sweep");
     let marked = mark(store, roots);
     let mut freed = 0usize;
     let mut freed_flagged = 0usize;
@@ -91,6 +92,7 @@ pub fn rebuild_after_crash(store: &mut PmStore, roots: &[POffset]) -> usize {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::c1::{coarsen, refine};

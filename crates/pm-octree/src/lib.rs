@@ -39,6 +39,11 @@
 //! assert_eq!(tree.leaf_count(), 8);
 //! ```
 #![warn(missing_docs)]
+// Restore and recovery must never panic on what they find on the media;
+// corruption is reported as `PmError::Corrupt`. The lint keeps `unwrap()`
+// out of the crate wholesale — the few provably-infallible sites carry an
+// explicit `#[allow]` with their proof, and tests opt out per-module.
+#![warn(clippy::unwrap_used)]
 
 pub mod api;
 pub mod c0;
@@ -49,10 +54,12 @@ pub mod octant;
 pub mod replica;
 pub mod sampling;
 pub mod transform;
+pub mod verify;
 
 pub use api::{Events, PersistPhase, PmError, PmOctree};
-pub use config::PmConfig;
+pub use config::{PmConfig, PmConfigBuilder};
 pub use gc::GcReport;
 pub use octant::{CellData, ChildPtr, Octant, PmStore, FANOUT, OCTANT_SIZE};
 pub use replica::ReplicaSet;
 pub use sampling::FeatureFn;
+pub use verify::{check_invariants, scan_tree, RecoveryReport, TreeScan};

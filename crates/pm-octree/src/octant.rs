@@ -277,10 +277,19 @@ impl PmStore {
     /// Read the locational code.
     #[inline]
     pub fn key(&mut self, p: POffset) -> OctKey {
+        let (code, level) = self.raw_key(p);
+        OctKey::from_raw(code, level)
+    }
+
+    /// Read the raw `(code, level)` pair without constructing an
+    /// [`OctKey`] — `OctKey::from_raw` panics on malformed values, so
+    /// recovery validation decodes keys only after checking them.
+    #[inline]
+    pub fn raw_key(&mut self, p: POffset) -> (u64, u8) {
         let code = self.arena.read_u64(p.0 + OFF_CODE);
         let mut lvl = [0u8; 1];
         self.arena.read(p.0 + OFF_LEVEL, &mut lvl);
-        OctKey::from_raw(code, lvl[0])
+        (code, lvl[0])
     }
 
     /// Read the deleted flag.
@@ -324,6 +333,7 @@ impl PmStore {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use pmoctree_nvbm::DeviceModel;

@@ -80,6 +80,7 @@ impl ReplicaSet {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
 
     use crate::api::PmOctree;
@@ -115,7 +116,8 @@ mod tests {
         let replica = t.replicas.as_ref().unwrap().clone();
         // The node is gone: build a brand-new arena from the replica.
         let fresh = NvbmArena::new(8 << 20, DeviceModel::default());
-        let (mut r, moved) = PmOctree::restore_from_replica(fresh, &replica, PmConfig::default());
+        let (mut r, moved) =
+            PmOctree::restore_from_replica(fresh, &replica, PmConfig::default()).unwrap();
         assert!(moved > 0);
         assert_eq!(r.leaves_sorted(), persisted);
         assert_eq!(r.get_data(OctKey::root().child(6)).unwrap().vof, 0.66);

@@ -112,6 +112,7 @@ pub fn sample_c0_freq(tree: &C0Tree, n: usize, features: &[FeatureFn], rng: &mut
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::c1::merge_subtree;

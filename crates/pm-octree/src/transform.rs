@@ -34,6 +34,7 @@ impl PmOctree {
         if self.features.is_empty() || max_swaps == 0 {
             return 0;
         }
+        self.store.arena.failpoint("transform");
         let l = sampling::l_sub(self.depth(), self.cfg.c0_capacity_octants);
         // Candidate NVBM subtrees: *maximal volatile-free* subtrees at
         // level ≥ L_sub (a region already partly in DRAM cannot be
@@ -154,6 +155,7 @@ fn candidate_scan(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::config::PmConfig;

@@ -52,7 +52,7 @@ fn crash_after_each_phase_recovers_a_version() {
             let PmOctree { store, .. } = t;
             let mut arena = store.arena;
             arena.crash(CrashMode::CommitRandom { p: 0.5, seed });
-            let mut r = PmOctree::restore(arena, cfg);
+            let mut r = PmOctree::restore(arena, cfg).unwrap();
             let got = r.leaves_sorted();
             match phase {
                 // Recovery root untouched: must be exactly the old version.
@@ -83,7 +83,7 @@ fn interrupted_persist_can_be_retried() {
     let PmOctree { store, .. } = t;
     let mut arena = store.arena;
     arena.crash(CrashMode::LoseDirty);
-    let mut r = PmOctree::restore(arena, cfg);
+    let mut r = PmOctree::restore(arena, cfg).unwrap();
     assert_eq!(r.leaves_sorted(), old);
     // Redo and complete.
     let new = mutate(&mut r);
@@ -91,7 +91,7 @@ fn interrupted_persist_can_be_retried() {
     let PmOctree { store, .. } = r;
     let mut arena = store.arena;
     arena.crash(CrashMode::LoseDirty);
-    let mut r2 = PmOctree::restore(arena, cfg);
+    let mut r2 = PmOctree::restore(arena, cfg).unwrap();
     let mut want = new;
     want.sort_by_key(|a| a.0);
     assert_eq!(r2.leaves_sorted(), want);
@@ -134,7 +134,7 @@ proptest! {
         let PmOctree { store, .. } = t;
         let mut arena = store.arena;
         arena.crash(CrashMode::CommitRandom { p, seed });
-        let mut r = PmOctree::restore(arena, cfg);
+        let mut r = PmOctree::restore(arena, cfg).unwrap();
         let got = r.leaves_sorted();
         prop_assert!(
             got == old || got == new,

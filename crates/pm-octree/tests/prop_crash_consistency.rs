@@ -99,7 +99,7 @@ proptest! {
         let pm_octree::PmOctree { store, .. } = t;
         let mut arena = store.arena;
         arena.crash(CrashMode::CommitRandom { p, seed });
-        let mut r = PmOctree::restore(arena, cfg);
+        let mut r = PmOctree::restore(arena, cfg).unwrap();
         prop_assert_eq!(r.leaves_sorted(), expected);
     }
 

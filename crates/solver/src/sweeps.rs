@@ -101,7 +101,7 @@ pub fn relax_pressure_neighbors(b: &mut dyn OctreeBackend) -> usize {
         let p_new = sum / n;
         if (p_new - d[1]).abs() > 1e-12 {
             data[i] = Some([d[0], p_new, d[2], d[3]]);
-            b.set_data(order[i], [d[0], p_new, d[2], d[3]]);
+            let _ = b.set_data(order[i], [d[0], p_new, d[2], d[3]]);
             writes += 1;
         }
     }
@@ -171,7 +171,7 @@ mod tests {
             }
         });
         let k = first.unwrap();
-        b.set_data(k, [0.0, 64.0, 0.0, 0.0]);
+        b.set_data(k, [0.0, 64.0, 0.0, 0.0]).unwrap();
         relax_pressure_neighbors(&mut b);
         let spiked = b.get_data(k).unwrap()[1];
         assert!(spiked < 64.0, "spike must diffuse, got {spiked}");

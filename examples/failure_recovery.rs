@@ -49,7 +49,8 @@ fn main() {
         let PmOctree { store, .. } = t;
         let mut arena = store.arena;
         arena.crash(CrashMode::CommitRandom { p: 0.5, seed });
-        let mut r = PmOctree::restore(arena, PmConfig::default());
+        let mut r = PmOctree::restore(arena, PmConfig::default())
+            .expect("recovery from a committed version never fails");
         if r.leaves_sorted() == expect {
             intact += 1;
         }

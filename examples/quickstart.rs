@@ -15,8 +15,11 @@ fn main() {
     let arena = NvbmArena::new(64 << 20, DeviceModel::default());
 
     // pm_create: the octree lives partly in DRAM (hot C0 subtrees),
-    // partly in NVBM; all placement is automatic.
-    let mut tree = PmOctree::create(arena, PmConfig::default());
+    // partly in NVBM; all placement is automatic. The builder validates
+    // the knobs up front (a zero C0 budget, a threshold outside (0,1],
+    // ... are rejected before any octant is written).
+    let cfg = PmConfig::builder().c0_capacity_octants(1 << 15).build().expect("valid config");
+    let mut tree = PmOctree::create(arena, cfg);
 
     // Mesh: refine the root, then one corner twice more.
     tree.refine(OctKey::root()).unwrap();
@@ -56,8 +59,11 @@ fn main() {
     arena.crash(CrashMode::CommitRandom { p: 0.5, seed: 42 });
 
     // pm_restore: back to the last persisted version, near-instantly.
+    // Restore is fallible — unformatted or corrupt media reports a
+    // PmError instead of panicking.
     let t0 = arena.clock.now_ns();
-    let mut recovered = PmOctree::restore(arena, PmConfig::default());
+    let mut recovered =
+        PmOctree::restore(arena, PmConfig::default()).expect("device holds a persisted version");
     let restore_ns = recovered.store.arena.clock.now_ns() - t0;
     println!(
         "recovered {} leaves in {:.1} virtual µs",

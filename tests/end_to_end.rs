@@ -41,7 +41,7 @@ fn full_simulation_crash_restore_resume() {
     let PmBackend { tree } = b;
     let mut arena = tree.store.arena;
     arena.crash(CrashMode::CommitRandom { p: 0.3, seed: 99 });
-    let restored = PmOctree::restore(arena, PmConfig::default());
+    let restored = PmOctree::restore(arena, PmConfig::default()).expect("restore after crash");
     let mut b = PmBackend::new(restored);
     let mut recovered = Vec::new();
     b.for_each_leaf(&mut |k, d| recovered.push((k, *d)));
