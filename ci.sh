@@ -11,3 +11,8 @@ cargo fmt --check
 # Crash-consistency gate: every crash opportunity x every injection mode
 # must recover to exactly V_i or V_{i-1} (exits non-zero on violation).
 cargo run --release -p pmoctree-bench --bin repro -- crash-sweep --smoke
+# Observability gate: a traced smoke workload must export a Chrome trace
+# that the independent JSON-level validator accepts.
+cargo run --release -p pmoctree-bench --bin repro -- droplet --quick --trace trace_smoke.json
+cargo run --release -p pmoctree-bench --bin repro -- trace-check trace_smoke.json
+rm -f trace_smoke.json

@@ -14,7 +14,7 @@
 use pm_octree::{CellData, PmError, PmOctree};
 use pmoctree_baselines::{EtreeOctree, InCoreOctree};
 use pmoctree_morton::OctKey;
-use pmoctree_nvbm::MemStats;
+use pmoctree_nvbm::{MemStats, Tracer};
 use pmoctree_simfs::SimFs;
 
 /// Cell payload as a plain array: `[phi, pressure, vof, work]`.
@@ -66,6 +66,19 @@ pub trait OctreeBackend {
     /// NVBM tier at cacheline granularity so schemes stay comparable.
     fn mem_stats(&self) -> MemStats {
         MemStats::new(0)
+    }
+
+    /// Attach a tracing journal. The PM adapter routes it into the arena
+    /// (so the internal `persist::*`/`gc`/`c0` spans land in the same
+    /// journal); baselines keep it for their persistence hooks. The
+    /// default ignores it, keeping the trait drop-in for simple backends.
+    fn set_tracer(&mut self, _tracer: Tracer) {}
+
+    /// The attached tracer (disabled unless [`OctreeBackend::set_tracer`]
+    /// was called). Drivers use it to emit spans around phases they time
+    /// themselves, stamped with this backend's [`OctreeBackend::elapsed_ns`].
+    fn tracer(&self) -> Tracer {
+        Tracer::default()
     }
 
     // ---- batched queries (leaf-index fast paths) -------------------------
@@ -276,6 +289,14 @@ impl OctreeBackend for PmBackend {
     fn mem_stats(&self) -> MemStats {
         self.tree.store.arena.stats.clone()
     }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tree.store.arena.tracer = tracer;
+    }
+
+    fn tracer(&self) -> Tracer {
+        self.tree.store.arena.tracer.clone()
+    }
 }
 
 // ---------------------------------------------------------------- in-core
@@ -288,12 +309,19 @@ pub struct InCoreBackend {
     pub fs: SimFs,
     /// Snapshot every N steps (paper: 10).
     pub snapshot_interval: usize,
+    /// Tracing journal for the snapshot phase.
+    pub tracer: Tracer,
 }
 
 impl InCoreBackend {
     /// Wrap a fresh in-core tree with the paper's 10-step snapshots.
     pub fn new() -> Self {
-        InCoreBackend { tree: InCoreOctree::new(), fs: SimFs::on_nvbm(), snapshot_interval: 10 }
+        InCoreBackend {
+            tree: InCoreOctree::new(),
+            fs: SimFs::on_nvbm(),
+            snapshot_interval: 10,
+            tracer: Tracer::default(),
+        }
     }
 }
 
@@ -382,7 +410,9 @@ impl OctreeBackend for InCoreBackend {
 
     fn end_of_step(&mut self, step: usize) {
         if self.snapshot_interval > 0 && step.is_multiple_of(self.snapshot_interval) {
+            self.tracer.begin("snapshot", self.elapsed_ns(), Some(step as u64));
             self.tree.snapshot(&mut self.fs, &format!("snapshot-{step}.gfs"));
+            self.tracer.end("snapshot", self.elapsed_ns());
         }
     }
 
@@ -409,6 +439,14 @@ impl OctreeBackend for InCoreBackend {
         s.nvbm_write(fs.bytes_written as usize, fs.bytes_written.div_ceil(64));
         s
     }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    fn tracer(&self) -> Tracer {
+        self.tracer.clone()
+    }
 }
 
 // ---------------------------------------------------------------- etree
@@ -417,18 +455,20 @@ impl OctreeBackend for InCoreBackend {
 pub struct EtreeBackend {
     /// The wrapped tree (owns its file system).
     pub tree: EtreeOctree,
+    /// Tracing journal for the flush phase.
+    pub tracer: Tracer,
 }
 
 impl EtreeBackend {
     /// Etree on NVBM accessed through the FS interface (the paper's
     /// configuration for §5.2–5.4).
     pub fn on_nvbm() -> Self {
-        EtreeBackend { tree: EtreeOctree::create(SimFs::on_nvbm()) }
+        EtreeBackend { tree: EtreeOctree::create(SimFs::on_nvbm()), tracer: Tracer::default() }
     }
 
     /// Etree on a rotating disk (its original habitat).
     pub fn on_disk() -> Self {
-        EtreeBackend { tree: EtreeOctree::create(SimFs::on_disk()) }
+        EtreeBackend { tree: EtreeOctree::create(SimFs::on_disk()), tracer: Tracer::default() }
     }
 }
 
@@ -509,8 +549,10 @@ impl OctreeBackend for EtreeBackend {
         self.tree.fs.clock.advance_to(t_ns);
     }
 
-    fn end_of_step(&mut self, _step: usize) {
+    fn end_of_step(&mut self, step: usize) {
+        self.tracer.begin("flush", self.elapsed_ns(), Some(step as u64));
         self.tree.flush();
+        self.tracer.end("flush", self.elapsed_ns());
     }
 
     fn name(&self) -> &'static str {
@@ -535,6 +577,14 @@ impl OctreeBackend for EtreeBackend {
         s.nvbm_read(fs.bytes_read as usize, fs.bytes_read.div_ceil(64));
         s.nvbm_write(fs.bytes_written as usize, fs.bytes_written.div_ceil(64));
         s
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    fn tracer(&self) -> Tracer {
+        self.tracer.clone()
     }
 }
 

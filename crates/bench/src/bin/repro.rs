@@ -5,12 +5,21 @@
 //! repro [table2|fig3|write_fraction|layout|fig6|fig7|fig8|fig9|fig10|fig11|recovery|ablations|all]
 //! [--quick]
 //! repro crash-sweep [--smoke]
+//! repro droplet [--quick] [--trace out.json] [--metrics out.prom]
+//! repro trace-check FILE
 //! ```
 //!
 //! `crash-sweep` (not part of `all`) enumerates every crash opportunity
 //! of a droplet workload under every crash mode and verifies recovery at
 //! each one, writing `BENCH_crash_sweep.json`; it exits non-zero on any
 //! contract violation.
+//!
+//! `droplet` (not part of `all`) runs the droplet workload with tracing
+//! on, prints the span attribution and per-timestep tables, and writes
+//! `BENCH_droplet.json`; `--trace` additionally exports the journal as
+//! Chrome trace-event JSON (load in `chrome://tracing` or Perfetto) and
+//! `--metrics` dumps a Prometheus text snapshot. `trace-check` validates
+//! such an exported trace file and exits non-zero if it is malformed.
 //!
 //! `--quick` shrinks problem sizes (used by CI/tests); default sizes take
 //! a few minutes. Output is plain text in the papers' row format —
@@ -70,7 +79,22 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick { Scale::quick() } else { Scale::full() };
-    let what = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".into());
+
+    // `--trace` and `--metrics` consume a value, so the value must not be
+    // mistaken for the positional subcommand.
+    let mut positionals: Vec<String> = Vec::new();
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--trace" => trace_path = it.next().cloned(),
+            "--metrics" => metrics_path = it.next().cloned(),
+            _ if a.starts_with("--") => {}
+            _ => positionals.push(a.clone()),
+        }
+    }
+    let what = positionals.first().cloned().unwrap_or_else(|| "all".into());
     let all = what == "all";
 
     if all || what == "table2" {
@@ -155,6 +179,51 @@ fn main() {
         if sweep.total_violations() > 0 {
             eprintln!("crash sweep found {} contract violations", sweep.total_violations());
             std::process::exit(1);
+        }
+    }
+    if what == "droplet" {
+        let run = droplet_traced(scale.steps, scale.recovery_level);
+        println!("{}", droplet_str(&run));
+        write_bench_json("droplet", &droplet_json(&run));
+        if let Some(path) = &trace_path {
+            let json = pmoctree_obsv::chrome::trace_json(&[(0, run.events.clone())]);
+            match std::fs::write(path, &json) {
+                Ok(()) => println!("wrote Chrome trace to {path} ({} bytes)", json.len()),
+                Err(e) => {
+                    eprintln!("could not write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        if let Some(path) = &metrics_path {
+            let text = pmoctree_obsv::prom::text(&run.metrics);
+            match std::fs::write(path, &text) {
+                Ok(()) => println!("wrote Prometheus snapshot to {path}"),
+                Err(e) => {
+                    eprintln!("could not write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    if what == "trace-check" {
+        let Some(path) = positionals.get(1) else {
+            eprintln!("usage: repro trace-check FILE");
+            std::process::exit(2);
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("could not read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match check_trace(&text) {
+            Ok(summary) => print!("{}", trace_check_str(path, &summary)),
+            Err(e) => {
+                eprintln!("{path}: INVALID trace: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -69,7 +69,7 @@ impl CrashSweepConfig {
 }
 
 /// Per-crash-mode outcome over all opportunities.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize)]
 pub struct CrashModeRow {
     /// Human-readable mode name (e.g. `torn_write[seed=3]`).
     pub mode: String,

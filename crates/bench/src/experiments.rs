@@ -4,8 +4,16 @@
 use pm_octree::{PmConfig, PmOctree};
 use pmoctree_amr::{InCoreBackend, PmBackend};
 use pmoctree_cluster::{recovery_comparison, ClusterReport, ClusterSim, RecoveryReport, Scheme};
-use pmoctree_nvbm::{DeviceModel, NvbmArena};
-use pmoctree_solver::{SimConfig, Simulation};
+use pmoctree_nvbm::{DeviceModel, NvbmArena, TraversalStats};
+use pmoctree_solver::{RunReport, SimConfig, Simulation};
+use serde::Serialize;
+
+/// Map the single-rank driver's `[refine, balance, solve, persist]`
+/// component seconds onto the cluster 5-phase layout
+/// `[refine, balance, partition, solve, persist]` (partition = 0).
+fn five_phase(c: [f64; 4]) -> [f64; 5] {
+    [c[0], c[1], 0.0, c[2], c[3]]
+}
 
 /// Default per-rank NVBM arena for experiments.
 pub const ARENA_BYTES: usize = 48 << 20;
@@ -104,7 +112,7 @@ pub fn fig3_overlap(steps: usize, max_level: u8) -> Vec<Fig3Row> {
 
 /// Write-fraction measurement (§1: 41% average, 72% max during
 /// meshing/solve operations).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize)]
 pub struct WriteFraction {
     /// Average over per-step samples.
     pub avg: f64,
@@ -234,7 +242,7 @@ pub fn layout_ablation() -> LayoutAblation {
 // ------------------------------------------------- Figs. 6/7 weak scaling
 
 /// One weak-scaling point for one scheme.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct ScalingRow {
     /// Scheme name.
     pub scheme: &'static str,
@@ -246,11 +254,15 @@ pub struct ScalingRow {
     pub exec_secs: f64,
     /// Phase percentages `[refine, balance, partition, solve, persist]`.
     pub phase_percent: [f64; 5],
+    /// Phase seconds `[refine, balance, partition, solve, persist]`.
+    pub phases: [f64; 5],
     /// NVBM cacheline reads summed across ranks (FS-backed persistence
     /// traffic included at line granularity).
     pub nvbm_read_lines: u64,
     /// NVBM cacheline writes summed across ranks.
     pub nvbm_write_lines: u64,
+    /// Octant-location counters summed across ranks.
+    pub trav: TraversalStats,
 }
 
 /// Run one cluster configuration and summarize.
@@ -267,8 +279,10 @@ pub fn run_point(scheme: Scheme, procs: usize, max_level: u8, steps: usize) -> S
         elements: r.peak_elements,
         exec_secs: r.exec_secs(),
         phase_percent: r.phase_percent(),
+        phases: r.phase_secs(),
         nvbm_read_lines: stats.nvbm.read_lines,
         nvbm_write_lines: stats.nvbm.write_lines,
+        trav: stats.trav,
     }
 }
 
@@ -299,7 +313,7 @@ pub fn fig8_strong_scaling(procs_list: &[usize], max_level: u8, steps: usize) ->
 // ------------------------------------------------- Fig. 10 DRAM size
 
 /// One Figure 10 row.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize)]
 pub struct Fig10Row {
     /// Label ("pm C0=..oct", "in-core", "out-of-core").
     pub c0_octants: Option<usize>,
@@ -307,12 +321,16 @@ pub struct Fig10Row {
     pub scheme: &'static str,
     /// Execution time (virtual seconds).
     pub exec_secs: f64,
+    /// Phase seconds `[refine, balance, partition, solve, persist]`.
+    pub phases: [f64; 5],
     /// C0↔C1 merge operations over the run (PM only).
     pub merges: u64,
     /// NVBM cacheline reads over the run.
     pub nvbm_read_lines: u64,
     /// NVBM cacheline writes over the run.
     pub nvbm_write_lines: u64,
+    /// Octant-location counters over the run.
+    pub trav: TraversalStats,
 }
 
 /// Figure 10: PM-octree execution time as the DRAM budget for `C0`
@@ -327,9 +345,11 @@ pub fn fig10_dram_size(c0_sizes: &[usize], max_level: u8, steps: usize) -> Vec<F
         c0_octants: None,
         scheme: "out-of-core",
         exec_secs: r.exec_secs,
+        phases: r.phases,
         merges: 0,
         nvbm_read_lines: r.nvbm_read_lines,
         nvbm_write_lines: r.nvbm_write_lines,
+        trav: r.trav,
     });
     for &c0 in c0_sizes {
         let sim = Simulation::new(cfg);
@@ -347,9 +367,11 @@ pub fn fig10_dram_size(c0_sizes: &[usize], max_level: u8, steps: usize) -> Vec<F
             c0_octants: Some(c0),
             scheme: "pm-octree",
             exec_secs: report.total_secs(),
+            phases: five_phase(report.component_secs()),
             merges: b.tree.events.merges,
             nvbm_read_lines: stats.nvbm.read_lines,
             nvbm_write_lines: stats.nvbm.write_lines,
+            trav: stats.trav,
         });
     }
     // In-core bound.
@@ -358,9 +380,11 @@ pub fn fig10_dram_size(c0_sizes: &[usize], max_level: u8, steps: usize) -> Vec<F
         c0_octants: None,
         scheme: "in-core",
         exec_secs: r.exec_secs,
+        phases: r.phases,
         merges: 0,
         nvbm_read_lines: r.nvbm_read_lines,
         nvbm_write_lines: r.nvbm_write_lines,
+        trav: r.trav,
     });
     rows
 }
@@ -368,7 +392,7 @@ pub fn fig10_dram_size(c0_sizes: &[usize], max_level: u8, steps: usize) -> Vec<F
 // ------------------------------------------------- Fig. 11 transformation
 
 /// One Figure 11 row.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize)]
 pub struct Fig11Row {
     /// Mesh elements.
     pub elements: usize,
@@ -380,6 +404,14 @@ pub struct Fig11Row {
     pub without_writes: u64,
     /// With.
     pub with_writes: u64,
+    /// Phase seconds without the transformation.
+    pub phases_without: [f64; 5],
+    /// Phase seconds with it.
+    pub phases_with: [f64; 5],
+    /// Octant-location counters without the transformation.
+    pub trav_without: TraversalStats,
+    /// With it.
+    pub trav_with: TraversalStats,
 }
 
 impl Fig11Row {
@@ -406,7 +438,7 @@ pub fn fig11_transform(levels: &[u8], c0_fraction: f64, steps: usize) -> Vec<Fig
         // case fits only ~7% of octants in C0.
         let est_octants = (520.0 + 2.2 * 4f64.powi(level as i32)) as usize;
         let c0_octants = ((est_octants as f64 * c0_fraction) as usize).max(32);
-        let run = |transform: bool| -> (f64, u64, usize) {
+        let run = |transform: bool| -> (f64, u64, usize, [f64; 5], TraversalStats) {
             let sim = Simulation::new(sim_cfg(steps, level));
             let mut b = PmBackend::new(PmOctree::create(
                 NvbmArena::new(ARENA_BYTES.max(1 << (2 * level + 10)), DeviceModel::default()),
@@ -425,13 +457,92 @@ pub fn fig11_transform(levels: &[u8], c0_fraction: f64, steps: usize) -> Vec<Fig
                 b.tree.add_feature(pmoctree_solver::solver_feature());
             }
             let report = sim.run(&mut b);
-            (report.total_secs(), b.tree.store.arena.stats.nvbm.write_lines, report.peak_leaves())
+            (
+                report.total_secs(),
+                b.tree.store.arena.stats.nvbm.write_lines,
+                report.peak_leaves(),
+                five_phase(report.component_secs()),
+                b.tree.store.arena.stats.trav,
+            )
         };
-        let (without_secs, without_writes, elements) = run(false);
-        let (with_secs, with_writes, _) = run(true);
-        rows.push(Fig11Row { elements, without_secs, with_secs, without_writes, with_writes });
+        let (without_secs, without_writes, elements, phases_without, trav_without) = run(false);
+        let (with_secs, with_writes, _, phases_with, trav_with) = run(true);
+        rows.push(Fig11Row {
+            elements,
+            without_secs,
+            with_secs,
+            without_writes,
+            with_writes,
+            phases_without,
+            phases_with,
+            trav_without,
+            trav_with,
+        });
     }
     rows
+}
+
+// ------------------------------------------------- traced droplet run
+
+/// A fully traced single-rank PM droplet run: the observability demo
+/// behind `repro droplet`. The tracer journals every FailPlan-labelled
+/// phase (`persist::*`, `gc::sweep`, `c0::evict`, `replica::ship`,
+/// `transform`) plus the driver-level `step::*` spans, and the metrics
+/// registry absorbs the arena's `MemStats` at the end of the run.
+pub struct DropletRun {
+    /// Per-step breakdown from the driver (the span tree must agree with
+    /// these totals — see the trace acceptance tests).
+    pub report: RunReport,
+    /// Final element count.
+    pub elements: usize,
+    /// The event journal (single rank, tid 0).
+    pub events: Vec<pmoctree_nvbm::Event>,
+    /// Metrics snapshot (counters, gauges, duration histograms).
+    pub metrics: pmoctree_nvbm::Metrics,
+    /// Octant-location counters over the run.
+    pub trav: TraversalStats,
+}
+
+/// Run the droplet workload with tracing attached (tid 0). Deterministic:
+/// two runs at the same scale produce byte-identical journals.
+pub fn droplet_traced(steps: usize, max_level: u8) -> DropletRun {
+    droplet_run(steps, max_level, true)
+}
+
+/// Same workload with the tracer compiled to its disabled (`None`) state:
+/// the zero-inflation control for the acceptance tests. Its `events` and
+/// `metrics` are empty.
+pub fn droplet_untraced(steps: usize, max_level: u8) -> DropletRun {
+    droplet_run(steps, max_level, false)
+}
+
+fn droplet_run(steps: usize, max_level: u8, traced: bool) -> DropletRun {
+    use pmoctree_amr::OctreeBackend;
+    let sim = Simulation::new(sim_cfg(steps, max_level));
+    let mut b = PmBackend::new(PmOctree::create(
+        NvbmArena::new(ARENA_BYTES, DeviceModel::default()),
+        PmConfig::builder().dynamic_transform(true).replicas(true).build().expect("valid config"),
+    ));
+    // Features arm the sampling/transform paths so their spans appear.
+    b.tree.add_feature(pmoctree_solver::refinement_feature(
+        sim.interface,
+        sim.time.clone(),
+        sim.cfg.band_cells,
+    ));
+    b.tree.add_feature(pmoctree_solver::solver_feature());
+    if traced {
+        b.set_tracer(pmoctree_nvbm::Tracer::enabled(0));
+    }
+    let report = sim.run(&mut b);
+    b.tree.store.arena.publish_metrics();
+    let tr = b.tracer();
+    DropletRun {
+        elements: b.leaf_count(),
+        events: tr.events(),
+        metrics: tr.metrics(),
+        trav: b.tree.store.arena.stats.trav,
+        report,
+    }
 }
 
 // ------------------------------------------------- §5.6 recovery

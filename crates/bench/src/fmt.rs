@@ -186,6 +186,66 @@ pub fn versions_str(rows: &[VersionRow]) -> String {
     s
 }
 
+/// Render the traced droplet run: flat span attribution, persist
+/// coverage, and the per-timestep table reconstructed from the journal.
+pub fn droplet_str(run: &DropletRun) -> String {
+    let mut s = format!(
+        "Traced droplet run: {} steps, {} elements, {:.3} virtual s, {} journal events\n",
+        run.report.steps.len(),
+        run.elements,
+        run.report.total_secs(),
+        run.events.len()
+    );
+    match pmoctree_obsv::inclusive_totals(&run.events) {
+        Ok(rows) => {
+            s.push_str("span                  | total (ms) |  count\n");
+            for r in rows.iter().take(16) {
+                s.push_str(&format!(
+                    "{:<21} | {:>10.3} | {:>6}\n",
+                    r.name,
+                    r.total_ns as f64 * 1e-6,
+                    r.count
+                ));
+            }
+        }
+        Err(e) => s.push_str(&format!("span journal invalid: {e}\n")),
+    }
+    if let Ok((parent, children)) = pmoctree_obsv::coverage(&run.events, "persist") {
+        let pct = if parent > 0 { 100.0 * children as f64 / parent as f64 } else { 100.0 };
+        s.push_str(&format!(
+            "persist coverage: {:.3} ms in persist children of {:.3} ms total ({pct:.2}%)\n",
+            children as f64 * 1e-6,
+            parent as f64 * 1e-6,
+        ));
+    }
+    if let Ok(steps) = pmoctree_obsv::step_table(&run.events) {
+        s.push_str("step |  total (ms) |  refine | balance |   solve | persist\n");
+        for st in &steps {
+            let get = |n: &str| {
+                st.phases.iter().find(|(p, _)| *p == n).map_or(0.0, |(_, ns)| *ns as f64 * 1e-6)
+            };
+            s.push_str(&format!(
+                "{:>4} | {:>11.3} | {:>7.3} | {:>7.3} | {:>7.3} | {:>7.3}\n",
+                st.step,
+                st.total_ns as f64 * 1e-6,
+                get("step::refine"),
+                get("step::balance"),
+                get("step::solve"),
+                get("step::persist"),
+            ));
+        }
+    }
+    s
+}
+
+/// Render a trace-check verdict.
+pub fn trace_check_str(path: &str, s: &crate::trace_check::TraceSummary) -> String {
+    format!(
+        "{path}: valid Chrome trace — {} events, {} threads, {} complete spans\n",
+        s.events, s.threads, s.spans
+    )
+}
+
 /// Render the crash-point sweep outcome.
 pub fn crash_sweep_str(sweep: &crate::crash_sweep::CrashSweep) -> String {
     let mut s = format!(

@@ -2,31 +2,18 @@
 //! next to the `repro` run, so regressions in virtual execution time or
 //! NVBM traffic can be diffed without parsing the human tables.
 //!
-//! The format is hand-rolled (no serde in the dependency closure): flat
-//! objects and arrays of numbers/strings only.
+//! Serialization is serde-derived: each experiment's row struct carries
+//! `#[derive(Serialize)]` and the functions here wrap the rows in a small
+//! document struct (`{"experiment": ..., "rows": [...]}`), so fields
+//! added to a row automatically appear in its JSON.
 
 use crate::experiments::*;
+use pmoctree_nvbm::TraversalStats;
+use serde::Serialize;
 
-/// One `"key": value` JSON pair, already rendered.
-fn field(key: &str, value: String) -> String {
-    format!("\"{key}\": {value}")
-}
-
-fn obj(fields: Vec<String>) -> String {
-    format!("{{{}}}", fields.join(", "))
-}
-
-fn arr(items: Vec<String>) -> String {
-    format!("[{}]", items.join(",\n  "))
-}
-
-fn s(v: &str) -> String {
-    format!("\"{v}\"")
-}
-
-/// Write `BENCH_<experiment>.json` in the current directory. Errors are
-/// reported to stderr but never abort the run (the text tables remain
-/// the primary output).
+/// Write an already-rendered JSON document to `BENCH_<experiment>.json`
+/// in the current directory. Errors are reported to stderr but never
+/// abort the run (the text tables remain the primary output).
 pub fn write_bench_json(experiment: &str, body: &str) {
     let path = format!("BENCH_{experiment}.json");
     if let Err(e) = std::fs::write(&path, format!("{body}\n")) {
@@ -34,146 +21,203 @@ pub fn write_bench_json(experiment: &str, body: &str) {
     }
 }
 
+#[derive(Serialize)]
+struct WriteFractionDoc {
+    experiment: &'static str,
+    avg: f64,
+    max: f64,
+    aggregate: f64,
+    trav: TraversalStats,
+}
+
 /// JSON for the write-fraction experiment, including the traversal
 /// counters that make the leaf-index optimisation observable.
 pub fn write_fraction_json(w: &WriteFraction) -> String {
-    obj(vec![
-        field("experiment", s("write_fraction")),
-        field("avg", format!("{:.6}", w.avg)),
-        field("max", format!("{:.6}", w.max)),
-        field("aggregate", format!("{:.6}", w.aggregate)),
-        field("root_descents", w.trav.root_descents.to_string()),
-        field("index_hits", w.trav.index_hits.to_string()),
-        field("index_rebuilds", w.trav.index_rebuilds.to_string()),
-        field("index_rebuild_octants", w.trav.index_rebuild_octants.to_string()),
-    ])
+    json_doc(&WriteFractionDoc {
+        experiment: "write_fraction",
+        avg: w.avg,
+        max: w.max,
+        aggregate: w.aggregate,
+        trav: w.trav,
+    })
+}
+
+#[derive(Serialize)]
+struct ScalingDoc {
+    experiment: String,
+    rows: Vec<ScalingRow>,
 }
 
 /// JSON for a scaling experiment (Figs 6/7 or 8/9).
 pub fn scaling_json(experiment: &str, rows: &[ScalingRow]) -> String {
-    let items = rows
-        .iter()
-        .map(|r| {
-            obj(vec![
-                field("scheme", s(r.scheme)),
-                field("procs", r.procs.to_string()),
-                field("elements", r.elements.to_string()),
-                field("exec_secs", format!("{:.9}", r.exec_secs)),
-                field("nvbm_read_lines", r.nvbm_read_lines.to_string()),
-                field("nvbm_write_lines", r.nvbm_write_lines.to_string()),
-            ])
-        })
-        .collect();
-    obj(vec![field("experiment", s(experiment)), field("rows", arr(items))])
+    json_doc(&ScalingDoc { experiment: experiment.to_string(), rows: rows.to_vec() })
+}
+
+#[derive(Serialize)]
+struct Fig10Doc {
+    experiment: &'static str,
+    rows: Vec<Fig10Row>,
 }
 
 /// JSON for Figure 10 (DRAM size sweep).
 pub fn fig10_json(rows: &[Fig10Row]) -> String {
-    let items = rows
-        .iter()
-        .map(|r| {
-            obj(vec![
-                field("scheme", s(r.scheme)),
-                field("c0_octants", r.c0_octants.map_or("null".to_string(), |n| n.to_string())),
-                field("exec_secs", format!("{:.9}", r.exec_secs)),
-                field("merges", r.merges.to_string()),
-                field("nvbm_read_lines", r.nvbm_read_lines.to_string()),
-                field("nvbm_write_lines", r.nvbm_write_lines.to_string()),
-            ])
-        })
-        .collect();
-    obj(vec![field("experiment", s("fig10")), field("rows", arr(items))])
+    json_doc(&Fig10Doc { experiment: "fig10", rows: rows.to_vec() })
+}
+
+#[derive(Serialize)]
+struct Fig11Doc {
+    experiment: &'static str,
+    rows: Vec<Fig11Row>,
 }
 
 /// JSON for Figure 11 (dynamic transformation off/on).
 pub fn fig11_json(rows: &[Fig11Row]) -> String {
-    let items = rows
-        .iter()
-        .map(|r| {
-            obj(vec![
-                field("elements", r.elements.to_string()),
-                field("without_secs", format!("{:.9}", r.without_secs)),
-                field("with_secs", format!("{:.9}", r.with_secs)),
-                field("nvbm_write_lines_without", r.without_writes.to_string()),
-                field("nvbm_write_lines_with", r.with_writes.to_string()),
-            ])
-        })
-        .collect();
-    obj(vec![field("experiment", s("fig11")), field("rows", arr(items))])
+    json_doc(&Fig11Doc { experiment: "fig11", rows: rows.to_vec() })
+}
+
+#[derive(Serialize)]
+struct RecoveryDoc {
+    experiment: &'static str,
+    rows: Vec<pmoctree_cluster::RecoveryReport>,
 }
 
 /// JSON for the §5.6 recovery comparison.
 pub fn recovery_json(rows: &[pmoctree_cluster::RecoveryReport]) -> String {
-    let items = rows
-        .iter()
-        .map(|r| {
-            obj(vec![
-                field("scheme", s(r.scheme)),
-                field("same_node_secs", format!("{:.9}", r.same_node_secs)),
-                field(
-                    "new_node_secs",
-                    r.new_node_secs.map_or("null".to_string(), |t| format!("{t:.9}")),
-                ),
-            ])
-        })
-        .collect();
-    obj(vec![field("experiment", s("recovery")), field("rows", arr(items))])
+    json_doc(&RecoveryDoc { experiment: "recovery", rows: rows.to_vec() })
+}
+
+#[derive(Serialize)]
+struct LabelCount {
+    label: String,
+    count: u64,
+}
+
+#[derive(Serialize)]
+struct CrashSweepDoc {
+    experiment: &'static str,
+    steps: usize,
+    elements: usize,
+    opportunities: u64,
+    total_violations: u64,
+    labels: Vec<LabelCount>,
+    rows: Vec<crate::crash_sweep::CrashModeRow>,
 }
 
 /// JSON for the crash-point sweep: per-mode recovery outcomes plus
 /// failpoint coverage.
 pub fn crash_sweep_json(sweep: &crate::crash_sweep::CrashSweep) -> String {
-    let rows = sweep
-        .rows
-        .iter()
-        .map(|r| {
-            obj(vec![
-                field("mode", s(&r.mode)),
-                field("checked", r.checked.to_string()),
-                field("recovered_committed", r.recovered_committed.to_string()),
-                field("recovered_in_flight", r.recovered_in_flight.to_string()),
-                field("violations", r.violations.to_string()),
-            ])
-        })
+    json_doc(&CrashSweepDoc {
+        experiment: "crash_sweep",
+        steps: sweep.steps,
+        elements: sweep.elements,
+        opportunities: sweep.opportunities,
+        total_violations: sweep.total_violations(),
+        labels: sweep
+            .label_counts
+            .iter()
+            .map(|(l, n)| LabelCount { label: l.clone(), count: *n })
+            .collect(),
+        rows: sweep.rows.clone(),
+    })
+}
+
+#[derive(Serialize)]
+struct AttrRowDoc {
+    name: String,
+    total_ns: u64,
+    count: u64,
+}
+
+#[derive(Serialize)]
+struct DropletDoc {
+    experiment: &'static str,
+    steps: usize,
+    elements: usize,
+    total_secs: f64,
+    phases: [f64; 5],
+    trav: TraversalStats,
+    persist_ns: u64,
+    persist_covered_ns: u64,
+    attribution: Vec<AttrRowDoc>,
+}
+
+/// JSON for the traced droplet run: driver phase totals plus the span
+/// attribution and the persist coverage figures (see the acceptance
+/// tests for the ≥97% contract).
+pub fn droplet_json(run: &DropletRun) -> String {
+    let (persist_ns, persist_covered_ns) =
+        pmoctree_obsv::coverage(&run.events, "persist").unwrap_or((0, 0));
+    let attribution = pmoctree_obsv::inclusive_totals(&run.events)
+        .unwrap_or_default()
+        .into_iter()
+        .map(|r| AttrRowDoc { name: r.name.to_string(), total_ns: r.total_ns, count: r.count })
         .collect();
-    let labels = sweep
-        .label_counts
-        .iter()
-        .map(|(l, n)| obj(vec![field("label", s(l)), field("count", n.to_string())]))
-        .collect();
-    obj(vec![
-        field("experiment", s("crash_sweep")),
-        field("steps", sweep.steps.to_string()),
-        field("elements", sweep.elements.to_string()),
-        field("opportunities", sweep.opportunities.to_string()),
-        field("total_violations", sweep.total_violations().to_string()),
-        field("labels", arr(labels)),
-        field("rows", arr(rows)),
-    ])
+    let comps = run.report.component_secs();
+    json_doc(&DropletDoc {
+        experiment: "droplet",
+        steps: run.report.steps.len(),
+        elements: run.elements,
+        total_secs: run.report.total_secs(),
+        phases: [comps[0], comps[1], 0.0, comps[2], comps[3]],
+        trav: run.trav,
+        persist_ns,
+        persist_covered_ns,
+        attribution,
+    })
+}
+
+fn json_doc<T: Serialize>(doc: &T) -> String {
+    serde_json::to_string(doc).unwrap_or_else(|e| format!("{{\"error\": \"{e}\"}}"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn scaling_json_is_wellformed() {
-        let rows = vec![ScalingRow {
+    fn row() -> ScalingRow {
+        ScalingRow {
             scheme: "pm-octree",
             procs: 4,
             elements: 624,
             exec_secs: 0.01,
             phase_percent: [0.0; 5],
+            phases: [0.0, 0.0, 0.0, 0.005, 0.005],
             nvbm_read_lines: 100,
             nvbm_write_lines: 50,
-        }];
-        let j = scaling_json("fig6", &rows);
+            trav: TraversalStats::default(),
+        }
+    }
+
+    #[test]
+    fn scaling_json_is_wellformed() {
+        let j = scaling_json("fig6", &[row()]);
         assert!(j.starts_with('{') && j.ends_with('}'));
-        assert!(j.contains("\"nvbm_read_lines\": 100"));
-        assert!(j.contains("\"exec_secs\": 0.010000000"));
-        // Balanced braces/brackets (cheap well-formedness proxy).
-        let open = j.matches('{').count() + j.matches('[').count();
-        let close = j.matches('}').count() + j.matches(']').count();
-        assert_eq!(open, close);
+        assert!(j.contains("\"nvbm_read_lines\":100"));
+        let v = serde_json::from_str(&j).expect("valid JSON");
+        assert_eq!(v.get("experiment").and_then(|e| e.as_str()), Some("fig6"));
+        let rows = v.get("rows").and_then(|r| r.as_array()).expect("rows array");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("procs").and_then(|p| p.as_u64()), Some(4));
+        assert_eq!(
+            rows[0].get("trav").and_then(|t| t.get("index_hits")).and_then(|h| h.as_u64()),
+            Some(0)
+        );
+        let phases = rows[0].get("phases").and_then(|p| p.as_array()).expect("phases");
+        assert_eq!(phases.len(), 5);
+    }
+
+    #[test]
+    fn recovery_json_roundtrips_null() {
+        let rows = vec![pmoctree_cluster::RecoveryReport {
+            scheme: "out-of-core",
+            same_node_secs: 0.5,
+            new_node_secs: None,
+            elements: 9,
+            trav: TraversalStats::default(),
+        }];
+        let v = serde_json::from_str(&recovery_json(&rows)).expect("valid JSON");
+        let r0 = &v.get("rows").and_then(|r| r.as_array()).unwrap()[0];
+        assert_eq!(r0.get("new_node_secs"), Some(&serde_json::Value::Null));
+        assert_eq!(r0.get("elements").and_then(|e| e.as_u64()), Some(9));
     }
 }

@@ -11,6 +11,8 @@ pub mod crash_sweep;
 pub mod experiments;
 pub mod fmt;
 pub mod json;
+pub mod trace_check;
 
 pub use crash_sweep::*;
 pub use experiments::*;
+pub use trace_check::{check_trace, TraceSummary};

@@ -1,0 +1,138 @@
+//! JSON-level validation of exported Chrome traces (`repro trace-check`).
+//!
+//! [`pmoctree_obsv::chrome::validate_events`] checks the in-memory
+//! journal; this module re-checks the *serialized* artifact, so a bug in
+//! the exporter (or a hand-edited file) is caught too: the text must
+//! parse as strict JSON, carry a `traceEvents` array, and every per-
+//! `(pid, tid)` stream must have monotone timestamps and balanced,
+//! name-matched `B`/`E` pairs.
+
+use std::collections::BTreeMap;
+
+use serde_json::Value;
+
+/// What a valid trace file contained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total events in `traceEvents`.
+    pub events: usize,
+    /// Distinct `(pid, tid)` streams.
+    pub threads: usize,
+    /// Complete spans (matched `B`/`E` pairs).
+    pub spans: usize,
+}
+
+/// Validate the text of a Chrome trace-event JSON file.
+pub fn check_trace(text: &str) -> Result<TraceSummary, String> {
+    let doc = serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "missing \"traceEvents\" array".to_string())?;
+    let mut stacks: BTreeMap<(u64, u64), Vec<String>> = BTreeMap::new();
+    let mut last_ts: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+    let mut spans = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        let name = e
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing \"name\""))?;
+        let ph = e
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing \"ph\""))?;
+        let ts = e
+            .get("ts")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("event {i}: missing numeric \"ts\""))?;
+        let pid = e.get("pid").and_then(Value::as_u64).unwrap_or(0);
+        let tid = e.get("tid").and_then(Value::as_u64).unwrap_or(0);
+        let key = (pid, tid);
+        if let Some(&prev) = last_ts.get(&key) {
+            if ts < prev {
+                return Err(format!(
+                    "event {i} ({name}): ts {ts} goes back in time on tid {tid} (prev {prev})"
+                ));
+            }
+        }
+        last_ts.insert(key, ts);
+        match ph {
+            "B" => stacks.entry(key).or_default().push(name.to_string()),
+            "E" => match stacks.entry(key).or_default().pop() {
+                Some(top) if top == name => spans += 1,
+                Some(top) => {
+                    return Err(format!("event {i}: E({name}) closes open span {top} on tid {tid}"))
+                }
+                None => return Err(format!("event {i}: E({name}) with no open span on tid {tid}")),
+            },
+            "i" | "I" => {}
+            other => return Err(format!("event {i} ({name}): unsupported ph {other:?}")),
+        }
+    }
+    for ((_, tid), stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!("tid {tid}: trace ends with span {open} still open"));
+        }
+    }
+    Ok(TraceSummary { events: events.len(), threads: last_ts.len(), spans })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmoctree_nvbm::Tracer;
+    use pmoctree_obsv::chrome;
+
+    fn sample_trace() -> String {
+        let t = Tracer::enabled(2);
+        t.begin("step", 0, Some(0));
+        t.begin("step::persist", 100, None);
+        t.instant("sampling::decision", 150, Some(3));
+        t.end("step::persist", 900);
+        t.end("step", 1000);
+        chrome::trace_json(&[(2, t.events())])
+    }
+
+    #[test]
+    fn accepts_exporter_output() {
+        let s = check_trace(&sample_trace()).unwrap();
+        assert_eq!(s.events, 5);
+        assert_eq!(s.threads, 1);
+        assert_eq!(s.spans, 2);
+    }
+
+    #[test]
+    fn rejects_garbage_and_imbalance() {
+        assert!(check_trace("not json").is_err());
+        assert!(check_trace("{}").is_err());
+        // An open span never closed.
+        let open = r#"{"traceEvents":[{"name":"a","ph":"B","ts":0,"pid":0,"tid":0}]}"#;
+        assert!(check_trace(open).unwrap_err().contains("still open"));
+        // Crossed spans.
+        let crossed = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":0,"pid":0,"tid":0},
+            {"name":"b","ph":"B","ts":1,"pid":0,"tid":0},
+            {"name":"a","ph":"E","ts":2,"pid":0,"tid":0}]}"#;
+        assert!(check_trace(crossed).is_err());
+        // Time travel within one tid.
+        let back = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":5,"pid":0,"tid":0},
+            {"name":"a","ph":"E","ts":4,"pid":0,"tid":0}]}"#;
+        assert!(check_trace(back).unwrap_err().contains("back in time"));
+    }
+
+    #[test]
+    fn independent_tids_do_not_interfere() {
+        let a = Tracer::enabled(0);
+        a.begin("x", 0, None);
+        a.end("x", 50);
+        let b = Tracer::enabled(1);
+        b.begin("y", 10, None);
+        b.end("y", 20);
+        // Thread b's timestamps rewind relative to a's — legal, separate tid.
+        let json = chrome::trace_json(&[(0, a.events()), (1, b.events())]);
+        let s = check_trace(&json).unwrap();
+        assert_eq!(s.threads, 2);
+        assert_eq!(s.spans, 2);
+    }
+}

@@ -15,11 +15,12 @@
 use pm_octree::{PmConfig, PmOctree};
 use pmoctree_amr::{InCoreBackend, PmBackend};
 use pmoctree_baselines::InCoreOctree;
-use pmoctree_nvbm::{CrashMode, DeviceModel, NetworkModel, NvbmArena};
+use pmoctree_nvbm::{CrashMode, DeviceModel, NetworkModel, NvbmArena, TraversalStats};
 use pmoctree_solver::{SimConfig, Simulation};
+use serde::Serialize;
 
 /// Recovery timings for one scheme, in virtual seconds.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct RecoveryReport {
     /// Scheme name.
     pub scheme: &'static str,
@@ -29,6 +30,8 @@ pub struct RecoveryReport {
     pub new_node_secs: Option<f64>,
     /// Elements recovered.
     pub elements: usize,
+    /// Octant-location counters of the pre-crash run.
+    pub trav: TraversalStats,
 }
 
 /// Run the PM-octree recovery experiment: simulate `steps_before_kill`
@@ -46,6 +49,7 @@ pub fn pm_recovery(cfg: SimConfig, steps_before_kill: usize, arena_bytes: usize)
     }
     let replica = b.tree.replicas.clone().expect("replicas enabled");
     let elements = b.tree.leaf_count();
+    let trav = b.tree.store.arena.stats.trav;
     // Kill: volatile state is gone, dirty lines lost.
     let PmBackend { tree } = b;
     let mut arena = tree.store.arena;
@@ -75,6 +79,7 @@ pub fn pm_recovery(cfg: SimConfig, steps_before_kill: usize, arena_bytes: usize)
         same_node_secs,
         new_node_secs: Some(transfer_secs + restore2_secs),
         elements,
+        trav,
     }
 }
 
@@ -95,6 +100,7 @@ pub fn incore_recovery(cfg: SimConfig, steps_before_kill: usize) -> RecoveryRepo
         b.tree.snapshot(&mut b.fs, &name);
     }
     let elements = b.tree.leaf_count();
+    let trav = b.tree.stats.trav;
     // Kill: DRAM gone; only the snapshot file survives. Recovery time =
     // file read + tree rebuild.
     let InCoreBackend { mut fs, .. } = b;
@@ -108,6 +114,7 @@ pub fn incore_recovery(cfg: SimConfig, steps_before_kill: usize) -> RecoveryRepo
         // Snapshot lives on the shared PFS: same cost from any node.
         new_node_secs: Some(io_secs + rebuild_secs),
         elements: restored.leaf_count(),
+        trav,
     }
     .with_elements(elements)
 }
@@ -129,7 +136,8 @@ pub fn etree_recovery(cfg: SimConfig, steps_before_kill: usize) -> RecoveryRepor
     }
     b.tree.flush();
     let elements = b.tree.leaf_count();
-    let pmoctree_amr::EtreeBackend { tree } = b;
+    let trav = b.tree.stats.trav;
+    let pmoctree_amr::EtreeBackend { tree, .. } = b;
     let pmoctree_baselines::EtreeOctree { fs, .. } = tree;
     // The index pages persist in the file system; a reopen rebuilds the
     // handle from metadata. We model the index as re-created from its
@@ -144,6 +152,7 @@ pub fn etree_recovery(cfg: SimConfig, steps_before_kill: usize) -> RecoveryRepor
         same_node_secs: same,
         new_node_secs: None, // not replicated (§5.6 second scenario)
         elements,
+        trav,
     }
 }
 

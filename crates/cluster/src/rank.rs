@@ -153,9 +153,16 @@ impl Rank {
             range: self.range,
         };
         let b = self.backend.as_mut();
+        // Mirror the single-rank driver's span taxonomy so cluster traces
+        // line up with `pmoctree_solver::Simulation::step`.
+        let tr = b.tracer();
         let t0 = b.elapsed_ns();
+        tr.begin("step", t0, Some(step_idx as u64));
+        tr.begin("step::refine", t0, None);
         adapt(b, &crit);
         let t1 = b.elapsed_ns();
+        tr.end("step::refine", t1);
+        tr.begin("step::balance", t1, None);
         // Local balance: only the active band needs re-checking (the
         // balanced adapt primitives keep the rest 2:1 by construction).
         let mut active = Vec::new();
@@ -166,12 +173,18 @@ impl Rank {
         });
         balance_subset(b, &active);
         let t2 = b.elapsed_ns();
+        tr.end("step::balance", t2);
+        tr.begin("step::solve", t2, None);
         pmoctree_solver::advect(b, &sim.interface, t);
         pmoctree_solver::relax_pressure(b, sim.cfg.relax_iters);
         pmoctree_solver::estimate_work(b);
         let t3 = b.elapsed_ns();
+        tr.end("step::solve", t3);
+        tr.begin("step::persist", t3, None);
         b.end_of_step(step_idx + 1);
         let t4 = b.elapsed_ns();
+        tr.end("step::persist", t4);
+        tr.end("step", t4);
         [t1 - t0, t2 - t1, t3 - t2, t4 - t3]
     }
 

@@ -8,7 +8,7 @@
 //! phase charges allgather + octant-migration traffic.
 
 use pmoctree_morton::{partition_by_weight, OctKey, ZRange};
-use pmoctree_nvbm::NetworkModel;
+use pmoctree_nvbm::{Event, Metrics, NetworkModel, Tracer};
 use pmoctree_solver::{SimConfig, Simulation};
 use rayon::prelude::*;
 
@@ -237,6 +237,39 @@ impl ClusterSim {
     /// The scheme in use.
     pub fn scheme(&self) -> Scheme {
         self.scheme
+    }
+
+    /// Attach an enabled tracer to every rank (tid = rank id). Each rank
+    /// journals independently, so the parallel phases stay contention-free
+    /// and per-rank event streams stay deterministic.
+    pub fn enable_tracing(&mut self) {
+        for r in &mut self.ranks {
+            r.backend.set_tracer(Tracer::enabled(r.id as u32));
+        }
+    }
+
+    /// Per-rank event journals as `(tid, events)` threads, ready for
+    /// [`pmoctree_nvbm::obsv::chrome::trace_json`]. Empty unless
+    /// [`ClusterSim::enable_tracing`] was called.
+    pub fn trace_threads(&self) -> Vec<(u32, Vec<Event>)> {
+        self.ranks
+            .iter()
+            .map(|r| {
+                let tr = r.backend.tracer();
+                (tr.tid(), tr.events())
+            })
+            .filter(|(_, ev)| !ev.is_empty())
+            .collect()
+    }
+
+    /// Metrics registries of all ranks merged into one (counters add,
+    /// gauges take the max, histograms merge cell-wise).
+    pub fn merged_metrics(&self) -> Metrics {
+        let mut out = Metrics::default();
+        for r in &self.ranks {
+            out.merge(&r.backend.tracer().metrics());
+        }
+        out
     }
 
     fn barrier(&mut self) {

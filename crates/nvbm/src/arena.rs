@@ -19,6 +19,7 @@ use crate::clock::VirtualClock;
 use crate::failplan::FailPlan;
 use crate::model::{DeviceModel, CACHELINE};
 use crate::stats::MemStats;
+use pmoctree_obsv::{Span, Tracer};
 
 /// Persistent offset within an NVBM arena. Offset 0 is the device header,
 /// so 0 doubles as the null pointer in on-media structures.
@@ -167,6 +168,10 @@ pub struct NvbmArena {
     pub clock: VirtualClock,
     /// Access statistics (NVBM tier + caller-recorded DRAM tier).
     pub stats: MemStats,
+    /// Tracing journal for this device. Disabled (free) by default;
+    /// attach with `arena.tracer = Tracer::enabled(tid)`. Span guards from
+    /// [`NvbmArena::span`] stamp begin/end with this arena's [`VirtualClock`].
+    pub tracer: Tracer,
     /// Installed crash-opportunity plan (see [`FailPlan`]).
     plan: Option<FailPlan>,
 }
@@ -183,6 +188,7 @@ impl NvbmArena {
             model,
             clock: VirtualClock::new(),
             stats: MemStats::new(capacity),
+            tracer: Tracer::default(),
             plan: None,
         };
         a.format();
@@ -202,8 +208,66 @@ impl NvbmArena {
             model,
             clock: VirtualClock::new(),
             stats,
+            tracer: Tracer::default(),
             plan: None,
         }
+    }
+
+    // ---- tracing ---------------------------------------------------------
+
+    /// Open a tracing span stamped with this arena's virtual clock. A
+    /// no-op guard when no tracer is attached.
+    pub fn span(&self, name: &'static str) -> Span {
+        if !self.tracer.is_enabled() {
+            return Span::noop();
+        }
+        let clock = self.clock.clone();
+        self.tracer.span(name, move || clock.now_ns())
+    }
+
+    /// [`NvbmArena::span`] with a numeric argument (e.g. a step index).
+    pub fn span_arg(&self, name: &'static str, arg: u64) -> Span {
+        if !self.tracer.is_enabled() {
+            return Span::noop();
+        }
+        let clock = self.clock.clone();
+        self.tracer.span_arg(name, arg, move || clock.now_ns())
+    }
+
+    /// Record a point event at the current virtual time (e.g. a sampling
+    /// decision). No-op when tracing is disabled.
+    pub fn instant(&self, name: &'static str, arg: Option<u64>) {
+        if self.tracer.is_enabled() {
+            self.tracer.instant(name, self.clock.now_ns(), arg);
+        }
+    }
+
+    /// Publish the ad-hoc [`MemStats`] accumulators into the tracer's
+    /// metrics registry (counters for tier/traversal totals, gauges for
+    /// wear), so one metrics snapshot carries everything. No-op when
+    /// tracing is disabled.
+    pub fn publish_metrics(&self) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let t = &self.tracer;
+        let s = &self.stats;
+        t.counter_set("nvbm.read_lines", s.nvbm.read_lines);
+        t.counter_set("nvbm.write_lines", s.nvbm.write_lines);
+        t.counter_set("nvbm.bytes_read", s.nvbm.bytes_read);
+        t.counter_set("nvbm.bytes_written", s.nvbm.bytes_written);
+        t.counter_set("dram.read_lines", s.dram.read_lines);
+        t.counter_set("dram.write_lines", s.dram.write_lines);
+        t.counter_set("dram.bytes_read", s.dram.bytes_read);
+        t.counter_set("dram.bytes_written", s.dram.bytes_written);
+        t.counter_set("trav.root_descents", s.trav.root_descents);
+        t.counter_set("trav.index_hits", s.trav.index_hits);
+        t.counter_set("trav.index_rebuilds", s.trav.index_rebuilds);
+        t.counter_set("trav.index_rebuild_octants", s.trav.index_rebuild_octants);
+        t.gauge_set("wear.max", s.max_wear() as f64);
+        t.gauge_set("wear.mean", s.mean_wear());
+        t.gauge_set("write_fraction", s.overall_write_fraction());
+        t.gauge_set("clock.now_secs", self.clock.now_secs());
     }
 
     // ---- crash-opportunity plan -----------------------------------------

@@ -6,6 +6,8 @@
 //! harnesses report virtual seconds; Criterion micro-benches may opt into
 //! [`SpinMode`] to burn real cycles like the original emulator.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Monotonic virtual clock, advanced by device/cost models.
@@ -13,9 +15,27 @@ use std::time::Instant;
 /// One clock per simulated rank; the simulated execution time of a
 /// parallel phase is the max over rank clocks (computed by the `cluster`
 /// crate).
-#[derive(Debug, Default, Clone)]
+///
+/// The instant lives behind a shared atomic: `clone()` yields another
+/// handle onto the *same* clock, which is what lets RAII tracing spans
+/// (`pmoctree-obsv`) read the time at drop without borrowing the arena
+/// that owns the clock. Each rank is single-threaded, so `Relaxed`
+/// ordering is sufficient and reads stay deterministic.
+#[derive(Clone)]
 pub struct VirtualClock {
-    now_ns: u64,
+    now_ns: Arc<AtomicU64>,
+}
+
+impl Default for VirtualClock {
+    fn default() -> Self {
+        VirtualClock { now_ns: Arc::new(AtomicU64::new(0)) }
+    }
+}
+
+impl std::fmt::Debug for VirtualClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VirtualClock").field("now_ns", &self.now_ns()).finish()
+    }
 }
 
 impl VirtualClock {
@@ -27,30 +47,30 @@ impl VirtualClock {
     /// Current virtual time in nanoseconds.
     #[inline]
     pub fn now_ns(&self) -> u64 {
-        self.now_ns
+        self.now_ns.load(Ordering::Relaxed)
     }
 
     /// Current virtual time in seconds.
     #[inline]
     pub fn now_secs(&self) -> f64 {
-        self.now_ns as f64 * 1e-9
+        self.now_ns() as f64 * 1e-9
     }
 
     /// Advance the clock by `ns` nanoseconds.
     #[inline]
-    pub fn advance(&mut self, ns: u64) {
-        self.now_ns += ns;
+    pub fn advance(&self, ns: u64) {
+        self.now_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
     /// Advance to at least `t_ns` (used to synchronize ranks at barriers).
     #[inline]
-    pub fn advance_to(&mut self, t_ns: u64) {
-        self.now_ns = self.now_ns.max(t_ns);
+    pub fn advance_to(&self, t_ns: u64) {
+        self.now_ns.fetch_max(t_ns, Ordering::Relaxed);
     }
 
     /// Reset to zero (new experiment).
-    pub fn reset(&mut self) {
-        self.now_ns = 0;
+    pub fn reset(&self) {
+        self.now_ns.store(0, Ordering::Relaxed);
     }
 }
 
@@ -80,7 +100,7 @@ mod tests {
 
     #[test]
     fn clock_advances() {
-        let mut c = VirtualClock::new();
+        let c = VirtualClock::new();
         assert_eq!(c.now_ns(), 0);
         c.advance(150);
         c.advance(100);
@@ -90,12 +110,22 @@ mod tests {
 
     #[test]
     fn advance_to_is_max() {
-        let mut c = VirtualClock::new();
+        let c = VirtualClock::new();
         c.advance(500);
         c.advance_to(300);
         assert_eq!(c.now_ns(), 500);
         c.advance_to(800);
         assert_eq!(c.now_ns(), 800);
+    }
+
+    #[test]
+    fn clone_is_a_shared_handle() {
+        let c = VirtualClock::new();
+        let view = c.clone();
+        c.advance(150);
+        assert_eq!(view.now_ns(), 150, "clones observe the same instant");
+        view.advance(50);
+        assert_eq!(c.now_ns(), 200);
     }
 
     #[test]

@@ -29,9 +29,14 @@ pub mod failplan;
 pub mod model;
 pub mod stats;
 
+// The observability layer: re-exported whole so downstream crates reach
+// the exporters (`nvbm::obsv::chrome`, …) without a separate dependency.
+pub use pmoctree_obsv as obsv;
+
 pub use alloc::{size_class, PmemAllocator, ReusePolicy};
 pub use arena::{CrashMode, NvbmArena, POffset, HEADER_SIZE, ROOT_SLOTS};
 pub use clock::{SpinMode, VirtualClock};
 pub use failplan::{CrashCapture, CrashView, FailHook, FailPlan};
 pub use model::{BlockDeviceModel, DeviceModel, MemLatency, NetworkModel, CACHELINE, PAGE};
+pub use pmoctree_obsv::{Event, EventKind, Metrics, Span, Tracer};
 pub use stats::{MemStats, TierStats, TraversalStats, WEAR_BLOCK};

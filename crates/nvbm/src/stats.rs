@@ -5,8 +5,10 @@
 //! counts saved by dynamic transformation (−31%, §5.5), and (c) implies
 //! endurance pressure (Table 2). This module supplies those counters.
 
+use serde::Serialize;
+
 /// Counters for one memory tier.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct TierStats {
     /// Number of cacheline read operations.
     pub read_lines: u64,
@@ -46,7 +48,7 @@ impl TierStats {
 /// for the accesses. They make the sorted-leaf-index optimisation
 /// observable: a query answered by the DRAM index bumps `index_hits`, a
 /// query that had to walk the tree from the root bumps `root_descents`.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct TraversalStats {
     /// Full root-to-leaf descents taken (per-hop octant reads charged to
     /// whichever tier each hop lived in).

@@ -1,0 +1,69 @@
+//! Prometheus text-exposition exporter for a [`Metrics`] snapshot.
+//!
+//! Output follows the text format (`# TYPE` headers, `_bucket`/`_sum`/
+//! `_count` histogram series with cumulative `le` labels). Names are
+//! sanitized (`persist::merge` → `persist_merge`) since Prometheus metric
+//! names admit only `[a-zA-Z0-9_:]` and we reserve `:` for recording
+//! rules. Ordering is the registry's BTreeMap order — deterministic.
+
+use crate::metrics::{Metrics, BUCKET_BOUNDS_NS};
+
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else if !out.ends_with('_') {
+            out.push('_');
+        }
+    }
+    out.trim_end_matches('_').to_string()
+}
+
+/// Render the registry as Prometheus text exposition.
+pub fn text(m: &Metrics) -> String {
+    let mut out = String::new();
+    for (name, v) in m.counters() {
+        let n = sanitize(name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+    }
+    for (name, v) in m.gauges() {
+        let n = sanitize(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+    }
+    for (name, h) in m.histograms() {
+        let n = format!("{}_ns", sanitize(name));
+        out.push_str(&format!("# TYPE {n} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, bound) in BUCKET_BOUNDS_NS.iter().enumerate() {
+            cumulative += h.buckets[i];
+            out.push_str(&format!("{n}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+        out.push_str(&format!("{n}_sum {}\n", h.sum));
+        out.push_str(&format!("{n}_count {}\n", h.count));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_three_kinds() {
+        let mut m = Metrics::new();
+        m.counter_add("nvbm.write_lines", 42);
+        m.gauge_set("wear/max", 3.0);
+        m.observe("persist::merge", 150);
+        m.observe("persist::merge", 100_000);
+        let t = text(&m);
+        assert!(t.contains("# TYPE nvbm_write_lines counter\nnvbm_write_lines 42\n"));
+        assert!(t.contains("# TYPE wear_max gauge\nwear_max 3\n"));
+        assert!(t.contains("# TYPE persist_merge_ns histogram\n"));
+        assert!(t.contains("persist_merge_ns_bucket{le=\"256\"} 1\n"));
+        assert!(t.contains("persist_merge_ns_bucket{le=\"+Inf\"} 2\n"));
+        assert!(t.contains("persist_merge_ns_sum 100150\n"));
+        assert!(t.contains("persist_merge_ns_count 2\n"));
+    }
+}

@@ -688,7 +688,12 @@ impl PmOctree {
     /// failure at *any* point of the protocol recovers to a consistent
     /// version. `None` runs the full protocol.
     pub fn persist_with_failpoint(&mut self, stop_after: Option<PersistPhase>) {
+        // Span taxonomy mirrors the failpoint labels one-to-one; the
+        // guards close in reverse order on every early return, so a
+        // failpoint firing mid-protocol still leaves the journal balanced.
+        let _span_persist = self.store.arena.span("persist");
         // (1) Merge every DRAM subtree into NVBM with diff-sharing.
+        let span_merge = self.store.arena.span("persist::merge");
         let ids = self.forest.ids();
         let mut merged_offsets: Vec<(u32, POffset)> = Vec::with_capacity(ids.len());
         let mut root = self.current_root;
@@ -712,28 +717,37 @@ impl PmOctree {
             merged_offsets.push((*id, off));
         }
         self.store.arena.failpoint("persist::merge");
+        drop(span_merge);
         if stop_after == Some(PersistPhase::Merge) {
             return;
         }
         // (2) Overlap measurement (Fig. 3): shared = older than this epoch.
+        let span_overlap = self.store.arena.span("persist::overlap");
         let overlap = c1::count_shared(&mut self.store, root, self.epoch);
         self.events.last_overlap = Some(overlap);
+        drop(span_overlap);
         // (3) Flush everything, then the atomic root/epoch advance. Until
         // the set_root below lands, recovery uses the old V_{i-1}.
+        let span_flush = self.store.arena.span("persist::flush");
         self.store.arena.flush_all();
         self.store.arena.failpoint("persist::flush");
+        drop(span_flush);
         if stop_after == Some(PersistPhase::Flush) {
             return;
         }
+        let span_half = self.store.arena.span("persist::root_swap_half");
         self.store.arena.set_bump_hint(self.store.alloc.bump());
         self.store.arena.set_root(0, root);
         self.store.arena.failpoint("persist::root_swap_half");
+        drop(span_half);
         if stop_after == Some(PersistPhase::RootSwapHalf) {
             return;
         }
+        let span_swap = self.store.arena.span("persist::root_swap");
         self.store.arena.set_root(1, root);
         self.store.arena.set_epoch(self.epoch as u64);
         self.store.arena.failpoint("persist::root_swap");
+        drop(span_swap);
         if stop_after == Some(PersistPhase::RootSwap) {
             return;
         }
@@ -748,6 +762,7 @@ impl PmOctree {
         // registry now holds exactly the live set of the persisted tree;
         // octants created this epoch are the delta.
         if self.replicas.is_some() {
+            let _span_ship = self.store.arena.span("replica::ship");
             let epoch = self.epoch;
             let offsets: Vec<POffset> = self.store.registry.clone();
             let new_octants: Vec<POffset> =
@@ -759,6 +774,7 @@ impl PmOctree {
             }
         }
         // (6) New working epoch; everything persisted is now shared.
+        let span_reattach = self.store.arena.span("persist::reattach");
         self.epoch += 1;
         // (7) Re-attach the retained DRAM subtrees to the working tree
         //     and remember their merged images as diff shadows.
@@ -776,6 +792,7 @@ impl PmOctree {
             );
         }
         self.forest.decay_access(0.5);
+        drop(span_reattach);
         // (8) Dynamic layout transformation (§3.3) runs after merging:
         // one detection pass, promoting up to 16 of the hottest NVBM
         // subtrees.
@@ -837,6 +854,7 @@ impl PmOctree {
 
     /// Merge one C0 subtree out to C1 and drop it from the forest.
     pub(crate) fn evict_c0(&mut self, id: u32) {
+        let _span = self.store.arena.span("c0::evict");
         self.store.arena.failpoint("c0::evict");
         let tree = self.forest.remove(id);
         let shadow = self.shadow_of(id);

@@ -59,12 +59,14 @@ fn charge_read(arena: &mut NvbmArena, nodes: u64) {
     let m = arena.model().dram;
     arena.clock.advance(nodes * NODE_LINES * m.read_ns);
     arena.stats.dram_read((nodes * OCTANT_SIZE as u64) as usize, nodes * NODE_LINES);
+    arena.tracer.counter_add("c0.node_reads", nodes);
 }
 
 fn charge_write(arena: &mut NvbmArena, nodes: u64) {
     let m = arena.model().dram;
     arena.clock.advance(nodes * NODE_LINES * m.write_ns);
     arena.stats.dram_write((nodes * OCTANT_SIZE as u64) as usize, nodes * NODE_LINES);
+    arena.tracer.counter_add("c0.node_writes", nodes);
 }
 
 impl C0Tree {

@@ -271,6 +271,7 @@ pub fn merge_subtree(
     epoch: u32,
 ) -> POffset {
     assert!(!octants.is_empty(), "merging an empty subtree");
+    store.arena.tracer.counter_add("c1.merge_octants", octants.len() as u64);
     let (off, _shared, consumed) = merge_rec(store, octants, 0, shadow, epoch);
     debug_assert_eq!(consumed, octants.len(), "pre-order list not fully consumed");
     off

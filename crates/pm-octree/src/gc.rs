@@ -48,6 +48,7 @@ pub fn mark(store: &mut PmStore, roots: &[POffset]) -> HashSet<POffset> {
 /// Mark from `roots`, then sweep the registry: unreachable octants are
 /// freed and dropped from the registry.
 pub fn collect(store: &mut PmStore, roots: &[POffset]) -> GcReport {
+    let _span = store.arena.span("gc::sweep");
     store.arena.failpoint("gc::sweep");
     let marked = mark(store, roots);
     let mut freed = 0usize;

@@ -34,6 +34,7 @@ impl PmOctree {
         if self.features.is_empty() || max_swaps == 0 {
             return 0;
         }
+        let _span = self.store.arena.span("transform");
         self.store.arena.failpoint("transform");
         let l = sampling::l_sub(self.depth(), self.cfg.c0_capacity_octants);
         // Candidate NVBM subtrees: *maximal volatile-free* subtrees at
@@ -62,6 +63,10 @@ impl PmOctree {
             }
         }
         scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+        // The sampling decision: how many candidates scanned, how many
+        // scored hot enough to consider.
+        self.store.arena.tracer.counter_add("sampling.decisions", 1);
+        self.store.arena.instant("sampling::decision", Some(scored.len() as u64));
         // Sample DRAM trees once; coldest-first is the demotion order.
         let n = self.cfg.n_sample;
         let mut dram: Vec<(u32, f64)> = self
@@ -110,6 +115,7 @@ impl PmOctree {
             self.events.transforms += 1;
             swaps += 1;
         }
+        self.store.arena.tracer.counter_add("transform.swaps", swaps as u64);
         swaps
     }
 

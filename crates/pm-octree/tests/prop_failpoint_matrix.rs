@@ -80,6 +80,61 @@ fn full_matrix_recovers_contract_version() {
     }
 }
 
+/// Span integrity under crash injection: the persist instrumentation
+/// uses RAII guards, so a persist that stops mid-protocol (the failpoint
+/// early-returns from inside a `persist::*` phase) must still leave a
+/// balanced, tree-shaped journal — and a restored tree with a fresh
+/// tracer must journal a complete persist again.
+#[test]
+fn spans_stay_balanced_when_persist_crashes_mid_protocol() {
+    use pmoctree_nvbm::obsv;
+    use pmoctree_nvbm::Tracer;
+    for phase in PHASES {
+        for mode in modes(9, 0.5) {
+            let (mut t, _old) = build();
+            t.store.arena.tracer = Tracer::enabled(0);
+            t.refine(OctKey::root().child(5)).unwrap();
+            t.set_data(OctKey::root().child(1), CellData { phi: 1.0, ..Default::default() })
+                .unwrap();
+            let cfg = t.cfg;
+            t.persist_with_failpoint(Some(phase));
+            let events = t.store.arena.tracer.events();
+            obsv::chrome::validate_events(&events)
+                .unwrap_or_else(|e| panic!("{phase:?}/{mode:?}: journal after crash: {e}"));
+            let tree = obsv::attribution::build_tree(&events)
+                .unwrap_or_else(|e| panic!("{phase:?}/{mode:?}: span tree: {e}"));
+            assert!(!tree.is_empty(), "{phase:?}/{mode:?}: nothing journalled");
+            // The truncated persist must still export as a valid trace.
+            let json = obsv::chrome::trace_json(&[(0, events)]);
+            assert!(json.contains("\"traceEvents\""));
+
+            // Reboot: restore from the crashed media, attach a fresh
+            // tracer, and persist for real — the new journal must hold a
+            // complete persist span with its protocol children.
+            let PmOctree { store, .. } = t;
+            let mut arena = store.arena;
+            arena.crash(mode);
+            let mut r = PmOctree::restore(arena, cfg)
+                .unwrap_or_else(|e| panic!("{phase:?}/{mode:?}: restore: {e}"));
+            r.store.arena.tracer = Tracer::enabled(1);
+            r.set_data(OctKey::root().child(2), CellData { phi: 2.0, ..Default::default() })
+                .unwrap();
+            r.persist();
+            let replay = r.store.arena.tracer.events();
+            obsv::chrome::validate_events(&replay)
+                .unwrap_or_else(|e| panic!("{phase:?}/{mode:?}: journal after restore: {e}"));
+            let totals = obsv::inclusive_totals(&replay)
+                .unwrap_or_else(|e| panic!("{phase:?}/{mode:?}: totals: {e}"));
+            for name in ["persist", "persist::merge", "persist::flush", "persist::root_swap"] {
+                assert!(
+                    totals.iter().any(|row| row.name == name && row.count > 0),
+                    "{phase:?}/{mode:?}: no {name} span after recovery; got {totals:?}"
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 

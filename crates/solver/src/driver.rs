@@ -113,6 +113,8 @@ impl Simulation {
     /// Build the initial mesh: uniform base grid, then adapt to the
     /// interface at `t0` (the `Construct` phase).
     pub fn construct(&self, b: &mut dyn OctreeBackend) {
+        let tr = b.tracer();
+        tr.begin("construct", b.elapsed_ns(), None);
         pmoctree_amr::construct_uniform(b, self.cfg.base_level);
         self.time.set(self.cfg.t0);
         let crit = self.criterion();
@@ -122,6 +124,7 @@ impl Simulation {
         }
         advect(b, &self.interface, self.cfg.t0);
         estimate_work(b);
+        tr.end("construct", b.elapsed_ns());
     }
 
     fn criterion(&self) -> InterfaceCriterion {
@@ -139,10 +142,18 @@ impl Simulation {
         self.time.set(t);
         let crit = self.criterion();
         let mut out = StepBreakdown::default();
+        // Driver-level phases are emitted as explicit begin/end events at
+        // the same clock reads used for the breakdown, so the trace and
+        // the `StepBreakdown` agree exactly.
+        let tr = b.tracer();
 
         let t0 = b.elapsed_ns();
+        tr.begin("step", t0, Some(step_idx as u64));
+        tr.begin("step::refine", t0, None);
         adapt(b, &crit);
         let t1 = b.elapsed_ns();
+        tr.end("step::refine", t1);
+        tr.begin("step::balance", t1, None);
         out.refine_ns = t1 - t0;
 
         // Balance is enforced on the fly by the balanced adapt
@@ -156,16 +167,22 @@ impl Simulation {
         });
         balance_subset(b, &active);
         let t2 = b.elapsed_ns();
+        tr.end("step::balance", t2);
+        tr.begin("step::solve", t2, None);
         out.balance_ns = t2 - t1;
 
         advect(b, &self.interface, t);
         relax_pressure(b, self.cfg.relax_iters);
         estimate_work(b);
         let t3 = b.elapsed_ns();
+        tr.end("step::solve", t3);
+        tr.begin("step::persist", t3, None);
         out.solve_ns = t3 - t2;
 
         b.end_of_step(step_idx + 1);
         let t4 = b.elapsed_ns();
+        tr.end("step::persist", t4);
+        tr.end("step", t4);
         out.persist_ns = t4 - t3;
         out.leaves = b.leaf_count();
         out
