@@ -16,3 +16,13 @@ cargo run --release -p pmoctree-bench --bin repro -- crash-sweep --smoke
 cargo run --release -p pmoctree-bench --bin repro -- droplet --quick --trace trace_smoke.json
 cargo run --release -p pmoctree-bench --bin repro -- trace-check trace_smoke.json
 rm -f trace_smoke.json
+# Worker-pool determinism gate: the cluster smoke must emit byte-identical
+# JSON whether the pool runs 1 worker or 4 (only wall-clock may differ).
+cargo run --release -p pmoctree-bench --bin repro -- cluster-smoke --workers 1
+mv BENCH_cluster_smoke.json BENCH_cluster_smoke.w1.json
+cargo run --release -p pmoctree-bench --bin repro -- cluster-smoke --workers 4
+if ! diff -q BENCH_cluster_smoke.w1.json BENCH_cluster_smoke.json; then
+    echo "cluster smoke diverged between 1 and 4 workers" >&2
+    exit 1
+fi
+rm -f BENCH_cluster_smoke.w1.json

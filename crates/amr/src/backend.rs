@@ -130,6 +130,9 @@ pub trait OctreeBackend {
 /// the per-source key generation runs data-parallel.
 pub fn neighbor_queries(sources: &[OctKey], full: bool) -> (Vec<OctKey>, Vec<(usize, usize)>) {
     use rayon::prelude::*;
+    // Per-item work here is a handful of Morton shifts — far cheaper than a
+    // thread spawn — so only fan out for genuinely large batches. Inside a
+    // rank worker the pool flattens this to sequential anyway.
     let per_source: Vec<Vec<OctKey>> = sources
         .par_iter()
         .map(|k| {
@@ -147,6 +150,7 @@ pub fn neighbor_queries(sources: &[OctKey], full: bool) -> (Vec<OctKey>, Vec<(us
                 v
             }
         })
+        .with_min_len(4096)
         .collect();
     let mut queries = Vec::new();
     let mut spans = Vec::with_capacity(sources.len());

@@ -3,11 +3,21 @@
 //!
 //! ```text
 //! repro [table2|fig3|write_fraction|layout|fig6|fig7|fig8|fig9|fig10|fig11|recovery|ablations|all]
-//! [--quick]
+//! [--quick] [--workers N]
 //! repro crash-sweep [--smoke]
 //! repro droplet [--quick] [--trace out.json] [--metrics out.prom]
+//! repro cluster-smoke [--workers N]
 //! repro trace-check FILE
 //! ```
+//!
+//! `--workers N` pins the worker-pool size for any subcommand (default:
+//! `RAYON_NUM_THREADS` or the machine's cores). By the determinism
+//! invariant it may only change wall-clock time, never results.
+//!
+//! `cluster-smoke` (not part of `all`) runs a fixed 4-rank scaling point
+//! and writes `BENCH_cluster_smoke.json` containing virtual-time results
+//! only; `ci.sh` runs it under 1 and 4 workers and fails if the two files
+//! differ by a byte.
 //!
 //! `crash-sweep` (not part of `all`) enumerates every crash opportunity
 //! of a droplet workload under every crash mode and verifies recovery at
@@ -80,8 +90,8 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick { Scale::quick() } else { Scale::full() };
 
-    // `--trace` and `--metrics` consume a value, so the value must not be
-    // mistaken for the positional subcommand.
+    // `--trace`, `--metrics` and `--workers` consume a value, so the
+    // value must not be mistaken for the positional subcommand.
     let mut positionals: Vec<String> = Vec::new();
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
@@ -90,6 +100,13 @@ fn main() {
         match a.as_str() {
             "--trace" => trace_path = it.next().cloned(),
             "--metrics" => metrics_path = it.next().cloned(),
+            "--workers" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => rayon::set_num_threads(n),
+                _ => {
+                    eprintln!("usage: repro --workers N (N >= 1)");
+                    std::process::exit(2);
+                }
+            },
             _ if a.starts_with("--") => {}
             _ => positionals.push(a.clone()),
         }
@@ -205,6 +222,11 @@ fn main() {
                 }
             }
         }
+    }
+    if what == "cluster-smoke" {
+        let smoke = cluster_smoke();
+        println!("{}", cluster_smoke_str(&smoke));
+        write_bench_json("cluster_smoke", &cluster_smoke_json(&smoke));
     }
     if what == "trace-check" {
         let Some(path) = positionals.get(1) else {

@@ -286,6 +286,32 @@ pub fn run_point(scheme: Scheme, procs: usize, max_level: u8, steps: usize) -> S
     }
 }
 
+/// The fixed smoke configuration `ci.sh` runs twice (1 worker, then 4)
+/// to prove the determinism invariant end-to-end: virtual-time rows
+/// only, so [`crate::json::cluster_smoke_json`] must serialize to the
+/// same bytes for any worker count. Wall-clock and the worker count are
+/// carried for the stdout report and never serialized.
+pub struct ClusterSmoke {
+    /// One row per scheme at the fixed smoke point.
+    pub rows: Vec<ScalingRow>,
+    /// Wall-clock seconds of the whole smoke (stdout only).
+    pub wall_secs: f64,
+    /// Worker count the smoke ran under (stdout only).
+    pub workers: usize,
+}
+
+/// Run the cluster smoke: PM-octree and the in-core baseline at a fixed
+/// 4-rank point.
+pub fn cluster_smoke() -> ClusterSmoke {
+    let t0 = std::time::Instant::now();
+    let rows = vec![run_point(Scheme::pm_default(), 4, 4, 3), run_point(Scheme::InCore, 4, 4, 3)];
+    ClusterSmoke {
+        rows,
+        wall_secs: t0.elapsed().as_secs_f64(),
+        workers: rayon::current_num_threads(),
+    }
+}
+
 /// Figures 6 & 7: weak scaling. `points` are `(procs, max_level)` pairs
 /// chosen so elements/proc stays roughly constant; all three schemes run
 /// at every point.

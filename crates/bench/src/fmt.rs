@@ -100,6 +100,18 @@ pub fn scaling_str(title: &str, rows: &[ScalingRow]) -> String {
     s
 }
 
+/// Render the cluster smoke: the scaling rows plus the wall-clock /
+/// worker-count line (stdout only — these two never enter the JSON, so
+/// the emitted file stays byte-identical across worker counts).
+pub fn cluster_smoke_str(s: &ClusterSmoke) -> String {
+    let mut out = scaling_str("Cluster smoke (fixed 4-rank point; determinism gate)", &s.rows);
+    out.push_str(&format!(
+        "workers: {}  wall-clock: {:.3}s (reported here only; never serialized)\n",
+        s.workers, s.wall_secs
+    ));
+    out
+}
+
 /// Render Figure 10.
 pub fn fig10_str(rows: &[Fig10Row]) -> String {
     let mut s = String::from(

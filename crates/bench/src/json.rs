@@ -53,6 +53,14 @@ pub fn scaling_json(experiment: &str, rows: &[ScalingRow]) -> String {
     json_doc(&ScalingDoc { experiment: experiment.to_string(), rows: rows.to_vec() })
 }
 
+/// JSON for the cluster smoke. Only the virtual-time rows are
+/// serialized — wall-clock and worker count deliberately stay out, so a
+/// 1-worker and a 4-worker run must emit byte-identical files (the
+/// `ci.sh` determinism gate diffs them).
+pub fn cluster_smoke_json(s: &ClusterSmoke) -> String {
+    json_doc(&ScalingDoc { experiment: "cluster_smoke".to_string(), rows: s.rows.to_vec() })
+}
+
 #[derive(Serialize)]
 struct Fig10Doc {
     experiment: &'static str,

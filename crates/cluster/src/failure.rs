@@ -34,11 +34,29 @@ pub struct RecoveryReport {
     pub trav: TraversalStats,
 }
 
+/// The PM configuration the recovery experiment crashes under — and must
+/// restore under: a restored tree silently running different knobs than
+/// the one that crashed would invalidate the recovered timings.
+fn pm_experiment_config() -> PmConfig {
+    PmConfig { dynamic_transform: false, replicas: true, ..PmConfig::default() }
+}
+
 /// Run the PM-octree recovery experiment: simulate `steps_before_kill`
 /// steps, crash, restore. Uses replicas for the new-node scenario.
 pub fn pm_recovery(cfg: SimConfig, steps_before_kill: usize, arena_bytes: usize) -> RecoveryReport {
+    pm_recovery_detailed(cfg, steps_before_kill, arena_bytes).0
+}
+
+/// [`pm_recovery`] plus the configs the two restored trees actually run
+/// under (same-node, new-node) so tests can pin them to the pre-crash
+/// config.
+fn pm_recovery_detailed(
+    cfg: SimConfig,
+    steps_before_kill: usize,
+    arena_bytes: usize,
+) -> (RecoveryReport, PmConfig, PmConfig) {
     let sim = Simulation::new(cfg);
-    let pm_cfg = PmConfig { dynamic_transform: false, replicas: true, ..PmConfig::default() };
+    let pm_cfg = pm_experiment_config();
     let mut b = PmBackend::new(PmOctree::create(
         NvbmArena::new(arena_bytes, DeviceModel::default()),
         pm_cfg,
@@ -56,31 +74,34 @@ pub fn pm_recovery(cfg: SimConfig, steps_before_kill: usize, arena_bytes: usize)
     arena.crash(CrashMode::LoseDirty);
 
     // Scenario 1: same node. Recovery = header read + reachability pass.
+    // Restore under the *pre-crash* config: the rebooted process would
+    // read its knobs from the same job script that launched the run.
     let t0 = arena.clock.now_ns();
-    let restored = match PmOctree::restore(arena, PmConfig::default()) {
+    let restored = match PmOctree::restore(arena, pm_cfg) {
         Ok(t) => t,
         Err(e) => panic!("same-node recovery after clean kill must succeed: {e}"),
     };
     let same_node_secs = (restored.store.arena.clock.now_ns() - t0) as f64 * 1e-9;
 
     // Scenario 2: new node. The replica image crosses the §5.6
-    // InfiniBand network, then the same restore runs locally.
+    // InfiniBand network, then the same restore runs locally — again
+    // under the pre-crash config.
     let net = NetworkModel::infiniband_fdr();
     let fresh = NvbmArena::new(arena_bytes, DeviceModel::default());
-    let (restored2, moved) =
-        match PmOctree::restore_from_replica(fresh, &replica, PmConfig::default()) {
-            Ok(r) => r,
-            Err(e) => panic!("replica recovery must succeed: {e}"),
-        };
+    let (restored2, moved) = match PmOctree::restore_from_replica(fresh, &replica, pm_cfg) {
+        Ok(r) => r,
+        Err(e) => panic!("replica recovery must succeed: {e}"),
+    };
     let transfer_secs = net.transfer_ns(moved) as f64 * 1e-9;
     let restore2_secs = restored2.store.arena.clock.now_ns() as f64 * 1e-9;
-    RecoveryReport {
+    let report = RecoveryReport {
         scheme: "pm-octree",
         same_node_secs,
         new_node_secs: Some(transfer_secs + restore2_secs),
         elements,
         trav,
-    }
+    };
+    (report, restored.cfg, restored2.cfg)
 }
 
 /// In-core baseline recovery: re-read the latest snapshot file.
@@ -183,6 +204,18 @@ mod tests {
         assert!(r.same_node_secs > 0.0);
         assert!(r.new_node_secs.unwrap() > r.same_node_secs, "replica move costs extra");
         assert!(r.elements > 100);
+    }
+
+    /// Regression: both recovery scenarios must restore the tree under
+    /// the exact config it crashed with, not `PmConfig::default()`.
+    #[test]
+    fn restore_preserves_precrash_config() {
+        let (_, same_node_cfg, new_node_cfg) = pm_recovery_detailed(cfg(), 6, 64 << 20);
+        assert_eq!(same_node_cfg, pm_experiment_config());
+        assert_eq!(new_node_cfg, pm_experiment_config());
+        // And the experiment config genuinely differs from the default,
+        // so the assertions above cannot pass vacuously.
+        assert_ne!(pm_experiment_config(), PmConfig::default());
     }
 
     #[test]

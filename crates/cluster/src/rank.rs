@@ -101,6 +101,12 @@ impl AdaptCriterion for RangedCriterion<'_> {
 }
 
 /// One simulated processor.
+///
+/// A rank is the unit the worker pool schedules: `ClusterSim`'s parallel
+/// phases hand each rank as a disjoint `&mut` to exactly one worker, so
+/// everything it owns (backend, arena, virtual clock, tracer journal,
+/// fail plan) is single-writer during a phase and only read by the
+/// coordinator after the pool joins.
 pub struct Rank {
     /// Rank id (0-based).
     pub id: usize,
@@ -109,6 +115,14 @@ pub struct Rank {
     /// Owned Morton range.
     pub range: ZRange<3>,
 }
+
+/// Ranks migrate between pool workers, so this must hold; asserting it
+/// here turns a future non-`Send` field into a build error with a
+/// readable location.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Rank>();
+};
 
 impl Rank {
     /// Create a rank over a range.
@@ -190,6 +204,8 @@ impl Rank {
 
     /// Construct the initial local mesh for the rank's range.
     pub fn construct(&mut self, sim: &Simulation) {
+        // All ranks constructing in parallel store the same t0 into the
+        // shared sim clock: concurrent, but value-identical, atomic stores.
         sim.time.set(sim.cfg.t0);
         pmoctree_amr::construct_uniform(self.backend.as_mut(), sim.cfg.base_level.min(2));
         let crit = RangedCriterion {

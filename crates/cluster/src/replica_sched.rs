@@ -53,10 +53,22 @@ pub enum PlacementError {
 }
 
 /// Utilization-aware replica scheduler.
+///
+/// Placement is coordinator-only state: decisions are made between
+/// worker-pool phases (never from inside a `par_iter` over ranks), so
+/// the greedy argmin below stays deterministic regardless of worker
+/// count. `Send` is asserted so a future driver may hand the scheduler
+/// itself to a pool worker.
 #[derive(Debug, Clone, Default)]
 pub struct ReplicaScheduler {
     nodes: Vec<NodeNvbm>,
 }
+
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<ReplicaScheduler>();
+    assert_send::<Placement>();
+};
 
 impl ReplicaScheduler {
     /// Scheduler over the given nodes.

@@ -6,6 +6,16 @@
 //! subdomain; only the interconnect is modeled. Phases are separated by
 //! per-step barriers (clocks jump to the global max), and the Partition
 //! phase charges allgather + octant-migration traffic.
+//!
+//! The `par_iter_mut` phases execute on a real worker pool (the `rayon`
+//! shim): ranks are disjoint `&mut` items claimed chunk-by-chunk, so each
+//! rank — its backend, virtual clock, tracer journal, stats and fail
+//! plan — is touched by exactly one worker per phase. Every cross-rank
+//! reduction (the barrier max, phase-delta maxes, leaf-table gathers,
+//! journal/metric merges) happens on the coordinator after the pool's
+//! scope join, iterating ranks in rank order. Reports, BENCH JSON and
+//! traces are therefore byte-identical for any worker count; threads only
+//! change which core runs which rank.
 
 use pmoctree_morton::{partition_by_weight, OctKey, ZRange};
 use pmoctree_nvbm::{Event, Metrics, NetworkModel, Tracer};
@@ -15,7 +25,7 @@ use rayon::prelude::*;
 use crate::rank::{Rank, Scheme};
 
 /// Per-step cluster timing (virtual seconds, max across ranks per phase).
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct ClusterStep {
     /// Refine & Coarsen.
     pub refine_s: f64,
@@ -41,7 +51,7 @@ impl ClusterStep {
 }
 
 /// Result of a cluster run.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct ClusterReport {
     /// Scheme name.
     pub scheme: &'static str,
@@ -251,15 +261,23 @@ impl ClusterSim {
     /// Per-rank event journals as `(tid, events)` threads, ready for
     /// [`pmoctree_nvbm::obsv::chrome::trace_json`]. Empty unless
     /// [`ClusterSim::enable_tracing`] was called.
+    ///
+    /// This is the barrier-side journal merge: rank workers record
+    /// concurrently into their own buffers during parallel phases, and
+    /// the coordinator folds them here through
+    /// [`pmoctree_nvbm::obsv::merge_threads`] (stable tid order), so the
+    /// exported trace does not depend on the worker count.
     pub fn trace_threads(&self) -> Vec<(u32, Vec<Event>)> {
-        self.ranks
-            .iter()
-            .map(|r| {
-                let tr = r.backend.tracer();
-                (tr.tid(), tr.events())
-            })
-            .filter(|(_, ev)| !ev.is_empty())
-            .collect()
+        pmoctree_nvbm::obsv::merge_threads(
+            self.ranks
+                .iter()
+                .map(|r| {
+                    let tr = r.backend.tracer();
+                    (tr.tid(), tr.events())
+                })
+                .filter(|(_, ev)| !ev.is_empty())
+                .collect(),
+        )
     }
 
     /// Metrics registries of all ranks merged into one (counters add,
@@ -272,6 +290,10 @@ impl ClusterSim {
         out
     }
 
+    /// Bulk-synchronous barrier: every rank's clock jumps to the global
+    /// max. Runs on the coordinator after the pool's scope join, so it
+    /// reads quiescent clocks and stays a max-over-ranks reduction no
+    /// matter how many workers executed the preceding phase.
     fn barrier(&mut self) {
         let max = self.ranks.iter().map(|r| r.backend.elapsed_ns()).max().unwrap_or(0);
         for r in &mut self.ranks {

@@ -1,0 +1,117 @@
+//! Acceptance tests for the worker-pool determinism invariant: a cluster
+//! run must produce *identical* results for any worker count — threads
+//! may only change wall-clock time, never virtual time, phase breakdowns,
+//! element counts or traces.
+//!
+//! The worker count is a process-wide setting, so every test here pins it
+//! under a shared lock and restores the previous value on exit.
+
+use pmoctree_cluster::{ClusterReport, ClusterSim, Scheme};
+use pmoctree_nvbm::Event;
+use pmoctree_solver::SimConfig;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+static WORKER_LOCK: Mutex<()> = Mutex::new(());
+
+/// Pin the global worker count for the duration of a test.
+struct Workers {
+    prev: usize,
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl Workers {
+    fn pin(n: usize) -> Workers {
+        let guard = WORKER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = rayon::current_num_threads();
+        rayon::set_num_threads(n);
+        Workers { prev, _guard: guard }
+    }
+
+    fn set(&self, n: usize) {
+        rayon::set_num_threads(n);
+    }
+}
+
+impl Drop for Workers {
+    fn drop(&mut self) {
+        rayon::set_num_threads(self.prev);
+    }
+}
+
+fn cfg(max_level: u8) -> SimConfig {
+    SimConfig { steps: 3, max_level, base_level: 2, ..SimConfig::default() }
+}
+
+fn run_once(
+    scheme: Scheme,
+    arena_bytes: usize,
+    traced: bool,
+) -> (ClusterReport, Vec<(u32, Vec<Event>)>) {
+    let mut c = ClusterSim::new(scheme, 4, cfg(4), arena_bytes);
+    if traced {
+        c.enable_tracing();
+    }
+    let report = c.run(2);
+    (report, c.trace_threads())
+}
+
+#[test]
+fn cluster_report_identical_for_any_worker_count() {
+    let w = Workers::pin(1);
+    let (baseline, _) = run_once(Scheme::InCore, 0, false);
+    for workers in [2, 4] {
+        w.set(workers);
+        let (report, _) = run_once(Scheme::InCore, 0, false);
+        assert_eq!(report, baseline, "ClusterReport must be bit-identical under {workers} workers");
+    }
+}
+
+#[test]
+fn pm_scheme_report_and_trace_identical_for_any_worker_count() {
+    let w = Workers::pin(1);
+    let (baseline, base_trace) = run_once(Scheme::pm_default(), 32 << 20, true);
+    assert!(
+        base_trace.iter().map(|(_, ev)| ev.len()).sum::<usize>() > 0,
+        "traced run must record events"
+    );
+    for workers in [2, 4] {
+        w.set(workers);
+        let (report, trace) = run_once(Scheme::pm_default(), 32 << 20, true);
+        assert_eq!(report, baseline, "pm report must not vary with {workers} workers");
+        assert_eq!(trace, base_trace, "trace events must not vary with {workers} workers");
+    }
+}
+
+/// The perf half of the invariant: with ≥ 4 cores, 4 workers must finish
+/// the same smoke run at least 2× faster than 1 worker. On smaller
+/// machines (e.g. 1-core CI containers) the comparison is meaningless —
+/// the pool cannot run faster than the hardware — so the assertion is
+/// gated on available parallelism and the test degrades to a determinism
+/// re-check.
+#[test]
+fn four_workers_at_least_twice_as_fast_on_big_machines() {
+    let w = Workers::pin(1);
+    let run = || {
+        let t0 = Instant::now();
+        let mut c = ClusterSim::new(Scheme::InCore, 8, cfg(5), 0);
+        let r = c.run(1);
+        (t0.elapsed().as_secs_f64(), r)
+    };
+    let (secs_1, report_1) = run();
+    w.set(4);
+    let (secs_4, report_4) = run();
+    assert_eq!(report_4, report_1, "speedup must not change results");
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "cluster smoke wall-clock: 1 worker {secs_1:.3}s, 4 workers {secs_4:.3}s \
+         (speedup {:.2}x on {cores} cores)",
+        secs_1 / secs_4.max(1e-9)
+    );
+    if cores >= 4 {
+        assert!(
+            secs_4 * 2.0 <= secs_1,
+            "4 workers should be ≥2x faster than 1 on {cores} cores: {secs_4:.3}s vs {secs_1:.3}s"
+        );
+    }
+}

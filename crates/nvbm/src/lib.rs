@@ -40,3 +40,27 @@ pub use failplan::{CrashCapture, CrashView, FailHook, FailPlan};
 pub use model::{BlockDeviceModel, DeviceModel, MemLatency, NetworkModel, CACHELINE, PAGE};
 pub use pmoctree_obsv::{Event, EventKind, Metrics, Span, Tracer};
 pub use stats::{MemStats, TierStats, TraversalStats, WEAR_BLOCK};
+
+/// Compile-time `Send`/`Sync` audit for everything a rank carries across
+/// worker threads now that the `rayon` shim runs a real pool. A rank's
+/// arena (with its embedded fail plan, stats, tracer and clock) moves
+/// between workers as chunks are claimed; clock and tracer handles are
+/// additionally *shared* (cloned into span guards), so they must be
+/// `Sync` too. If a future field breaks one of these bounds, the build
+/// fails here instead of deep inside a `thread::scope` bound error.
+#[allow(dead_code)]
+mod send_audit {
+    fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
+
+    fn audit() {
+        assert_send::<crate::NvbmArena>();
+        assert_send::<crate::FailPlan>();
+        assert_send::<crate::MemStats>();
+        assert_send::<crate::stats::TraversalStats>();
+        assert_send::<crate::VirtualClock>();
+        assert_sync::<crate::VirtualClock>();
+        assert_send::<crate::Tracer>();
+        assert_sync::<crate::Tracer>();
+    }
+}

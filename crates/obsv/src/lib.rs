@@ -28,4 +28,4 @@ pub mod trace;
 
 pub use attribution::{coverage, inclusive_totals, step_table, AttrRow, SpanNode, StepAttr};
 pub use metrics::{Histogram, Metrics};
-pub use trace::{Event, EventKind, Span, Tracer};
+pub use trace::{merge_threads, Event, EventKind, Span, Tracer};

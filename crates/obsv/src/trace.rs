@@ -214,6 +214,29 @@ impl Drop for Span {
     }
 }
 
+/// Deterministically merge per-rank journals gathered at a barrier.
+///
+/// Under the worker pool ranks record concurrently into their own
+/// journals, so the *collection* order of `(tid, events)` threads is
+/// whatever order the coordinator polled them in — possibly influenced by
+/// which ranks recorded anything at all. This helper makes the merged
+/// stream a pure function of journal *content*: threads are stably sorted
+/// by tid and journals of duplicate tids are concatenated in input order,
+/// so exporters downstream (`chrome::trace_json`, attribution tables)
+/// see the same byte stream for any worker count.
+pub fn merge_threads(threads: Vec<(u32, Vec<Event>)>) -> Vec<(u32, Vec<Event>)> {
+    let mut threads = threads;
+    threads.sort_by_key(|(tid, _)| *tid);
+    let mut out: Vec<(u32, Vec<Event>)> = Vec::with_capacity(threads.len());
+    for (tid, events) in threads {
+        match out.last_mut() {
+            Some((last_tid, last_events)) if *last_tid == tid => last_events.extend(events),
+            _ => out.push((tid, events)),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,6 +279,22 @@ mod tests {
         assert_eq!((ev[2].kind, ev[2].name), (EventKind::End, "persist::merge"));
         assert_eq!((ev[3].kind, ev[3].name), (EventKind::End, "persist"));
         assert_eq!(t.tid(), 3);
+    }
+
+    #[test]
+    fn merge_threads_is_collection_order_independent() {
+        let ev = |t_ns| Event { t_ns, kind: EventKind::Instant, name: "x", arg: None };
+        let a = (0u32, vec![ev(1), ev(2)]);
+        let b = (1u32, vec![ev(5)]);
+        let b2 = (1u32, vec![ev(9)]);
+        let merged = merge_threads(vec![b.clone(), a.clone(), b2.clone()]);
+        // Sorted by tid; duplicate tids concatenated in input order.
+        assert_eq!(merged, vec![a.clone(), (1, vec![ev(5), ev(9)])]);
+        // A different polling order of distinct tids yields the same merge.
+        assert_eq!(
+            merge_threads(vec![b, b2, a.clone()]),
+            merge_threads(vec![a, (1, vec![ev(5)]), (1, vec![ev(9)])])
+        );
     }
 
     #[test]

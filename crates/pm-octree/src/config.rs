@@ -1,7 +1,10 @@
 //! Tunables of the PM-octree (§3 defaults).
 
 /// Configuration for a [`PmOctree`](crate::api::PmOctree).
-#[derive(Clone, Copy, Debug)]
+///
+/// `PartialEq` lets recovery paths assert that a restored tree runs
+/// under the exact config it crashed with.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PmConfig {
     /// DRAM capacity reserved for the C0 tree, in octants (the paper
     /// configures this in GB — 8 GB default; we configure in octants:

@@ -80,8 +80,18 @@ impl PmOctree {
         self.rng = rng;
 
         let mut swaps = 0usize;
-        let mut victims = dram.into_iter();
-        'promote: for (hot_off, hot_f) in scored.into_iter().take(max_swaps) {
+        // Victims are consumed coldest-first as demotions happen; the
+        // coldest *remaining* resident is also the `Ratio_access`
+        // denominator for every promotion attempt, so it is peeked (not
+        // consumed) until an actual demotion commits.
+        let mut victims = dram.into_iter().peekable();
+        'promote: for (hot_off, hot_f) in scored {
+            // A candidate that bails below must not burn the budget;
+            // iterate the whole scored list until the budget is truly
+            // spent on performed swaps.
+            if swaps == max_swaps {
+                break;
+            }
             // Subtrees containing DRAM regions cannot be promoted.
             let Some(octants) = c1::collect_subtree(&mut self.store, hot_off) else {
                 continue;
@@ -89,17 +99,32 @@ impl PmOctree {
             if octants.is_empty() {
                 continue;
             }
+            // Paper step 4: `Ratio_access` must clear `T_transform`
+            // against the coldest DRAM resident even when C0 has room —
+            // otherwise any lukewarm subtree (f > 0) would be copied into
+            // DRAM the moment the budget allows, churning the C0 forest
+            // for no locality gain. With an empty DRAM there is nothing
+            // to beat and promotion is free.
+            if let Some(&(_, coldest_f)) = victims.peek() {
+                let ratio = if coldest_f > 0.0 { hot_f / coldest_f } else { f64::INFINITY };
+                if ratio <= self.cfg.t_transform {
+                    continue;
+                }
+            }
             let cap = (self.cfg.c0_capacity_octants as f64 * self.cfg.threshold_dram) as usize;
             // Demote cold residents until the hot subtree fits, but only
             // while Ratio_access clears T_transform (paper step 4).
             while self.forest.total_octants + octants.len() > cap {
-                let Some((vid, vf)) = victims.next() else {
+                let Some(&(vid, vf)) = victims.peek() else {
                     continue 'promote;
                 };
                 let ratio = if vf > 0.0 { hot_f / vf } else { f64::INFINITY };
                 if ratio <= self.cfg.t_transform {
+                    // Too warm to demote: leave it resident (and still
+                    // peekable as later candidates' gate denominator).
                     continue 'promote;
                 }
+                victims.next();
                 // The victim may already have been demoted by pressure.
                 if self.forest.ids().contains(&vid) {
                     self.evict_c0(vid);
@@ -200,6 +225,61 @@ mod tests {
             t.store.arena.stats.nvbm.write_lines, nvbm_writes_before,
             "write to promoted subtree must not touch NVBM"
         );
+    }
+
+    /// Regression for the missing ratio gate: a candidate that fits the
+    /// C0 budget *without* demotions must still beat the coldest DRAM
+    /// resident by more than `T_transform` (§3.3 step 4), not be promoted
+    /// merely because its sampled frequency is non-zero.
+    #[test]
+    fn fitting_promotion_still_requires_ratio_gate() {
+        let mut cfg = PmConfig { dynamic_transform: true, seed_c0: false, ..PmConfig::default() };
+        cfg.c0_capacity_octants = 1 << 12;
+        let mut t = PmOctree::create(arena(), cfg);
+        t.refine(OctKey::root()).unwrap();
+        for i in 0..8 {
+            let phi = if i <= 1 { 0.0 } else { 10.0 };
+            t.set_data(OctKey::root().child(i), CellData { phi, ..Default::default() }).unwrap();
+        }
+        t.add_feature(Box::new(|_k, d| d.phi.abs() < 0.5));
+        // First pass: DRAM is empty, so the hottest candidate (child 0,
+        // first in scan order among the f = 1.0 ties) promotes freely.
+        assert!(t.maybe_transform());
+        assert_eq!(t.events.transforms, 1);
+        // Child 1 is exactly as hot as the resident it would have to beat
+        // (ratio 1.0 ≤ T_transform = 1.5). It fits the budget without any
+        // demotion — the buggy path — and must still be rejected.
+        assert!(!t.maybe_transform(), "equally-hot candidate must not clear the ratio gate");
+        assert_eq!(t.events.transforms, 1);
+    }
+
+    /// Regression for `take(max_swaps)`: a hotter candidate that bails
+    /// (here: too big to ever fit C0) must not consume the swap budget;
+    /// the next viable candidate in score order still gets its turn.
+    #[test]
+    fn bailing_candidate_does_not_consume_swap_budget() {
+        let mut cfg = PmConfig { dynamic_transform: true, seed_c0: false, ..PmConfig::default() };
+        // cap = ⌊8 × 0.9⌋ = 7 octants: child 0's refined subtree (9
+        // octants) can never fit, child 1 (one octant) always can.
+        cfg.c0_capacity_octants = 8;
+        let mut t = PmOctree::create(arena(), cfg);
+        t.refine(OctKey::root()).unwrap();
+        t.refine(OctKey::root().child(0)).unwrap();
+        for i in 0..8 {
+            let k = OctKey::root().child(0).child(i);
+            t.set_data(k, CellData { phi: 0.0, ..Default::default() }).unwrap();
+        }
+        for i in 1..8 {
+            let phi = if i == 1 { 0.0 } else { 10.0 };
+            t.set_data(OctKey::root().child(i), CellData { phi, ..Default::default() }).unwrap();
+        }
+        t.add_feature(Box::new(|_k, d| d.phi.abs() < 0.5));
+        assert!(
+            t.maybe_transform(),
+            "the fitting candidate must be promoted even though a hotter one bailed first"
+        );
+        assert_eq!(t.events.transforms, 1);
+        assert!(t.c0_octants() >= 1);
     }
 
     #[test]
