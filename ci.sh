@@ -11,6 +11,12 @@ cargo fmt --check
 # Crash-consistency gate: every crash opportunity x every injection mode
 # must recover to exactly V_i or V_{i-1} (exits non-zero on violation).
 cargo run --release -p pmoctree-bench --bin repro -- crash-sweep --smoke
+# Orthogonal-persistence gate: runs crashed at sampled FailPlan
+# opportunities (including rt::commit) must resume to a report — and
+# hence a BENCH JSON — byte-identical to the uncrashed run, and
+# whole-application PM restart must beat the fsync-charged
+# file-checkpoint baseline >=10x (exits non-zero on either failure).
+cargo run --release -p pmoctree-bench --bin repro -- recovery-rt --smoke
 # Observability gate: a traced smoke workload must export a Chrome trace
 # that the independent JSON-level validator accepts.
 cargo run --release -p pmoctree-bench --bin repro -- droplet --quick --trace trace_smoke.json

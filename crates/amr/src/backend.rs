@@ -125,6 +125,80 @@ pub trait OctreeBackend {
     }
 }
 
+/// Mutable references forward to the referent, so drivers generic over
+/// `B: OctreeBackend` (e.g. `Simulation::step_core`) also accept a
+/// `&mut dyn OctreeBackend`. Every method forwards — including the
+/// default-bodied ones, so a backend's batched fast paths survive the
+/// indirection.
+impl<T: OctreeBackend + ?Sized> OctreeBackend for &mut T {
+    fn refine(&mut self, key: OctKey) -> Result<(), PmError> {
+        (**self).refine(key)
+    }
+    fn coarsen(&mut self, key: OctKey) -> Result<(), PmError> {
+        (**self).coarsen(key)
+    }
+    fn is_leaf(&mut self, key: OctKey) -> Option<bool> {
+        (**self).is_leaf(key)
+    }
+    fn containing_leaf(&mut self, key: OctKey) -> Option<OctKey> {
+        (**self).containing_leaf(key)
+    }
+    fn get_data(&mut self, key: OctKey) -> Option<Cell> {
+        (**self).get_data(key)
+    }
+    fn set_data(&mut self, key: OctKey, data: Cell) -> Result<(), PmError> {
+        (**self).set_data(key, data)
+    }
+    fn for_each_leaf(&mut self, f: &mut dyn FnMut(OctKey, &Cell)) {
+        (**self).for_each_leaf(f)
+    }
+    fn update_leaves(&mut self, f: &mut dyn FnMut(OctKey, &Cell) -> Option<Cell>) {
+        (**self).update_leaves(f)
+    }
+    fn leaf_count(&self) -> usize {
+        (**self).leaf_count()
+    }
+    fn depth(&self) -> u8 {
+        (**self).depth()
+    }
+    fn elapsed_ns(&self) -> u64 {
+        (**self).elapsed_ns()
+    }
+    fn charge_external(&mut self, ns: u64) {
+        (**self).charge_external(ns)
+    }
+    fn barrier_to(&mut self, t_ns: u64) {
+        (**self).barrier_to(t_ns)
+    }
+    fn end_of_step(&mut self, step: usize) {
+        (**self).end_of_step(step)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn mem_stats(&self) -> MemStats {
+        (**self).mem_stats()
+    }
+    fn set_tracer(&mut self, tracer: Tracer) {
+        (**self).set_tracer(tracer)
+    }
+    fn tracer(&self) -> Tracer {
+        (**self).tracer()
+    }
+    fn leaf_keys_sorted(&mut self) -> Vec<OctKey> {
+        (**self).leaf_keys_sorted()
+    }
+    fn containing_leaf_many(&mut self, keys: &[OctKey]) -> Vec<Option<OctKey>> {
+        (**self).containing_leaf_many(keys)
+    }
+    fn get_data_many(&mut self, keys: &[OctKey]) -> Vec<Option<Cell>> {
+        (**self).get_data_many(keys)
+    }
+    fn neighbor_leaves_many(&mut self, sources: &[OctKey], full: bool) -> Vec<Vec<OctKey>> {
+        (**self).neighbor_leaves_many(sources, full)
+    }
+}
+
 /// Generate the flat neighbor-key query batch for `sources` plus the
 /// per-source `[start, end)` spans into it. Pure read-only preparation, so
 /// the per-source key generation runs data-parallel.

@@ -405,6 +405,10 @@ impl InCoreOctree {
         self.charge_read(records.len() as u64);
         let bytes = encode_octants(&records);
         fs.write_all(name, &bytes);
+        // A checkpoint that may still sit in the device write cache is no
+        // checkpoint: pay the durability barrier, like fsync after
+        // gfs_output_write.
+        fs.sync();
         // The snapshot stall is part of this tree's execution time.
         self.clock.advance_to(self.clock.now_ns());
     }
@@ -499,6 +503,26 @@ mod tests {
         t.snapshot(&mut fs, "big");
         assert!(fs.clock.now_ns() - t0 >= small, "bigger tree, costlier snapshot");
         assert!(fs.len("big").unwrap() > fs.len("small").unwrap());
+    }
+
+    #[test]
+    fn snapshot_cost_strictly_increases_with_fsync() {
+        use pmoctree_simfs::BlockDeviceModel;
+        let barrier = BlockDeviceModel::nvbm_fs();
+        assert!(barrier.sync_ns > 0, "model must charge a durability barrier");
+        let mut no_barrier = barrier;
+        no_barrier.sync_ns = 0;
+        let cost = |model: BlockDeviceModel| {
+            let mut fs = SimFs::new(model);
+            let mut t = InCoreOctree::new();
+            t.refine(OctKey::root());
+            t.snapshot(&mut fs, "snap.gfs");
+            fs.clock.now_ns()
+        };
+        assert!(
+            cost(barrier) > cost(no_barrier),
+            "fsync-charged checkpoint must cost strictly more than an unsynced one"
+        );
     }
 
     #[test]

@@ -42,6 +42,12 @@ pub fn decode_record(b: &[u8]) -> Result<OctantRecord, String> {
     if level > OctKey::MAX_LEVEL {
         return Err(format!("corrupt record: level {level}"));
     }
+    // `OctKey::from_raw` panics on codes with bits above the level; a
+    // corrupted record must surface as an error instead.
+    let shift = level as u32 * 3;
+    if shift < 64 && code >> shift != 0 {
+        return Err(format!("corrupt record: code {code:#x} has bits above level {level}"));
+    }
     let mut data = [0.0f64; 4];
     for (i, v) in data.iter_mut().enumerate() {
         *v = f64::from_le_bytes(b[16 + i * 8..24 + i * 8].try_into().expect("8"));
@@ -65,8 +71,12 @@ pub fn decode_octants(bytes: &[u8]) -> Result<Vec<OctantRecord>, String> {
         return Err("snapshot too short".into());
     }
     let n = u64::from_le_bytes(bytes[0..8].try_into().expect("8")) as usize;
-    if bytes.len() < 8 + n * RECORD_SIZE {
-        return Err(format!("snapshot truncated: {n} records claimed"));
+    // Checked arithmetic: a corrupted count must yield an error, not an
+    // overflow panic.
+    let need = n.checked_mul(RECORD_SIZE).and_then(|b| b.checked_add(8));
+    match need {
+        Some(need) if bytes.len() >= need => {}
+        _ => return Err(format!("snapshot truncated: {n} records claimed")),
     }
     (0..n).map(|i| decode_record(&bytes[8 + i * RECORD_SIZE..8 + (i + 1) * RECORD_SIZE])).collect()
 }

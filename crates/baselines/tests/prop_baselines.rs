@@ -2,7 +2,9 @@
 //! behaves like a sorted map, and the Etree linear octree maintains the
 //! leaf-tiling invariant under arbitrary refine/coarsen sequences.
 
-use pmoctree_baselines::{DiskBTree, EtreeOctree};
+use pmoctree_baselines::{
+    decode_octants, encode_octants, DiskBTree, EtreeOctree, OctantRecord, RECORD_SIZE,
+};
 use pmoctree_morton::{anchor, anchor_end, OctKey};
 use pmoctree_simfs::SimFs;
 use proptest::prelude::*;
@@ -26,8 +28,63 @@ fn arb_map_ops() -> impl Strategy<Value = Vec<MapOp>> {
     )
 }
 
+fn arb_record() -> impl Strategy<Value = OctantRecord> {
+    (
+        prop::collection::vec(0usize..8, 0..6),
+        prop::collection::vec(-1e12f64..1e12, 4),
+        any::<bool>(),
+    )
+        .prop_map(|(path, data, is_leaf)| {
+            let mut k = OctKey::root();
+            for c in path {
+                k = k.child(c);
+            }
+            let data = [data[0], data[1], data[2], data[3]];
+            OctantRecord { key: k, data, is_leaf }
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Snapshot wire format: encode → decode is the identity for any
+    /// octant list.
+    #[test]
+    fn snapshot_roundtrips(records in prop::collection::vec(arb_record(), 0..64)) {
+        let bytes = encode_octants(&records);
+        prop_assert_eq!(bytes.len(), 8 + records.len() * RECORD_SIZE);
+        prop_assert_eq!(decode_octants(&bytes).expect("roundtrip"), records);
+    }
+
+    /// Any strict prefix of a valid snapshot is rejected with an error —
+    /// never a panic, never a silently shortened list.
+    #[test]
+    fn snapshot_truncation_is_an_error(
+        records in prop::collection::vec(arb_record(), 1..32),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let bytes = encode_octants(&records);
+        let cut = ((bytes.len() - 1) as f64 * cut_fraction) as usize;
+        prop_assert!(decode_octants(&bytes[..cut]).is_err(), "prefix of {cut} bytes accepted");
+    }
+
+    /// Arbitrary byte corruption (including of the count header) either
+    /// decodes to *some* list or errors out — it must never panic.
+    #[test]
+    fn snapshot_corruption_never_panics(
+        records in prop::collection::vec(arb_record(), 0..16),
+        pos_fraction in 0.0f64..1.0,
+        val in any::<u8>(),
+    ) {
+        let mut bytes = encode_octants(&records);
+        let pos = ((bytes.len() - 1) as f64 * pos_fraction) as usize;
+        bytes[pos] = val;
+        let _ = decode_octants(&bytes);
+        // A count header claiming u64::MAX records must error, not
+        // overflow the size computation.
+        bytes[0..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        prop_assert!(decode_octants(&bytes).is_err());
+    }
 
     /// The disk-backed B-tree agrees with std's BTreeMap on every
     /// operation, including floor queries, under any op sequence.

@@ -5,6 +5,7 @@
 //! repro [table2|fig3|write_fraction|layout|fig6|fig7|fig8|fig9|fig10|fig11|recovery|ablations|all]
 //! [--quick] [--workers N]
 //! repro crash-sweep [--smoke]
+//! repro recovery-rt [--smoke]
 //! repro droplet [--quick] [--trace out.json] [--metrics out.prom]
 //! repro cluster-smoke [--workers N]
 //! repro trace-check FILE
@@ -23,6 +24,13 @@
 //! of a droplet workload under every crash mode and verifies recovery at
 //! each one, writing `BENCH_crash_sweep.json`; it exits non-zero on any
 //! contract violation.
+//!
+//! `recovery-rt` (not part of `all`) exercises the pm-rt
+//! orthogonal-persistence runtime: sampled crashes (including at
+//! `rt::commit`) must resume through `pm_restore` to a byte-identical
+//! report, and whole-application restart must beat the file-checkpoint
+//! baseline ≥10x. Writes `BENCH_recovery_rt.json`; exits non-zero if
+//! either claim fails.
 //!
 //! `droplet` (not part of `all`) runs the droplet workload with tracing
 //! on, prints the span attribution and per-timestep tables, and writes
@@ -195,6 +203,27 @@ fn main() {
         write_bench_json("crash_sweep", &crash_sweep_json(&sweep));
         if sweep.total_violations() > 0 {
             eprintln!("crash sweep found {} contract violations", sweep.total_violations());
+            std::process::exit(1);
+        }
+    }
+    if what == "recovery-rt" {
+        let cfg = if args.iter().any(|a| a == "--smoke") || quick {
+            RecoveryRtConfig::smoke()
+        } else {
+            RecoveryRtConfig::full()
+        };
+        let r = recovery_rt(&cfg);
+        println!("{}", recovery_rt_str(&r));
+        write_bench_json("recovery_rt", &recovery_rt_json(&r));
+        if !r.all_identical() {
+            eprintln!("recovery-rt: a crashed run did not resume to the identical report");
+            std::process::exit(1);
+        }
+        if r.speedup() < 10.0 {
+            eprintln!(
+                "recovery-rt: whole-app PM restart only {:.2}x faster than the file baseline",
+                r.speedup()
+            );
             std::process::exit(1);
         }
     }

@@ -4,7 +4,8 @@
 //! with a [`FailPlan`] hook installed, so **every** crash opportunity the
 //! workload has — every store, every cacheline writeback, every labelled
 //! protocol point (`persist::*`, `gc::sweep`, `c0::evict`,
-//! `replica::ship`, `transform`) — is visited exactly once. At each
+//! `replica::ship`, `transform`, `rt::commit`, `rt::swizzle`) — is
+//! visited exactly once. At each
 //! opportunity the hook materialises the media image a reboot would find
 //! under each [`CrashMode`] (drop dirty lines, commit a random subset,
 //! tear each line at a random word boundary), restores a fresh tree from
@@ -22,8 +23,12 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use pm_octree::{check_invariants, CellData, PmConfig, PmOctree};
+use pm_rt::PmRt;
 use pmoctree_morton::OctKey;
 use pmoctree_nvbm::{CrashMode, DeviceModel, FailPlan, NvbmArena};
+
+/// Name of the pm-rt root the sweep workload commits each step.
+const RT_ROOT_NAME: &str = "sweep::step";
 
 /// One persisted (or in-flight) version: the sorted leaf set.
 type Snapshot = Vec<(OctKey, CellData)>;
@@ -128,6 +133,11 @@ struct Oracle {
     /// last committed version; index 1 (present only while a persist is
     /// executing) is the in-flight version being published.
     valid: Vec<Snapshot>,
+    /// Legal values of the pm-rt `sweep::step` root, same indexing. The
+    /// rt table commits *after* the tree root swap inside the combined
+    /// persist, so recovering the new rt value together with the old
+    /// tree version is a protocol-ordering violation.
+    rt_valid: Vec<u64>,
 }
 
 struct SweepStats {
@@ -136,6 +146,26 @@ struct SweepStats {
 }
 
 const MAX_RECORDED_VIOLATIONS: usize = 16;
+
+/// pm-rt side of the recovery oracle: the registry must swizzle, hold a
+/// legal `sweep::step` value, and respect the combined-commit ordering —
+/// the rt table publishes *after* the tree root swap, so the in-flight
+/// rt value together with the old tree version can never be observed.
+fn check_rt(r: &mut PmOctree, rt_valid: &[u64], tree_version: usize) -> Result<(), String> {
+    let mut rt =
+        PmRt::restore(&mut r.store.arena).map_err(|e| format!("rt restore failed: {e}"))?;
+    let v: u64 = rt
+        .get(&mut r.store.arena, RT_ROOT_NAME)
+        .map_err(|e| format!("rt read failed: {e}"))?
+        .ok_or_else(|| format!("rt root {RT_ROOT_NAME:?} missing after recovery"))?;
+    match rt_valid.iter().position(|&x| x == v) {
+        None => Err(format!("rt value {v} is neither the committed nor the in-flight one")),
+        Some(1) if tree_version == 0 => {
+            Err(format!("rt published in-flight value {v} before the tree root swap"))
+        }
+        Some(_) => Ok(()),
+    }
+}
 
 fn signed_distance(k: OctKey, center: [f64; 3], radius: f64) -> f64 {
     let c = k.center();
@@ -179,7 +209,13 @@ pub fn crash_sweep(cfg: &CrashSweepConfig) -> CrashSweep {
     t.persist();
     let v0 = t.leaves_sorted();
 
-    let oracle = Arc::new(Mutex::new(Oracle { valid: vec![v0] }));
+    // An rt registry on the same device, committed before the plan is
+    // installed so the sweep starts from a recoverable rt V_0 as well.
+    let mut rt = PmRt::create(&mut t.store.arena).expect("rt create");
+    rt.put(&mut t.store.arena, RT_ROOT_NAME, &0u64).expect("rt put");
+    rt.commit(&mut t.store.arena).expect("rt commit");
+
+    let oracle = Arc::new(Mutex::new(Oracle { valid: vec![v0], rt_valid: vec![0] }));
     let stats = Arc::new(Mutex::new(SweepStats {
         rows: modes
             .iter()
@@ -198,7 +234,10 @@ pub fn crash_sweep(cfg: &CrashSweepConfig) -> CrashSweep {
     let hook_stats = stats.clone();
     let hook_modes = modes.clone();
     t.store.arena.set_fail_plan(FailPlan::with_hook(Box::new(move |view| {
-        let valid = hook_oracle.lock().expect("oracle lock").valid.clone();
+        let (valid, rt_valid) = {
+            let o = hook_oracle.lock().expect("oracle lock");
+            (o.valid.clone(), o.rt_valid.clone())
+        };
         let mut st = hook_stats.lock().expect("stats lock");
         for (i, (name, mode)) in hook_modes.iter().enumerate() {
             st.rows[i].checked += 1;
@@ -211,7 +250,7 @@ pub fn crash_sweep(cfg: &CrashSweepConfig) -> CrashSweep {
                     Ok(_) => {
                         let got = r.leaves_sorted();
                         match valid.iter().position(|v| *v == got) {
-                            Some(i) => Ok(i),
+                            Some(i) => check_rt(&mut r, &rt_valid, i).map(|()| i),
                             None => Err(format!(
                                 "recovered leaf set ({} leaves) is neither V_i nor V_i-1",
                                 got.len()
@@ -264,15 +303,42 @@ pub fn crash_sweep(cfg: &CrashSweepConfig) -> CrashSweep {
         }
         // Persist under the oracle: while persist runs, a crash may
         // legally land on either the committed or the in-flight version.
+        // The rt registry commits inside the same persist (combined
+        // protocol), so its legal values widen and narrow in lockstep.
         let new = t.leaves_sorted();
+        let step_val = (s + 1) as u64;
         {
             let mut o = oracle.lock().expect("oracle lock");
             let committed = o.valid[0].clone();
             o.valid = vec![committed, new.clone()];
+            let rt_committed = o.rt_valid[0];
+            o.rt_valid = vec![rt_committed, step_val];
         }
-        t.persist();
-        oracle.lock().expect("oracle lock").valid = vec![new];
+        let rt_ref = &mut rt;
+        let mut rt_err = None;
+        t.persist_with_hook(&mut |arena| match rt_ref
+            .put(arena, RT_ROOT_NAME, &step_val)
+            .and_then(|_| rt_ref.commit(arena))
+        {
+            Ok(regions) => regions,
+            Err(e) => {
+                rt_err = Some(e);
+                Vec::new()
+            }
+        });
+        assert!(rt_err.is_none(), "rt commit failed: {rt_err:?}");
+        {
+            let mut o = oracle.lock().expect("oracle lock");
+            o.valid = vec![new];
+            o.rt_valid = vec![step_val];
+        }
     }
+
+    // Reattach the registry on the live device with the plan still
+    // installed: the swizzle pass is itself a crash surface, so its
+    // failpoint must appear in the sweep's opportunity space.
+    let reread = PmRt::restore(&mut t.store.arena).expect("rt reattach");
+    assert_eq!(reread.epoch(), rt.epoch(), "reattached rt must see every commit");
 
     let plan = t.store.arena.take_fail_plan().expect("plan installed");
     let opportunities = plan.opportunities();
@@ -315,6 +381,8 @@ mod tests {
             "gc::sweep",
             "replica::ship",
             "transform",
+            "rt::commit",
+            "rt::swizzle",
         ] {
             assert!(
                 sweep.label_counts.iter().any(|(l, n)| l == label && *n > 0),

@@ -258,6 +258,33 @@ pub fn trace_check_str(path: &str, s: &crate::trace_check::TraceSummary) -> Stri
     )
 }
 
+/// Render the whole-application restart experiment.
+pub fn recovery_rt_str(r: &crate::recovery_rt::RecoveryRt) -> String {
+    let mut s = format!(
+        "Whole-application restart (pm-rt): {} steps, {} elements, {} crash opportunities\n",
+        r.steps, r.elements, r.opportunities
+    );
+    s.push_str("crash at    | label            | resumed at | identical report\n");
+    for row in &r.rows {
+        s.push_str(&format!(
+            "{:>11} | {:<16} | {:<10} | {}\n",
+            row.opportunity,
+            row.label.as_deref().unwrap_or("-"),
+            row.resumed_at.map_or("scratch".to_string(), |at| format!("step {at}")),
+            if row.identical { "yes" } else { "NO" },
+        ));
+    }
+    s.push_str(&format!(
+        "restart latency (virtual s): pm-rt reattach {:.6} vs file checkpoint {:.6} \
+         (read + rebuild + {} replayed steps) => {:.1}x\n",
+        r.pm_restart_secs,
+        r.baseline_restart_secs,
+        r.baseline_lost_steps,
+        r.speedup()
+    ));
+    s
+}
+
 /// Render the crash-point sweep outcome.
 pub fn crash_sweep_str(sweep: &crate::crash_sweep::CrashSweep) -> String {
     let mut s = format!(

@@ -174,6 +174,64 @@ pub fn droplet_json(run: &DropletRun) -> String {
     })
 }
 
+#[derive(Serialize)]
+struct RecoveryRtStepDoc {
+    step: usize,
+    refine_ns: u64,
+    balance_ns: u64,
+    solve_ns: u64,
+    persist_ns: u64,
+    leaves: usize,
+}
+
+#[derive(Serialize)]
+struct RecoveryRtDoc {
+    experiment: &'static str,
+    steps: usize,
+    elements: usize,
+    opportunities: u64,
+    all_identical: bool,
+    pm_restart_secs: f64,
+    baseline_restart_secs: f64,
+    baseline_lost_steps: usize,
+    speedup: f64,
+    crashes: Vec<crate::recovery_rt::CrashResumeRow>,
+    report: Vec<RecoveryRtStepDoc>,
+}
+
+/// JSON for the whole-application restart experiment. The `report`
+/// rows come from the *reference* run, which every sampled crashed run
+/// reproduced byte-for-byte when `all_identical` holds — so a crashed
+/// repro of this experiment emits this exact file.
+pub fn recovery_rt_json(r: &crate::recovery_rt::RecoveryRt) -> String {
+    json_doc(&RecoveryRtDoc {
+        experiment: "recovery_rt",
+        steps: r.steps,
+        elements: r.elements,
+        opportunities: r.opportunities,
+        all_identical: r.all_identical(),
+        pm_restart_secs: r.pm_restart_secs,
+        baseline_restart_secs: r.baseline_restart_secs,
+        baseline_lost_steps: r.baseline_lost_steps,
+        speedup: r.speedup(),
+        crashes: r.rows.clone(),
+        report: r
+            .report
+            .steps
+            .iter()
+            .enumerate()
+            .map(|(i, s)| RecoveryRtStepDoc {
+                step: i,
+                refine_ns: s.refine_ns,
+                balance_ns: s.balance_ns,
+                solve_ns: s.solve_ns,
+                persist_ns: s.persist_ns,
+                leaves: s.leaves,
+            })
+            .collect(),
+    })
+}
+
 fn json_doc<T: Serialize>(doc: &T) -> String {
     serde_json::to_string(doc).unwrap_or_else(|e| format!("{{\"error\": \"{e}\"}}"))
 }

@@ -1,0 +1,258 @@
+//! Whole-application instant-restart experiment (`repro recovery-rt`).
+//!
+//! Two claims are checked, both on the virtual clock:
+//!
+//! 1. **Correctness** — a persistent run crashed at *any* FailPlan
+//!    opportunity (including inside `rt::commit`) resumes through
+//!    `pm_restore` + the `pm-rt` runtime and finishes with a
+//!    [`RunReport`] identical to the uncrashed same-seed run — so the
+//!    BENCH JSON rendered from it is byte-identical too. A counting pass
+//!    enumerates the opportunities; a sample (plus every `rt::commit`
+//!    point) is replayed armed.
+//! 2. **Latency** — whole-application restart (runtime swizzle +
+//!    run-state read + tree reachability pass) is compared against the
+//!    file-checkpoint baseline, whose restart must re-read its snapshot
+//!    (written through `fsync`-charged [`pmoctree_simfs`] barriers) and
+//!    **re-execute** every step since that snapshot. The paper's point:
+//!    checkpoint cadence is a staleness dial PM-octree simply does not
+//!    have.
+
+use pm_octree::PmConfig;
+use pmoctree_amr::{InCoreBackend, OctreeBackend};
+use pmoctree_baselines::InCoreOctree;
+use pmoctree_nvbm::{CrashMode, DeviceModel, FailPlan, NvbmArena};
+use pmoctree_simfs::SimFs;
+use pmoctree_solver::{
+    reattach, resume_persistent, run_persistent, run_persistent_partial, Reattach, RunReport,
+    SimConfig, Simulation,
+};
+
+use crate::experiments::sim_cfg;
+
+/// Scale knobs for the experiment.
+#[derive(Clone, Debug)]
+pub struct RecoveryRtConfig {
+    /// Simulation steps of the reference run.
+    pub steps: usize,
+    /// Maximum refinement level.
+    pub max_level: u8,
+    /// Emulated device size.
+    pub arena_bytes: usize,
+    /// Step after which the latency measurement kills the run.
+    pub kill_after: usize,
+    /// Evenly-spaced crash opportunities to replay armed (every
+    /// `rt::commit` opportunity is added on top).
+    pub crash_samples: usize,
+}
+
+impl RecoveryRtConfig {
+    /// CI-sized configuration.
+    pub fn smoke() -> Self {
+        RecoveryRtConfig {
+            steps: 3,
+            max_level: 4,
+            arena_bytes: 48 << 20,
+            kill_after: 2,
+            crash_samples: 4,
+        }
+    }
+
+    /// Default configuration.
+    pub fn full() -> Self {
+        RecoveryRtConfig {
+            steps: 5,
+            max_level: 4,
+            arena_bytes: 48 << 20,
+            kill_after: 3,
+            crash_samples: 8,
+        }
+    }
+}
+
+/// One armed crash → resume replay.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct CrashResumeRow {
+    /// Opportunity index the crash was injected at.
+    pub opportunity: u64,
+    /// Failpoint label when the opportunity was a labelled one.
+    pub label: Option<String>,
+    /// Step the resumed run continued at (`None` = nothing committed
+    /// yet, the run started over from scratch).
+    pub resumed_at: Option<usize>,
+    /// Did the crashed-and-resumed run finish with the uncrashed
+    /// run's exact report?
+    pub identical: bool,
+}
+
+/// Experiment outcome.
+#[derive(Clone, Debug)]
+pub struct RecoveryRt {
+    /// Steps of the reference run.
+    pub steps: usize,
+    /// Final element count of the reference run.
+    pub elements: usize,
+    /// The uncrashed reference report (the byte-identity target).
+    pub report: RunReport,
+    /// Total crash opportunities the reference run had.
+    pub opportunities: u64,
+    /// Armed crash → resume replays.
+    pub rows: Vec<CrashResumeRow>,
+    /// Whole-application PM restart latency, virtual seconds.
+    pub pm_restart_secs: f64,
+    /// File-checkpoint baseline restart latency (snapshot read + rebuild
+    /// + re-execution of the steps since the snapshot), virtual seconds.
+    pub baseline_restart_secs: f64,
+    /// Steps the baseline had to re-execute (its lost work).
+    pub baseline_lost_steps: usize,
+}
+
+impl RecoveryRt {
+    /// Did every sampled crash resume to the identical report?
+    pub fn all_identical(&self) -> bool {
+        !self.rows.is_empty() && self.rows.iter().all(|r| r.identical)
+    }
+
+    /// Baseline restart / PM restart (the paper-shaped headline; the
+    /// acceptance gate requires ≥ 10).
+    pub fn speedup(&self) -> f64 {
+        self.baseline_restart_secs / self.pm_restart_secs.max(1e-30)
+    }
+}
+
+fn fingerprint(r: &RunReport) -> &[pmoctree_solver::StepBreakdown] {
+    &r.steps
+}
+
+/// Run the experiment.
+pub fn recovery_rt(rc: &RecoveryRtConfig) -> RecoveryRt {
+    let cfg = SimConfig { steps: rc.steps, ..sim_cfg(rc.steps, rc.max_level) };
+    let pm_cfg = PmConfig::default();
+
+    // Uncrashed reference run.
+    let reference =
+        run_persistent(cfg, pm_cfg, NvbmArena::new(rc.arena_bytes, DeviceModel::default()))
+            .expect("reference persistent run");
+    let elements = reference.backend.tree.leaf_count();
+
+    // Counting pass: same run with a counting plan installed, to learn
+    // the opportunity space and where the labelled protocol points sit.
+    let mut counted = NvbmArena::new(rc.arena_bytes, DeviceModel::default());
+    counted.set_fail_plan(FailPlan::count());
+    let counted_run = run_persistent(cfg, pm_cfg, counted).expect("counting persistent run");
+    let mut counted_arena = counted_run.backend.tree.store.arena;
+    let plan = counted_arena.take_fail_plan().expect("counting plan installed");
+    let opportunities = plan.opportunities();
+    let labels: Vec<(u64, &'static str)> = plan.labels().to_vec();
+    assert_eq!(
+        fingerprint(&counted_run.report),
+        fingerprint(&reference.report),
+        "a counting plan must not perturb the run"
+    );
+
+    // Sample: `crash_samples` evenly spaced opportunities plus every
+    // rt::commit point (the new protocol surface under test).
+    let mut sampled: Vec<u64> = (1..=rc.crash_samples as u64)
+        .map(|i| i * opportunities / (rc.crash_samples as u64 + 1))
+        .filter(|&at| at > 0)
+        .collect();
+    sampled.extend(labels.iter().filter(|(_, l)| *l == "rt::commit").map(|&(at, _)| at));
+    sampled.sort_unstable();
+    sampled.dedup();
+
+    let mut rows = Vec::with_capacity(sampled.len());
+    for at in sampled {
+        let mut armed = NvbmArena::new(rc.arena_bytes, DeviceModel::default());
+        armed.set_fail_plan(FailPlan::armed(at, CrashMode::LoseDirty));
+        let armed_run = run_persistent(cfg, pm_cfg, armed).expect("armed persistent run");
+        let mut arena = armed_run.backend.tree.store.arena;
+        let mut plan = arena.take_fail_plan().expect("armed plan installed");
+        let cap = plan.take_capture().expect("armed opportunity fired");
+        let crashed = NvbmArena::from_media(cap.media, DeviceModel::default());
+        let resumed = resume_persistent(crashed, cfg, pm_cfg).expect("resume after crash");
+        rows.push(CrashResumeRow {
+            opportunity: at,
+            label: cap.label.map(str::to_string),
+            resumed_at: resumed.resumed_at,
+            identical: fingerprint(&resumed.report) == fingerprint(&reference.report),
+        });
+    }
+
+    // Latency, PM side: kill a partial run, reattach in a cold process.
+    let (mut b, _rt, _done) = run_persistent_partial(
+        cfg,
+        pm_cfg,
+        NvbmArena::new(rc.arena_bytes, DeviceModel::default()),
+        rc.kill_after,
+    )
+    .expect("staged persistent run");
+    b.tree.store.arena.crash(CrashMode::LoseDirty);
+    let cold = NvbmArena::from_media(b.tree.store.arena.clone_media(), DeviceModel::default());
+    let pm_restart_secs = match reattach(cold, pm_cfg).expect("reattach") {
+        Reattach::Resumable(backend, _, _) => backend.elapsed_ns() as f64 * 1e-9,
+        Reattach::Nothing(_) => panic!("combined commits exist after {} steps", rc.kill_after),
+    };
+
+    // Latency, baseline side: in-core tree + snapshot files on the
+    // disk-class file system (the paper's checkpoints live on the
+    // parallel file system, not on NVBM). The snapshot after Construct
+    // goes through the fsync-charged write path; restart re-reads it,
+    // rebuilds the tree, and replays every step since (the file
+    // checkpoint holds no newer state).
+    let sim = Simulation::new(cfg);
+    let mut ib = InCoreBackend::new();
+    ib.fs = SimFs::on_disk();
+    sim.construct(&mut ib);
+    let snap = "recovery-rt-0.gfs".to_string();
+    ib.tree.snapshot(&mut ib.fs, &snap);
+    for s in 0..rc.kill_after {
+        sim.step(&mut ib, s);
+    }
+    // Kill: DRAM gone, only the files survive.
+    let InCoreBackend { mut fs, .. } = ib;
+    let t0 = fs.clock.now_ns();
+    let restored = InCoreOctree::restore(&mut fs, &snap).expect("snapshot readable");
+    let io_ns = fs.clock.now_ns() - t0;
+    let rebuild_ns = restored.clock.now_ns();
+    let mut rb = InCoreBackend { tree: restored, fs, ..InCoreBackend::new() };
+    let replay0 = rb.elapsed_ns();
+    for s in 0..rc.kill_after {
+        sim.step(&mut rb, s);
+    }
+    let replay_ns = rb.elapsed_ns() - replay0;
+    let baseline_restart_secs = (io_ns + rebuild_ns + replay_ns) as f64 * 1e-9;
+
+    RecoveryRt {
+        steps: rc.steps,
+        elements,
+        report: reference.report,
+        opportunities,
+        rows,
+        pm_restart_secs,
+        baseline_restart_secs,
+        baseline_lost_steps: rc.kill_after,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_recovery_rt_is_identical_and_fast() {
+        let r = recovery_rt(&RecoveryRtConfig::smoke());
+        assert!(r.opportunities > 1000, "opportunity space too small: {}", r.opportunities);
+        assert!(
+            r.rows.iter().any(|row| row.label.as_deref() == Some("rt::commit")),
+            "rt::commit opportunities must be sampled: {:?}",
+            r.rows
+        );
+        assert!(r.all_identical(), "non-identical resumes: {:#?}", r.rows);
+        assert!(
+            r.speedup() >= 10.0,
+            "whole-app PM restart must beat the file baseline ≥10×: {:.2}× ({} vs {})",
+            r.speedup(),
+            r.pm_restart_secs,
+            r.baseline_restart_secs
+        );
+    }
+}

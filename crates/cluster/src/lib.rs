@@ -19,7 +19,8 @@ pub mod replica_sched;
 pub mod scaling;
 
 pub use failure::{
-    etree_recovery, incore_recovery, pm_recovery, recovery_comparison, RecoveryReport,
+    etree_recovery, incore_recovery, pm_recovery, recovery_comparison, rt_recovery, RecoveryReport,
+    RtRecoveryReport,
 };
 pub use rank::{RangedCriterion, Rank, Scheme};
 pub use replica_sched::{NodeNvbm, Placement, PlacementError, ReplicaScheduler};

@@ -152,6 +152,8 @@ const OFF_ROOT0: u64 = 16;
 #[allow(dead_code)]
 const OFF_ROOT1: u64 = 24;
 const OFF_BUMP: u64 = 32;
+const OFF_RT_ROOT: u64 = 40;
+const OFF_RT_BUMP: u64 = 48;
 
 /// Number of 8-byte root slots in the header.
 pub const ROOT_SLOTS: usize = 2;
@@ -500,6 +502,30 @@ impl NvbmArena {
     /// Persist the allocator bump pointer.
     pub fn set_bump_hint(&mut self, b: u64) {
         self.header_write_u64(OFF_BUMP, b);
+    }
+
+    /// Persistent root of the orthogonal-persistence runtime (`pm-rt`)
+    /// object table. `0` means no table has ever been committed.
+    pub fn rt_root(&mut self) -> POffset {
+        POffset(self.header_read_u64(OFF_RT_ROOT))
+    }
+
+    /// Atomically publish a new `pm-rt` object table: the runtime's one
+    /// commit point, same atomicity argument as [`NvbmArena::set_root`].
+    pub fn set_rt_root(&mut self, p: POffset) {
+        self.header_write_u64(OFF_RT_ROOT, p.0);
+    }
+
+    /// Persisted floor of the `pm-rt` downward-growing heap (grows from
+    /// the top of the device toward the octree's bump allocator). `0`
+    /// means the heap has never been used (floor = capacity).
+    pub fn rt_bump_hint(&mut self) -> u64 {
+        self.header_read_u64(OFF_RT_BUMP)
+    }
+
+    /// Persist the `pm-rt` heap floor.
+    pub fn set_rt_bump_hint(&mut self, b: u64) {
+        self.header_write_u64(OFF_RT_BUMP, b);
     }
 
     // ---- typed access helpers -------------------------------------------

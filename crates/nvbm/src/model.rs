@@ -76,6 +76,12 @@ pub struct BlockDeviceModel {
     pub op_ns: u64,
     /// Transfer time per 4 KiB page, ns.
     pub page_ns: u64,
+    /// Durability-barrier cost (`fsync`): flushing the device/OS write
+    /// cache so the data is actually on stable media, ns. Checkpoint
+    /// baselines must pay this after every checkpoint write or they are
+    /// comparing a maybe-durable file against an always-durable NVBM
+    /// commit.
+    pub sync_ns: u64,
 }
 
 impl BlockDeviceModel {
@@ -86,18 +92,23 @@ impl BlockDeviceModel {
     pub fn nvbm_fs() -> Self {
         // Software path (syscall + FS) ~ 2 us per op; page move at NVBM
         // bandwidth ~ 64 lines * 125 ns avg = 8 us.
-        BlockDeviceModel { op_ns: 2_000, page_ns: 8_000 }
+        // A sync on NVBM-backed storage only drains the small controller
+        // buffer: ~5 us.
+        BlockDeviceModel { op_ns: 2_000, page_ns: 8_000, sync_ns: 5_000 }
     }
 
     /// A 7200 RPM hard disk: ~8 ms average seek + rotational latency,
     /// ~150 MB/s streaming (≈27 us per 4 KiB page).
     pub fn hard_disk() -> Self {
-        BlockDeviceModel { op_ns: 8_000_000, page_ns: 27_000 }
+        // fsync forces the on-disk write cache out: roughly one further
+        // rotation + seek, ~10 ms.
+        BlockDeviceModel { op_ns: 8_000_000, page_ns: 27_000, sync_ns: 10_000_000 }
     }
 
     /// A SATA SSD: ~60 us access, ~500 MB/s (≈8 us per page).
     pub fn ssd() -> Self {
-        BlockDeviceModel { op_ns: 60_000, page_ns: 8_000 }
+        // FLUSH CACHE on consumer SSDs is notoriously expensive: ~1 ms.
+        BlockDeviceModel { op_ns: 60_000, page_ns: 8_000, sync_ns: 1_000_000 }
     }
 
     /// Cost of transferring `pages` pages in one operation.

@@ -26,6 +26,11 @@ use crate::octant::{CellData, ChildPtr, Octant, PmStore};
 use crate::replica::ReplicaSet;
 use crate::sampling::{self, FeatureFn};
 
+/// Application-state commit hook run inside [`PmOctree::persist_with_hook`]
+/// between the tree root swap and GC; returns the byte regions it wrote
+/// (shipped with the persist's replica delta).
+pub type PersistHook<'a> = dyn FnMut(&mut NvbmArena) -> Vec<(u64, u32)> + 'a;
+
 /// Phases of the persist protocol, for failpoint testing
 /// ([`PmOctree::persist_with_failpoint`]). A crash after `Merge` or
 /// `Flush` recovers the *previous* version; after `RootSwapHalf` or
@@ -197,6 +202,23 @@ impl PmOctree {
             return Err(PmError::Recovery("device is not a PM-octree (bad magic)".into()));
         }
         let prev = arena.root(1);
+        Self::restore_at(arena, prev, cfg)
+    }
+
+    /// [`PmOctree::restore`] at an explicitly named tree root instead of
+    /// the header's recovery slot. The `pm-rt` runtime records which tree
+    /// root its committed bundle pairs with; when a crash lands between
+    /// the tree's root swap and the runtime's (so the header already
+    /// names a newer version than the bundle), whole-application resume
+    /// restores *at the recorded root* — still allocated, because GC only
+    /// runs after the runtime commit. Octants unreachable from `root`
+    /// (including any newer version) are reclaimed by the allocator
+    /// rebuild, exactly like ordinary orphans.
+    pub fn restore_at(mut arena: NvbmArena, root: POffset, cfg: PmConfig) -> Result<Self, PmError> {
+        if !arena.is_formatted() {
+            return Err(PmError::Recovery("device is not a PM-octree (bad magic)".into()));
+        }
+        let prev = root;
         if prev.is_null() {
             return Err(PmError::Recovery(
                 "no persisted version to restore (null recovery root)".into(),
@@ -238,7 +260,13 @@ impl PmOctree {
         // `header_epoch + 1`, and treating those as exclusive would mutate
         // the persisted version in place.
         let epoch = header_epoch.max(scan.max_epoch) + 1;
+        // Re-point both root slots at the restored version: when restoring
+        // at an explicitly named (older) root, the header's recovery slot
+        // may still name a newer version whose octants the allocator
+        // rebuild just reclaimed — leaving it dangling would break a
+        // subsequent plain `restore`.
         store.arena.set_root(0, prev);
+        store.arena.set_root(1, prev);
         let mut t = PmOctree {
             store,
             forest: C0Forest::new(),
@@ -566,6 +594,15 @@ impl PmOctree {
 
     // ---- batched leaf-index queries --------------------------------------
 
+    /// Drop the volatile leaf index; the next batched query rebuilds it.
+    /// Whole-application persistence calls this after every combined
+    /// persist so a run resumed from the persist point (which necessarily
+    /// starts with a cold index) rebuilds at exactly the same points — and
+    /// therefore on exactly the same virtual clock — as the original run.
+    pub fn invalidate_leaf_index(&mut self) {
+        self.index.invalidate();
+    }
+
     /// Charge DRAM-read cost for touching `entries` leaf-index entries
     /// (the index lives in DRAM regardless of where octants live).
     fn charge_index_entries(&mut self, entries: usize) {
@@ -678,7 +715,7 @@ impl PmOctree {
     /// run the dynamic layout transformation. On return, `V_{i-1}` is the
     /// tree as of this call.
     pub fn persist(&mut self) {
-        self.persist_with_failpoint(None);
+        self.persist_inner(None, None);
     }
 
     /// Failpoint-instrumented persist: execute the persist protocol only
@@ -688,6 +725,31 @@ impl PmOctree {
     /// failure at *any* point of the protocol recovers to a consistent
     /// version. `None` runs the full protocol.
     pub fn persist_with_failpoint(&mut self, stop_after: Option<PersistPhase>) {
+        self.persist_inner(stop_after, None);
+    }
+
+    /// Persist with an application-state commit hook (the `pm-rt`
+    /// integration point). The hook runs *after* the tree's atomic root
+    /// swap and *before* GC reclaims the superseded version, and returns
+    /// the byte regions it wrote (shipped with this persist's replica
+    /// delta).
+    ///
+    /// That ordering is what makes the combined commit need no new
+    /// consistency argument: a crash before the tree swap recovers
+    /// `V_{i-1}` for both subsystems; a crash between the tree swap and
+    /// the hook's own root swap leaves the runtime bundle naming
+    /// `V_{i-1}`'s tree root, whose octants are all still allocated
+    /// precisely because GC has not yet run — so restoring *at the root
+    /// the bundle names* is always structurally sound.
+    pub fn persist_with_hook(&mut self, hook: &mut PersistHook<'_>) {
+        self.persist_inner(None, Some(hook));
+    }
+
+    fn persist_inner(
+        &mut self,
+        stop_after: Option<PersistPhase>,
+        mut hook: Option<&mut PersistHook<'_>>,
+    ) {
         // Span taxonomy mirrors the failpoint labels one-to-one; the
         // guards close in reverse order on every early return, so a
         // failpoint firing mid-protocol still leaves the journal balanced.
@@ -751,6 +813,14 @@ impl PmOctree {
         if stop_after == Some(PersistPhase::RootSwap) {
             return;
         }
+        // (3b) Application-state commit (`pm-rt`): the runtime stages and
+        // atomically publishes its root bundle while the superseded tree
+        // version is still allocated (GC below has not run), so whichever
+        // tree root the bundle names remains restorable.
+        let extra_regions = match hook.as_mut() {
+            Some(h) => h(&mut self.store.arena),
+            None => Vec::new(),
+        };
         // (4) The previous version is now garbage; reclaim it.
         self.prev_root = root;
         self.current_root = root;
@@ -769,7 +839,7 @@ impl PmOctree {
                 offsets.into_iter().filter(|&p| self.store.epoch_of(p) == epoch).collect();
             if let Some(mut r) = self.replicas.take() {
                 self.store.arena.failpoint("replica::ship");
-                r.push_delta(&mut self.store.arena, &new_octants);
+                r.push_delta(&mut self.store.arena, &new_octants, &extra_regions);
                 self.replicas = Some(r);
             }
         }

@@ -56,7 +56,7 @@ pub mod sampling;
 pub mod transform;
 pub mod verify;
 
-pub use api::{Events, PersistPhase, PmError, PmOctree};
+pub use api::{Events, PersistHook, PersistPhase, PmError, PmOctree};
 pub use config::{PmConfig, PmConfigBuilder};
 pub use gc::GcReport;
 pub use octant::{CellData, ChildPtr, Octant, PmStore, FANOUT, OCTANT_SIZE};

@@ -43,12 +43,21 @@ impl ReplicaSet {
         self.live_octant_bytes = shipped;
     }
 
-    /// Ship the delta for one persist: the header plus every octant
-    /// created by the just-persisted epoch. Reads the octants back from
-    /// the arena (charging NVBM read latency, as the real system would).
-    pub fn push_delta(&mut self, arena: &mut NvbmArena, new_octants: &[POffset]) {
+    /// Ship the delta for one persist: the header, every octant created
+    /// by the just-persisted epoch, and any `extra` byte regions (the
+    /// `pm-rt` root bundle — object blobs and table written since the
+    /// last ship), so a new node resurrects the whole rank, not just the
+    /// mesh. Reads everything back from the arena (charging NVBM read
+    /// latency, as the real system would).
+    pub fn push_delta(
+        &mut self,
+        arena: &mut NvbmArena,
+        new_octants: &[POffset],
+        extra: &[(u64, u32)],
+    ) {
         assert!(!self.image.is_empty(), "push_delta before full_sync");
-        // Header (contains the new roots and epoch).
+        // Header (contains the new roots and epoch — the octree's and the
+        // runtime's: both live in the first header line's 256 bytes).
         let mut header = vec![0u8; HEADER_SIZE as usize];
         arena.read(0, &mut header);
         self.image[..HEADER_SIZE as usize].copy_from_slice(&header);
@@ -58,6 +67,12 @@ impl ReplicaSet {
             arena.read(p.0, &mut buf);
             self.image[p.0 as usize..p.0 as usize + OCTANT_SIZE].copy_from_slice(&buf);
             shipped += OCTANT_SIZE as u64;
+        }
+        for &(off, len) in extra {
+            let mut region = vec![0u8; len as usize];
+            arena.read(off, &mut region);
+            self.image[off as usize..off as usize + len as usize].copy_from_slice(&region);
+            shipped += len as u64;
         }
         self.bytes_shipped_total += shipped;
         self.last_delta_bytes = shipped;

@@ -1,0 +1,181 @@
+//! Downward-growing persistent heap for runtime objects.
+//!
+//! The octree bump-allocates **upward** from the device header; the
+//! runtime carves object blobs **downward** from the top of the same
+//! arena, so the two share one device, one crash image, and one replica
+//! ship without interleaving. Like [`pmoctree_nvbm::PmemAllocator`], the
+//! free lists are volatile: after a crash they are rebuilt from the live
+//! blobs named by the committed object table — no allocator logging.
+//!
+//! Every block is a whole number of cachelines and cacheline-aligned, so
+//! the number of lines an object touches is independent of *where* it
+//! lands. That makes restart timing reproducible even when a resumed
+//! run's allocation offsets differ from the original run's.
+
+use std::collections::BTreeMap;
+
+use pmoctree_nvbm::model::CACHELINE;
+use pmoctree_nvbm::POffset;
+
+use crate::rt::RtError;
+
+/// Round a size up to a whole number of cachelines.
+#[inline]
+pub fn class_of(size: usize) -> usize {
+    size.max(1).div_ceil(CACHELINE) * CACHELINE
+}
+
+/// Volatile free-list allocator growing downward from the arena top.
+#[derive(Debug, Clone)]
+pub struct RtHeap {
+    /// Lowest byte ever handed out (exclusive floor of free space above).
+    floor: u64,
+    /// Lower limit the heap must not cross (the octree's territory).
+    limit: u64,
+    /// size-class → free block offsets (LIFO).
+    free: BTreeMap<usize, Vec<u64>>,
+}
+
+impl RtHeap {
+    /// Fresh heap over `[limit, top)`; `top` is rounded down to a
+    /// cacheline boundary.
+    pub fn new(limit: u64, top: u64) -> Self {
+        RtHeap { floor: top & !(CACHELINE as u64 - 1), limit, free: BTreeMap::new() }
+    }
+
+    /// Current floor: everything in `[floor, top)` is heap-owned.
+    pub fn floor(&self) -> u64 {
+        self.floor
+    }
+
+    /// Allocate `size` bytes (rounded to cachelines, cacheline-aligned).
+    pub fn alloc(&mut self, size: usize) -> Result<POffset, RtError> {
+        let cls = class_of(size);
+        if let Some(list) = self.free.get_mut(&cls) {
+            if let Some(off) = list.pop() {
+                return Ok(POffset(off));
+            }
+        }
+        let newfloor = self
+            .floor
+            .checked_sub(cls as u64)
+            .ok_or_else(|| RtError::Full(format!("rt heap exhausted allocating {cls} bytes")))?;
+        if newfloor < self.limit {
+            return Err(RtError::Full(format!(
+                "rt heap floor {newfloor:#x} would cross the octree bump pointer {:#x}",
+                self.limit
+            )));
+        }
+        self.floor = newfloor;
+        Ok(POffset(newfloor))
+    }
+
+    /// Return a block to its size-class free list.
+    pub fn free(&mut self, p: POffset, size: usize) {
+        self.free.entry(class_of(size)).or_default().push(p.0);
+    }
+
+    /// Rebuild after a crash: `live` blocks (from the committed object
+    /// table) stay allocated; every gap between them in `[floor, top)`
+    /// becomes one free block of the gap's size. `floor` is clamped under
+    /// the lowest live block, so a stale persisted floor can never turn a
+    /// live blob into free space.
+    pub fn rebuild(
+        limit: u64,
+        top: u64,
+        floor_hint: u64,
+        live: impl IntoIterator<Item = (POffset, usize)>,
+    ) -> Result<Self, RtError> {
+        let top = top & !(CACHELINE as u64 - 1);
+        let mut blocks: Vec<(u64, usize)> =
+            live.into_iter().map(|(p, s)| (p.0, class_of(s))).collect();
+        blocks.sort_unstable();
+        let mut h = RtHeap::new(limit, top);
+        h.floor = top.min(if floor_hint == 0 { top } else { floor_hint });
+        if let Some(&(lowest, _)) = blocks.first() {
+            h.floor = h.floor.min(lowest);
+        }
+        if h.floor < limit {
+            return Err(RtError::Corrupt(format!(
+                "rt heap floor {:#x} below limit {limit:#x}",
+                h.floor
+            )));
+        }
+        let mut cursor = h.floor;
+        for &(off, cls) in &blocks {
+            if off < cursor {
+                return Err(RtError::Corrupt(format!("overlapping rt blocks at {off:#x}")));
+            }
+            if off > cursor {
+                h.free(POffset(cursor), (off - cursor) as usize);
+            }
+            cursor = off + cls as u64;
+        }
+        if cursor > top {
+            return Err(RtError::Corrupt(format!(
+                "rt block ends at {cursor:#x} past top {top:#x}"
+            )));
+        }
+        if cursor < top {
+            h.free(POffset(cursor), (top - cursor) as usize);
+        }
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_downward_aligned() {
+        let mut h = RtHeap::new(256, 4096);
+        let a = h.alloc(100).unwrap();
+        let b = h.alloc(1).unwrap();
+        assert_eq!(a.0, 4096 - 128);
+        assert_eq!(b.0, 4096 - 128 - 64);
+        assert_eq!(a.0 % CACHELINE as u64, 0);
+        assert_eq!(h.floor(), b.0);
+    }
+
+    #[test]
+    fn free_then_alloc_reuses() {
+        let mut h = RtHeap::new(256, 4096);
+        let a = h.alloc(128).unwrap();
+        h.free(a, 128);
+        assert_eq!(h.alloc(128).unwrap(), a);
+    }
+
+    #[test]
+    fn refuses_to_cross_limit() {
+        let mut h = RtHeap::new(4096 - 64, 4096);
+        assert!(h.alloc(64).is_ok());
+        assert!(matches!(h.alloc(64), Err(RtError::Full(_))));
+    }
+
+    #[test]
+    fn rebuild_frees_gaps_and_clamps_floor() {
+        // Live blocks at top-128 (len 64) and top-320 (len 128): the gap
+        // between them and the space under the floor hint become free.
+        let top = 4096u64;
+        let live = vec![(POffset(top - 128), 64), (POffset(top - 320), 128)];
+        let mut h = RtHeap::rebuild(256, top, top - 320, live).unwrap();
+        assert_eq!(h.floor(), top - 320);
+        // Two 64-byte free blocks: the gap [top-192, top-128) and the
+        // cacheline above the highest live blob, [top-64, top).
+        assert_eq!(h.alloc(64).unwrap().0, top - 64);
+        assert_eq!(h.alloc(64).unwrap().0, top - 192);
+        // Exhausted the rebuilt free list: next 64 comes off the floor.
+        assert_eq!(h.alloc(64).unwrap().0, top - 320 - 64);
+        // Stale (too high) floor hint: clamped under the lowest live blob.
+        let h2 = RtHeap::rebuild(256, top, top, vec![(POffset(top - 256), 64)]).unwrap();
+        assert_eq!(h2.floor(), top - 256);
+    }
+
+    #[test]
+    fn rebuild_rejects_overlap() {
+        let live = vec![(POffset(1000 & !63), 64), (POffset(1000 & !63), 64)];
+        assert!(RtHeap::rebuild(256, 4096, 0, live).is_err());
+    }
+}

@@ -1,0 +1,583 @@
+//! The runtime: named persistent roots, `PPtr<T>`, copy-on-write commit.
+
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+
+use pmoctree_nvbm::{NvbmArena, POffset, HEADER_SIZE};
+
+use crate::data::{ByteReader, ByteWriter, PmData};
+use crate::heap::{class_of, RtHeap};
+
+/// Errors from the runtime. Every decode/validation failure is reported,
+/// never panicked — the input is post-crash media.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtError {
+    /// On-media bytes failed validation (bad magic, truncation, overlap).
+    Corrupt(String),
+    /// The runtime heap cannot satisfy an allocation.
+    Full(String),
+    /// No committed object table / no such named root.
+    Missing(String),
+}
+
+impl std::fmt::Display for RtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RtError::Corrupt(m) => write!(f, "corrupt rt state: {m}"),
+            RtError::Full(m) => write!(f, "rt heap full: {m}"),
+            RtError::Missing(m) => write!(f, "missing: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RtError {}
+
+/// A typed persistent pointer: an arena-relative offset plus the payload
+/// length, never a raw address. Obtained from [`PmRt::put`] or
+/// [`PmRt::ptr`]; resolved (and re-validated) against the arena on every
+/// use, so a restore "swizzles" automatically — there is nothing absolute
+/// to fix up.
+pub struct PPtr<T> {
+    off: u64,
+    len: u32,
+    _t: PhantomData<fn() -> T>,
+}
+
+// Manual impls: `derive` would bound them on `T`, but a PPtr is Copy/Eq
+// regardless of the pointee.
+impl<T> Clone for PPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for PPtr<T> {}
+impl<T> PartialEq for PPtr<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.off == other.off && self.len == other.len
+    }
+}
+impl<T> Eq for PPtr<T> {}
+impl<T> std::fmt::Debug for PPtr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PPtr({:#x}+{})", self.off, self.len)
+    }
+}
+
+impl<T> PPtr<T> {
+    /// Arena-relative offset of the object blob.
+    pub fn offset(&self) -> u64 {
+        self.off
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Is the payload empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Magic tag at the head of every object blob (including the table).
+const OBJ_MAGIC: u32 = 0x504d_5254; // "PMRT"
+/// Magic at the head of the table *payload*.
+const TABLE_MAGIC: u64 = 0x5254_5441_424c_4531; // "RTTABLE1"
+/// Object blob header: `[u32 magic][u32 payload len]`.
+const OBJ_HEADER: usize = 8;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    off: u64,
+    len: u32,
+}
+
+/// The orthogonal-persistence runtime.
+///
+/// The runtime does not own the arena — verbs borrow it, so the octree
+/// and the runtime share one device. The volatile side is a name → entry
+/// map plus the heap; the persistent side is the committed object table
+/// named by the `rt_root` header slot.
+pub struct PmRt {
+    table: BTreeMap<String, Entry>,
+    heap: RtHeap,
+    epoch: u64,
+    /// Blobs superseded since the last commit. They back the *committed*
+    /// table until the next root swap, so they are freed only after it.
+    retired: Vec<(POffset, usize)>,
+    /// The committed table blob (freed after the next commit supersedes it).
+    table_blob: Option<(POffset, usize)>,
+    /// Regions written since the last commit, for replica delta shipping.
+    staged: Vec<(u64, u32)>,
+}
+
+impl PmRt {
+    /// `pm_create` for the runtime: initialize an empty registry on a
+    /// formatted arena and commit it, so a crash at any later point can
+    /// [`PmRt::restore`]. The heap floor starts at the arena top.
+    pub fn create(arena: &mut NvbmArena) -> Result<Self, RtError> {
+        let _s = arena.span("rt::create");
+        let top = arena.capacity() as u64;
+        let limit = arena.bump_hint().max(HEADER_SIZE);
+        let mut rt = PmRt {
+            table: BTreeMap::new(),
+            heap: RtHeap::new(limit, top),
+            epoch: 0,
+            retired: Vec::new(),
+            table_blob: None,
+            staged: Vec::new(),
+        };
+        rt.commit(arena)?;
+        Ok(rt)
+    }
+
+    /// `pm_restore` for the runtime: read the committed object table,
+    /// validate ("swizzle") every entry against the arena, and rebuild
+    /// the volatile heap from the live blobs. Fails with
+    /// [`RtError::Missing`] if no table was ever committed.
+    pub fn restore(arena: &mut NvbmArena) -> Result<Self, RtError> {
+        let _s = arena.span("rt::swizzle");
+        let root = arena.rt_root();
+        if root.is_null() {
+            return Err(RtError::Missing("no committed rt object table".into()));
+        }
+        let table_bytes = read_blob(arena, root.0, None)?;
+        let mut r = ByteReader::new(&table_bytes);
+        if r.u64()? != TABLE_MAGIC {
+            return Err(RtError::Corrupt("bad table magic".into()));
+        }
+        let epoch = r.u64()?;
+        let count = r.u64()?;
+        let mut table = BTreeMap::new();
+        for _ in 0..count {
+            let name = String::decode(&mut r)?;
+            let off = r.u64()?;
+            let len = r.u32()?;
+            if table.insert(name.clone(), Entry { off, len }).is_some() {
+                return Err(RtError::Corrupt(format!("duplicate root name {name:?}")));
+            }
+        }
+        if !r.is_empty() {
+            return Err(RtError::Corrupt("trailing bytes after table".into()));
+        }
+        // Swizzle pass: every persistent pointer must name a well-formed
+        // blob before anything dereferences it.
+        let cap = arena.capacity() as u64;
+        for (name, e) in &table {
+            check_bounds(cap, e.off, e.len)
+                .map_err(|m| RtError::Corrupt(format!("root {name:?}: {m}")))?;
+            validate_blob_header(arena, e.off, e.len)
+                .map_err(|m| RtError::Corrupt(format!("root {name:?}: {m}")))?;
+        }
+        arena.failpoint("rt::swizzle");
+
+        let table_len = table_bytes.len() as u32;
+        check_bounds(cap, root.0, table_len)?;
+        let limit = arena.bump_hint().max(HEADER_SIZE);
+        let floor_hint = arena.rt_bump_hint();
+        let live = table
+            .values()
+            .map(|e| (POffset(e.off), OBJ_HEADER + e.len as usize))
+            .chain(std::iter::once((root, OBJ_HEADER + table_len as usize)));
+        let heap = RtHeap::rebuild(limit, cap, floor_hint, live)?;
+        Ok(PmRt {
+            table,
+            heap,
+            epoch,
+            retired: Vec::new(),
+            table_blob: Some((root, OBJ_HEADER + table_len as usize)),
+            staged: Vec::new(),
+        })
+    }
+
+    /// `pm_delete` for the runtime: clear the persistent registry (the
+    /// header slots; blob space is reclaimed implicitly, nothing is
+    /// scrubbed).
+    pub fn destroy(arena: &mut NvbmArena) {
+        arena.set_rt_root(POffset(0));
+        arena.set_rt_bump_hint(0);
+    }
+
+    /// Stage `value` under `name` (copy-on-write: a fresh blob, never an
+    /// in-place update). Durable only after the next [`PmRt::commit`].
+    pub fn put<T: PmData>(
+        &mut self,
+        arena: &mut NvbmArena,
+        name: &str,
+        value: &T,
+    ) -> Result<PPtr<T>, RtError> {
+        let payload = value.to_bytes();
+        let len = u32::try_from(payload.len())
+            .map_err(|_| RtError::Full(format!("object {name:?} over 4 GiB")))?;
+        let blob_len = OBJ_HEADER + payload.len();
+        let p = self.heap.alloc(blob_len)?;
+        let mut bytes = Vec::with_capacity(blob_len);
+        let mut w = ByteWriter::new(&mut bytes);
+        w.u32(OBJ_MAGIC);
+        w.u32(len);
+        bytes.extend_from_slice(&payload);
+        arena.write(p.0, &bytes);
+        self.staged.push((p.0, class_of(blob_len) as u32));
+        if let Some(old) = self.table.insert(name.to_string(), Entry { off: p.0, len }) {
+            self.retire(old);
+        }
+        Ok(PPtr { off: p.0, len, _t: PhantomData })
+    }
+
+    /// Read the current value of a named root (staged or committed).
+    /// `Ok(None)` if the name is not registered.
+    pub fn get<T: PmData>(
+        &mut self,
+        arena: &mut NvbmArena,
+        name: &str,
+    ) -> Result<Option<T>, RtError> {
+        let Some(&e) = self.table.get(name) else {
+            return Ok(None);
+        };
+        let ptr = PPtr { off: e.off, len: e.len, _t: PhantomData };
+        self.read_ptr(arena, ptr).map(Some)
+    }
+
+    /// The persistent pointer currently registered under `name`.
+    pub fn ptr<T: PmData>(&self, name: &str) -> Option<PPtr<T>> {
+        self.table.get(name).map(|e| PPtr { off: e.off, len: e.len, _t: PhantomData })
+    }
+
+    /// Dereference a persistent pointer: validate the blob header, read
+    /// the payload, decode.
+    pub fn read_ptr<T: PmData>(
+        &mut self,
+        arena: &mut NvbmArena,
+        ptr: PPtr<T>,
+    ) -> Result<T, RtError> {
+        check_bounds(arena.capacity() as u64, ptr.off, ptr.len)?;
+        let payload = read_blob(arena, ptr.off, Some(ptr.len))?;
+        T::from_bytes(&payload)
+    }
+
+    /// Unregister a named root. The blob is reclaimed after the next
+    /// commit. Returns whether the name existed.
+    pub fn remove(&mut self, name: &str) -> bool {
+        match self.table.remove(name) {
+            Some(e) => {
+                self.retire(e);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// `pm_persistent` for the runtime: write a fresh object table, flush
+    /// everything staged, and publish the table with one atomic 8-byte
+    /// header store — the same root-swap commit point as the octree's
+    /// persist, firing the `rt::commit` failpoint. Returns the regions
+    /// written since the previous commit (blobs + new table), for replica
+    /// delta shipping.
+    pub fn commit(&mut self, arena: &mut NvbmArena) -> Result<Vec<(u64, u32)>, RtError> {
+        let _s = arena.span("rt::commit");
+        self.epoch += 1;
+        let mut payload = Vec::new();
+        let mut w = ByteWriter::new(&mut payload);
+        w.u64(TABLE_MAGIC);
+        w.u64(self.epoch);
+        w.u64(self.table.len() as u64);
+        for (name, e) in &self.table {
+            name.encode(&mut payload);
+            let mut w = ByteWriter::new(&mut payload);
+            w.u64(e.off);
+            w.u32(e.len);
+        }
+        let blob_len = OBJ_HEADER + payload.len();
+        let p = self.heap.alloc(blob_len)?;
+        let mut bytes = Vec::with_capacity(blob_len);
+        let mut w = ByteWriter::new(&mut bytes);
+        w.u32(OBJ_MAGIC);
+        w.u32(payload.len() as u32);
+        bytes.extend_from_slice(&payload);
+        arena.write(p.0, &bytes);
+        self.staged.push((p.0, class_of(blob_len) as u32));
+        // Persist the heap floor *before* the swap: a stale floor after a
+        // crash wastes space below the clamped floor, never corrupts.
+        arena.set_rt_bump_hint(self.heap.floor());
+        // Destination matters: table and blobs must be on media before
+        // anything names them.
+        arena.flush_all();
+        arena.set_rt_root(p); // THE commit point (atomic 8-byte store)
+        arena.failpoint("rt::commit");
+        // The previous version is now unreachable; recycle it.
+        if let Some((old, size)) = self.table_blob.replace((p, blob_len)) {
+            self.heap.free(old, size);
+        }
+        for (off, size) in self.retired.drain(..) {
+            self.heap.free(off, size);
+        }
+        Ok(std::mem::take(&mut self.staged))
+    }
+
+    /// Committed table epoch (increments at every commit).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of named roots (staged view).
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Registered root names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.table.keys().map(String::as_str)
+    }
+
+    /// The runtime heap floor (lowest arena byte the runtime owns).
+    pub fn heap_floor(&self) -> u64 {
+        self.heap.floor()
+    }
+
+    fn retire(&mut self, e: Entry) {
+        self.retired.push((POffset(e.off), OBJ_HEADER + e.len as usize));
+    }
+}
+
+fn check_bounds(cap: u64, off: u64, len: u32) -> Result<(), RtError> {
+    let end = off
+        .checked_add(OBJ_HEADER as u64 + len as u64)
+        .ok_or_else(|| RtError::Corrupt(format!("blob at {off:#x} wraps the address space")))?;
+    if off < HEADER_SIZE || end > cap {
+        return Err(RtError::Corrupt(format!("blob [{off:#x}, {end:#x}) outside arena")));
+    }
+    Ok(())
+}
+
+/// Validate an object blob header without reading the payload (the cheap
+/// swizzle check: one cacheline).
+fn validate_blob_header(arena: &mut NvbmArena, off: u64, want_len: u32) -> Result<(), String> {
+    let mut h = [0u8; OBJ_HEADER];
+    arena.read(off, &mut h);
+    let magic = u32::from_le_bytes(h[0..4].try_into().map_err(|_| "header")?);
+    let len = u32::from_le_bytes(h[4..8].try_into().map_err(|_| "header")?);
+    if magic != OBJ_MAGIC {
+        return Err(format!("bad object magic {magic:#x} at {off:#x}"));
+    }
+    if len != want_len {
+        return Err(format!("length mismatch at {off:#x}: blob says {len}, table says {want_len}"));
+    }
+    Ok(())
+}
+
+/// Read an object blob's payload, validating the header. `want_len`
+/// cross-checks a table entry when available.
+fn read_blob(arena: &mut NvbmArena, off: u64, want_len: Option<u32>) -> Result<Vec<u8>, RtError> {
+    let cap = arena.capacity() as u64;
+    if off + OBJ_HEADER as u64 > cap {
+        return Err(RtError::Corrupt(format!("blob header at {off:#x} outside arena")));
+    }
+    let mut h = [0u8; OBJ_HEADER];
+    arena.read(off, &mut h);
+    let magic = u32::from_le_bytes(h[0..4].try_into().unwrap_or([0; 4]));
+    let len = u32::from_le_bytes(h[4..8].try_into().unwrap_or([0; 4]));
+    if magic != OBJ_MAGIC {
+        return Err(RtError::Corrupt(format!("bad object magic {magic:#x} at {off:#x}")));
+    }
+    if let Some(want) = want_len {
+        if len != want {
+            return Err(RtError::Corrupt(format!(
+                "length mismatch at {off:#x}: blob says {len}, pointer says {want}"
+            )));
+        }
+    }
+    check_bounds(cap, off, len)?;
+    let mut payload = vec![0u8; len as usize];
+    arena.read(off + OBJ_HEADER as u64, &mut payload);
+    Ok(payload)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::data::PmData;
+    use pmoctree_nvbm::{CrashMode, DeviceModel, FailPlan};
+
+    fn arena() -> NvbmArena {
+        NvbmArena::new(1 << 20, DeviceModel::default())
+    }
+
+    /// A little application-state struct, as a non-octree PmData example.
+    #[derive(Debug, Clone, PartialEq)]
+    struct RunState {
+        step: u64,
+        t: f64,
+        tag: String,
+    }
+
+    impl PmData for RunState {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.step.encode(out);
+            self.t.encode(out);
+            self.tag.encode(out);
+        }
+        fn decode(r: &mut ByteReader<'_>) -> Result<Self, RtError> {
+            Ok(RunState { step: u64::decode(r)?, t: f64::decode(r)?, tag: String::decode(r)? })
+        }
+    }
+
+    #[test]
+    fn put_commit_restore_roundtrip() {
+        let mut a = arena();
+        let mut rt = PmRt::create(&mut a).unwrap();
+        let st = RunState { step: 12, t: 0.25, tag: "droplet".into() };
+        rt.put(&mut a, "run", &st).unwrap();
+        rt.put(&mut a, "answer", &42u64).unwrap();
+        rt.commit(&mut a).unwrap();
+        a.crash(CrashMode::LoseDirty);
+        let mut r = PmRt::restore(&mut a).unwrap();
+        assert_eq!(r.get::<RunState>(&mut a, "run").unwrap(), Some(st));
+        assert_eq!(r.get::<u64>(&mut a, "answer").unwrap(), Some(42));
+        assert_eq!(r.get::<u64>(&mut a, "nope").unwrap(), None);
+    }
+
+    #[test]
+    fn uncommitted_put_is_lost_committed_survives() {
+        let mut a = arena();
+        let mut rt = PmRt::create(&mut a).unwrap();
+        rt.put(&mut a, "x", &1u64).unwrap();
+        rt.commit(&mut a).unwrap();
+        rt.put(&mut a, "x", &2u64).unwrap(); // staged, not committed
+        a.crash(CrashMode::LoseDirty);
+        let mut r = PmRt::restore(&mut a).unwrap();
+        assert_eq!(r.get::<u64>(&mut a, "x").unwrap(), Some(1));
+    }
+
+    #[test]
+    fn crash_armed_at_every_opportunity_recovers_old_or_new() {
+        // Count the opportunities of one put+commit, then crash at each
+        // one under every mode: restore must see x == 1 or x == 2, and
+        // the rt::commit failpoint must be among the opportunities.
+        let mut a = arena();
+        let mut rt = PmRt::create(&mut a).unwrap();
+        rt.put(&mut a, "x", &1u64).unwrap();
+        rt.commit(&mut a).unwrap();
+        let before = a.clone_media();
+        a.set_fail_plan(FailPlan::count());
+        rt.put(&mut a, "x", &2u64).unwrap();
+        rt.commit(&mut a).unwrap();
+        let plan = a.take_fail_plan().expect("plan installed");
+        let n = plan.opportunities();
+        assert!(n > 0);
+        assert!(
+            plan.labels().iter().any(|(_, l)| *l == "rt::commit"),
+            "commit point must be a labelled opportunity"
+        );
+        for mode in [
+            CrashMode::LoseDirty,
+            CrashMode::CommitRandom { p: 0.5, seed: 7 },
+            CrashMode::TornWrite { seed: 7 },
+        ] {
+            for at in 1..=n {
+                let mut b = NvbmArena::new(1 << 20, DeviceModel::default());
+                b.restore_media(&before);
+                let mut rtb = PmRt::restore(&mut b).unwrap();
+                b.set_fail_plan(FailPlan::armed(at, mode));
+                rtb.put(&mut b, "x", &2u64).unwrap();
+                let _ = rtb.commit(&mut b);
+                if let Some(cap) = b.take_fail_plan().and_then(|mut p| p.take_capture()) {
+                    let mut c = NvbmArena::from_media(cap.media, DeviceModel::default());
+                    let mut rec = PmRt::restore(&mut c).unwrap();
+                    let x = rec.get::<u64>(&mut c, "x").unwrap();
+                    assert!(
+                        x == Some(1) || x == Some(2),
+                        "crash at {at}/{n} under {mode:?} saw {x:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restore_fires_swizzle_failpoint() {
+        let mut a = arena();
+        let mut rt = PmRt::create(&mut a).unwrap();
+        rt.put(&mut a, "x", &5u64).unwrap();
+        rt.commit(&mut a).unwrap();
+        a.set_fail_plan(FailPlan::count());
+        let _ = PmRt::restore(&mut a).unwrap();
+        let plan = a.take_fail_plan().expect("plan");
+        assert!(plan.labels().iter().any(|(_, l)| *l == "rt::swizzle"));
+    }
+
+    #[test]
+    fn restore_on_blank_arena_is_missing() {
+        let mut a = arena();
+        assert!(matches!(PmRt::restore(&mut a), Err(RtError::Missing(_))));
+    }
+
+    #[test]
+    fn corrupt_table_pointer_is_err_not_panic() {
+        let mut a = arena();
+        let mut rt = PmRt::create(&mut a).unwrap();
+        rt.put(&mut a, "x", &5u64).unwrap();
+        rt.commit(&mut a).unwrap();
+        // Point rt_root into the weeds.
+        a.set_rt_root(POffset(a.capacity() as u64 - 8));
+        assert!(matches!(PmRt::restore(&mut a), Err(RtError::Corrupt(_))));
+        a.set_rt_root(POffset(HEADER_SIZE));
+        assert!(PmRt::restore(&mut a).is_err());
+    }
+
+    #[test]
+    fn remove_drops_root_after_commit() {
+        let mut a = arena();
+        let mut rt = PmRt::create(&mut a).unwrap();
+        rt.put(&mut a, "x", &5u64).unwrap();
+        rt.commit(&mut a).unwrap();
+        assert!(rt.remove("x"));
+        assert!(!rt.remove("x"));
+        rt.commit(&mut a).unwrap();
+        a.crash(CrashMode::LoseDirty);
+        let mut r = PmRt::restore(&mut a).unwrap();
+        assert_eq!(r.get::<u64>(&mut a, "x").unwrap(), None);
+    }
+
+    #[test]
+    fn heap_space_is_recycled_across_commits() {
+        let mut a = arena();
+        let mut rt = PmRt::create(&mut a).unwrap();
+        for i in 0..200u64 {
+            rt.put(&mut a, "x", &i).unwrap();
+            rt.commit(&mut a).unwrap();
+        }
+        // 200 rewrites of one small root must not consume 200 blobs of
+        // fresh space: floor stays within a few blocks of the top.
+        assert!(a.capacity() as u64 - rt.heap_floor() < 1024);
+    }
+
+    #[test]
+    fn pptr_is_stable_across_restore() {
+        let mut a = arena();
+        let mut rt = PmRt::create(&mut a).unwrap();
+        let p = rt.put(&mut a, "x", &77u64).unwrap();
+        rt.commit(&mut a).unwrap();
+        a.crash(CrashMode::LoseDirty);
+        let mut r = PmRt::restore(&mut a).unwrap();
+        let q: PPtr<u64> = r.ptr("x").expect("swizzled pointer");
+        assert_eq!(p, q, "offsets are arena-relative, nothing to fix up");
+        assert_eq!(r.read_ptr(&mut a, q).unwrap(), 77);
+    }
+
+    #[test]
+    fn destroy_clears_registry() {
+        let mut a = arena();
+        let mut rt = PmRt::create(&mut a).unwrap();
+        rt.put(&mut a, "x", &5u64).unwrap();
+        rt.commit(&mut a).unwrap();
+        PmRt::destroy(&mut a);
+        assert!(matches!(PmRt::restore(&mut a), Err(RtError::Missing(_))));
+    }
+}

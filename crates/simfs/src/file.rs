@@ -128,6 +128,15 @@ impl SimFs {
     pub fn names(&self) -> impl Iterator<Item = &str> {
         self.files.keys().map(String::as_str)
     }
+
+    /// Durability barrier (`fsync`): charge the device's cache-flush cost.
+    /// Until this returns, a "written" file may still sit in the device
+    /// write cache — checkpoint schemes that skip it are not comparable to
+    /// an NVBM commit, which is durable by construction.
+    pub fn sync(&mut self) {
+        self.clock.advance(self.model.sync_ns);
+        self.stats.ops += 1;
+    }
 }
 
 #[cfg(test)]
@@ -204,6 +213,15 @@ mod tests {
         nvbm.write_all("f", &vec![0u8; 64 * PAGE]);
         disk.write_all("f", &vec![0u8; 64 * PAGE]);
         assert!(disk.clock.now_ns() > 10 * nvbm.clock.now_ns());
+    }
+
+    #[test]
+    fn sync_charges_barrier_cost() {
+        let mut fs = SimFs::on_disk();
+        fs.write_all("f", b"checkpoint");
+        let t0 = fs.clock.now_ns();
+        fs.sync();
+        assert_eq!(fs.clock.now_ns() - t0, BlockDeviceModel::hard_disk().sync_ns);
     }
 
     #[test]

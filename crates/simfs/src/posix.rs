@@ -118,6 +118,16 @@ impl PosixFs {
         Ok(())
     }
 
+    /// Durability barrier on an open descriptor: charges the device's
+    /// cache-flush cost (see [`SimFs::sync`]). POSIX `fsync(2)` semantics —
+    /// the fd must be valid, and on return the file's written pages are on
+    /// stable media.
+    pub fn fsync(&mut self, fd: Fd) -> Result<(), PosixError> {
+        self.entry(fd)?;
+        self.fs.sync();
+        Ok(())
+    }
+
     /// Close a descriptor.
     pub fn close(&mut self, fd: Fd) -> Result<(), PosixError> {
         let slot = self.table.get_mut(fd.0).ok_or(PosixError::BadFd)?;
@@ -197,6 +207,18 @@ mod tests {
         assert_eq!(p.close(fd), Err(PosixError::BadFd));
         let mut buf = [0u8; 1];
         assert_eq!(p.read(fd, &mut buf), Err(PosixError::BadFd));
+    }
+
+    #[test]
+    fn fsync_charges_and_validates_fd() {
+        let mut p = pfs();
+        let fd = p.open("f", OpenMode::Write).unwrap();
+        p.write(fd, b"data").unwrap();
+        let t0 = p.fs.clock.now_ns();
+        p.fsync(fd).unwrap();
+        assert!(p.fs.clock.now_ns() > t0, "fsync must cost time");
+        p.close(fd).unwrap();
+        assert_eq!(p.fsync(fd), Err(PosixError::BadFd));
     }
 
     #[test]

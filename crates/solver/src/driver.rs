@@ -9,7 +9,7 @@ use crate::interface::DropletEjection;
 use crate::sweeps::{advect, estimate_work, relax_pressure};
 
 /// Simulation configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SimConfig {
     /// Number of time steps.
     pub steps: usize,
@@ -42,7 +42,7 @@ impl Default for SimConfig {
 }
 
 /// Virtual-time breakdown of one step across the §2 meshing routines.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct StepBreakdown {
     /// Refine & Coarsen time (ns, virtual).
     pub refine_ns: u64,
@@ -137,7 +137,28 @@ impl Simulation {
     }
 
     /// Run one time step, returning its breakdown.
-    pub fn step(&self, b: &mut dyn OctreeBackend, step_idx: usize) -> StepBreakdown {
+    pub fn step(&self, mut b: &mut dyn OctreeBackend, step_idx: usize) -> StepBreakdown {
+        self.step_core(&mut b, step_idx, |b, _partial, _t3| {
+            b.end_of_step(step_idx + 1);
+            None
+        })
+    }
+
+    /// One time step with a custom persistence action (the
+    /// whole-application-persistence seam; [`Simulation::step`] is this
+    /// with `end_of_step`). `persist` runs at the persist point and
+    /// receives the breakdown so far (refine/balance/solve/leaves filled)
+    /// plus the clock reading `t3` at persist entry; returning
+    /// `Some(ns)` overrides the recorded `persist_ns` (used when the
+    /// persisted run state must itself contain the value — anything the
+    /// persistence action spends *after* staging it is deliberately
+    /// unattributed, identically in original and resumed runs).
+    pub fn step_core<B: OctreeBackend>(
+        &self,
+        b: &mut B,
+        step_idx: usize,
+        persist: impl FnOnce(&mut B, &StepBreakdown, u64) -> Option<u64>,
+    ) -> StepBreakdown {
         let t = self.cfg.t0 + self.cfg.dt * (step_idx as f64 + 1.0);
         self.time.set(t);
         let crit = self.criterion();
@@ -178,13 +199,13 @@ impl Simulation {
         tr.end("step::solve", t3);
         tr.begin("step::persist", t3, None);
         out.solve_ns = t3 - t2;
+        out.leaves = b.leaf_count();
 
-        b.end_of_step(step_idx + 1);
+        let staged_ns = persist(b, &out, t3);
         let t4 = b.elapsed_ns();
         tr.end("step::persist", t4);
         tr.end("step", t4);
-        out.persist_ns = t4 - t3;
-        out.leaves = b.leaf_count();
+        out.persist_ns = staged_ns.unwrap_or(t4 - t3);
         out
     }
 

@@ -1,6 +1,8 @@
 //! §5.6 failure recovery, end to end: run the droplet simulation under
 //! each persistence scheme, kill it at a time step, restart, and report
-//! the recovery times for the same-node and new-node scenarios.
+//! the recovery times for the same-node and new-node scenarios — then
+//! resume a *whole run* (config, step index, timing history) through the
+//! pm-rt runtime and verify the report is identical to an uncrashed run.
 //!
 //! ```text
 //! cargo run --release --example failure_recovery
@@ -10,9 +12,9 @@ use pmoctree::cluster::recovery_comparison;
 use pmoctree::morton::OctKey;
 use pmoctree::nvbm::{CrashMode, DeviceModel, NvbmArena};
 use pmoctree::pm::{CellData, PmConfig, PmOctree};
-use pmoctree::solver::SimConfig;
+use pmoctree::solver::{resume_persistent, run_persistent, run_persistent_partial, SimConfig};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Part 1: the §5.6 comparison table.
     let cfg = SimConfig { steps: 14, max_level: 5, base_level: 2, ..SimConfig::default() };
     println!("running the droplet simulation, killing at step 12...\n");
@@ -37,24 +39,45 @@ fn main() {
     for seed in 0..20 {
         let arena = NvbmArena::new(32 << 20, DeviceModel::default());
         let mut t = PmOctree::create(arena, PmConfig::default());
-        t.refine(OctKey::root()).unwrap();
-        t.set_data(OctKey::root().child(1), CellData { phi: 1.0, ..Default::default() }).unwrap();
+        t.refine(OctKey::root())?;
+        t.set_data(OctKey::root().child(1), CellData { phi: 1.0, ..Default::default() })?;
         t.persist();
         let expect = t.leaves_sorted();
         // A storm of unpersisted updates, then a crash that commits a
         // random half of the dirty cachelines in arbitrary order.
-        t.refine(OctKey::root().child(2)).unwrap();
-        t.refine(OctKey::root().child(3)).unwrap();
+        t.refine(OctKey::root().child(2))?;
+        t.refine(OctKey::root().child(3))?;
         t.update_leaves(|_, d| Some(CellData { pressure: d.pressure + 1.0, ..*d }));
         let PmOctree { store, .. } = t;
         let mut arena = store.arena;
         arena.crash(CrashMode::CommitRandom { p: 0.5, seed });
-        let mut r = PmOctree::restore(arena, PmConfig::default())
-            .expect("recovery from a committed version never fails");
+        let mut r = PmOctree::restore(arena, PmConfig::default())?;
         if r.leaves_sorted() == expect {
             intact += 1;
         }
     }
     println!("recovered the exact persisted version in {intact}/20 crash patterns");
     assert_eq!(intact, 20);
+
+    // Part 3: whole-application resume. The pm-rt runtime persists the
+    // run itself — SimConfig, next step, per-step timing history — in
+    // the same commit as the mesh, so a killed run picks up where it
+    // left off and finishes with the *identical* report.
+    println!("\nwhole-run resume: kill after 2 of 4 steps, reattach, finish...");
+    let cfg = SimConfig { steps: 4, max_level: 4, base_level: 2, ..SimConfig::default() };
+    let pm_cfg = PmConfig::default();
+    let baseline = run_persistent(cfg, pm_cfg, NvbmArena::new(48 << 20, DeviceModel::default()))?;
+    let (mut b, _rt, _done) =
+        run_persistent_partial(cfg, pm_cfg, NvbmArena::new(48 << 20, DeviceModel::default()), 2)?;
+    b.tree.store.arena.crash(CrashMode::LoseDirty);
+    let media = b.tree.store.arena.clone_media();
+    let resumed =
+        resume_persistent(NvbmArena::from_media(media, DeviceModel::default()), cfg, pm_cfg)?;
+    println!(
+        "resumed at step {:?}; report identical to the uncrashed run: {}",
+        resumed.resumed_at,
+        resumed.report.steps == baseline.report.steps
+    );
+    assert_eq!(resumed.report.steps, baseline.report.steps);
+    Ok(())
 }

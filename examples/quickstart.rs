@@ -1,5 +1,6 @@
 //! Quickstart: create a PM-octree on emulated NVBM, mesh it, persist it,
-//! crash, and recover.
+//! crash, and recover — then do the same for a plain (non-octree) struct
+//! through the `pm-rt` orthogonal-persistence runtime.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -8,8 +9,9 @@
 use pmoctree::morton::OctKey;
 use pmoctree::nvbm::{CrashMode, DeviceModel, NvbmArena};
 use pmoctree::pm::{CellData, PmConfig, PmOctree};
+use pmoctree::rt::PmRt;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 64 MiB emulated NVBM device with the paper's Table 2 latencies
     // (DRAM 60/60 ns, NVBM 100/150 ns per cacheline).
     let arena = NvbmArena::new(64 << 20, DeviceModel::default());
@@ -18,21 +20,20 @@ fn main() {
     // partly in NVBM; all placement is automatic. The builder validates
     // the knobs up front (a zero C0 budget, a threshold outside (0,1],
     // ... are rejected before any octant is written).
-    let cfg = PmConfig::builder().c0_capacity_octants(1 << 15).build().expect("valid config");
+    let cfg = PmConfig::builder().c0_capacity_octants(1 << 15).build()?;
     let mut tree = PmOctree::create(arena, cfg);
 
     // Mesh: refine the root, then one corner twice more.
-    tree.refine(OctKey::root()).unwrap();
-    tree.refine(OctKey::root().child(0)).unwrap();
-    tree.refine(OctKey::root().child(0).child(0)).unwrap();
+    tree.refine(OctKey::root())?;
+    tree.refine(OctKey::root().child(0))?;
+    tree.refine(OctKey::root().child(0).child(0))?;
     println!("meshed: {} leaves, depth {}", tree.leaf_count(), tree.depth());
 
     // Attach some cell data.
     tree.set_data(
         OctKey::root().child(0).child(0).child(5),
         CellData { phi: -0.25, pressure: 1.0, vof: 1.0, work: 1.0 },
-    )
-    .unwrap();
+    )?;
 
     // pm_persistent: merge C0 into C1, flush, atomically advance the
     // version roots. Everything up to here is now crash-proof.
@@ -44,12 +45,11 @@ fn main() {
     );
 
     // Keep working... these changes will be lost by the crash below.
-    tree.refine(OctKey::root().child(7)).unwrap();
+    tree.refine(OctKey::root().child(7))?;
     tree.set_data(
         OctKey::root().child(0).child(0).child(5),
         CellData { phi: 9.9, ..Default::default() },
-    )
-    .unwrap();
+    )?;
     println!("after more meshing: {} leaves (not yet persisted)", tree.leaf_count());
 
     // CRASH: the CPU cache loses a random subset of unflushed lines —
@@ -62,15 +62,35 @@ fn main() {
     // Restore is fallible — unformatted or corrupt media reports a
     // PmError instead of panicking.
     let t0 = arena.clock.now_ns();
-    let mut recovered =
-        PmOctree::restore(arena, PmConfig::default()).expect("device holds a persisted version");
+    let mut recovered = PmOctree::restore(arena, PmConfig::default())?;
     let restore_ns = recovered.store.arena.clock.now_ns() - t0;
     println!(
         "recovered {} leaves in {:.1} virtual µs",
         recovered.leaf_count(),
         restore_ns as f64 / 1000.0
     );
-    let d = recovered.get_data(OctKey::root().child(0).child(0).child(5)).unwrap();
+    let d = recovered
+        .get_data(OctKey::root().child(0).child(0).child(5))
+        .ok_or("persisted cell missing after recovery")?;
     assert_eq!(d.phi, -0.25, "persisted value survived; unpersisted overwrite did not");
     println!("cell data intact: phi = {}", d.phi);
+
+    // The same four verbs for arbitrary data: the pm-rt runtime persists
+    // any `PmData` value under a named root, commits with one atomic
+    // root-table swap, and swizzles everything back on restore. No
+    // octree required.
+    let mut arena = NvbmArena::new(1 << 20, DeviceModel::default());
+    let mut rt = PmRt::create(&mut arena)?; // pm_create
+    rt.put(&mut arena, "app::greeting", &"hello, NVBM".to_string())?;
+    rt.put(&mut arena, "app::step", &7u64)?;
+    rt.commit(&mut arena)?; // pm_persistent
+    rt.put(&mut arena, "app::step", &8u64)?; // staged, never committed...
+    arena.crash(CrashMode::LoseDirty); // ...and lost here
+    let mut back = PmRt::restore(&mut arena)?; // pm_restore
+    let step: u64 = back.get(&mut arena, "app::step")?.ok_or("step root missing")?;
+    let greeting: String = back.get(&mut arena, "app::greeting")?.ok_or("greeting missing")?;
+    println!("pm-rt after crash: {greeting:?}, step {step} (the uncommitted 8 was discarded)");
+    assert_eq!(step, 7);
+    PmRt::destroy(&mut arena); // pm_delete
+    Ok(())
 }

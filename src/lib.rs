@@ -16,6 +16,9 @@
 //! * [`simfs`] — the simulated file system used by the baselines,
 //! * [`pm`] — the PM-octree itself (`pm_create` / `pm_persistent` /
 //!   `pm_restore` / `pm_delete`),
+//! * [`rt`] — the orthogonal-persistence runtime (the same four verbs
+//!   for *any* serializable object: named roots, `PPtr<T>`, atomic
+//!   root-table swap),
 //! * [`baselines`] — the in-core (Gerris-style) and out-of-core
 //!   (Etree-style) octrees,
 //! * [`amr`] — Construct / Refine & Coarsen / Balance / Partition /
@@ -37,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub use pm_octree as pm;
+pub use pm_rt as rt;
 pub use pmoctree_amr as amr;
 pub use pmoctree_baselines as baselines;
 pub use pmoctree_cluster as cluster;
