@@ -315,18 +315,13 @@ pub fn crash_sweep(cfg: &CrashSweepConfig) -> CrashSweep {
             o.rt_valid = vec![rt_committed, step_val];
         }
         let rt_ref = &mut rt;
-        let mut rt_err = None;
-        t.persist_with_hook(&mut |arena| match rt_ref
-            .put(arena, RT_ROOT_NAME, &step_val)
-            .and_then(|_| rt_ref.commit(arena))
-        {
-            Ok(regions) => regions,
-            Err(e) => {
-                rt_err = Some(e);
-                Vec::new()
-            }
-        });
-        assert!(rt_err.is_none(), "rt commit failed: {rt_err:?}");
+        t.persist_with_hook(&mut |arena| {
+            rt_ref
+                .put(arena, RT_ROOT_NAME, &step_val)
+                .and_then(|_| rt_ref.commit(arena))
+                .map_err(|e| pm_octree::PmError::Recovery(format!("rt: {e}")))
+        })
+        .expect("combined rt commit failed");
         {
             let mut o = oracle.lock().expect("oracle lock");
             o.valid = vec![new];

@@ -41,6 +41,12 @@ pub enum ReusePolicy {
 pub struct PmemAllocator {
     capacity: u64,
     bump: u64,
+    /// Exclusive ceiling for bump growth: the byte where someone else's
+    /// territory begins (the `pm-rt` heap grows down from the arena top).
+    /// The owner refreshes this from the arena's live rt floor before
+    /// allocating, so a near-full device fails the allocation instead of
+    /// silently overwriting committed runtime state.
+    limit: u64,
     /// size-class → queue of free block offsets.
     free: BTreeMap<usize, VecDeque<u64>>,
     /// Bytes currently handed out (for utilization thresholds).
@@ -60,10 +66,22 @@ impl PmemAllocator {
         PmemAllocator {
             capacity: capacity as u64,
             bump: HEADER_SIZE,
+            limit: capacity as u64,
             free: BTreeMap::new(),
             live_bytes: 0,
             policy,
         }
+    }
+
+    /// Lower the bump ceiling to `limit` (clamped to the capacity): bytes
+    /// at or above it belong to the downward-growing `pm-rt` heap.
+    pub fn set_limit(&mut self, limit: u64) {
+        self.limit = limit.min(self.capacity);
+    }
+
+    /// The bump ceiling in force.
+    pub fn limit(&self) -> u64 {
+        self.limit
     }
 
     /// The reuse policy in force.
@@ -90,7 +108,7 @@ impl PmemAllocator {
                 return Some(POffset(off));
             }
         }
-        if self.bump + cls as u64 > self.capacity {
+        if self.bump + cls as u64 > self.limit {
             return None;
         }
         let off = self.bump;
@@ -212,6 +230,20 @@ mod tests {
         a.free(p, 64);
         let q = a.alloc(128).unwrap();
         assert_ne!(p, q, "128B alloc must not reuse a 64B block");
+    }
+
+    #[test]
+    fn limit_caps_bump_growth() {
+        let mut a = PmemAllocator::new(1 << 20);
+        a.set_limit(HEADER_SIZE + 128);
+        let p = a.alloc(128).unwrap();
+        assert!(a.alloc(128).is_none(), "bump must not cross the limit");
+        // Free-list reuse below the limit is unaffected.
+        a.free(p, 128);
+        assert_eq!(a.alloc(128), Some(p));
+        // Raising the limit re-enables bump growth.
+        a.set_limit(HEADER_SIZE + 256);
+        assert!(a.alloc(128).is_some());
     }
 
     #[test]

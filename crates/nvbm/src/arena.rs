@@ -176,6 +176,33 @@ pub struct NvbmArena {
     pub tracer: Tracer,
     /// Installed crash-opportunity plan (see [`FailPlan`]).
     plan: Option<FailPlan>,
+    /// Live (volatile) boundary between the two allocators sharing this
+    /// device: the octree bump-allocates upward in
+    /// `[HEADER_SIZE, octree_bump_live)` and the `pm-rt` heap grows
+    /// downward in `[rt_floor_live, capacity)`. Each side publishes its
+    /// edge here and consults the other's before growing, so neither can
+    /// silently overwrite committed state the other owns. Not part of
+    /// the media: re-derived (conservatively, from the persisted header
+    /// hints) on `from_media`/`restore_media`, then corrected by each
+    /// subsystem's restore.
+    octree_bump_live: u64,
+    /// See [`NvbmArena::octree_bump_live`].
+    rt_floor_live: u64,
+}
+
+/// Derive the live allocation boundaries from a media image's header:
+/// the persisted bump / rt-floor hints, clamped into the arena. A zero
+/// rt hint means the rt heap was never used (floor = capacity).
+fn derive_live_bounds(media: &[u8]) -> (u64, u64) {
+    let cap = media.len() as u64;
+    let rd = |off: u64| {
+        let s = off as usize;
+        u64::from_le_bytes(media[s..s + 8].try_into().expect("header slot"))
+    };
+    let bump = rd(OFF_BUMP).clamp(HEADER_SIZE, cap);
+    let rt = rd(OFF_RT_BUMP);
+    let floor = if rt == 0 { cap } else { rt.clamp(HEADER_SIZE, cap) };
+    (bump, floor)
 }
 
 impl NvbmArena {
@@ -192,6 +219,8 @@ impl NvbmArena {
             stats: MemStats::new(capacity),
             tracer: Tracer::default(),
             plan: None,
+            octree_bump_live: HEADER_SIZE,
+            rt_floor_live: capacity as u64,
         };
         a.format();
         a
@@ -203,6 +232,7 @@ impl NvbmArena {
     pub fn from_media(media: Vec<u8>, model: DeviceModel) -> Self {
         assert!(media.len() as u64 >= HEADER_SIZE, "image too small");
         let stats = MemStats::new(media.len());
+        let (octree_bump_live, rt_floor_live) = derive_live_bounds(&media);
         NvbmArena {
             media,
             cache: BTreeMap::new(),
@@ -212,6 +242,8 @@ impl NvbmArena {
             stats,
             tracer: Tracer::default(),
             plan: None,
+            octree_bump_live,
+            rt_floor_live,
         }
     }
 
@@ -528,6 +560,34 @@ impl NvbmArena {
         self.header_write_u64(OFF_RT_BUMP, b);
     }
 
+    // ---- live allocation boundaries --------------------------------------
+
+    /// The octree allocator's live bump pointer: the `pm-rt` heap must
+    /// not grow below this. Volatile; free to read (no media access).
+    pub fn live_bump(&self) -> u64 {
+        self.octree_bump_live
+    }
+
+    /// Publish the octree allocator's bump pointer. Called by the octree
+    /// store after every allocation (and allocator rebuild) so the
+    /// `pm-rt` heap sees the boundary move in real time.
+    pub fn publish_bump(&mut self, b: u64) {
+        self.octree_bump_live = b.clamp(HEADER_SIZE, self.media.len() as u64);
+    }
+
+    /// The `pm-rt` heap's live floor: the octree allocator must not bump
+    /// past this. Volatile; free to read (no media access).
+    pub fn live_rt_floor(&self) -> u64 {
+        self.rt_floor_live
+    }
+
+    /// Publish the `pm-rt` heap floor. Called by the runtime after every
+    /// heap allocation (and heap rebuild) so the octree allocator sees
+    /// the boundary move in real time.
+    pub fn publish_rt_floor(&mut self, f: u64) {
+        self.rt_floor_live = f.clamp(HEADER_SIZE, self.media.len() as u64);
+    }
+
     // ---- typed access helpers -------------------------------------------
 
     /// Read a little-endian `u64`.
@@ -580,6 +640,9 @@ impl NvbmArena {
         assert_eq!(image.len(), self.media.len(), "image size mismatch");
         self.media.copy_from_slice(image);
         self.cache.clear();
+        let (bump, floor) = derive_live_bounds(&self.media);
+        self.octree_bump_live = bump;
+        self.rt_floor_live = floor;
     }
 }
 
@@ -748,6 +811,28 @@ mod tests {
         b.read(5000, &mut buf);
         assert_eq!(&buf, b"survives reboot");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn live_bounds_rederived_from_media() {
+        let mut a = arena();
+        assert_eq!(a.live_bump(), HEADER_SIZE);
+        assert_eq!(a.live_rt_floor(), 1 << 20);
+        a.set_bump_hint(4096);
+        a.set_rt_bump_hint((1 << 20) - 8192);
+        let b = NvbmArena::from_media(a.clone_media(), DeviceModel::default());
+        assert_eq!(b.live_bump(), 4096);
+        assert_eq!(b.live_rt_floor(), (1 << 20) - 8192);
+        // restore_media re-derives too; a zero rt hint means floor = cap.
+        let mut c = arena();
+        c.set_bump_hint(2048);
+        let img = c.clone_media();
+        let mut d = arena();
+        d.publish_bump(9999);
+        d.publish_rt_floor(5000);
+        d.restore_media(&img);
+        assert_eq!(d.live_bump(), 2048);
+        assert_eq!(d.live_rt_floor(), 1 << 20);
     }
 
     #[test]

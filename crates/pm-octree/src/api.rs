@@ -28,8 +28,10 @@ use crate::sampling::{self, FeatureFn};
 
 /// Application-state commit hook run inside [`PmOctree::persist_with_hook`]
 /// between the tree root swap and GC; returns the byte regions it wrote
-/// (shipped with the persist's replica delta).
-pub type PersistHook<'a> = dyn FnMut(&mut NvbmArena) -> Vec<(u64, u32)> + 'a;
+/// (shipped with the persist's replica delta), or the error that stopped
+/// its commit — in which case the persist skips GC and replica shipping
+/// (see [`PmOctree::persist_with_hook`]).
+pub type PersistHook<'a> = dyn FnMut(&mut NvbmArena) -> Result<Vec<(u64, u32)>, PmError> + 'a;
 
 /// Phases of the persist protocol, for failpoint testing
 /// ([`PmOctree::persist_with_failpoint`]). A crash after `Merge` or
@@ -253,6 +255,7 @@ impl PmOctree {
             scan.live.iter().map(|&p| (p, crate::octant::OCTANT_SIZE)),
         );
         store.alloc.set_policy(policy);
+        store.arena.publish_bump(store.alloc.bump());
         store.registry = scan.live.clone();
         // Resume strictly above every persisted octant's epoch. The header
         // epoch alone is not enough: a crash between the root swap and the
@@ -715,7 +718,7 @@ impl PmOctree {
     /// run the dynamic layout transformation. On return, `V_{i-1}` is the
     /// tree as of this call.
     pub fn persist(&mut self) {
-        self.persist_inner(None, None);
+        self.persist_inner(None, None).expect("persist without a hook is infallible");
     }
 
     /// Failpoint-instrumented persist: execute the persist protocol only
@@ -725,7 +728,7 @@ impl PmOctree {
     /// failure at *any* point of the protocol recovers to a consistent
     /// version. `None` runs the full protocol.
     pub fn persist_with_failpoint(&mut self, stop_after: Option<PersistPhase>) {
-        self.persist_inner(stop_after, None);
+        self.persist_inner(stop_after, None).expect("persist without a hook is infallible");
     }
 
     /// Persist with an application-state commit hook (the `pm-rt`
@@ -741,15 +744,27 @@ impl PmOctree {
     /// `V_{i-1}`'s tree root, whose octants are all still allocated
     /// precisely because GC has not yet run — so restoring *at the root
     /// the bundle names* is always structurally sound.
-    pub fn persist_with_hook(&mut self, hook: &mut PersistHook<'_>) {
-        self.persist_inner(None, Some(hook));
+    ///
+    /// # Errors
+    ///
+    /// If the hook fails (e.g. the runtime heap is full), the persist
+    /// stops before GC and replica shipping and returns the hook's
+    /// error: the superseded version stays allocated, so whichever tree
+    /// root the last *committed* runtime bundle names remains
+    /// restorable, and no replica receives a delta missing the runtime
+    /// regions. The octree handle itself stays coherent (the new tree
+    /// version is durable and current), but the run should be treated as
+    /// failed: the hook's own volatile state (e.g. a `pm-rt` instance
+    /// that died mid-commit) must be discarded and re-restored.
+    pub fn persist_with_hook(&mut self, hook: &mut PersistHook<'_>) -> Result<(), PmError> {
+        self.persist_inner(None, Some(hook))
     }
 
     fn persist_inner(
         &mut self,
         stop_after: Option<PersistPhase>,
         mut hook: Option<&mut PersistHook<'_>>,
-    ) {
+    ) -> Result<(), PmError> {
         // Span taxonomy mirrors the failpoint labels one-to-one; the
         // guards close in reverse order on every early return, so a
         // failpoint firing mid-protocol still leaves the journal balanced.
@@ -781,7 +796,7 @@ impl PmOctree {
         self.store.arena.failpoint("persist::merge");
         drop(span_merge);
         if stop_after == Some(PersistPhase::Merge) {
-            return;
+            return Ok(());
         }
         // (2) Overlap measurement (Fig. 3): shared = older than this epoch.
         let span_overlap = self.store.arena.span("persist::overlap");
@@ -795,7 +810,7 @@ impl PmOctree {
         self.store.arena.failpoint("persist::flush");
         drop(span_flush);
         if stop_after == Some(PersistPhase::Flush) {
-            return;
+            return Ok(());
         }
         let span_half = self.store.arena.span("persist::root_swap_half");
         self.store.arena.set_bump_hint(self.store.alloc.bump());
@@ -803,7 +818,7 @@ impl PmOctree {
         self.store.arena.failpoint("persist::root_swap_half");
         drop(span_half);
         if stop_after == Some(PersistPhase::RootSwapHalf) {
-            return;
+            return Ok(());
         }
         let span_swap = self.store.arena.span("persist::root_swap");
         self.store.arena.set_root(1, root);
@@ -811,14 +826,33 @@ impl PmOctree {
         self.store.arena.failpoint("persist::root_swap");
         drop(span_swap);
         if stop_after == Some(PersistPhase::RootSwap) {
-            return;
+            return Ok(());
         }
         // (3b) Application-state commit (`pm-rt`): the runtime stages and
         // atomically publishes its root bundle while the superseded tree
         // version is still allocated (GC below has not run), so whichever
-        // tree root the bundle names remains restorable.
+        // tree root the bundle names remains restorable. If it fails, GC
+        // must NOT run: the last committed bundle may pair with the
+        // superseded tree root, and reclaiming those octants (or shipping
+        // a replica delta missing the runtime regions) would corrupt the
+        // state whole-application resume restores at.
         let extra_regions = match hook.as_mut() {
-            Some(h) => h(&mut self.store.arena),
+            Some(h) => match h(&mut self.store.arena) {
+                Ok(regions) => regions,
+                Err(e) => {
+                    // The tree swap is durable; adopt it so the handle
+                    // stays coherent (the merged subtrees are already in
+                    // NVBM — dropping their DRAM copies loses nothing),
+                    // then surface the hook's error with the superseded
+                    // version still allocated and no delta shipped.
+                    self.prev_root = root;
+                    self.current_root = root;
+                    self.forest = C0Forest::new();
+                    self.shadows = Vec::new();
+                    self.epoch += 1;
+                    return Err(e);
+                }
+            },
             None => Vec::new(),
         };
         // (4) The previous version is now garbage; reclaim it.
@@ -869,6 +903,7 @@ impl PmOctree {
         if self.cfg.dynamic_transform {
             self.transform_pass(16);
         }
+        Ok(())
     }
 
     // ---- internals -------------------------------------------------------------
@@ -1125,6 +1160,35 @@ mod tests {
         t.persist(); // nothing changed: V_i == V_{i-1} fully shared
         let (total, shared) = t.events.last_overlap.unwrap();
         assert_eq!(total, shared, "identical steps must share 100%");
+    }
+
+    #[test]
+    fn failing_hook_skips_gc_and_keeps_superseded_version_restorable() {
+        let mut t = PmOctree::create(arena(), small_cfg());
+        t.refine(OctKey::root()).unwrap();
+        t.persist();
+        let old_root = t.store.arena.root(1);
+        let gc_before = t.events.gc_runs;
+        t.refine(OctKey::root().child(0)).unwrap();
+        let err = t
+            .persist_with_hook(&mut |_| Err(PmError::Recovery("rt heap full".into())))
+            .unwrap_err();
+        assert!(matches!(err, PmError::Recovery(_)));
+        assert_eq!(t.events.gc_runs, gc_before, "GC must not run after a failed hook");
+        // The handle adopted the durable new version and stays usable...
+        assert_eq!(t.leaf_count(), 15);
+        t.refine(OctKey::root().child(1)).unwrap();
+        t.refine(OctKey::root().child(2)).unwrap();
+        // ...while the superseded version — which the last *committed*
+        // application bundle may pair with — was neither reclaimed nor
+        // overwritten, so restoring at its root still works.
+        let mut arena = {
+            let PmOctree { store, .. } = t;
+            store.arena
+        };
+        arena.crash(CrashMode::LoseDirty);
+        let r = PmOctree::restore_at(arena, old_root, small_cfg()).unwrap();
+        assert_eq!(r.leaf_count(), 8);
     }
 
     #[test]

@@ -88,6 +88,7 @@ pub fn rebuild_after_crash(store: &mut PmStore, roots: &[POffset]) -> usize {
         live.iter().map(|&p| (p, OCTANT_SIZE)),
     );
     store.alloc.set_policy(policy);
+    store.arena.publish_bump(store.alloc.bump());
     store.registry = live;
     store.registry.len()
 }

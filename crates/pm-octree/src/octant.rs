@@ -170,9 +170,12 @@ impl PmStore {
     }
 
     /// Allocate and write a new octant; returns its offset.
-    /// `None` when the device is full.
+    /// `None` when the device is full (bump would cross the live floor
+    /// of the `pm-rt` heap sharing this arena).
     pub fn alloc_octant(&mut self, o: &Octant) -> Option<POffset> {
+        self.alloc.set_limit(self.arena.live_rt_floor());
         let p = self.alloc.alloc(OCTANT_SIZE)?;
+        self.arena.publish_bump(self.alloc.bump());
         self.registry.push(p);
         self.write_octant(p, o);
         Some(p)

@@ -48,6 +48,14 @@ impl RtHeap {
         self.floor
     }
 
+    /// Refresh the lower limit (the octree's live bump pointer). The
+    /// runtime calls this before every allocation: the octree grows its
+    /// territory between runtime calls, and a limit snapshotted at
+    /// create/restore time would let the two allocators overlap.
+    pub fn set_limit(&mut self, limit: u64) {
+        self.limit = limit;
+    }
+
     /// Allocate `size` bytes (rounded to cachelines, cacheline-aligned).
     pub fn alloc(&mut self, size: usize) -> Result<POffset, RtError> {
         let cls = class_of(size);

@@ -119,7 +119,7 @@ impl PmRt {
     pub fn create(arena: &mut NvbmArena) -> Result<Self, RtError> {
         let _s = arena.span("rt::create");
         let top = arena.capacity() as u64;
-        let limit = arena.bump_hint().max(HEADER_SIZE);
+        let limit = arena.live_bump().max(HEADER_SIZE);
         let mut rt = PmRt {
             table: BTreeMap::new(),
             heap: RtHeap::new(limit, top),
@@ -128,6 +128,7 @@ impl PmRt {
             table_blob: None,
             staged: Vec::new(),
         };
+        arena.publish_rt_floor(rt.heap.floor());
         rt.commit(arena)?;
         Ok(rt)
     }
@@ -174,13 +175,14 @@ impl PmRt {
 
         let table_len = table_bytes.len() as u32;
         check_bounds(cap, root.0, table_len)?;
-        let limit = arena.bump_hint().max(HEADER_SIZE);
+        let limit = arena.live_bump().max(HEADER_SIZE);
         let floor_hint = arena.rt_bump_hint();
         let live = table
             .values()
             .map(|e| (POffset(e.off), OBJ_HEADER + e.len as usize))
             .chain(std::iter::once((root, OBJ_HEADER + table_len as usize)));
         let heap = RtHeap::rebuild(limit, cap, floor_hint, live)?;
+        arena.publish_rt_floor(heap.floor());
         Ok(PmRt {
             table,
             heap,
@@ -197,6 +199,18 @@ impl PmRt {
     pub fn destroy(arena: &mut NvbmArena) {
         arena.set_rt_root(POffset(0));
         arena.set_rt_bump_hint(0);
+        arena.publish_rt_floor(arena.capacity() as u64);
+    }
+
+    /// Allocate heap space against the *live* octree bump: the octree
+    /// grows its territory between runtime calls, so the boundary is
+    /// refreshed on every allocation and the new floor published back —
+    /// the two allocators sharing the arena can fail, never overlap.
+    fn heap_alloc(&mut self, arena: &mut NvbmArena, size: usize) -> Result<POffset, RtError> {
+        self.heap.set_limit(arena.live_bump().max(HEADER_SIZE));
+        let p = self.heap.alloc(size)?;
+        arena.publish_rt_floor(self.heap.floor());
+        Ok(p)
     }
 
     /// Stage `value` under `name` (copy-on-write: a fresh blob, never an
@@ -211,7 +225,7 @@ impl PmRt {
         let len = u32::try_from(payload.len())
             .map_err(|_| RtError::Full(format!("object {name:?} over 4 GiB")))?;
         let blob_len = OBJ_HEADER + payload.len();
-        let p = self.heap.alloc(blob_len)?;
+        let p = self.heap_alloc(arena, blob_len)?;
         let mut bytes = Vec::with_capacity(blob_len);
         let mut w = ByteWriter::new(&mut bytes);
         w.u32(OBJ_MAGIC);
@@ -289,7 +303,7 @@ impl PmRt {
             w.u32(e.len);
         }
         let blob_len = OBJ_HEADER + payload.len();
-        let p = self.heap.alloc(blob_len)?;
+        let p = self.heap_alloc(arena, blob_len)?;
         let mut bytes = Vec::with_capacity(blob_len);
         let mut w = ByteWriter::new(&mut bytes);
         w.u32(OBJ_MAGIC);
@@ -375,7 +389,9 @@ fn validate_blob_header(arena: &mut NvbmArena, off: u64, want_len: u32) -> Resul
 /// cross-checks a table entry when available.
 fn read_blob(arena: &mut NvbmArena, off: u64, want_len: Option<u32>) -> Result<Vec<u8>, RtError> {
     let cap = arena.capacity() as u64;
-    if off + OBJ_HEADER as u64 > cap {
+    // Checked add: a corrupted root near u64::MAX must report, not wrap
+    // past the bound and panic inside the arena read.
+    if off.checked_add(OBJ_HEADER as u64).is_none_or(|end| end > cap) {
         return Err(RtError::Corrupt(format!("blob header at {off:#x} outside arena")));
     }
     let mut h = [0u8; OBJ_HEADER];
@@ -529,6 +545,95 @@ mod tests {
         assert!(matches!(PmRt::restore(&mut a), Err(RtError::Corrupt(_))));
         a.set_rt_root(POffset(HEADER_SIZE));
         assert!(PmRt::restore(&mut a).is_err());
+    }
+
+    #[test]
+    fn corrupt_root_near_u64_max_is_err_not_panic() {
+        let mut a = arena();
+        let mut rt = PmRt::create(&mut a).unwrap();
+        rt.put(&mut a, "x", &5u64).unwrap();
+        rt.commit(&mut a).unwrap();
+        // A torn header write can leave rt_root near u64::MAX; the bound
+        // check must not wrap around and panic inside the arena read.
+        a.set_rt_root(POffset(u64::MAX - 4));
+        assert!(matches!(PmRt::restore(&mut a), Err(RtError::Corrupt(_))));
+    }
+
+    #[test]
+    fn octree_bump_cannot_cross_committed_rt_blobs() {
+        use pm_octree::{CellData, Octant, PmConfig, PmOctree, OCTANT_SIZE};
+        use pmoctree_morton::OctKey;
+
+        // A tight shared device: the octree must report full at the
+        // runtime's live floor instead of bump-allocating over it.
+        let a = NvbmArena::new(16 << 10, DeviceModel::default());
+        let mut t = PmOctree::create(a, PmConfig::default());
+        let mut rt = PmRt::create(&mut t.store.arena).unwrap();
+        let tag = "A".repeat(512);
+        rt.put(&mut t.store.arena, "tag", &tag).unwrap();
+        rt.commit(&mut t.store.arena).unwrap();
+        let floor = rt.heap_floor();
+        let mut n = 0u64;
+        loop {
+            let o = Octant::leaf(OctKey::root(), POffset::NULL, 1, CellData::default());
+            match t.store.alloc_octant(&o) {
+                Some(p) => {
+                    assert!(
+                        p.0 + OCTANT_SIZE as u64 <= floor,
+                        "octant at {:#x} crosses the rt floor {floor:#x}",
+                        p.0
+                    );
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        assert!(n > 0, "the device has room below the floor");
+        // The committed runtime state survived the octree filling the
+        // device to the boundary.
+        t.store.arena.crash(CrashMode::LoseDirty);
+        let mut r = PmRt::restore(&mut t.store.arena).unwrap();
+        assert_eq!(r.get::<String>(&mut t.store.arena, "tag").unwrap(), Some(tag));
+        // And the other direction: with the device full of octants, an
+        // oversized runtime allocation fails cleanly.
+        let big = "B".repeat(12 << 10);
+        assert!(matches!(r.put(&mut t.store.arena, "big", &big), Err(RtError::Full(_))));
+    }
+
+    #[test]
+    fn rt_heap_respects_live_octree_bump() {
+        use pm_octree::{PmConfig, PmOctree};
+        use pmoctree_morton::OctKey;
+
+        // The octree grows long after the runtime was created: the heap
+        // limit must track the *live* bump, not a create-time snapshot
+        // (which would let a big blob land on live octants).
+        let a = NvbmArena::new(64 << 10, DeviceModel::default());
+        let mut t = PmOctree::create(a, PmConfig::default());
+        let mut rt = PmRt::create(&mut t.store.arena).unwrap();
+        t.refine(OctKey::root()).unwrap();
+        for i in 0..8 {
+            t.refine(OctKey::root().child(i)).unwrap();
+        }
+        t.persist();
+        let leaves = t.leaves_sorted();
+        let bump = t.store.arena.live_bump();
+        assert!(bump > 8 << 10, "tree must have grown past the create-time bump");
+        // Sized to fit under the capacity but not above the live bump.
+        let big = "B".repeat((60 << 10) - 64);
+        match rt.put(&mut t.store.arena, "big", &big) {
+            Err(RtError::Full(m)) => assert!(m.contains("cross"), "wrong full cause: {m}"),
+            other => panic!("expected Full(cross), got {other:?}"),
+        }
+        assert!(rt.heap_floor() >= bump);
+        // Nothing was written: the persisted tree is untouched.
+        let mut arena = {
+            let PmOctree { store, .. } = t;
+            store.arena
+        };
+        arena.crash(CrashMode::LoseDirty);
+        let mut r = PmOctree::restore(arena, PmConfig::default()).unwrap();
+        assert_eq!(r.leaves_sorted(), leaves);
     }
 
     #[test]

@@ -234,7 +234,7 @@ fn drive(
     mut done: Vec<StepBreakdown>,
 ) -> Result<RunReport, PmError> {
     for s in from_step..until_step {
-        let mut rt_failure: Option<RtError> = None;
+        let mut rt_failure: Option<PmError> = None;
         let bd = {
             let done_ref = &done;
             let rt_ref = &mut *rt;
@@ -242,7 +242,7 @@ fn drive(
             sim.step_core(backend, s, move |b, partial, t3| {
                 let mut staged: Option<u64> = None;
                 let cfg = sim.cfg;
-                b.tree.persist_with_hook(&mut |arena| {
+                let committed = b.tree.persist_with_hook(&mut |arena| {
                     // Everything from the persist entry to this hook —
                     // merge, flush, root swap — is the step's attributed
                     // persistence cost; stage it into the state itself so
@@ -256,19 +256,16 @@ fn drive(
                         steps,
                         tree_root: arena.root(1).0,
                     };
-                    let regions =
-                        rt_ref.put(arena, RUN_ROOT, &state).and_then(|_| rt_ref.commit(arena));
-                    match regions {
-                        Ok(r) => {
-                            staged = Some(persist_ns);
-                            r
-                        }
-                        Err(e) => {
-                            *rt_failure = Some(e);
-                            Vec::new()
-                        }
-                    }
+                    let regions = rt_ref
+                        .put(arena, RUN_ROOT, &state)
+                        .and_then(|_| rt_ref.commit(arena))
+                        .map_err(rt_err)?;
+                    staged = Some(persist_ns);
+                    Ok(regions)
                 });
+                if let Err(e) = committed {
+                    *rt_failure = Some(e);
+                }
                 // Both the original and the resumed run cross every
                 // persist point with a cold index (see module docs).
                 b.tree.invalidate_leaf_index();
@@ -276,7 +273,7 @@ fn drive(
             })
         };
         if let Some(e) = rt_failure {
-            return Err(rt_err(e));
+            return Err(e);
         }
         done.push(bd);
     }
