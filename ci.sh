@@ -8,6 +8,10 @@ cargo build --release
 cargo test --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
+# SIMD-fallback gate: the Morton suite (including the SIMD==scalar
+# property tests) must pass with the batch kernels pinned to the scalar
+# path, proving the dispatch override and the fallback itself.
+PMOCTREE_MORTON_FORCE_SCALAR=1 cargo test -p pmoctree-morton -q
 # Crash-consistency gate: every crash opportunity x every injection mode
 # must recover to exactly V_i or V_{i-1} (exits non-zero on violation).
 cargo run --release -p pmoctree-bench --bin repro -- crash-sweep --smoke

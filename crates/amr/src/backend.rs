@@ -200,40 +200,12 @@ impl<T: OctreeBackend + ?Sized> OctreeBackend for &mut T {
 }
 
 /// Generate the flat neighbor-key query batch for `sources` plus the
-/// per-source `[start, end)` spans into it. Pure read-only preparation, so
-/// the per-source key generation runs data-parallel.
+/// per-source `[start, end)` spans into it. Delegates to the batched
+/// Morton kernels (BMI2 decode / re-encode where the CPU reports it),
+/// which emit neighbors in the same per-key order the scalar
+/// `face_neighbor` / `all_neighbors` calculus uses.
 pub fn neighbor_queries(sources: &[OctKey], full: bool) -> (Vec<OctKey>, Vec<(usize, usize)>) {
-    use rayon::prelude::*;
-    // Per-item work here is a handful of Morton shifts — far cheaper than a
-    // thread spawn — so only fan out for genuinely large batches. Inside a
-    // rank worker the pool flattens this to sequential anyway.
-    let per_source: Vec<Vec<OctKey>> = sources
-        .par_iter()
-        .map(|k| {
-            if full {
-                k.all_neighbors()
-            } else {
-                let mut v = Vec::with_capacity(6);
-                for axis in 0..3 {
-                    for dir in [-1i8, 1] {
-                        if let Some(nk) = k.face_neighbor(axis, dir) {
-                            v.push(nk);
-                        }
-                    }
-                }
-                v
-            }
-        })
-        .with_min_len(4096)
-        .collect();
-    let mut queries = Vec::new();
-    let mut spans = Vec::with_capacity(sources.len());
-    for v in per_source {
-        let start = queries.len();
-        queries.extend(v);
-        spans.push((start, queries.len()));
-    }
-    (queries, spans)
+    pmoctree_morton::simd::neighbors_many(sources, full)
 }
 
 // ---------------------------------------------------------------- PM-octree

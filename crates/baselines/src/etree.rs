@@ -149,8 +149,7 @@ impl EtreeOctree {
     /// Input order is arbitrary; results match input order.
     pub fn containing_leaf_many(&mut self, keys: &[OctKey]) -> Vec<Option<OctKey>> {
         self.ensure_index();
-        let mut order: Vec<usize> = (0..keys.len()).collect();
-        order.sort_unstable_by(|&a, &b| keys[a].zcmp(&keys[b]));
+        let order = pmoctree_morton::simd::zorder_argsort(keys);
         let sorted: Vec<OctKey> = order.iter().map(|&i| keys[i]).collect();
         let (resolved, touched) = self.leaf_view.resolve_sorted(&sorted);
         self.charge_index_entries(touched);
@@ -268,6 +267,14 @@ impl EtreeOctree {
     /// ancestor-or-self of `key` whenever key addresses an existing or
     /// coarser region).
     pub fn containing_leaf(&mut self, key: OctKey) -> Option<OctKey> {
+        let before = self.stats.total_lines_snapshot();
+        let out = self.containing_leaf_inner(key);
+        let lines = self.stats.total_lines_snapshot() - before;
+        self.stats.descent_lines(lines);
+        out
+    }
+
+    fn containing_leaf_inner(&mut self, key: OctKey) -> Option<OctKey> {
         // Counted as a root descent: a full B-tree + page lookup, the
         // per-key slow path the batched leaf-view queries avoid.
         self.stats.root_descent();

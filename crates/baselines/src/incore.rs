@@ -121,8 +121,7 @@ impl InCoreOctree {
     /// input order. Each query costs DRAM index reads only.
     pub fn containing_leaf_many(&mut self, keys: &[OctKey]) -> Vec<Option<OctKey>> {
         self.ensure_index();
-        let mut order: Vec<usize> = (0..keys.len()).collect();
-        order.sort_unstable_by(|&a, &b| keys[a].zcmp(&keys[b]));
+        let order = pmoctree_morton::simd::zorder_argsort(keys);
         let sorted: Vec<OctKey> = order.iter().map(|&i| keys[i]).collect();
         let (resolved, touched) = self.index.resolve_sorted(&sorted);
         self.charge_index_entries(touched);
@@ -140,8 +139,7 @@ impl InCoreOctree {
     /// leaves fall back to [`InCoreOctree::get_data`].
     pub fn get_data_many(&mut self, keys: &[OctKey]) -> Vec<Option<[f64; 4]>> {
         self.ensure_index();
-        let mut order: Vec<usize> = (0..keys.len()).collect();
-        order.sort_unstable_by(|&a, &b| keys[a].zcmp(&keys[b]));
+        let order = pmoctree_morton::simd::zorder_argsort(keys);
         let sorted: Vec<OctKey> = order.iter().map(|&i| keys[i]).collect();
         let (resolved, touched) = self.index.resolve_sorted(&sorted);
         self.charge_index_entries(touched);
@@ -229,6 +227,14 @@ impl InCoreOctree {
 
     /// The leaf containing `key`'s region, or `None` if `key` is internal.
     pub fn containing_leaf(&mut self, key: OctKey) -> Option<OctKey> {
+        let before = self.stats.total_lines_snapshot();
+        let out = self.containing_leaf_inner(key);
+        let lines = self.stats.total_lines_snapshot() - before;
+        self.stats.descent_lines(lines);
+        out
+    }
+
+    fn containing_leaf_inner(&mut self, key: OctKey) -> Option<OctKey> {
         self.stats.root_descent();
         let mut cur = self.root;
         let mut cur_key = OctKey::root();

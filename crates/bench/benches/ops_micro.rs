@@ -177,5 +177,82 @@ fn neighbor_resolution(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, refine_coarsen_cycle, persist_cost, traversal, neighbor_resolution);
+fn morton_kernels(c: &mut Criterion) {
+    use pmoctree_morton::simd::{self, Dispatch};
+    let mut g = c.benchmark_group("ops_morton_kernels");
+    // Same kernels repro `morton` reports, under Criterion's statistics:
+    // each batch kernel timed with the scalar fallback pinned and with
+    // whatever the hardware supports. On a CPU without BMI2+AVX2 the two
+    // variants coincide.
+    let keys = morton_sample_keys(1 << 14);
+    let items: Vec<([u64; 3], u8)> = keys.iter().map(|k| (k.coords(), k.level())).collect();
+    let rev: Vec<OctKey> = keys.iter().rev().copied().collect();
+    for (name, d) in [("scalar", Dispatch::Scalar), ("simd", Dispatch::hardware())] {
+        g.bench_function(format!("encode_{name}"), |b| {
+            b.iter(|| black_box(simd::encode_many_with(d, black_box(&items))));
+        });
+        g.bench_function(format!("decode_{name}"), |b| {
+            b.iter(|| black_box(simd::decode_many_with(d, black_box(&keys))));
+        });
+        g.bench_function(format!("cmp_{name}"), |b| {
+            b.iter(|| black_box(simd::cmp_keys_many_with(d, black_box(&keys), black_box(&rev))));
+        });
+    }
+    g.finish();
+}
+
+/// Fixed-seed random keys (splitmix64) so every Criterion run benches the
+/// same batch.
+fn morton_sample_keys(n: usize) -> Vec<OctKey> {
+    let mut s = 0u64;
+    let mut next = move || {
+        s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    (0..n)
+        .map(|_| {
+            let level = 1 + (next() % OctKey::MAX_LEVEL as u64) as u8;
+            let mask = (1u64 << level) - 1;
+            OctKey::from_coords([next() & mask, next() & mask, next() & mask], level)
+        })
+        .collect()
+}
+
+fn single_descent(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ops_single_descent");
+    // One containing_leaf call on a level-5 uniform tree: the operation
+    // the hot/cold octant layout makes cheaper (one navigation line per
+    // hop instead of the whole record).
+    let mut t = PmOctree::create(
+        NvbmArena::new(256 << 20, DeviceModel::default()),
+        PmConfig::builder().dynamic_transform(false).build().expect("valid config"),
+    );
+    fn refine_to(t: &mut PmOctree, key: OctKey, depth: u8) {
+        if key.level() < depth {
+            t.refine(key).unwrap();
+            for c in key.children().collect::<Vec<_>>() {
+                refine_to(t, c, depth);
+            }
+        }
+    }
+    refine_to(&mut t, OctKey::root(), 5);
+    let probe = OctKey::root().first_descendant(OctKey::MAX_LEVEL);
+    g.bench_function("containing_leaf", |b| {
+        b.iter(|| black_box(t.containing_leaf(black_box(probe))));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    refine_coarsen_cycle,
+    persist_cost,
+    traversal,
+    neighbor_resolution,
+    morton_kernels,
+    single_descent
+);
 criterion_main!(benches);

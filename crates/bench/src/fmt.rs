@@ -56,7 +56,8 @@ pub fn write_fraction_str(w: &WriteFraction) -> String {
         "S1 write fraction during meshing+solve: avg {:.0}%, max {:.0}% (paper: 41% avg, 72% max); \
          whole-run aggregate incl. balance verification: {:.0}%\n\
          octant location: {} root descents, {} leaf-index hits \
-         ({} index rebuilds over {} octants)\n",
+         ({} index rebuilds over {} octants)\n\
+         descent cost: {} lines charged over {} descents => {:.2} charged lines/descent\n",
         100.0 * w.avg,
         100.0 * w.max,
         100.0 * w.aggregate,
@@ -64,6 +65,9 @@ pub fn write_fraction_str(w: &WriteFraction) -> String {
         w.trav.index_hits,
         w.trav.index_rebuilds,
         w.trav.index_rebuild_octants,
+        w.trav.descent_lines,
+        w.trav.root_descents,
+        w.trav.charged_lines_per_descent(),
     )
 }
 
@@ -110,6 +114,21 @@ pub fn cluster_smoke_str(s: &ClusterSmoke) -> String {
         s.workers, s.wall_secs
     ));
     out
+}
+
+/// Render the Morton kernel microbenchmark (scalar vs SIMD dispatch).
+pub fn morton_str(b: &crate::morton_bench::MortonBench) -> String {
+    let mut s = format!(
+        "Morton kernels: scalar vs {} ({} keys, best of {} iters; real ns, not virtual)\nkernel   | scalar ns/key | simd ns/key | speedup\n",
+        b.dispatch, b.keys, b.iters
+    );
+    for r in &b.rows {
+        s.push_str(&format!(
+            "{:<8} | {:>13.2} | {:>11.2} | {:>6.2}x\n",
+            r.kernel, r.scalar_ns_per_key, r.simd_ns_per_key, r.speedup
+        ));
+    }
+    s
 }
 
 /// Render Figure 10.

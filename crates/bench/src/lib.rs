@@ -11,10 +11,12 @@ pub mod crash_sweep;
 pub mod experiments;
 pub mod fmt;
 pub mod json;
+pub mod morton_bench;
 pub mod recovery_rt;
 pub mod trace_check;
 
 pub use crash_sweep::*;
 pub use experiments::*;
+pub use morton_bench::{morton_bench, MortonBench, MortonRow};
 pub use recovery_rt::{recovery_rt, CrashResumeRow, RecoveryRt, RecoveryRtConfig};
 pub use trace_check::{check_trace, TraceSummary};

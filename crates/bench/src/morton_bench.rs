@@ -1,0 +1,155 @@
+//! Wall-clock microbenchmark of the batched Morton kernels.
+//!
+//! Every kernel with a `_with` dispatch override is timed twice over the
+//! same key set — once pinned to the scalar fallback, once on whatever
+//! [`Dispatch::hardware`] reports — so `BENCH_morton.json` records whether
+//! the SIMD path actually wins on the machine that produced it. On a CPU
+//! without BMI2+AVX2 both columns run the scalar kernel and the speedup
+//! column reads ~1.0, which is itself the interesting datum.
+//!
+//! Unlike every other experiment in this crate the numbers here are real
+//! nanoseconds, not virtual-clock ticks, so the JSON is machine-dependent
+//! and deliberately excluded from the determinism gates.
+
+use pmoctree_morton::simd::{self, Dispatch};
+use pmoctree_morton::OctKey;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One kernel's scalar-vs-hardware comparison.
+#[derive(Clone, Serialize)]
+pub struct MortonRow {
+    /// Kernel name (`encode`, `decode`, `anchors`, `cmp`).
+    pub kernel: &'static str,
+    /// Best-of-iters nanoseconds per key, scalar fallback pinned.
+    pub scalar_ns_per_key: f64,
+    /// Best-of-iters nanoseconds per key, hardware dispatch.
+    pub simd_ns_per_key: f64,
+    /// `scalar / simd`; > 1.0 means the hardware path is faster.
+    pub speedup: f64,
+}
+
+/// Full result of the Morton kernel microbenchmark.
+#[derive(Serialize)]
+pub struct MortonBench {
+    /// What [`Dispatch::hardware`] resolved to on this machine.
+    pub dispatch: String,
+    /// Number of keys per kernel invocation.
+    pub keys: usize,
+    /// Timed repetitions per kernel (the minimum is reported).
+    pub iters: u32,
+    /// One comparison row per kernel.
+    pub rows: Vec<MortonRow>,
+}
+
+/// splitmix64 — a fixed-seed generator so every run benches the same keys.
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Random octree keys spread over all levels, biased toward deep levels
+/// (uniform level choice) so the encode/decode masks see full-width codes.
+fn sample_keys(n: usize) -> Vec<OctKey> {
+    let mut s = 0u64;
+    (0..n)
+        .map(|_| {
+            let level = 1 + (next(&mut s) % OctKey::MAX_LEVEL as u64) as u8;
+            let mask = (1u64 << level) - 1;
+            let coords = [next(&mut s) & mask, next(&mut s) & mask, next(&mut s) & mask];
+            OctKey::from_coords(coords, level)
+        })
+        .collect()
+}
+
+/// Best-of-`iters` nanoseconds per key for one kernel invocation. Minimum
+/// (not mean) so scheduler noise cannot manufacture a fake SIMD win or loss.
+fn time_per_key<F: FnMut()>(iters: u32, keys: usize, mut f: F) -> f64 {
+    f(); // warm-up: fault in pages, settle the dispatch cache
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos() as f64);
+    }
+    best / keys as f64
+}
+
+/// Run the scalar-vs-SIMD comparison over `n_keys` keys, `iters` timed
+/// repetitions per kernel.
+pub fn morton_bench(n_keys: usize, iters: u32) -> MortonBench {
+    let keys = sample_keys(n_keys);
+    let items: Vec<([u64; 3], u8)> = keys.iter().map(|k| (k.coords(), k.level())).collect();
+    // Compare against a reversed copy so cmp sees both orderings.
+    let rev: Vec<OctKey> = keys.iter().rev().copied().collect();
+    let hw = Dispatch::hardware();
+
+    let mut rows = Vec::new();
+    let mut push = |kernel: &'static str, scalar: f64, hwns: f64| {
+        rows.push(MortonRow {
+            kernel,
+            scalar_ns_per_key: scalar,
+            simd_ns_per_key: hwns,
+            speedup: scalar / hwns,
+        });
+    };
+
+    let encode = |d: Dispatch| {
+        time_per_key(iters, n_keys, || {
+            black_box(simd::encode_many_with(d, black_box(&items))).clear()
+        })
+    };
+    push("encode", encode(Dispatch::Scalar), encode(hw));
+
+    let decode = |d: Dispatch| {
+        time_per_key(iters, n_keys, || {
+            black_box(simd::decode_many_with(d, black_box(&keys))).clear()
+        })
+    };
+    push("decode", decode(Dispatch::Scalar), decode(hw));
+
+    let anchors = |d: Dispatch| {
+        time_per_key(iters, n_keys, || {
+            black_box(simd::anchors_many_with(d, black_box(&keys))).clear()
+        })
+    };
+    push("anchors", anchors(Dispatch::Scalar), anchors(hw));
+
+    let cmp = |d: Dispatch| {
+        time_per_key(iters, n_keys, || {
+            black_box(simd::cmp_keys_many_with(d, black_box(&keys), black_box(&rev))).clear()
+        })
+    };
+    push("cmp", cmp(Dispatch::Scalar), cmp(hw));
+
+    MortonBench { dispatch: format!("{:?}", hw), keys: n_keys, iters, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_produces_all_kernels_with_positive_times() {
+        let b = morton_bench(512, 2);
+        let names: Vec<_> = b.rows.iter().map(|r| r.kernel).collect();
+        assert_eq!(names, ["encode", "decode", "anchors", "cmp"]);
+        for r in &b.rows {
+            assert!(
+                r.scalar_ns_per_key > 0.0 && r.simd_ns_per_key > 0.0,
+                "{} timed at zero",
+                r.kernel
+            );
+            assert!(r.speedup.is_finite());
+        }
+    }
+
+    #[test]
+    fn sample_keys_are_deterministic() {
+        assert_eq!(sample_keys(64), sample_keys(64));
+    }
+}

@@ -27,8 +27,14 @@ pub type QuadKey = Key<2>;
 impl<const D: usize> std::fmt::Debug for Key<D> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Key<{}>(L{} ", D, self.level)?;
-        for l in (0..self.level).rev() {
-            write!(f, "{}", (self.code >> (D as u32 * l as u32)) & ((1 << D) - 1))?;
+        // Shift widths are computed in u32 and checked: `D * l` stays < 64
+        // for every valid key (D * (MAX_LEVEL - 1) <= 60), but the
+        // formatter is also reached from recovery paths printing keys
+        // decoded off crashed media, so a hostile (code, level) pair must
+        // degrade to zero digits instead of a shift-overflow panic.
+        for l in (0..self.level as u32).rev() {
+            let digit = self.code.checked_shr(D as u32 * l).unwrap_or(0) & ((1u64 << D) - 1);
+            write!(f, "{digit}")?;
             if l > 0 {
                 write!(f, ".")?;
             }
@@ -68,6 +74,15 @@ impl<const D: usize> Key<D> {
             level as u32 * D as u32 == 64 || code >> (level as u32 * D as u32) == 0,
             "code {code:#x} has bits above level {level}"
         );
+        Key { code, level }
+    }
+
+    /// Build a key from parts already proven valid (batch kernels check
+    /// whole slices up front instead of per element).
+    #[inline]
+    pub(crate) const fn from_raw_unchecked(code: u64, level: u8) -> Self {
+        debug_assert!(level <= Self::MAX_LEVEL);
+        debug_assert!(level as u32 * D as u32 >= 64 || code >> (level as u32 * D as u32) == 0);
         Key { code, level }
     }
 
@@ -447,5 +462,34 @@ mod tests {
     #[should_panic(expected = "too deep")]
     fn from_raw_rejects_deep_level() {
         let _ = OctKey::from_raw(0, 22);
+    }
+
+    #[test]
+    fn debug_formats_max_level_keys() {
+        // Regression: formatting a MAX_LEVEL key must not overflow the
+        // digit shift in debug builds. Descend along child 7 / child 3 so
+        // every digit is non-zero and the count is checkable.
+        let mut k = OctKey::root();
+        for _ in 0..OctKey::MAX_LEVEL {
+            k = k.child(7);
+        }
+        let s = format!("{k:?}");
+        assert!(s.starts_with("Key<3>(L21 "), "{s}");
+        assert_eq!(s.matches('7').count(), OctKey::MAX_LEVEL as usize, "{s}");
+
+        let mut q = QuadKey::root();
+        for _ in 0..QuadKey::MAX_LEVEL {
+            q = q.child(3);
+        }
+        let s = format!("{q:?}");
+        assert!(s.starts_with("Key<2>(L31 "), "{s}");
+        assert_eq!(s.matches('3').count(), 1 + QuadKey::MAX_LEVEL as usize, "{s}");
+
+        // First/last descendants of the root at MAX_LEVEL are the extreme
+        // representable codes; both must format without panicking.
+        let lo = OctKey::root().first_descendant(OctKey::MAX_LEVEL);
+        let hi = OctKey::root().last_descendant(OctKey::MAX_LEVEL);
+        assert!(format!("{lo:?}").contains("L21"));
+        assert!(format!("{hi:?}").contains("L21"));
     }
 }

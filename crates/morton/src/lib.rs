@@ -13,7 +13,14 @@
 //!   the `Partition` meshing routine,
 //! * [`index`] — [`LeafIndex`]: a Morton-sorted linear view of a leaf set
 //!   with incremental refine/coarsen maintenance and merge-scan batch
-//!   containment queries.
+//!   containment queries,
+//! * [`simd`] — batched kernels (`encode_many`, `decode_many`,
+//!   `cmp_keys_many`, `children_many`, `neighbors_many`) behind a
+//!   **one-time runtime dispatch**: BMI2 `pdep`/`pext` + AVX2 shifts on
+//!   x86-64 CPUs that report them, the portable scalar cascades
+//!   everywhere else. The two paths are bit-identical; set
+//!   `PMOCTREE_MORTON_FORCE_SCALAR=1` to pin the fallback (CI does, so
+//!   dispatch is exercised even without the hardware).
 #![warn(missing_docs)]
 
 pub mod bits;
@@ -21,6 +28,7 @@ pub mod code;
 pub mod hilbert;
 pub mod index;
 pub mod range;
+pub mod simd;
 
 pub use code::{Key, OctKey, QuadKey};
 pub use hilbert::{hilbert_coords, hilbert_index, hilbert_of_key, hilbert_partition};

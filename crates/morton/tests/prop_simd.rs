@@ -1,0 +1,150 @@
+//! Property-based equivalence of the batch SIMD kernels against the
+//! scalar fallback: for random key batches across all levels, both
+//! dispatches must be bit-identical, in 2D and 3D. On hardware without
+//! BMI2+AVX2 `Dispatch::hardware()` degenerates to `Scalar` and these
+//! become (trivially passing) self-comparisons — the CI run with
+//! `PMOCTREE_MORTON_FORCE_SCALAR=1` covers the forced-fallback dispatch
+//! path separately.
+
+use pmoctree_morton::simd::{
+    children_many_with, cmp_keys_many_with, decode_many_with, encode_many_with, neighbors_many,
+    zorder_argsort, Dispatch,
+};
+use pmoctree_morton::{Key, OctKey, QuadKey};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary valid 3D key built by a random child path, so
+/// every level 0..=MAX_LEVEL is reachable.
+fn arb_octkey() -> impl Strategy<Value = OctKey> {
+    prop::collection::vec(0usize..8, 0..=21).prop_map(|path| {
+        let mut k = OctKey::root();
+        for i in path {
+            k = k.child(i);
+        }
+        k
+    })
+}
+
+fn arb_quadkey() -> impl Strategy<Value = QuadKey> {
+    prop::collection::vec(0usize..4, 0..=31).prop_map(|path| {
+        let mut k = QuadKey::root();
+        for i in path {
+            k = k.child(i);
+        }
+        k
+    })
+}
+
+/// Per-key scalar reference for a whole batch.
+fn scalar_coords<const D: usize>(keys: &[Key<D>]) -> Vec<[u64; D]> {
+    keys.iter().map(|k| k.coords()).collect()
+}
+
+proptest! {
+    #[test]
+    fn encode_simd_matches_scalar_3d(keys in prop::collection::vec(arb_octkey(), 0..40)) {
+        let items: Vec<([u64; 3], u8)> = keys.iter().map(|k| (k.coords(), k.level())).collect();
+        let scalar = encode_many_with(Dispatch::Scalar, &items);
+        let hw = encode_many_with(Dispatch::hardware(), &items);
+        prop_assert_eq!(&scalar, &hw);
+        prop_assert_eq!(&scalar, &keys);
+    }
+
+    #[test]
+    fn encode_simd_matches_scalar_2d(keys in prop::collection::vec(arb_quadkey(), 0..40)) {
+        let items: Vec<([u64; 2], u8)> = keys.iter().map(|k| (k.coords(), k.level())).collect();
+        let scalar = encode_many_with(Dispatch::Scalar, &items);
+        let hw = encode_many_with(Dispatch::hardware(), &items);
+        prop_assert_eq!(&scalar, &hw);
+        prop_assert_eq!(&scalar, &keys);
+    }
+
+    #[test]
+    fn decode_simd_matches_scalar_3d(keys in prop::collection::vec(arb_octkey(), 0..40)) {
+        let scalar = decode_many_with(Dispatch::Scalar, &keys);
+        let hw = decode_many_with(Dispatch::hardware(), &keys);
+        prop_assert_eq!(&scalar, &hw);
+        prop_assert_eq!(scalar, scalar_coords(&keys));
+    }
+
+    #[test]
+    fn decode_simd_matches_scalar_2d(keys in prop::collection::vec(arb_quadkey(), 0..40)) {
+        let scalar = decode_many_with(Dispatch::Scalar, &keys);
+        let hw = decode_many_with(Dispatch::hardware(), &keys);
+        prop_assert_eq!(&scalar, &hw);
+        prop_assert_eq!(scalar, scalar_coords(&keys));
+    }
+
+    #[test]
+    fn cmp_simd_matches_zcmp_3d(
+        a in prop::collection::vec(arb_octkey(), 0..40),
+        b in prop::collection::vec(arb_octkey(), 0..40),
+    ) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let scalar = cmp_keys_many_with(Dispatch::Scalar, a, b);
+        let hw = cmp_keys_many_with(Dispatch::hardware(), a, b);
+        let want: Vec<_> = a.iter().zip(b).map(|(x, y)| x.zcmp(y)).collect();
+        prop_assert_eq!(&scalar, &hw);
+        prop_assert_eq!(scalar, want);
+    }
+
+    #[test]
+    fn cmp_simd_matches_zcmp_2d(
+        a in prop::collection::vec(arb_quadkey(), 0..40),
+        b in prop::collection::vec(arb_quadkey(), 0..40),
+    ) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let scalar = cmp_keys_many_with(Dispatch::Scalar, a, b);
+        let hw = cmp_keys_many_with(Dispatch::hardware(), a, b);
+        let want: Vec<_> = a.iter().zip(b).map(|(x, y)| x.zcmp(y)).collect();
+        prop_assert_eq!(&scalar, &hw);
+        prop_assert_eq!(scalar, want);
+    }
+
+    #[test]
+    fn argsort_matches_sort_by_zcmp(keys in prop::collection::vec(arb_octkey(), 0..40)) {
+        let order = zorder_argsort(&keys);
+        let sorted: Vec<_> = order.iter().map(|&i| keys[i]).collect();
+        let mut want = keys.clone();
+        want.sort_by(|x, y| x.zcmp(y));
+        prop_assert_eq!(sorted, want);
+    }
+
+    #[test]
+    fn children_match_per_key_batch(keys in prop::collection::vec(arb_octkey(), 0..20)) {
+        let keys: Vec<_> = keys
+            .into_iter()
+            .map(|k| if k.level() == OctKey::MAX_LEVEL { k.parent().unwrap() } else { k })
+            .collect();
+        for d in [Dispatch::Scalar, Dispatch::hardware()] {
+            let flat = children_many_with(d, &keys);
+            prop_assert_eq!(flat.len(), keys.len() * OctKey::FANOUT);
+            for (i, k) in keys.iter().enumerate() {
+                let want: Vec<_> = k.children().collect();
+                prop_assert_eq!(&flat[i * OctKey::FANOUT..(i + 1) * OctKey::FANOUT], &want[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_match_per_key_3d(keys in prop::collection::vec(arb_octkey(), 0..20), full in any::<bool>()) {
+        let (flat, spans) = neighbors_many(&keys, full);
+        prop_assert_eq!(spans.len(), keys.len());
+        for (k, &(s, e)) in keys.iter().zip(&spans) {
+            let want = if full { k.all_neighbors() } else { k.face_neighbors() };
+            prop_assert_eq!(&flat[s..e], &want[..]);
+        }
+    }
+
+    #[test]
+    fn neighbors_match_per_key_2d(keys in prop::collection::vec(arb_quadkey(), 0..20), full in any::<bool>()) {
+        let (flat, spans) = neighbors_many(&keys, full);
+        prop_assert_eq!(spans.len(), keys.len());
+        for (k, &(s, e)) in keys.iter().zip(&spans) {
+            let want = if full { k.all_neighbors() } else { k.face_neighbors() };
+            prop_assert_eq!(&flat[s..e], &want[..]);
+        }
+    }
+}

@@ -298,6 +298,8 @@ impl NvbmArena {
         t.counter_set("trav.index_hits", s.trav.index_hits);
         t.counter_set("trav.index_rebuilds", s.trav.index_rebuilds);
         t.counter_set("trav.index_rebuild_octants", s.trav.index_rebuild_octants);
+        t.counter_set("trav.descent_lines", s.trav.descent_lines);
+        t.gauge_set("trav.charged_lines_per_descent", s.trav.charged_lines_per_descent());
         t.gauge_set("wear.max", s.max_wear() as f64);
         t.gauge_set("wear.mean", s.mean_wear());
         t.gauge_set("write_fraction", s.overall_write_fraction());

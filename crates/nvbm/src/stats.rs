@@ -61,6 +61,10 @@ pub struct TraversalStats {
     /// Octants enumerated across all index rebuilds (the rebuild cost; the
     /// enumeration's tier charges are accounted separately by the owner).
     pub index_rebuild_octants: u64,
+    /// Cachelines charged (any tier) across all root-to-leaf descents.
+    /// `descent_lines / root_descents` is the per-hit cost the hot/cold
+    /// octant layout is designed to shrink: one navigation line per hop.
+    pub descent_lines: u64,
 }
 
 impl TraversalStats {
@@ -69,6 +73,17 @@ impl TraversalStats {
         self.index_hits += other.index_hits;
         self.index_rebuilds += other.index_rebuilds;
         self.index_rebuild_octants += other.index_rebuild_octants;
+        self.descent_lines += other.descent_lines;
+    }
+
+    /// Mean cachelines charged per root-to-leaf descent (0 when no
+    /// descents ran).
+    pub fn charged_lines_per_descent(&self) -> f64 {
+        if self.root_descents == 0 {
+            0.0
+        } else {
+            self.descent_lines as f64 / self.root_descents as f64
+        }
     }
 }
 
@@ -104,6 +119,21 @@ impl MemStats {
     #[inline]
     pub fn root_descent(&mut self) {
         self.trav.root_descents += 1;
+    }
+
+    /// Attribute `lines` cacheline charges to descent traffic. Callers
+    /// measure the delta of tier line counters around a descent body so
+    /// the same access is never double-counted.
+    #[inline]
+    pub fn descent_lines(&mut self, lines: u64) {
+        self.trav.descent_lines += lines;
+    }
+
+    /// Total cacheline charges so far across both tiers — the snapshot
+    /// callers delta around a descent to feed [`Self::descent_lines`].
+    #[inline]
+    pub fn total_lines_snapshot(&self) -> u64 {
+        self.dram.total_lines() + self.nvbm.total_lines()
     }
 
     /// Record `n` queries answered from the sorted leaf index.
@@ -264,5 +294,25 @@ mod tests {
         let s = MemStats::new(0);
         assert_eq!(s.overall_write_fraction(), 0.0);
         assert_eq!(s.mean_wear(), 0.0);
+        assert_eq!(s.trav.charged_lines_per_descent(), 0.0);
+    }
+
+    #[test]
+    fn descent_lines_accounting() {
+        let mut s = MemStats::new(WEAR_BLOCK);
+        let before = s.total_lines_snapshot();
+        s.nvbm_read(64, 1);
+        s.nvbm_read(64, 1);
+        s.dram_read(64, 1);
+        s.root_descent();
+        s.descent_lines(s.total_lines_snapshot() - before);
+        s.root_descent();
+        s.descent_lines(1);
+        assert_eq!(s.trav.descent_lines, 4);
+        assert!((s.trav.charged_lines_per_descent() - 2.0).abs() < 1e-12);
+
+        let mut merged = MemStats::new(WEAR_BLOCK);
+        merged.merge(&s);
+        assert_eq!(merged.trav.descent_lines, 4);
     }
 }

@@ -367,10 +367,7 @@ impl PmOctree {
                 .with_tree(id, |t| t.find(key, &mut store.arena).map(|i| t.is_leaf(i)));
         }
         match c1::locate(&mut self.store, self.current_root, key) {
-            Locate::Nvbm(p) => {
-                let leaf = (0..8).all(|i| self.store.child(p, i).is_null());
-                Some(leaf)
-            }
+            Locate::Nvbm(p) => Some(self.store.is_leaf_octant(p)),
             _ => None,
         }
     }
@@ -379,6 +376,14 @@ impl PmOctree {
     /// in-domain key has one. Returns `None` only if `key`'s cell is
     /// *refined deeper* than `key` (i.e. key names an internal octant).
     pub fn containing_leaf(&mut self, key: OctKey) -> Option<OctKey> {
+        let before = self.store.arena.stats.total_lines_snapshot();
+        let out = self.containing_leaf_inner(key);
+        let lines = self.store.arena.stats.total_lines_snapshot() - before;
+        self.store.arena.stats.descent_lines(lines);
+        out
+    }
+
+    fn containing_leaf_inner(&mut self, key: OctKey) -> Option<OctKey> {
         self.store.arena.stats.root_descent();
         if let Some(id) = self.forest.owner_of(&key) {
             let store = &mut self.store;
@@ -406,8 +411,7 @@ impl PmOctree {
                 }
             }
         }
-        let leaf = (0..8).all(|i| self.store.child(cur, i).is_null());
-        if leaf {
+        if self.store.is_leaf_octant(cur) {
             Some(cur_key)
         } else {
             None
@@ -446,7 +450,7 @@ impl PmOctree {
         } else {
             match c1::locate(&mut self.store, self.current_root, key) {
                 Locate::Nvbm(p) => {
-                    if !(0..8).all(|i| self.store.child(p, i).is_null()) {
+                    if !self.store.is_leaf_octant(p) {
                         return Err(PmError::NotALeaf(format!("{key:?}")));
                     }
                     // Seeding: if this region could become a DRAM subtree
@@ -515,7 +519,7 @@ impl PmOctree {
                             }
                             ChildPtr::Nvbm(c) => {
                                 has_child = true;
-                                if !(0..8).all(|j| self.store.child(c, j).is_null()) {
+                                if !self.store.is_leaf_octant(c) {
                                     return Err(PmError::NotCoarsenable(format!("{key:?}")));
                                 }
                             }
@@ -641,8 +645,7 @@ impl PmOctree {
     /// root-to-leaf NVBM descent.
     pub fn containing_leaf_many(&mut self, keys: &[OctKey]) -> Vec<Option<OctKey>> {
         self.ensure_index();
-        let mut order: Vec<usize> = (0..keys.len()).collect();
-        order.sort_unstable_by(|&a, &b| keys[a].zcmp(&keys[b]));
+        let order = pmoctree_morton::simd::zorder_argsort(keys);
         let sorted: Vec<OctKey> = order.iter().map(|&i| keys[i]).collect();
         let (resolved, touched) = self.index.resolve_sorted(&sorted);
         self.charge_index_entries(touched);
@@ -661,8 +664,7 @@ impl PmOctree {
     /// payloads).
     pub fn get_data_many(&mut self, keys: &[OctKey]) -> Vec<Option<CellData>> {
         self.ensure_index();
-        let mut order: Vec<usize> = (0..keys.len()).collect();
-        order.sort_unstable_by(|&a, &b| keys[a].zcmp(&keys[b]));
+        let order = pmoctree_morton::simd::zorder_argsort(keys);
         let sorted: Vec<OctKey> = order.iter().map(|&i| keys[i]).collect();
         let (resolved, touched) = self.index.resolve_sorted(&sorted);
         self.charge_index_entries(touched);

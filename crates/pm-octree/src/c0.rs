@@ -27,8 +27,14 @@ pub enum CoarsenError {
     DeepChildren,
 }
 
-/// Cachelines per node visit (a node is octant-sized).
+/// Cachelines per whole-node visit (a node is octant-sized).
 const NODE_LINES: u64 = (OCTANT_SIZE / 64) as u64;
+
+/// C0 nodes are charged like their on-media image, which since octant
+/// layout v2 is split hot/cold: children + key + presence mask share the
+/// first cacheline, the payload lives on the second. A descent hop or a
+/// payload touch therefore costs one line, not `NODE_LINES`.
+const CACHELINE: u64 = 64;
 
 #[derive(Clone, Debug)]
 struct C0Node {
@@ -67,6 +73,22 @@ fn charge_write(arena: &mut NvbmArena, nodes: u64) {
     arena.clock.advance(nodes * NODE_LINES * m.write_ns);
     arena.stats.dram_write((nodes * OCTANT_SIZE as u64) as usize, nodes * NODE_LINES);
     arena.tracer.counter_add("c0.node_writes", nodes);
+}
+
+/// Charge `lines` single-cacheline reads (hot-line hops, payload reads).
+fn charge_read_lines(arena: &mut NvbmArena, lines: u64) {
+    let m = arena.model().dram;
+    arena.clock.advance(lines * m.read_ns);
+    arena.stats.dram_read((lines * CACHELINE) as usize, lines);
+    arena.tracer.counter_add("c0.line_reads", lines);
+}
+
+/// Charge `lines` single-cacheline writes.
+fn charge_write_lines(arena: &mut NvbmArena, lines: u64) {
+    let m = arena.model().dram;
+    arena.clock.advance(lines * m.write_ns);
+    arena.stats.dram_write((lines * CACHELINE) as usize, lines);
+    arena.tracer.counter_add("c0.line_writes", lines);
 }
 
 impl C0Tree {
@@ -123,13 +145,13 @@ impl C0Tree {
             let idx = key.ancestor_at(l + 1).sibling_index();
             let next = self.node(cur).children[idx];
             if next == NIL {
-                charge_read(arena, hops);
+                charge_read_lines(arena, hops);
                 return None;
             }
             cur = next;
             hops += 1;
         }
-        charge_read(arena, hops);
+        charge_read_lines(arena, hops);
         self.access += 1.0;
         Some(cur)
     }
@@ -150,20 +172,20 @@ impl C0Tree {
         let mut hops = 1u64;
         for l in self.subtree_key.level()..key.level() {
             if self.is_leaf(cur) {
-                charge_read(arena, hops);
+                charge_read_lines(arena, hops);
                 return Some(cur_key);
             }
             let idx = key.ancestor_at(l + 1).sibling_index();
             let next = self.node(cur).children[idx];
             if next == NIL {
-                charge_read(arena, hops);
+                charge_read_lines(arena, hops);
                 return Some(cur_key);
             }
             cur = next;
             cur_key = key.ancestor_at(l + 1);
             hops += 1;
         }
-        charge_read(arena, hops);
+        charge_read_lines(arena, hops);
         if self.is_leaf(cur) {
             Some(cur_key)
         } else {
@@ -178,13 +200,13 @@ impl C0Tree {
 
     /// Read a node's payload.
     pub fn data_of(&mut self, i: u32, arena: &mut NvbmArena) -> CellData {
-        charge_read(arena, 1);
+        charge_read_lines(arena, 1);
         self.node(i).data
     }
 
     /// Overwrite a node's payload (in place — this is DRAM).
     pub fn set_data(&mut self, i: u32, d: CellData, arena: &mut NvbmArena) {
-        charge_write(arena, 1);
+        charge_write_lines(arena, 1);
         self.access += 1.0;
         self.dirty = true;
         self.nodes[i as usize].data = d;
@@ -205,7 +227,7 @@ impl C0Tree {
             *slot = self.alloc_node(C0Node { key: ck, children: [NIL; 8], data, live: true });
         }
         self.nodes[i as usize].children = out;
-        charge_write(arena, 9); // 8 new children + parent's child slots
+        charge_write_lines(arena, 8 * NODE_LINES + 1); // 8 whole children + parent's nav line
         self.access += 9.0;
         self.dirty = true;
         out
@@ -238,7 +260,7 @@ impl C0Tree {
         }
         self.nodes[i as usize].data = mean;
         self.nodes[i as usize].children = [NIL; 8];
-        charge_write(arena, 1);
+        charge_write_lines(arena, NODE_LINES);
         self.access += 1.0;
         self.dirty = true;
         Ok(())

@@ -124,16 +124,16 @@ fn deepest(store: &mut PmStore, root: POffset, key: OctKey, _lvl: u8) -> POffset
 /// each inheriting the parent's payload. Returns the possibly-new root.
 pub fn refine(store: &mut PmStore, root: POffset, key: OctKey, epoch: u32) -> POffset {
     let (root, leaf) = cow_path(store, root, key, epoch);
-    debug_assert!(
-        (0..FANOUT).all(|i| store.child(leaf, i).is_null()),
-        "refine of non-leaf NVBM octant"
-    );
+    debug_assert!(store.is_leaf_octant(leaf), "refine of non-leaf NVBM octant");
     let data = store.data(leaf);
-    for i in 0..FANOUT {
+    let mut cs = [ChildPtr::Null; FANOUT];
+    for (i, slot) in cs.iter_mut().enumerate() {
         let o = Octant::leaf(key.child(i), leaf, epoch, data);
         let p = store.alloc_octant(&o).expect("NVBM full during refine");
-        store.set_child(leaf, i, ChildPtr::Nvbm(p));
+        *slot = ChildPtr::Nvbm(p);
     }
+    // One bulk link write instead of eight mask read-modify-writes.
+    store.set_children(leaf, &cs);
     root
 }
 
@@ -143,13 +143,10 @@ pub fn refine(store: &mut PmStore, root: POffset, key: OctKey, epoch: u32) -> PO
 pub fn coarsen(store: &mut PmStore, root: POffset, key: OctKey, epoch: u32) -> POffset {
     let (root, node) = cow_path(store, root, key, epoch);
     let mut mean = CellData::default();
-    for i in 0..FANOUT {
-        match store.child(node, i) {
+    for c in store.children(node) {
+        match c {
             ChildPtr::Nvbm(c) => {
-                debug_assert!(
-                    (0..FANOUT).all(|j| store.child(c, j).is_null()),
-                    "coarsen with non-leaf child"
-                );
+                debug_assert!(store.is_leaf_octant(c), "coarsen with non-leaf child");
                 let d = store.data(c);
                 mean.phi += d.phi / 8.0;
                 mean.pressure += d.pressure / 8.0;
@@ -158,12 +155,13 @@ pub fn coarsen(store: &mut PmStore, root: POffset, key: OctKey, epoch: u32) -> P
                 if store.epoch_of(c) == epoch {
                     store.set_deleted(c, true);
                 }
-                store.set_child(node, i, ChildPtr::Null);
             }
             ChildPtr::Null => {}
             ChildPtr::Volatile(_) => panic!("coarsen across the DRAM boundary"),
         }
     }
+    // Unlink all children with one bulk write to the navigation line.
+    store.set_children(node, &[ChildPtr::Null; FANOUT]);
     // Restriction operator: the new leaf takes the mean of its children.
     store.set_data(node, &mean);
     root
@@ -212,24 +210,18 @@ pub fn traverse(
 ) {
     let mut stack = vec![p];
     while let Some(cur) = stack.pop() {
-        let mut leaf = true;
+        // One navigation-line read delivers children, key and mask.
+        let nav = store.nav_line(cur);
         let mut kids = Vec::new();
-        let children = store.children(cur);
         for i in (0..FANOUT).rev() {
-            match children[i] {
+            match nav.children[i] {
                 ChildPtr::Null => {}
-                ChildPtr::Nvbm(c) => {
-                    leaf = false;
-                    kids.push(c);
-                }
-                ChildPtr::Volatile(id) => {
-                    leaf = false;
-                    on_volatile(id);
-                }
+                ChildPtr::Nvbm(c) => kids.push(c),
+                ChildPtr::Volatile(id) => on_volatile(id),
             }
         }
-        let key = store.key(cur);
-        f(store, cur, key, leaf);
+        let key = OctKey::from_raw(nav.code, nav.level);
+        f(store, cur, key, nav.mask == 0);
         stack.extend(kids);
     }
 }

@@ -1,28 +1,37 @@
 //! On-media octant layout and the persistent store.
 //!
 //! Each NVBM-resident octant is a fixed 128-byte record — exactly two
-//! cachelines, split so that *navigation* (the eight child pointers) lives
-//! in the first line and *identity + payload* in the second. Tree walks
-//! therefore touch one line per hop; data sweeps touch the other.
+//! cachelines, split **hot/cold** (layout v2): the first line carries
+//! *everything a root-to-leaf descent needs* — compact child links, the
+//! locational key, flags, the child-presence mask, and the epoch — while
+//! the second line holds the parent back-pointer and the solver payload.
+//! A tree walk therefore charges exactly one NVBM line per hop, including
+//! the key read at the root and the leaf test at the bottom (one mask
+//! byte, not eight pointer probes); data sweeps touch only the cold line.
 //!
 //! ```text
-//! line 0:   0..64   children[8]  u64 little-endian (see pointer encoding)
-//! line 1:  64..72   parent       u64 NVBM offset (0 = none/root)
-//!          72..80   key code     u64 Morton code
-//!          80       key level    u8
-//!          81       flags        u8  (bit0 DELETED, bit1 reserved)
-//!          82..84   (pad)
-//!          84..88   epoch        u32 creation epoch (version ownership)
-//!          88..120  payload      4 × f64 (CellData)
-//!         120..128  (pad)
+//! line 0 (hot / navigation):
+//!      0..48   children[8]  8 × 6-byte compact links (see encoding)
+//!     48..56   key code     u64 Morton code
+//!     56       key level    u8
+//!     57       flags        u8  (bit0 DELETED, rest reserved)
+//!     58       child mask   u8  bit i set ⟺ children[i] non-null
+//!     59       (pad)
+//!     60..64   epoch        u32 creation epoch (version ownership)
+//! line 1 (cold / identity + payload):
+//!     64..72   parent       u64 NVBM offset (0 = none/root)
+//!     72..104  payload      4 × f64 (CellData)
+//!    104..128  (pad)
 //! ```
 //!
 //! **Pointer encoding** (the paper's "special pointers" linking persistent
-//! and volatile octants): a child slot holds either 0 (null), an NVBM
-//! offset, or — with the high bit set — a *volatile handle*: the id of a
-//! DRAM-resident C0 subtree. Volatile handles are meaningless after a
-//! crash; that is safe because recovery never follows `V_i` pointers, it
-//! returns to the fully-NVBM `V_{i-1}`.
+//! and volatile octants): a 6-byte child link holds 0 (null), an NVBM
+//! offset *divided by 64* (octant records are cacheline-aligned, so the
+//! low 6 bits are always zero and 48 bits address 2^54 bytes of media),
+//! or — with bit 47 set — a *volatile handle*: the id of a DRAM-resident
+//! C0 subtree. Volatile handles are meaningless after a crash; that is
+//! safe because recovery never follows `V_i` pointers, it returns to the
+//! fully-NVBM `V_{i-1}`.
 
 use pmoctree_morton::OctKey;
 use pmoctree_nvbm::{NvbmArena, POffset, PmemAllocator};
@@ -33,18 +42,20 @@ pub const OCTANT_SIZE: usize = 128;
 /// Fanout of the 3D octree.
 pub const FANOUT: usize = 8;
 
-const OFF_CHILDREN: u64 = 0;
+const OFF_LINKS: u64 = 0;
+const LINK_SIZE: u64 = 6;
+const OFF_CODE: u64 = 48;
+const OFF_LEVEL: u64 = 56;
+const OFF_FLAGS: u64 = 57;
+const OFF_MASK: u64 = 58;
+const OFF_EPOCH: u64 = 60;
 const OFF_PARENT: u64 = 64;
-const OFF_CODE: u64 = 72;
-const OFF_LEVEL: u64 = 80;
-const OFF_FLAGS: u64 = 81;
-const OFF_EPOCH: u64 = 84;
-const OFF_DATA: u64 = 88;
+const OFF_DATA: u64 = 72;
 
 const FLAG_DELETED: u8 = 1;
 
-/// High bit of a child slot marks a volatile (DRAM) handle.
-const VOLATILE_BIT: u64 = 1 << 63;
+/// Bit 47 of a compact child link marks a volatile (DRAM) handle.
+const VOLATILE_BIT: u64 = 1 << 47;
 
 /// A decoded child pointer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -58,28 +69,32 @@ pub enum ChildPtr {
 }
 
 impl ChildPtr {
-    /// Encode for the media.
+    /// Encode to the compact 48-bit link value (fits the 6-byte slot).
+    /// NVBM offsets are stored divided by 64: records are
+    /// cacheline-aligned and live above the arena header, so the
+    /// quotient is non-zero and never collides with null or bit 47.
     #[inline]
     pub fn encode(self) -> u64 {
         match self {
             ChildPtr::Null => 0,
             ChildPtr::Nvbm(p) => {
-                debug_assert!(p.0 & VOLATILE_BIT == 0 && !p.is_null());
-                p.0
+                debug_assert!(!p.is_null() && p.0 % 64 == 0 && p.0 >> 6 < VOLATILE_BIT);
+                p.0 >> 6
             }
             ChildPtr::Volatile(id) => VOLATILE_BIT | id as u64,
         }
     }
 
-    /// Decode from the media.
+    /// Decode from the compact 48-bit link value.
     #[inline]
     pub fn decode(raw: u64) -> Self {
+        debug_assert!(raw < 1 << 48, "link value exceeds 6 bytes");
         if raw == 0 {
             ChildPtr::Null
         } else if raw & VOLATILE_BIT != 0 {
             ChildPtr::Volatile((raw & 0xffff_ffff) as u32)
         } else {
-            ChildPtr::Nvbm(POffset(raw))
+            ChildPtr::Nvbm(POffset(raw << 6))
         }
     }
 
@@ -88,6 +103,21 @@ impl ChildPtr {
     pub fn is_null(&self) -> bool {
         matches!(self, ChildPtr::Null)
     }
+}
+
+/// Write a 48-bit link value into a 6-byte slot of `buf`.
+#[inline]
+fn put_link(buf: &mut [u8], i: usize, raw: u64) {
+    debug_assert!(raw < 1 << 48);
+    buf[i * 6..i * 6 + 6].copy_from_slice(&raw.to_le_bytes()[..6]);
+}
+
+/// Read the 48-bit link value from a 6-byte slot of `buf`.
+#[inline]
+fn get_link(buf: &[u8], i: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b[..6].copy_from_slice(&buf[i * 6..i * 6 + 6]);
+    u64::from_le_bytes(b)
 }
 
 /// Per-cell simulation payload: the fields a Gerris-style finite-volume
@@ -118,6 +148,25 @@ impl CellData {
         let f = |r: std::ops::Range<usize>| f64::from_le_bytes(b[r].try_into().expect("8 bytes"));
         CellData { phi: f(0..8), pressure: f(8..16), vof: f(16..24), work: f(24..32) }
     }
+}
+
+/// A decoded navigation line (octant line 0): every hot field a descent
+/// or recovery scan consults, delivered by one cacheline read
+/// ([`PmStore::nav_line`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NavLine {
+    /// Child pointers in Morton order.
+    pub children: [ChildPtr; FANOUT],
+    /// Raw Morton code (unvalidated — see [`PmStore::raw_key`]).
+    pub code: u64,
+    /// Raw refinement level (unvalidated).
+    pub level: u8,
+    /// Deleted flag.
+    pub deleted: bool,
+    /// Child-presence mask: bit `i` set iff `children[i]` is non-null.
+    pub mask: u8,
+    /// Creation epoch.
+    pub epoch: u32,
 }
 
 /// A fully decoded octant (for tests and bulk operations; hot paths use
@@ -190,15 +239,20 @@ impl PmStore {
     /// Write a complete octant record.
     pub fn write_octant(&mut self, p: POffset, o: &Octant) {
         let mut buf = [0u8; OCTANT_SIZE];
+        let mut mask = 0u8;
         for (i, c) in o.children.iter().enumerate() {
-            buf[i * 8..i * 8 + 8].copy_from_slice(&c.encode().to_le_bytes());
+            put_link(&mut buf, i, c.encode());
+            if !c.is_null() {
+                mask |= 1 << i;
+            }
         }
-        buf[OFF_PARENT as usize..OFF_PARENT as usize + 8]
-            .copy_from_slice(&o.parent.0.to_le_bytes());
         buf[OFF_CODE as usize..OFF_CODE as usize + 8].copy_from_slice(&o.key.raw().to_le_bytes());
         buf[OFF_LEVEL as usize] = o.key.level();
         buf[OFF_FLAGS as usize] = if o.deleted { FLAG_DELETED } else { 0 };
+        buf[OFF_MASK as usize] = mask;
         buf[OFF_EPOCH as usize..OFF_EPOCH as usize + 4].copy_from_slice(&o.epoch.to_le_bytes());
+        buf[OFF_PARENT as usize..OFF_PARENT as usize + 8]
+            .copy_from_slice(&o.parent.0.to_le_bytes());
         buf[OFF_DATA as usize..OFF_DATA as usize + 32].copy_from_slice(&o.data.to_bytes());
         self.arena.write(p.0, &buf);
     }
@@ -209,7 +263,7 @@ impl PmStore {
         self.arena.read(p.0, &mut buf);
         let mut children = [ChildPtr::Null; FANOUT];
         for (i, c) in children.iter_mut().enumerate() {
-            *c = ChildPtr::decode(u64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().expect("8")));
+            *c = ChildPtr::decode(get_link(&buf, i));
         }
         let parent = POffset(u64::from_le_bytes(
             buf[OFF_PARENT as usize..OFF_PARENT as usize + 8].try_into().expect("8"),
@@ -241,28 +295,69 @@ impl PmStore {
     #[inline]
     pub fn child(&mut self, p: POffset, i: usize) -> ChildPtr {
         debug_assert!(i < FANOUT);
-        ChildPtr::decode(self.arena.read_u64(p.0 + OFF_CHILDREN + 8 * i as u64))
+        let mut b = [0u8; 6];
+        self.arena.read(p.0 + OFF_LINKS + LINK_SIZE * i as u64, &mut b);
+        ChildPtr::decode(get_link(&b, 0))
     }
 
     /// Read all 8 child pointers with a single cacheline access — the
-    /// navigation line is exactly 64 bytes, so traversals pay one read
-    /// per visited octant, not eight.
+    /// compact links span 48 bytes of the navigation line, so traversals
+    /// pay one read per visited octant, not eight.
     #[inline]
     pub fn children(&mut self, p: POffset) -> [ChildPtr; FANOUT] {
-        let mut buf = [0u8; 64];
-        self.arena.read(p.0 + OFF_CHILDREN, &mut buf);
+        let mut buf = [0u8; 48];
+        self.arena.read(p.0 + OFF_LINKS, &mut buf);
         let mut out = [ChildPtr::Null; FANOUT];
         for (i, c) in out.iter_mut().enumerate() {
-            *c = ChildPtr::decode(u64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().expect("8")));
+            *c = ChildPtr::decode(get_link(&buf, i));
         }
         out
     }
 
-    /// Write one child pointer.
+    /// Write one child pointer, keeping the presence mask coherent (one
+    /// mask read-modify-write; all traffic stays on the navigation line).
     #[inline]
     pub fn set_child(&mut self, p: POffset, i: usize, c: ChildPtr) {
         debug_assert!(i < FANOUT);
-        self.arena.write_u64(p.0 + OFF_CHILDREN + 8 * i as u64, c.encode());
+        let raw = c.encode();
+        self.arena.write(p.0 + OFF_LINKS + LINK_SIZE * i as u64, &raw.to_le_bytes()[..6]);
+        let mut m = [0u8; 1];
+        self.arena.read(p.0 + OFF_MASK, &mut m);
+        let nm = if c.is_null() { m[0] & !(1 << i) } else { m[0] | (1 << i) };
+        self.arena.write(p.0 + OFF_MASK, &[nm]);
+    }
+
+    /// Replace all 8 child pointers and the presence mask in two writes
+    /// to the navigation line — the bulk form refine/coarsen use instead
+    /// of eight `set_child` read-modify-writes.
+    #[inline]
+    pub fn set_children(&mut self, p: POffset, cs: &[ChildPtr; FANOUT]) {
+        let mut buf = [0u8; 48];
+        let mut mask = 0u8;
+        for (i, c) in cs.iter().enumerate() {
+            put_link(&mut buf, i, c.encode());
+            if !c.is_null() {
+                mask |= 1 << i;
+            }
+        }
+        self.arena.write(p.0 + OFF_LINKS, &buf);
+        self.arena.write(p.0 + OFF_MASK, &[mask]);
+    }
+
+    /// Read the child-presence mask: bit `i` set iff `children[i]` is
+    /// non-null. One single-byte read on the navigation line — the leaf
+    /// test descents use instead of probing eight slots.
+    #[inline]
+    pub fn child_mask(&mut self, p: POffset) -> u8 {
+        let mut m = [0u8; 1];
+        self.arena.read(p.0 + OFF_MASK, &mut m);
+        m[0]
+    }
+
+    /// Is the octant at `p` a leaf (no children)? Charges one line.
+    #[inline]
+    pub fn is_leaf_octant(&mut self, p: POffset) -> bool {
+        self.child_mask(p) == 0
     }
 
     /// Read the parent offset.
@@ -286,13 +381,40 @@ impl PmStore {
 
     /// Read the raw `(code, level)` pair without constructing an
     /// [`OctKey`] — `OctKey::from_raw` panics on malformed values, so
-    /// recovery validation decodes keys only after checking them.
+    /// recovery validation decodes keys only after checking them. Code
+    /// and level are adjacent on the navigation line, so this is one
+    /// 9-byte, single-line read.
     #[inline]
     pub fn raw_key(&mut self, p: POffset) -> (u64, u8) {
-        let code = self.arena.read_u64(p.0 + OFF_CODE);
-        let mut lvl = [0u8; 1];
-        self.arena.read(p.0 + OFF_LEVEL, &mut lvl);
-        (code, lvl[0])
+        let mut b = [0u8; 9];
+        self.arena.read(p.0 + OFF_CODE, &mut b);
+        (u64::from_le_bytes(b[..8].try_into().expect("8 bytes")), b[8])
+    }
+
+    /// Decode the whole navigation line in one 64-byte read: children,
+    /// raw key, flags, presence mask, and epoch. Recovery scans and
+    /// traversals that need several hot fields of the same octant use
+    /// this to charge exactly one line instead of one per field.
+    #[inline]
+    pub fn nav_line(&mut self, p: POffset) -> NavLine {
+        let mut buf = [0u8; 64];
+        self.arena.read(p.0, &mut buf);
+        let mut children = [ChildPtr::Null; FANOUT];
+        for (i, c) in children.iter_mut().enumerate() {
+            *c = ChildPtr::decode(get_link(&buf, i));
+        }
+        NavLine {
+            children,
+            code: u64::from_le_bytes(
+                buf[OFF_CODE as usize..OFF_CODE as usize + 8].try_into().expect("8"),
+            ),
+            level: buf[OFF_LEVEL as usize],
+            deleted: buf[OFF_FLAGS as usize] & FLAG_DELETED != 0,
+            mask: buf[OFF_MASK as usize],
+            epoch: u32::from_le_bytes(
+                buf[OFF_EPOCH as usize..OFF_EPOCH as usize + 4].try_into().expect("4"),
+            ),
+        }
     }
 
     /// Read the deleted flag.
@@ -405,11 +527,58 @@ mod tests {
     #[test]
     fn child_ptr_encoding() {
         assert_eq!(ChildPtr::decode(0), ChildPtr::Null);
-        assert_eq!(ChildPtr::decode(0x2000), ChildPtr::Nvbm(POffset(0x2000)));
+        // NVBM offsets are stored divided by 64 (records are aligned).
+        let n = ChildPtr::Nvbm(POffset(0x2000));
+        assert_eq!(n.encode(), 0x2000 >> 6);
+        assert_eq!(ChildPtr::decode(n.encode()), n);
         let v = ChildPtr::Volatile(99);
         assert_eq!(ChildPtr::decode(v.encode()), v);
-        let n = ChildPtr::Nvbm(POffset(12345));
-        assert_eq!(ChildPtr::decode(n.encode()), n);
+        // Every encoding fits the 6-byte link slot.
+        for c in [n, v, ChildPtr::Null, ChildPtr::Nvbm(POffset(1u64 << 52))] {
+            assert!(c.encode() < 1 << 48, "{c:?} does not fit 48 bits");
+            assert_eq!(ChildPtr::decode(c.encode()), c);
+        }
+    }
+
+    #[test]
+    fn child_mask_tracks_links() {
+        let mut s = store();
+        let o = Octant::leaf(OctKey::root(), POffset::NULL, 0, CellData::default());
+        let p = s.alloc_octant(&o).unwrap();
+        assert_eq!(s.child_mask(p), 0);
+        assert!(s.is_leaf_octant(p));
+        s.set_child(p, 3, ChildPtr::Nvbm(POffset(0x1000)));
+        s.set_child(p, 6, ChildPtr::Volatile(2));
+        assert_eq!(s.child_mask(p), (1 << 3) | (1 << 6));
+        assert!(!s.is_leaf_octant(p));
+        s.set_child(p, 3, ChildPtr::Null);
+        assert_eq!(s.child_mask(p), 1 << 6);
+        let mut cs = [ChildPtr::Null; FANOUT];
+        cs[0] = ChildPtr::Nvbm(POffset(0x2000));
+        s.set_children(p, &cs);
+        assert_eq!(s.child_mask(p), 1);
+        assert_eq!(s.children(p), cs);
+        // write_octant recomputes the mask from the children array.
+        let r = s.read_octant(p);
+        s.write_octant(p, &r);
+        assert_eq!(s.child_mask(p), 1);
+    }
+
+    #[test]
+    fn nav_line_single_read_matches_fields() {
+        let mut s = store();
+        let key = OctKey::root().child(4).child(2);
+        let mut o = Octant::leaf(key, POffset(4096), 9, CellData::default());
+        o.children[5] = ChildPtr::Nvbm(POffset(0x1540));
+        let p = s.alloc_octant(&o).unwrap();
+        let before = s.arena.stats.nvbm.read_lines;
+        let nav = s.nav_line(p);
+        assert_eq!(s.arena.stats.nvbm.read_lines - before, 1, "nav_line is one line");
+        assert_eq!(nav.children, o.children);
+        assert_eq!((nav.code, nav.level), (key.raw(), key.level()));
+        assert_eq!(nav.mask, 1 << 5);
+        assert!(!nav.deleted);
+        assert_eq!(nav.epoch, 9);
     }
 
     #[test]

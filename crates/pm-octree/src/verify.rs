@@ -61,8 +61,7 @@ fn check_offset(p: POffset, capacity: u64, what: &str) -> Result<(), PmError> {
 }
 
 /// Decode a key only after proving `from_raw` would accept it.
-fn checked_key(store: &mut PmStore, p: POffset) -> Result<OctKey, PmError> {
-    let (code, level) = store.raw_key(p);
+fn checked_key(p: POffset, code: u64, level: u8) -> Result<OctKey, PmError> {
     if level > OctKey::MAX_LEVEL {
         return Err(PmError::Corrupt(format!(
             "octant {:#x}: level {level} exceeds max {}",
@@ -97,7 +96,10 @@ pub fn scan_tree(store: &mut PmStore, root: POffset) -> Result<TreeScan, PmError
                 p.0
             )));
         }
-        let key = checked_key(store, p)?;
+        // The whole hot line — children, raw key, flags, mask, epoch —
+        // arrives in one validated read.
+        let nav = store.nav_line(p);
+        let key = checked_key(p, nav.code, nav.level)?;
         if let Some(want) = expected.remove(&p) {
             if key != want {
                 return Err(PmError::Corrupt(format!(
@@ -106,10 +108,23 @@ pub fn scan_tree(store: &mut PmStore, root: POffset) -> Result<TreeScan, PmError
                 )));
             }
         }
-        if store.is_deleted(p) {
+        if nav.deleted {
             return Err(PmError::Corrupt(format!(
                 "octant {:#x} ({key:?}) reachable but flagged deleted",
                 p.0
+            )));
+        }
+        // The presence mask is redundant with the links; a disagreement
+        // means a torn navigation line.
+        let links_mask =
+            nav.children
+                .iter()
+                .enumerate()
+                .fold(0u8, |m, (i, c)| if c.is_null() { m } else { m | 1 << i });
+        if links_mask != nav.mask {
+            return Err(PmError::Corrupt(format!(
+                "octant {:#x} ({key:?}): presence mask {:#04x} disagrees with child links {links_mask:#04x}",
+                p.0, nav.mask
             )));
         }
         // Parent pointers are advisory (merge leaves them null; no
@@ -119,10 +134,10 @@ pub fn scan_tree(store: &mut PmStore, root: POffset) -> Result<TreeScan, PmError
         if !parent.is_null() {
             check_offset(parent, capacity, "parent pointer")?;
         }
-        scan.max_epoch = scan.max_epoch.max(store.epoch_of(p));
+        scan.max_epoch = scan.max_epoch.max(nav.epoch);
         scan.depth = scan.depth.max(key.level());
         let mut leaf = true;
-        for (i, c) in store.children(p).into_iter().enumerate() {
+        for (i, c) in nav.children.into_iter().enumerate() {
             match c {
                 ChildPtr::Null => {}
                 ChildPtr::Volatile(id) => {
@@ -310,25 +325,38 @@ mod tests {
         assert_eq!(rep.leaves, 8);
     }
 
+    /// Overwrite child link slot `i` (a 6-byte field at record offset
+    /// `6*i`) with the raw 48-bit value `raw`.
+    fn poison_link(t: &mut PmOctree, p: POffset, i: u64, raw: u64) {
+        t.store.arena.write(p.0 + 6 * i, &raw.to_le_bytes()[..6]);
+    }
+
     #[test]
     fn scan_rejects_out_of_bounds_child() {
         let mut t = PmOctree::create(arena(), cfg());
         t.refine(OctKey::root()).unwrap();
         t.persist();
         let root = t.store.arena.root(1);
-        // Corrupt child slot 0 with a huge (but aligned) offset.
-        t.store.arena.write(root.0, &(1u64 << 40).to_le_bytes());
+        // Corrupt child slot 0 with a huge offset (links store offset/64).
+        poison_link(&mut t, root, 0, (1u64 << 40) >> 6);
         let err = scan_tree(&mut t.store, root).unwrap_err();
         assert!(matches!(err, PmError::Corrupt(_)), "{err}");
     }
 
     #[test]
-    fn scan_rejects_misaligned_child() {
+    fn scan_rejects_misaligned_parent() {
+        // The compact /64 link encoding cannot express a misaligned child,
+        // so the alignment check is exercised through the parent pointer
+        // (still a raw u64 on the cold line).
         let mut t = PmOctree::create(arena(), cfg());
         t.refine(OctKey::root()).unwrap();
         t.persist();
         let root = t.store.arena.root(1);
-        t.store.arena.write(root.0, &0x1234u64.to_le_bytes()); // 0x1234 % 64 != 0
+        let c0 = match t.store.child(root, 0) {
+            ChildPtr::Nvbm(p) => p,
+            other => panic!("expected NVBM child, got {other:?}"),
+        };
+        t.store.arena.write(c0.0 + 64, &0x1234u64.to_le_bytes()); // 0x1234 % 64 != 0
         let err = scan_tree(&mut t.store, root).unwrap_err();
         assert!(err.to_string().contains("aligned"), "{err}");
     }
@@ -340,7 +368,7 @@ mod tests {
         t.persist();
         let root = t.store.arena.root(1);
         // Point child 0 of the root back at the root itself.
-        t.store.arena.write(root.0, &root.0.to_le_bytes());
+        poison_link(&mut t, root, 0, root.0 >> 6);
         let err = scan_tree(&mut t.store, root).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("two paths") || msg.contains("does not match"), "{msg}");
@@ -352,8 +380,8 @@ mod tests {
         t.refine(OctKey::root()).unwrap();
         t.persist();
         let root = t.store.arena.root(1);
-        // Overwrite the root's level byte (offset 80) with garbage.
-        t.store.arena.write(root.0 + 80, &[200u8]);
+        // Overwrite the root's level byte (hot-line offset 56) with garbage.
+        t.store.arena.write(root.0 + 56, &[200u8]);
         let err = scan_tree(&mut t.store, root).unwrap_err();
         assert!(err.to_string().contains("level"), "{err}");
     }
@@ -364,9 +392,21 @@ mod tests {
         t.refine(OctKey::root()).unwrap();
         t.persist();
         let root = t.store.arena.root(1);
-        let raw = (1u64 << 63) | 5;
-        t.store.arena.write(root.0 + 8, &raw.to_le_bytes());
+        poison_link(&mut t, root, 1, (1u64 << 47) | 5);
         let err = scan_tree(&mut t.store, root).unwrap_err();
         assert!(err.to_string().contains("volatile"), "{err}");
+    }
+
+    #[test]
+    fn scan_rejects_mask_link_mismatch() {
+        let mut t = PmOctree::create(arena(), cfg());
+        t.refine(OctKey::root()).unwrap();
+        t.persist();
+        let root = t.store.arena.root(1);
+        // Zero the presence mask (hot-line offset 58) while the eight
+        // child links stay populated: a torn navigation line.
+        t.store.arena.write(root.0 + 58, &[0u8]);
+        let err = scan_tree(&mut t.store, root).unwrap_err();
+        assert!(err.to_string().contains("mask"), "{err}");
     }
 }
