@@ -36,3 +36,15 @@ if ! diff -q BENCH_cluster_smoke.w1.json BENCH_cluster_smoke.json; then
     exit 1
 fi
 rm -f BENCH_cluster_smoke.w1.json
+# Multi-tenant service gate: the Zipf-skewed service benchmark (>=100
+# tenants, pinned-snapshot isolation checks, quota rejections) must pass
+# its internal gates and emit byte-identical JSON under 1 and 4 workers
+# (the driver is single-threaded over the virtual clock by design).
+cargo run --release -p pmoctree-bench --bin repro -- service --smoke --workers 1
+mv BENCH_service.json BENCH_service.w1.json
+cargo run --release -p pmoctree-bench --bin repro -- service --smoke --workers 4
+if ! diff -q BENCH_service.w1.json BENCH_service.json; then
+    echo "service benchmark diverged between 1 and 4 workers" >&2
+    exit 1
+fi
+rm -f BENCH_service.w1.json

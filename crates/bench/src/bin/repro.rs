@@ -6,6 +6,7 @@
 //! [--quick] [--workers N]
 //! repro crash-sweep [--smoke]
 //! repro recovery-rt [--smoke]
+//! repro service [--smoke]
 //! repro droplet [--quick] [--trace out.json] [--metrics out.prom]
 //! repro cluster-smoke [--workers N]
 //! repro morton [--quick]
@@ -23,8 +24,17 @@
 //!
 //! `crash-sweep` (not part of `all`) enumerates every crash opportunity
 //! of a droplet workload under every crash mode and verifies recovery at
-//! each one, writing `BENCH_crash_sweep.json`; it exits non-zero on any
-//! contract violation.
+//! each one, writing `BENCH_crash_sweep.json`; it then repeats the sweep
+//! over the multi-tenant service front-end (`svc::*` failpoints, batch
+//! all-or-nothing oracle). It exits non-zero on any contract violation.
+//!
+//! `service` (not part of `all`) drives the multi-tenant versioned state
+//! service with a Zipf-skewed workload (≥100 tenants, s≈1.0): batched
+//! commands, MVCC snapshot pin/reread gates, per-tenant quotas. Writes
+//! throughput, p50/p99 virtual-clock latency, and bytes-per-commit to
+//! `BENCH_service.json`; exits non-zero if a pinned snapshot ever
+//! changes. Single-threaded and virtual-clock only, so the JSON is part
+//! of the `ci.sh` determinism gates.
 //!
 //! `recovery-rt` (not part of `all`) exercises the pm-rt
 //! orthogonal-persistence runtime: sampled crashes (including at
@@ -210,6 +220,30 @@ fn main() {
         write_bench_json("crash_sweep", &crash_sweep_json(&sweep));
         if sweep.total_violations() > 0 {
             eprintln!("crash sweep found {} contract violations", sweep.total_violations());
+            std::process::exit(1);
+        }
+        let svc = service_crash_sweep(&cfg);
+        println!("{}", service_sweep_str(&svc));
+        if svc.total_violations() > 0 {
+            eprintln!("service crash sweep found {} violations", svc.total_violations());
+            std::process::exit(1);
+        }
+    }
+    if what == "service" {
+        let cfg = if args.iter().any(|a| a == "--smoke") || quick {
+            ServiceBenchConfig::smoke()
+        } else {
+            ServiceBenchConfig::full()
+        };
+        let b = service_bench(&cfg);
+        println!("{}", service_str(&b));
+        write_bench_json("service", &service_json(&b));
+        if !b.snapshot_ok {
+            eprintln!("service: a pinned snapshot changed under later commits");
+            std::process::exit(1);
+        }
+        if b.tenants < 100 {
+            eprintln!("service: acceptance needs >= 100 tenants, ran {}", b.tenants);
             std::process::exit(1);
         }
     }

@@ -23,12 +23,14 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use pm_octree::{check_invariants, CellData, PmConfig, PmOctree};
-use pm_rt::PmRt;
+use pm_rt::{PmRt, ServiceCmd, ServiceConfig, StateService};
 use pmoctree_morton::OctKey;
 use pmoctree_nvbm::{CrashMode, DeviceModel, FailPlan, NvbmArena};
 
-/// Name of the pm-rt root the sweep workload commits each step.
-const RT_ROOT_NAME: &str = "sweep::step";
+/// The pm-rt tenant namespace the sweep workload commits each step.
+const RT_TENANT: &str = "sweep";
+/// The root (inside [`RT_TENANT`]) holding the step counter.
+const RT_ROOT_NAME: &str = "step";
 
 /// One persisted (or in-flight) version: the sorted leaf set.
 type Snapshot = Vec<(OctKey, CellData)>;
@@ -155,7 +157,10 @@ fn check_rt(r: &mut PmOctree, rt_valid: &[u64], tree_version: usize) -> Result<(
     let mut rt =
         PmRt::restore(&mut r.store.arena).map_err(|e| format!("rt restore failed: {e}"))?;
     let v: u64 = rt
-        .get(&mut r.store.arena, RT_ROOT_NAME)
+        .session(&mut r.store.arena)
+        .tenant(RT_TENANT)
+        .map_err(|e| format!("rt tenant failed: {e}"))?
+        .get(RT_ROOT_NAME)
         .map_err(|e| format!("rt read failed: {e}"))?
         .ok_or_else(|| format!("rt root {RT_ROOT_NAME:?} missing after recovery"))?;
     match rt_valid.iter().position(|&x| x == v) {
@@ -165,6 +170,21 @@ fn check_rt(r: &mut PmOctree, rt_valid: &[u64], tree_version: usize) -> Result<(
         }
         Some(_) => Ok(()),
     }
+}
+
+/// The crash-mode columns a sweep config expands to: `LoseDirty`, plus a
+/// `CommitRandom` and a `TornWrite` column per seed.
+fn mode_matrix(cfg: &CrashSweepConfig) -> Vec<(String, CrashMode)> {
+    let mut modes: Vec<(String, CrashMode)> = vec![("lose_dirty".into(), CrashMode::LoseDirty)];
+    for &seed in &cfg.seeds {
+        modes.push((
+            format!("commit_random[p={},seed={seed}]", cfg.p_commit),
+            CrashMode::CommitRandom { p: cfg.p_commit, seed },
+        ));
+        modes
+            .push((format!("torn_write[seed={seed}]", seed = seed), CrashMode::TornWrite { seed }));
+    }
+    modes
 }
 
 fn signed_distance(k: OctKey, center: [f64; 3], radius: f64) -> f64 {
@@ -177,15 +197,7 @@ fn signed_distance(k: OctKey, center: [f64; 3], radius: f64) -> f64 {
 /// every mode; a correct implementation returns
 /// [`CrashSweep::total_violations`] `== 0`.
 pub fn crash_sweep(cfg: &CrashSweepConfig) -> CrashSweep {
-    let mut modes: Vec<(String, CrashMode)> = vec![("lose_dirty".into(), CrashMode::LoseDirty)];
-    for &seed in &cfg.seeds {
-        modes.push((
-            format!("commit_random[p={},seed={seed}]", cfg.p_commit),
-            CrashMode::CommitRandom { p: cfg.p_commit, seed },
-        ));
-        modes
-            .push((format!("torn_write[seed={seed}]", seed = seed), CrashMode::TornWrite { seed }));
-    }
+    let modes = mode_matrix(cfg);
 
     // Exercise the whole protocol surface: replica shipping, C0
     // eviction pressure, and the dynamic transformation all on.
@@ -212,8 +224,11 @@ pub fn crash_sweep(cfg: &CrashSweepConfig) -> CrashSweep {
     // An rt registry on the same device, committed before the plan is
     // installed so the sweep starts from a recoverable rt V_0 as well.
     let mut rt = PmRt::create(&mut t.store.arena).expect("rt create");
-    rt.put(&mut t.store.arena, RT_ROOT_NAME, &0u64).expect("rt put");
-    rt.commit(&mut t.store.arena).expect("rt commit");
+    {
+        let mut h = rt.session(&mut t.store.arena).tenant(RT_TENANT).expect("rt tenant");
+        h.put(RT_ROOT_NAME, &0u64).expect("rt put");
+        h.commit().expect("rt commit");
+    }
 
     let oracle = Arc::new(Mutex::new(Oracle { valid: vec![v0], rt_valid: vec![0] }));
     let stats = Arc::new(Mutex::new(SweepStats {
@@ -316,10 +331,9 @@ pub fn crash_sweep(cfg: &CrashSweepConfig) -> CrashSweep {
         }
         let rt_ref = &mut rt;
         t.persist_with_hook(&mut |arena| {
-            rt_ref
-                .put(arena, RT_ROOT_NAME, &step_val)
-                .and_then(|_| rt_ref.commit(arena))
-                .map_err(|e| pm_octree::PmError::Recovery(format!("rt: {e}")))
+            let mut h = rt_ref.session(arena).tenant(RT_TENANT)?;
+            h.put(RT_ROOT_NAME, &step_val)?;
+            h.commit()
         })
         .expect("combined rt commit failed");
         {
@@ -354,6 +368,236 @@ pub fn crash_sweep(cfg: &CrashSweepConfig) -> CrashSweep {
     }
 }
 
+/// A decoded multi-tenant service state: tenant → root → raw bytes, as
+/// reported by [`StateService::audit`].
+type AuditState = BTreeMap<String, BTreeMap<String, Vec<u8>>>;
+
+/// Outcome of the multi-tenant service crash sweep
+/// ([`service_crash_sweep`]).
+#[derive(Clone, Debug)]
+pub struct ServiceSweep {
+    /// Total crash opportunities the service workload had.
+    pub opportunities: u64,
+    /// Occurrence count per failpoint label (protocol coverage).
+    pub label_counts: Vec<(String, u64)>,
+    /// One row per crash mode.
+    pub rows: Vec<CrashModeRow>,
+    /// First violations encountered (empty on a clean sweep).
+    pub violations: Vec<Violation>,
+    /// Batches flushed under the plan.
+    pub batches: usize,
+    /// Tenants in the service.
+    pub tenants: usize,
+}
+
+impl ServiceSweep {
+    /// Total violations across all modes.
+    pub fn total_violations(&self) -> u64 {
+        self.rows.iter().map(|r| r.violations).sum()
+    }
+}
+
+/// When a recovered audit state matches neither the committed nor the
+/// in-flight batch version, distinguish the two failure shapes: a
+/// *mixed-batch* recovery (every tenant individually holds one of the
+/// two legal versions, but not all the same one — the batch was torn
+/// across tenants) versus outright corruption (some tenant holds a
+/// state that was never staged at all).
+fn diagnose_service_state(got: &AuditState, valid: &[AuditState]) -> String {
+    let tenants: std::collections::BTreeSet<&String> =
+        valid.iter().flat_map(|v| v.keys()).chain(got.keys()).collect();
+    for t in tenants {
+        let g = got.get(t);
+        if !valid.iter().any(|v| v.get(t) == g) {
+            return format!(
+                "tenant {t:?} recovered a state that is neither committed nor in-flight"
+            );
+        }
+    }
+    "tenants recovered from mixed batch versions (per-batch atomicity torn across tenants)"
+        .to_string()
+}
+
+/// Crash-sweep the multi-tenant service front-end: drive batched
+/// commands (`Create`/`Put`/`Commit`/`Restore`/`Destroy`, including a
+/// quota-rejected write) with a [`FailPlan`] hook installed, and at
+/// every crash opportunity audit the rebooted image with
+/// [`StateService::audit`]. The recovered state must be *exactly* the
+/// pre-batch committed state or the whole in-flight batch — a batch is
+/// all-or-nothing for every tenant it touches. Pinned MVCC snapshots
+/// are taken under the plan (covering `svc::snapshot_pin`) and must
+/// keep reading the pre-batch bytes after the batch lands.
+pub fn service_crash_sweep(cfg: &CrashSweepConfig) -> ServiceSweep {
+    const TENANTS: usize = 3;
+    /// Quota for tenant `t0`: two cacheline-class roots fit, the
+    /// oversized write each batch retries does not.
+    const T0_QUOTA: u64 = 200;
+
+    let modes = mode_matrix(cfg);
+    let mut arena = NvbmArena::new(cfg.arena_bytes, DeviceModel::default());
+    let scfg = ServiceConfig::builder()
+        .max_tenants(16)
+        .default_quota(64 << 10)
+        .batch_capacity(256)
+        .build()
+        .expect("valid service config");
+    let mut svc = StateService::create(&mut arena, scfg).expect("service create");
+
+    // Seed the tenant set before the plan is installed, so the sweep
+    // starts from a device holding a recoverable V_0.
+    for i in 0..TENANTS {
+        let quota = if i == 0 { Some(T0_QUOTA) } else { None };
+        svc.submit(&mut arena, ServiceCmd::Create { tenant: format!("t{i}"), quota })
+            .expect("enqueue create");
+    }
+    svc.flush_batch(&mut arena).expect("seed batch");
+    let v0 = StateService::audit(&mut arena).expect("seed audit");
+
+    let oracle: Arc<Mutex<Vec<AuditState>>> = Arc::new(Mutex::new(vec![v0]));
+    let stats = Arc::new(Mutex::new(SweepStats {
+        rows: modes
+            .iter()
+            .map(|(name, _)| CrashModeRow {
+                mode: name.clone(),
+                checked: 0,
+                recovered_committed: 0,
+                recovered_in_flight: 0,
+                violations: 0,
+            })
+            .collect(),
+        violations: Vec::new(),
+    }));
+
+    let hook_oracle = oracle.clone();
+    let hook_stats = stats.clone();
+    let hook_modes = modes.clone();
+    arena.set_fail_plan(FailPlan::with_hook(Box::new(move |view| {
+        let valid = hook_oracle.lock().expect("oracle lock").clone();
+        let mut st = hook_stats.lock().expect("stats lock");
+        for (i, (name, mode)) in hook_modes.iter().enumerate() {
+            st.rows[i].checked += 1;
+            let image = view.image(*mode);
+            let mut rebooted = NvbmArena::from_media(image, DeviceModel::default());
+            let verdict: Result<usize, String> = match StateService::audit(&mut rebooted) {
+                Err(e) => Err(format!("service audit failed: {e}")),
+                Ok(got) => match valid.iter().position(|v| *v == got) {
+                    Some(v) => Ok(v),
+                    None => Err(diagnose_service_state(&got, &valid)),
+                },
+            };
+            match verdict {
+                Ok(0) => st.rows[i].recovered_committed += 1,
+                Ok(_) => st.rows[i].recovered_in_flight += 1,
+                Err(reason) => {
+                    st.rows[i].violations += 1;
+                    if st.violations.len() < MAX_RECORDED_VIOLATIONS {
+                        st.violations.push(Violation {
+                            opportunity: view.opportunity,
+                            label: view.label,
+                            mode: name.clone(),
+                            reason,
+                        });
+                    }
+                }
+            }
+        }
+    })));
+
+    let batches = cfg.steps.max(2) * 2;
+    for b in 0..batches {
+        let before = oracle.lock().expect("oracle lock")[0].clone();
+
+        // Build the batch and simulate its expected outcome. Writes go
+        // to a hot root (`r0`) and a per-batch root, skewing COW churn.
+        let mut cmds: Vec<ServiceCmd> = Vec::new();
+        let mut after = before.clone();
+        for i in 0..TENANTS {
+            let tenant = format!("t{i}");
+            let mut bytes = vec![0xABu8; 16];
+            bytes[0] = b as u8 + 1;
+            bytes[1] = i as u8;
+            cmds.push(ServiceCmd::Put {
+                tenant: tenant.clone(),
+                root: "r0".into(),
+                bytes: bytes.clone(),
+            });
+            after.get_mut(&tenant).expect("tenant exists").insert("r0".into(), bytes);
+        }
+        // t0's oversized write must be rejected by quota *before*
+        // touching media: it never appears in any legal state.
+        cmds.push(ServiceCmd::Put {
+            tenant: "t0".into(),
+            root: "big".into(),
+            bytes: vec![0xFF; 256],
+        });
+        // t1 stages a write and then issues Restore in the same batch:
+        // the staged write is reverted, so t1's extra root is absent
+        // from the in-flight version too.
+        cmds.push(ServiceCmd::Put { tenant: "t1".into(), root: "tmp".into(), bytes: vec![7; 16] });
+        cmds.push(ServiceCmd::Restore { tenant: "t1".into() });
+        // t1's `r0` write above is also reverted by the Restore.
+        after.get_mut("t1").expect("t1 exists").clone_from(before.get("t1").expect("t1 exists"));
+        cmds.push(ServiceCmd::Commit { tenant: "t2".into() });
+        if b == batches - 1 {
+            cmds.push(ServiceCmd::Destroy { tenant: "t2".into() });
+            after.remove("t2");
+        }
+
+        // While the batch is in flight, a crash may legally land on
+        // either the committed or the whole in-flight version.
+        *oracle.lock().expect("oracle lock") = vec![before.clone(), after.clone()];
+
+        // Pin a snapshot of t1 under the plan (fires svc::snapshot_pin).
+        let snap = svc.snapshot(&mut arena, "t1").expect("snapshot");
+        for cmd in cmds {
+            svc.submit(&mut arena, cmd).expect("enqueue");
+        }
+        svc.flush_batch(&mut arena).expect("flush batch");
+
+        // MVCC isolation: the pinned snapshot still reads the pre-batch
+        // bytes even though the batch just committed and GC ran.
+        let empty = BTreeMap::new();
+        let pre = before.get("t1").unwrap_or(&empty);
+        for (root, want) in pre {
+            let got = snap.get_bytes(&mut arena, root).expect("snapshot read");
+            if got.as_ref() != Some(want) {
+                let mut st = stats.lock().expect("stats lock");
+                st.rows[0].violations += 1;
+                if st.violations.len() < MAX_RECORDED_VIOLATIONS {
+                    st.violations.push(Violation {
+                        opportunity: 0,
+                        label: Some("svc::snapshot_pin"),
+                        mode: "snapshot_isolation".into(),
+                        reason: format!("pinned snapshot of t1/{root} changed after the batch"),
+                    });
+                }
+            }
+        }
+        drop(snap);
+        svc.collect(&mut arena);
+
+        *oracle.lock().expect("oracle lock") = vec![after];
+    }
+
+    let plan = arena.take_fail_plan().expect("plan installed");
+    let opportunities = plan.opportunities();
+    let mut label_counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for (_, l) in plan.labels() {
+        *label_counts.entry(l).or_insert(0) += 1;
+    }
+    drop(plan);
+    let st = Arc::try_unwrap(stats).map_err(|_| "stats still shared").expect("hook dropped");
+    let st = st.into_inner().expect("stats lock");
+    ServiceSweep {
+        opportunities,
+        label_counts: label_counts.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        rows: st.rows,
+        violations: st.violations,
+        batches,
+        tenants: TENANTS,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -379,6 +623,27 @@ mod tests {
             "rt::commit",
             "rt::swizzle",
         ] {
+            assert!(
+                sweep.label_counts.iter().any(|(l, n)| l == label && *n > 0),
+                "failpoint {label} never fired; coverage: {:?}",
+                sweep.label_counts
+            );
+        }
+    }
+
+    #[test]
+    fn service_sweep_is_all_or_nothing_per_tenant() {
+        let sweep = service_crash_sweep(&CrashSweepConfig::smoke());
+        assert!(sweep.opportunities > 40, "workload too small: {}", sweep.opportunities);
+        assert_eq!(sweep.total_violations(), 0, "violations: {:#?}", sweep.violations);
+        for row in &sweep.rows {
+            assert_eq!(row.checked, sweep.opportunities, "{}", row.mode);
+            assert!(row.recovered_committed > 0, "{}", row.mode);
+            assert!(row.recovered_in_flight > 0, "{}", row.mode);
+        }
+        // The service protocol points must appear in the opportunity
+        // space, alongside the underlying rt commit they wrap.
+        for label in ["svc::commit_batch", "svc::snapshot_pin", "rt::commit"] {
             assert!(
                 sweep.label_counts.iter().any(|(l, n)| l == label && *n > 0),
                 "failpoint {label} never fired; coverage: {:?}",

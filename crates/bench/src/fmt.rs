@@ -304,6 +304,69 @@ pub fn recovery_rt_str(r: &crate::recovery_rt::RecoveryRt) -> String {
     s
 }
 
+/// Render the multi-tenant service crash sweep.
+pub fn service_sweep_str(sweep: &crate::crash_sweep::ServiceSweep) -> String {
+    let mut s = format!(
+        "Service crash sweep: {} opportunities x {} modes over {} batches ({} tenants)\n",
+        sweep.opportunities,
+        sweep.rows.len(),
+        sweep.batches,
+        sweep.tenants
+    );
+    s.push_str("mode                          |  checked | V_i-1 | V_i | violations\n");
+    for r in &sweep.rows {
+        s.push_str(&format!(
+            "{:<29} | {:>8} | {:>5} | {:>3} | {:>10}\n",
+            r.mode, r.checked, r.recovered_committed, r.recovered_in_flight, r.violations
+        ));
+    }
+    s.push_str("failpoint coverage: ");
+    let cov: Vec<String> = sweep.label_counts.iter().map(|(l, n)| format!("{l} x{n}")).collect();
+    s.push_str(&cov.join(", "));
+    s.push('\n');
+    for v in &sweep.violations {
+        s.push_str(&format!(
+            "VIOLATION at opportunity {} ({}) under {}: {}\n",
+            v.opportunity,
+            v.label.unwrap_or("unlabelled"),
+            v.mode,
+            v.reason
+        ));
+    }
+    if sweep.total_violations() == 0 {
+        s.push_str("every crash recovers a batch all-or-nothing for every tenant\n");
+    }
+    s
+}
+
+/// Render the multi-tenant service benchmark.
+pub fn service_str(b: &crate::service_bench::ServiceBench) -> String {
+    let mut s = format!(
+        "Multi-tenant service: {} tenants, Zipf s={:.2} (hottest tenant took {:.1}% of ops)\n",
+        b.tenants,
+        b.zipf_s,
+        100.0 * b.hot_tenant_share
+    );
+    s.push_str(&format!(
+        "{} ops in {:.4} virtual s => {:.0} ops/s; latency p50 {} ns, p99 {} ns\n",
+        b.ops, b.total_virtual_secs, b.ops_per_virtual_sec, b.p50_ns, b.p99_ns
+    ));
+    s.push_str(&format!(
+        "batch-flush (root swap) latency: p50 {} ns, p99 {} ns\n",
+        b.commit_p50_ns, b.commit_p99_ns
+    ));
+    s.push_str(&format!(
+        "{} root swaps, {} bytes written => {:.0} bytes/commit; {} quota rejections\n",
+        b.commits, b.bytes_written, b.bytes_per_commit, b.quota_rejections
+    ));
+    s.push_str(&format!(
+        "snapshot isolation: {} pinned rereads, {}\n",
+        b.snapshot_checks,
+        if b.snapshot_ok { "all byte-identical" } else { "VIOLATED" }
+    ));
+    s
+}
+
 /// Render the crash-point sweep outcome.
 pub fn crash_sweep_str(sweep: &crate::crash_sweep::CrashSweep) -> String {
     let mut s = format!(

@@ -254,6 +254,19 @@ pub fn recovery_rt_json(r: &crate::recovery_rt::RecoveryRt) -> String {
     })
 }
 
+#[derive(Serialize)]
+struct ServiceDoc {
+    experiment: &'static str,
+    bench: crate::service_bench::ServiceBench,
+}
+
+/// JSON for the multi-tenant service benchmark. Virtual-clock and count
+/// fields only — a 1-worker and a 4-worker run must emit byte-identical
+/// files (the `ci.sh` determinism gate diffs them).
+pub fn service_json(b: &crate::service_bench::ServiceBench) -> String {
+    json_doc(&ServiceDoc { experiment: "service", bench: b.clone() })
+}
+
 fn json_doc<T: Serialize>(doc: &T) -> String {
     serde_json::to_string(doc).unwrap_or_else(|e| format!("{{\"error\": \"{e}\"}}"))
 }

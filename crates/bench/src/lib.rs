@@ -13,10 +13,12 @@ pub mod fmt;
 pub mod json;
 pub mod morton_bench;
 pub mod recovery_rt;
+pub mod service_bench;
 pub mod trace_check;
 
 pub use crash_sweep::*;
 pub use experiments::*;
 pub use morton_bench::{morton_bench, MortonBench, MortonRow};
 pub use recovery_rt::{recovery_rt, CrashResumeRow, RecoveryRt, RecoveryRtConfig};
+pub use service_bench::{service_bench, ServiceBench, ServiceBenchConfig};
 pub use trace_check::{check_trace, TraceSummary};

@@ -1,0 +1,355 @@
+//! Multi-tenant service benchmark (`repro service`).
+//!
+//! Drives the [`StateService`] front-end with a Zipf-skewed tenant
+//! workload (s ≈ 1.0 — a handful of hot tenants absorb most writes,
+//! a long tail is touched rarely) and reports, all on the **virtual**
+//! clock so the output is machine-independent:
+//!
+//! * command throughput (ops per virtual second),
+//! * p50/p99 per-command latency — most commands only stage bytes, the
+//!   one that fills the batch pays the root-table swap, so the tail
+//!   exposes the batching amortisation directly,
+//! * mean bytes written per published commit (the COW root-swap cost
+//!   the batched front-end amortises over `batch_capacity` commands).
+//!
+//! The driver doubles as an MVCC correctness gate: at a fixed cadence it
+//! pins a snapshot of the hottest tenant, lets hundreds of skewed
+//! writes and several batch commits land on top, rereads the snapshot,
+//! and requires byte-identical results ([`ServiceBench::snapshot_ok`]).
+//! Quota pressure is exercised by an oversized burst write every 256
+//! ops, which the quota check must reject before touching media.
+//!
+//! Everything is driven by one xorshift stream from a fixed seed and a
+//! single thread, so `BENCH_service.json` is byte-identical across
+//! worker-pool sizes (the `ci.sh` determinism gate diffs a 1-worker and
+//! a 4-worker run).
+
+use pm_rt::{ServiceCmd, ServiceConfig, StateService};
+use pmoctree_nvbm::{DeviceModel, NvbmArena};
+
+/// Scale knobs for the service benchmark.
+#[derive(Clone, Debug)]
+pub struct ServiceBenchConfig {
+    /// Registered tenants (the issue's acceptance floor is 100).
+    pub tenants: usize,
+    /// Commands submitted after setup.
+    pub ops: usize,
+    /// Commands per batch (one root swap each).
+    pub batch_capacity: usize,
+    /// Distinct roots per tenant the workload cycles over.
+    pub roots_per_tenant: usize,
+    /// Payload bytes of a regular write.
+    pub payload: usize,
+    /// Zipf skew exponent over tenant ranks.
+    pub zipf_s: f64,
+    /// Per-tenant byte quota (class-rounded accounting).
+    pub quota: u64,
+    /// Emulated device size.
+    pub arena_bytes: usize,
+    /// Xorshift seed for the whole workload.
+    pub seed: u64,
+    /// Ops between snapshot-isolation checks.
+    pub check_interval: usize,
+    /// Ops a pinned snapshot stays live before the reread.
+    pub check_span: usize,
+}
+
+impl ServiceBenchConfig {
+    /// CI-sized run: still ≥100 tenants, fewer ops.
+    pub fn smoke() -> Self {
+        ServiceBenchConfig {
+            tenants: 120,
+            ops: 20_000,
+            batch_capacity: 64,
+            roots_per_tenant: 4,
+            payload: 96,
+            zipf_s: 1.0,
+            quota: 4 << 10,
+            arena_bytes: 8 << 20,
+            seed: 0x5eed_5e11_ce00_0001,
+            check_interval: 2_500,
+            check_span: 600,
+        }
+    }
+
+    /// Default run.
+    pub fn full() -> Self {
+        ServiceBenchConfig {
+            tenants: 256,
+            ops: 200_000,
+            batch_capacity: 256,
+            roots_per_tenant: 4,
+            payload: 96,
+            zipf_s: 1.0,
+            quota: 4 << 10,
+            arena_bytes: 16 << 20,
+            seed: 0x5eed_5e11_ce00_0001,
+            check_interval: 10_000,
+            check_span: 2_000,
+        }
+    }
+}
+
+/// Benchmark outcome; every field is virtual-clock or count data, so
+/// the serialized form is deterministic across machines and worker
+/// counts.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct ServiceBench {
+    /// Registered tenants.
+    pub tenants: usize,
+    /// Zipf exponent the workload used.
+    pub zipf_s: f64,
+    /// Commands submitted (excluding setup).
+    pub ops: u64,
+    /// Batches flushed (root swaps published + empty flushes skipped).
+    pub batches: u64,
+    /// Root-table swaps published.
+    pub commits: u64,
+    /// Total virtual time of the measured window, seconds.
+    pub total_virtual_secs: f64,
+    /// Commands per virtual second.
+    pub ops_per_virtual_sec: f64,
+    /// Median per-command virtual latency, ns. Near zero by design:
+    /// staged writes are absorbed by the dirty-line cache, the flush
+    /// command pays for the whole batch.
+    pub p50_ns: u64,
+    /// 99th-percentile per-command virtual latency, ns (commands that
+    /// trigger the batch flush pay the swap here).
+    pub p99_ns: u64,
+    /// Median latency of batch-flushing commands (the root-swap cost).
+    pub commit_p50_ns: u64,
+    /// 99th-percentile latency of batch-flushing commands.
+    pub commit_p99_ns: u64,
+    /// Bytes written across all root swaps.
+    pub bytes_written: u64,
+    /// Mean bytes per published swap.
+    pub bytes_per_commit: f64,
+    /// Writes rejected by the per-tenant quota (never reached media).
+    pub quota_rejections: u64,
+    /// Fraction of ops that hit the hottest tenant (documents the skew).
+    pub hot_tenant_share: f64,
+    /// Snapshot-isolation rereads performed.
+    pub snapshot_checks: u64,
+    /// Whether every pinned snapshot reread byte-identically.
+    pub snapshot_ok: bool,
+}
+
+/// Deterministic xorshift64* stream.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Cumulative Zipf(s) distribution over `n` ranks; sample by inverting
+/// a uniform draw with binary search.
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let mut acc = 0.0;
+    let mut cdf = Vec::with_capacity(n);
+    for rank in 1..=n {
+        acc += 1.0 / (rank as f64).powf(s);
+        cdf.push(acc);
+    }
+    for c in &mut cdf {
+        *c /= acc;
+    }
+    cdf
+}
+
+fn zipf_sample(cdf: &[f64], u: f64) -> usize {
+    cdf.partition_point(|&c| c < u).min(cdf.len() - 1)
+}
+
+fn tenant_name(i: usize) -> String {
+    format!("tenant{i:04}")
+}
+
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (sorted.len() * p / 100).min(sorted.len() - 1);
+    sorted[idx]
+}
+
+/// Run the benchmark (single-threaded by construction — the service
+/// front-end serialises all tenants through one batch queue, which is
+/// exactly the design point being measured).
+pub fn service_bench(cfg: &ServiceBenchConfig) -> ServiceBench {
+    let mut arena = NvbmArena::new(cfg.arena_bytes, DeviceModel::default());
+    let scfg = ServiceConfig::builder()
+        .max_tenants(cfg.tenants)
+        .default_quota(cfg.quota)
+        .batch_capacity(cfg.batch_capacity)
+        .build()
+        .expect("valid service config");
+    let mut svc = StateService::create(&mut arena, scfg).expect("service create");
+
+    // Setup: register every tenant (auto-flushes as batches fill).
+    for i in 0..cfg.tenants {
+        svc.submit(&mut arena, ServiceCmd::Create { tenant: tenant_name(i), quota: None })
+            .expect("create tenant");
+    }
+    svc.flush_batch(&mut arena).expect("setup flush");
+    let setup_commits = svc.stats().commits;
+    let setup_bytes = svc.stats().bytes_written;
+
+    let cdf = zipf_cdf(cfg.tenants, cfg.zipf_s);
+    let mut rng = Rng(cfg.seed | 1);
+    let mut latencies: Vec<u64> = Vec::with_capacity(cfg.ops);
+    let mut commit_latencies: Vec<u64> = Vec::new();
+    let mut hot_hits = 0u64;
+    let hot = tenant_name(0);
+
+    // A pinned snapshot of the hottest tenant awaiting its reread:
+    // (snapshot, captured bytes, op index to reread at).
+    type PendingCheck = (pm_rt::Snapshot, Vec<(String, Option<Vec<u8>>)>, usize);
+    let mut pending_check: Option<PendingCheck> = None;
+    let mut snapshot_checks = 0u64;
+    let mut snapshot_ok = true;
+
+    let t_start = arena.clock.now_ns();
+    for op in 0..cfg.ops {
+        let t = zipf_sample(&cdf, rng.next_f64());
+        let tenant = tenant_name(t);
+        if t == 0 {
+            hot_hits += 1;
+        }
+        let root = format!("r{}", rng.next_u64() as usize % cfg.roots_per_tenant);
+        let cmd = if op % 256 == 255 {
+            // Oversized burst: always exceeds the quota, must be
+            // rejected before touching media.
+            ServiceCmd::Put { tenant, root, bytes: vec![0xFF; 2 * cfg.quota as usize] }
+        } else if op % 16 == 7 {
+            ServiceCmd::Query { tenant, root }
+        } else {
+            let mut bytes = vec![0u8; cfg.payload];
+            let tag = (op as u64).to_le_bytes();
+            for (i, b) in bytes.iter_mut().enumerate() {
+                *b = tag[i % 8] ^ i as u8;
+            }
+            ServiceCmd::Put { tenant, root, bytes }
+        };
+        let t0 = arena.clock.now_ns();
+        let flushed = svc.submit(&mut arena, cmd).expect("submit");
+        let dt = arena.clock.now_ns() - t0;
+        latencies.push(dt);
+        if flushed.is_some() {
+            commit_latencies.push(dt);
+        }
+
+        // Snapshot-isolation gate: pin, let skewed writes land, reread.
+        if pending_check.is_none() && op % cfg.check_interval == 0 {
+            let snap = svc.snapshot(&mut arena, &hot).expect("snapshot");
+            let names: Vec<String> = snap.names().map(str::to_string).collect();
+            let captured: Vec<(String, Option<Vec<u8>>)> = names
+                .into_iter()
+                .map(|n| {
+                    let v = snap.get_bytes(&mut arena, &n).expect("snapshot read");
+                    (n, v)
+                })
+                .collect();
+            pending_check = Some((snap, captured, op + cfg.check_span));
+        } else if let Some((_, _, due)) = &pending_check {
+            if op >= *due {
+                let (snap, captured, _) = pending_check.take().expect("pending check");
+                snapshot_checks += 1;
+                for (name, want) in &captured {
+                    let got = snap.get_bytes(&mut arena, name).expect("snapshot reread");
+                    if got != *want {
+                        snapshot_ok = false;
+                    }
+                }
+                drop(snap);
+                svc.collect(&mut arena);
+            }
+        }
+    }
+    svc.flush_batch(&mut arena).expect("final flush");
+    let total_ns = arena.clock.now_ns() - t_start;
+
+    latencies.sort_unstable();
+    commit_latencies.sort_unstable();
+    let stats = svc.stats();
+    let commits = stats.commits - setup_commits;
+    let bytes_written = stats.bytes_written - setup_bytes;
+    let total_virtual_secs = total_ns as f64 / 1e9;
+    ServiceBench {
+        tenants: cfg.tenants,
+        zipf_s: cfg.zipf_s,
+        ops: cfg.ops as u64,
+        batches: stats.batches,
+        commits,
+        total_virtual_secs,
+        ops_per_virtual_sec: cfg.ops as f64 / total_virtual_secs,
+        p50_ns: percentile(&latencies, 50),
+        p99_ns: percentile(&latencies, 99),
+        commit_p50_ns: percentile(&commit_latencies, 50),
+        commit_p99_ns: percentile(&commit_latencies, 99),
+        bytes_written,
+        bytes_per_commit: if commits == 0 { 0.0 } else { bytes_written as f64 / commits as f64 },
+        quota_rejections: stats.quota_rejections,
+        hot_tenant_share: hot_hits as f64 / cfg.ops as f64,
+        snapshot_checks,
+        snapshot_ok,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ServiceBenchConfig {
+        ServiceBenchConfig {
+            tenants: 100,
+            ops: 3_000,
+            batch_capacity: 32,
+            check_interval: 500,
+            check_span: 200,
+            arena_bytes: 4 << 20,
+            ..ServiceBenchConfig::smoke()
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_normalised() {
+        let cdf = zipf_cdf(100, 1.0);
+        assert!((cdf[99] - 1.0).abs() < 1e-12);
+        // Rank 1 mass under s=1.0 over 100 ranks is ~19%.
+        assert!(cdf[0] > 0.15 && cdf[0] < 0.25, "cdf[0] = {}", cdf[0]);
+        let mut r = Rng(42);
+        let hits = (0..10_000).filter(|_| zipf_sample(&cdf, r.next_f64()) == 0).count();
+        assert!(hits > 1_000, "hot tenant only drew {hits}/10000");
+    }
+
+    #[test]
+    fn bench_meets_the_acceptance_shape() {
+        let b = service_bench(&tiny());
+        assert!(b.tenants >= 100);
+        assert!(b.snapshot_checks > 0 && b.snapshot_ok, "snapshot isolation violated");
+        assert!(b.quota_rejections > 0, "quota path never exercised");
+        assert!(b.commits > 0 && b.bytes_per_commit > 0.0);
+        assert!(b.p99_ns >= b.p50_ns);
+        assert!(b.ops_per_virtual_sec > 0.0);
+        assert!(b.hot_tenant_share > 0.1, "Zipf skew missing: {}", b.hot_tenant_share);
+    }
+
+    #[test]
+    fn bench_is_deterministic() {
+        let a = service_bench(&tiny());
+        let b = service_bench(&tiny());
+        assert_eq!(crate::json::service_json(&a), crate::json::service_json(&b));
+    }
+}

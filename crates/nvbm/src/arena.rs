@@ -18,6 +18,7 @@ use std::path::Path;
 use crate::clock::VirtualClock;
 use crate::failplan::FailPlan;
 use crate::model::{DeviceModel, CACHELINE};
+use crate::pins::EpochPins;
 use crate::stats::MemStats;
 use pmoctree_obsv::{Span, Tracer};
 
@@ -188,6 +189,10 @@ pub struct NvbmArena {
     octree_bump_live: u64,
     /// See [`NvbmArena::octree_bump_live`].
     rt_floor_live: u64,
+    /// Refcounted pins on `pm-rt` root-table epochs (MVCC snapshot
+    /// readers). Volatile: invalidated whenever the media is replaced,
+    /// because the pinned epochs belong to the old lineage.
+    rt_pins: EpochPins,
 }
 
 /// Derive the live allocation boundaries from a media image's header:
@@ -221,6 +226,7 @@ impl NvbmArena {
             plan: None,
             octree_bump_live: HEADER_SIZE,
             rt_floor_live: capacity as u64,
+            rt_pins: EpochPins::new(),
         };
         a.format();
         a
@@ -244,6 +250,7 @@ impl NvbmArena {
             plan: None,
             octree_bump_live,
             rt_floor_live,
+            rt_pins: EpochPins::new(),
         }
     }
 
@@ -590,6 +597,13 @@ impl NvbmArena {
         self.rt_floor_live = f.clamp(HEADER_SIZE, self.media.len() as u64);
     }
 
+    /// The device's registry of pinned `pm-rt` root-table epochs (MVCC
+    /// snapshot readers). The runtime consults it before freeing retired
+    /// blobs; snapshot handles hold [`crate::pins::PinGuard`]s from it.
+    pub fn rt_pins(&self) -> &EpochPins {
+        &self.rt_pins
+    }
+
     // ---- typed access helpers -------------------------------------------
 
     /// Read a little-endian `u64`.
@@ -637,7 +651,10 @@ impl NvbmArena {
         self.media.clone()
     }
 
-    /// Overwrite this arena's media with `image` (replica restore).
+    /// Overwrite this arena's media with `image` (replica restore). Any
+    /// pinned `pm-rt` snapshot epochs belong to the replaced lineage, so
+    /// the pin registry is invalidated: surviving snapshot handles report
+    /// `SnapshotGone` rather than reading reused blobs.
     pub fn restore_media(&mut self, image: &[u8]) {
         assert_eq!(image.len(), self.media.len(), "image size mismatch");
         self.media.copy_from_slice(image);
@@ -645,6 +662,7 @@ impl NvbmArena {
         let (bump, floor) = derive_live_bounds(&self.media);
         self.octree_bump_live = bump;
         self.rt_floor_live = floor;
+        self.rt_pins.invalidate();
     }
 }
 

@@ -27,6 +27,7 @@ pub mod arena;
 pub mod clock;
 pub mod failplan;
 pub mod model;
+pub mod pins;
 pub mod stats;
 
 // The observability layer: re-exported whole so downstream crates reach
@@ -38,6 +39,7 @@ pub use arena::{CrashMode, NvbmArena, POffset, HEADER_SIZE, ROOT_SLOTS};
 pub use clock::{SpinMode, VirtualClock};
 pub use failplan::{CrashCapture, CrashView, FailHook, FailPlan};
 pub use model::{BlockDeviceModel, DeviceModel, MemLatency, NetworkModel, CACHELINE, PAGE};
+pub use pins::{EpochPins, PinGuard};
 pub use pmoctree_obsv::{Event, EventKind, Metrics, Span, Tracer};
 pub use stats::{MemStats, TierStats, TraversalStats, WEAR_BLOCK};
 

@@ -68,6 +68,15 @@ pub enum PmError {
     /// Recovery could not start (unformatted device, no persisted
     /// version) or a configuration was rejected.
     Recovery(String),
+    /// A tenant's write would exceed its byte quota (`pm-rt` service
+    /// layer). The operation was rejected before touching media.
+    QuotaExceeded(String),
+    /// An MVCC snapshot handle outlived the state it pinned (media
+    /// restored from a replica, or the runtime registry destroyed).
+    SnapshotGone(String),
+    /// The tenant is exclusively leased (checked out) by another client;
+    /// retry after the lease is released.
+    TenantBusy(String),
 }
 
 impl std::fmt::Display for PmError {
@@ -78,6 +87,9 @@ impl std::fmt::Display for PmError {
             PmError::NotCoarsenable(k) => write!(f, "octant cannot be coarsened: {k}"),
             PmError::Corrupt(what) => write!(f, "persistent state corrupt: {what}"),
             PmError::Recovery(what) => write!(f, "recovery failed: {what}"),
+            PmError::QuotaExceeded(what) => write!(f, "tenant quota exceeded: {what}"),
+            PmError::SnapshotGone(what) => write!(f, "snapshot no longer valid: {what}"),
+            PmError::TenantBusy(what) => write!(f, "tenant busy: {what}"),
         }
     }
 }

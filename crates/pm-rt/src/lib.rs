@@ -26,13 +26,36 @@
 //! Objects live in a downward-growing heap carved from the **top** of the
 //! same arena the octree bump-allocates from the bottom, so one crash,
 //! one image, and one replica ship cover both subsystems.
+//!
+//! On top of the runtime sit three service-era layers (see DESIGN.md
+//! "Multi-tenant service & MVCC snapshots"):
+//!
+//! * [`tenant`] — the typed-handle API ([`Session`] → [`TenantHandle`] →
+//!   [`RootHandle`]) replacing the stringly `put::<T>(arena, name, v)`
+//!   surface;
+//! * [`mvcc`] — pinned [`Snapshot`] readers over retained COW root-table
+//!   versions, with refcounted GC deferral;
+//! * [`service`] — the batched multi-tenant front-end ([`StateService`])
+//!   with per-tenant quotas, leases, and one root swap per batch.
+//!
+//! All public verbs report the workspace [`PmError`] taxonomy.
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used)]
 
 pub mod data;
 pub mod heap;
+pub mod mvcc;
 pub mod rt;
+pub mod service;
+pub mod tenant;
 
 pub use data::{ByteReader, ByteWriter, PmData};
 pub use heap::RtHeap;
+pub use mvcc::Snapshot;
+pub use pm_octree::PmError;
 pub use rt::{PPtr, PmRt, RtError};
+pub use service::{
+    BatchReport, CmdResult, ServiceCmd, ServiceConfig, ServiceConfigBuilder, ServiceReply,
+    ServiceStats, StateService, TenantLease,
+};
+pub use tenant::{RootHandle, Session, TenantHandle};

@@ -1,15 +1,24 @@
 //! The runtime: named persistent roots, `PPtr<T>`, copy-on-write commit.
+//!
+//! Since the multi-tenant service redesign the public verbs return the
+//! workspace [`PmError`] taxonomy; [`RtError`] survives as the low-level
+//! codec error (what [`PmData`](crate::data::PmData) decoding reports)
+//! and converts losslessly via `From`.
 
 use std::collections::BTreeMap;
 use std::marker::PhantomData;
 
+use pm_octree::PmError;
 use pmoctree_nvbm::{NvbmArena, POffset, HEADER_SIZE};
 
 use crate::data::{ByteReader, ByteWriter, PmData};
 use crate::heap::{class_of, RtHeap};
 
-/// Errors from the runtime. Every decode/validation failure is reported,
-/// never panicked — the input is post-crash media.
+/// Codec-layer errors. Every decode/validation failure is reported,
+/// never panicked — the input is post-crash media. Public runtime verbs
+/// fold these into [`PmError`]; only [`PmData`](crate::data::PmData)
+/// implementations and the deprecated string-keyed shims still speak
+/// `RtError` directly.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RtError {
     /// On-media bytes failed validation (bad magic, truncation, overlap).
@@ -32,11 +41,21 @@ impl std::fmt::Display for RtError {
 
 impl std::error::Error for RtError {}
 
+impl From<RtError> for PmError {
+    fn from(e: RtError) -> Self {
+        match e {
+            RtError::Corrupt(m) => PmError::Corrupt(m),
+            RtError::Missing(m) => PmError::NotFound(m),
+            RtError::Full(m) => PmError::Recovery(m),
+        }
+    }
+}
+
 /// A typed persistent pointer: an arena-relative offset plus the payload
-/// length, never a raw address. Obtained from [`PmRt::put`] or
-/// [`PmRt::ptr`]; resolved (and re-validated) against the arena on every
-/// use, so a restore "swizzles" automatically — there is nothing absolute
-/// to fix up.
+/// length, never a raw address. Obtained from [`PmRt::stage`] or
+/// [`PmRt::resolve`]; resolved (and re-validated) against the arena on
+/// every use, so a restore "swizzles" automatically — there is nothing
+/// absolute to fix up.
 pub struct PPtr<T> {
     off: u64,
     len: u32,
@@ -78,19 +97,30 @@ impl<T> PPtr<T> {
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
+
+    pub(crate) fn from_entry(e: Entry) -> Self {
+        PPtr { off: e.off, len: e.len, _t: PhantomData }
+    }
 }
 
 /// Magic tag at the head of every object blob (including the table).
-const OBJ_MAGIC: u32 = 0x504d_5254; // "PMRT"
+pub(crate) const OBJ_MAGIC: u32 = 0x504d_5254; // "PMRT"
 /// Magic at the head of the table *payload*.
 const TABLE_MAGIC: u64 = 0x5254_5441_424c_4531; // "RTTABLE1"
 /// Object blob header: `[u32 magic][u32 payload len]`.
-const OBJ_HEADER: usize = 8;
+pub(crate) const OBJ_HEADER: usize = 8;
 
-#[derive(Debug, Clone, Copy)]
-struct Entry {
-    off: u64,
-    len: u32,
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Entry {
+    pub(crate) off: u64,
+    pub(crate) len: u32,
+}
+
+impl Entry {
+    /// The blob's full heap footprint (header + payload, class-rounded).
+    pub(crate) fn footprint(&self) -> usize {
+        class_of(OBJ_HEADER + self.len as usize)
+    }
 }
 
 /// The orthogonal-persistence runtime.
@@ -99,34 +129,57 @@ struct Entry {
 /// and the runtime share one device. The volatile side is a name → entry
 /// map plus the heap; the persistent side is the committed object table
 /// named by the `rt_root` header slot.
+///
+/// Two views of the registry coexist: the **staged** table (what the next
+/// commit will publish) and the **committed** table (what the current
+/// `rt_root` names). MVCC [`Snapshot`](crate::mvcc::Snapshot) handles pin
+/// the committed view at an epoch: blobs a later commit supersedes are
+/// *deferred*, not freed, until no snapshot older than their retirement
+/// epoch remains (see [`PmRt::collect`]).
 pub struct PmRt {
+    /// Staged view: name → entry as of the next commit.
     table: BTreeMap<String, Entry>,
+    /// Committed view: name → entry as published by `rt_root`.
+    committed: BTreeMap<String, Entry>,
     heap: RtHeap,
     epoch: u64,
-    /// Blobs superseded since the last commit. They back the *committed*
-    /// table until the next root swap, so they are freed only after it.
+    /// Committed blobs superseded since the last commit. They back the
+    /// *committed* table until the next root swap, so they are freed (or
+    /// deferred, if pinned) only after it.
     retired: Vec<(POffset, usize)>,
+    /// Blobs retired by the commit that produced epoch `e` — still
+    /// reachable from pinned root-table versions older than `e`. Freed by
+    /// [`PmRt::collect`] once `min_pinned >= e` (or no pins remain).
+    deferred: Vec<(u64, POffset, usize)>,
     /// The committed table blob (freed after the next commit supersedes it).
     table_blob: Option<(POffset, usize)>,
     /// Regions written since the last commit, for replica delta shipping.
     staged: Vec<(u64, u32)>,
+    /// For every name modified since the last commit: the committed-time
+    /// entry it had (`None` = name did not exist). Lets
+    /// [`PmRt::revert_staged_prefix`] undo a tenant's staged writes with
+    /// exact bookkeeping, and is cleared at every commit.
+    staged_origin: BTreeMap<String, Option<Entry>>,
 }
 
 impl PmRt {
     /// `pm_create` for the runtime: initialize an empty registry on a
     /// formatted arena and commit it, so a crash at any later point can
     /// [`PmRt::restore`]. The heap floor starts at the arena top.
-    pub fn create(arena: &mut NvbmArena) -> Result<Self, RtError> {
+    pub fn create(arena: &mut NvbmArena) -> Result<Self, PmError> {
         let _s = arena.span("rt::create");
         let top = arena.capacity() as u64;
         let limit = arena.live_bump().max(HEADER_SIZE);
         let mut rt = PmRt {
             table: BTreeMap::new(),
+            committed: BTreeMap::new(),
             heap: RtHeap::new(limit, top),
             epoch: 0,
             retired: Vec::new(),
+            deferred: Vec::new(),
             table_blob: None,
             staged: Vec::new(),
+            staged_origin: BTreeMap::new(),
         };
         arena.publish_rt_floor(rt.heap.floor());
         rt.commit(arena)?;
@@ -136,8 +189,12 @@ impl PmRt {
     /// `pm_restore` for the runtime: read the committed object table,
     /// validate ("swizzle") every entry against the arena, and rebuild
     /// the volatile heap from the live blobs. Fails with
-    /// [`RtError::Missing`] if no table was ever committed.
-    pub fn restore(arena: &mut NvbmArena) -> Result<Self, RtError> {
+    /// [`PmError::NotFound`] if no table was ever committed.
+    pub fn restore(arena: &mut NvbmArena) -> Result<Self, PmError> {
+        Self::restore_inner(arena).map_err(PmError::from)
+    }
+
+    fn restore_inner(arena: &mut NvbmArena) -> Result<Self, RtError> {
         let _s = arena.span("rt::swizzle");
         let root = arena.rt_root();
         if root.is_null() {
@@ -184,22 +241,27 @@ impl PmRt {
         let heap = RtHeap::rebuild(limit, cap, floor_hint, live)?;
         arena.publish_rt_floor(heap.floor());
         Ok(PmRt {
+            committed: table.clone(),
             table,
             heap,
             epoch,
             retired: Vec::new(),
+            deferred: Vec::new(),
             table_blob: Some((root, OBJ_HEADER + table_len as usize)),
             staged: Vec::new(),
+            staged_origin: BTreeMap::new(),
         })
     }
 
     /// `pm_delete` for the runtime: clear the persistent registry (the
     /// header slots; blob space is reclaimed implicitly, nothing is
-    /// scrubbed).
+    /// scrubbed). Outstanding MVCC snapshots are invalidated — their
+    /// epochs no longer exist.
     pub fn destroy(arena: &mut NvbmArena) {
         arena.set_rt_root(POffset(0));
         arena.set_rt_bump_hint(0);
         arena.publish_rt_floor(arena.capacity() as u64);
+        arena.rt_pins().invalidate();
     }
 
     /// Allocate heap space against the *live* octree bump: the octree
@@ -215,7 +277,16 @@ impl PmRt {
 
     /// Stage `value` under `name` (copy-on-write: a fresh blob, never an
     /// in-place update). Durable only after the next [`PmRt::commit`].
-    pub fn put<T: PmData>(
+    pub fn stage<T: PmData>(
+        &mut self,
+        arena: &mut NvbmArena,
+        name: &str,
+        value: &T,
+    ) -> Result<PPtr<T>, PmError> {
+        self.stage_inner(arena, name, value).map_err(PmError::from)
+    }
+
+    fn stage_inner<T: PmData>(
         &mut self,
         arena: &mut NvbmArena,
         name: &str,
@@ -233,34 +304,42 @@ impl PmRt {
         bytes.extend_from_slice(&payload);
         arena.write(p.0, &bytes);
         self.staged.push((p.0, class_of(blob_len) as u32));
+        self.note_origin(name);
         if let Some(old) = self.table.insert(name.to_string(), Entry { off: p.0, len }) {
-            self.retire(old);
+            self.supersede(name, old);
         }
         Ok(PPtr { off: p.0, len, _t: PhantomData })
     }
 
     /// Read the current value of a named root (staged or committed).
     /// `Ok(None)` if the name is not registered.
-    pub fn get<T: PmData>(
+    pub fn load<T: PmData>(
         &mut self,
         arena: &mut NvbmArena,
         name: &str,
-    ) -> Result<Option<T>, RtError> {
+    ) -> Result<Option<T>, PmError> {
         let Some(&e) = self.table.get(name) else {
             return Ok(None);
         };
-        let ptr = PPtr { off: e.off, len: e.len, _t: PhantomData };
-        self.read_ptr(arena, ptr).map(Some)
+        self.load_ptr(arena, PPtr::from_entry(e)).map(Some)
     }
 
     /// The persistent pointer currently registered under `name`.
-    pub fn ptr<T: PmData>(&self, name: &str) -> Option<PPtr<T>> {
-        self.table.get(name).map(|e| PPtr { off: e.off, len: e.len, _t: PhantomData })
+    pub fn resolve<T: PmData>(&self, name: &str) -> Option<PPtr<T>> {
+        self.table.get(name).map(|&e| PPtr::from_entry(e))
     }
 
     /// Dereference a persistent pointer: validate the blob header, read
     /// the payload, decode.
-    pub fn read_ptr<T: PmData>(
+    pub fn load_ptr<T: PmData>(
+        &mut self,
+        arena: &mut NvbmArena,
+        ptr: PPtr<T>,
+    ) -> Result<T, PmError> {
+        self.load_ptr_inner(arena, ptr).map_err(PmError::from)
+    }
+
+    fn load_ptr_inner<T: PmData>(
         &mut self,
         arena: &mut NvbmArena,
         ptr: PPtr<T>,
@@ -270,15 +349,38 @@ impl PmRt {
         T::from_bytes(&payload)
     }
 
-    /// Unregister a named root. The blob is reclaimed after the next
-    /// commit. Returns whether the name existed.
-    pub fn remove(&mut self, name: &str) -> bool {
+    /// Unregister a named root. A committed blob is reclaimed after the
+    /// next commit (or deferred while snapshots pin it); a blob staged in
+    /// this window is reclaimed immediately. Returns whether the name
+    /// existed.
+    pub fn unregister(&mut self, name: &str) -> bool {
         match self.table.remove(name) {
             Some(e) => {
-                self.retire(e);
+                self.note_origin(name);
+                self.supersede(name, e);
                 true
             }
             None => false,
+        }
+    }
+
+    /// Record the committed-time entry for `name` on its first
+    /// modification in this commit window.
+    fn note_origin(&mut self, name: &str) {
+        if !self.staged_origin.contains_key(name) {
+            self.staged_origin.insert(name.to_string(), self.committed.get(name).copied());
+        }
+    }
+
+    /// A staged or committed blob under `name` was replaced or removed.
+    /// Committed blobs retire (snapshot readers may still need them);
+    /// blobs staged in this window were never snapshot-visible and are
+    /// reclaimed on the spot.
+    fn supersede(&mut self, name: &str, old: Entry) {
+        if self.committed.get(name) == Some(&old) {
+            self.retired.push((POffset(old.off), OBJ_HEADER + old.len as usize));
+        } else {
+            self.heap.free(POffset(old.off), OBJ_HEADER + old.len as usize);
         }
     }
 
@@ -288,7 +390,15 @@ impl PmRt {
     /// persist, firing the `rt::commit` failpoint. Returns the regions
     /// written since the previous commit (blobs + new table), for replica
     /// delta shipping.
-    pub fn commit(&mut self, arena: &mut NvbmArena) -> Result<Vec<(u64, u32)>, RtError> {
+    ///
+    /// Blobs the new table supersedes are reclaimed immediately when no
+    /// MVCC snapshot pins an older epoch, and deferred to
+    /// [`PmRt::collect`] otherwise.
+    pub fn commit(&mut self, arena: &mut NvbmArena) -> Result<Vec<(u64, u32)>, PmError> {
+        self.commit_inner(arena).map_err(PmError::from)
+    }
+
+    fn commit_inner(&mut self, arena: &mut NvbmArena) -> Result<Vec<(u64, u32)>, RtError> {
         let _s = arena.span("rt::commit");
         self.epoch += 1;
         let mut payload = Vec::new();
@@ -319,14 +429,110 @@ impl PmRt {
         arena.flush_all();
         arena.set_rt_root(p); // THE commit point (atomic 8-byte store)
         arena.failpoint("rt::commit");
-        // The previous version is now unreachable; recycle it.
+        // The previous version is unreachable from the *committed* table,
+        // but pinned snapshot readers may still hold it: defer, then free
+        // whatever no pin protects.
+        let retired_at = self.epoch;
         if let Some((old, size)) = self.table_blob.replace((p, blob_len)) {
-            self.heap.free(old, size);
+            self.deferred.push((retired_at, old, size));
         }
         for (off, size) in self.retired.drain(..) {
-            self.heap.free(off, size);
+            self.deferred.push((retired_at, off, size));
         }
+        self.collect_inner(arena.rt_pins().min_pinned());
+        self.committed = self.table.clone();
+        self.staged_origin.clear();
         Ok(std::mem::take(&mut self.staged))
+    }
+
+    /// GC pass over deferred frees: reclaim every blob whose retirement
+    /// epoch is no longer protected by a snapshot pin. Runs implicitly at
+    /// every commit; call explicitly after dropping snapshots to recover
+    /// space without committing. Returns the number of blobs freed.
+    pub fn collect(&mut self, arena: &mut NvbmArena) -> usize {
+        let n = self.collect_inner(arena.rt_pins().min_pinned());
+        arena.publish_rt_floor(self.heap.floor());
+        n
+    }
+
+    /// A blob retired by the commit that produced epoch `e` is still live
+    /// in every table version `< e`; a pin at snapshot epoch `s` protects
+    /// exactly the blobs with `e > s`. So `(e, blob)` is freeable iff no
+    /// pin `s < e` remains — i.e. `min_pinned` is absent or `e <= min`.
+    fn collect_inner(&mut self, min_pinned: Option<u64>) -> usize {
+        let deferred = std::mem::take(&mut self.deferred);
+        let mut freed = 0;
+        for (e, off, size) in deferred {
+            if min_pinned.is_none_or(|m| e <= m) {
+                self.heap.free(off, size);
+                freed += 1;
+            } else {
+                self.deferred.push((e, off, size));
+            }
+        }
+        freed
+    }
+
+    /// Undo every staged (uncommitted) modification whose root name
+    /// starts with `prefix`: staged blobs are reclaimed, replaced or
+    /// removed committed entries are reinstated, and their pending
+    /// retirements cancelled. The service layer uses this to make a
+    /// tenant's batch all-or-nothing. Returns the number of roots
+    /// reverted.
+    pub fn revert_staged_prefix(&mut self, prefix: &str) -> usize {
+        let names: Vec<String> =
+            self.staged_origin.keys().filter(|n| n.starts_with(prefix)).cloned().collect();
+        for name in &names {
+            let origin = self.staged_origin.remove(name).flatten();
+            // Reclaim the blob currently staged under the name (if the
+            // name still resolves and it is not the committed blob).
+            if let Some(&cur) = self.table.get(name) {
+                if self.committed.get(name) != Some(&cur) {
+                    self.heap.free(POffset(cur.off), OBJ_HEADER + cur.len as usize);
+                }
+            }
+            match origin {
+                Some(e) => {
+                    self.table.insert(name.clone(), e);
+                    // Cancel the pending retirement: the committed blob
+                    // is reachable again.
+                    if let Some(i) = self.retired.iter().position(|&(o, _)| o.0 == e.off) {
+                        self.retired.swap_remove(i);
+                    }
+                }
+                None => {
+                    self.table.remove(name);
+                }
+            }
+        }
+        names.len()
+    }
+
+    /// Heap bytes (class-rounded, header included) currently charged to
+    /// roots whose name starts with `prefix` — the staged view, so a
+    /// quota check sees writes from the current batch. This is the
+    /// service layer's quota currency.
+    pub fn prefix_usage(&self, prefix: &str) -> u64 {
+        self.table
+            .iter()
+            .filter(|(n, _)| n.starts_with(prefix))
+            .map(|(_, e)| e.footprint() as u64)
+            .sum()
+    }
+
+    /// The staged entry's heap footprint for one name (0 if absent).
+    pub(crate) fn entry_footprint(&self, name: &str) -> u64 {
+        self.table.get(name).map_or(0, |e| e.footprint() as u64)
+    }
+
+    /// Committed table entries whose name starts with `prefix` (what an
+    /// MVCC snapshot captures).
+    pub(crate) fn committed_with_prefix(&self, prefix: &str) -> BTreeMap<String, Entry> {
+        self.committed
+            .iter()
+            .filter(|(n, _)| n.starts_with(prefix))
+            .map(|(n, e)| (n.clone(), *e))
+            .collect()
     }
 
     /// Committed table epoch (increments at every commit).
@@ -349,13 +555,72 @@ impl PmRt {
         self.table.keys().map(String::as_str)
     }
 
+    /// Registered root names starting with `prefix`, sorted.
+    pub fn names_with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a str> {
+        self.table.keys().map(String::as_str).filter(move |n| n.starts_with(prefix))
+    }
+
     /// The runtime heap floor (lowest arena byte the runtime owns).
     pub fn heap_floor(&self) -> u64 {
         self.heap.floor()
     }
 
-    fn retire(&mut self, e: Entry) {
-        self.retired.push((POffset(e.off), OBJ_HEADER + e.len as usize));
+    /// Blobs awaiting a pin release before they can be reclaimed.
+    pub fn deferred_len(&self) -> usize {
+        self.deferred.len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deprecated string-keyed shims (pre-service API). Internal code uses
+// the engine verbs above or the typed handles in `tenant`; these remain
+// for one release so external callers migrate at their own pace.
+// ---------------------------------------------------------------------
+impl PmRt {
+    /// Stage `value` under `name`.
+    #[deprecated(note = "use `PmRt::stage`, or the typed `TenantHandle::put` via `PmRt::session`")]
+    pub fn put<T: PmData>(
+        &mut self,
+        arena: &mut NvbmArena,
+        name: &str,
+        value: &T,
+    ) -> Result<PPtr<T>, RtError> {
+        self.stage_inner(arena, name, value)
+    }
+
+    /// Read the current value of a named root.
+    #[deprecated(note = "use `PmRt::load`, or the typed `TenantHandle::get` via `PmRt::session`")]
+    pub fn get<T: PmData>(
+        &mut self,
+        arena: &mut NvbmArena,
+        name: &str,
+    ) -> Result<Option<T>, RtError> {
+        let Some(&e) = self.table.get(name) else {
+            return Ok(None);
+        };
+        self.load_ptr_inner(arena, PPtr::from_entry(e)).map(Some)
+    }
+
+    /// The persistent pointer currently registered under `name`.
+    #[deprecated(note = "use `PmRt::resolve`, or `TenantHandle::root` via `PmRt::session`")]
+    pub fn ptr<T: PmData>(&self, name: &str) -> Option<PPtr<T>> {
+        self.resolve(name)
+    }
+
+    /// Dereference a persistent pointer.
+    #[deprecated(note = "use `PmRt::load_ptr`")]
+    pub fn read_ptr<T: PmData>(
+        &mut self,
+        arena: &mut NvbmArena,
+        ptr: PPtr<T>,
+    ) -> Result<T, RtError> {
+        self.load_ptr_inner(arena, ptr)
+    }
+
+    /// Unregister a named root.
+    #[deprecated(note = "use `PmRt::unregister`, or `TenantHandle::remove` via `PmRt::session`")]
+    pub fn remove(&mut self, name: &str) -> bool {
+        self.unregister(name)
     }
 }
 
@@ -387,7 +652,11 @@ fn validate_blob_header(arena: &mut NvbmArena, off: u64, want_len: u32) -> Resul
 
 /// Read an object blob's payload, validating the header. `want_len`
 /// cross-checks a table entry when available.
-fn read_blob(arena: &mut NvbmArena, off: u64, want_len: Option<u32>) -> Result<Vec<u8>, RtError> {
+pub(crate) fn read_blob(
+    arena: &mut NvbmArena,
+    off: u64,
+    want_len: Option<u32>,
+) -> Result<Vec<u8>, RtError> {
     let cap = arena.capacity() as u64;
     // Checked add: a corrupted root near u64::MAX must report, not wrap
     // past the bound and panic inside the arena read.
@@ -445,44 +714,59 @@ mod tests {
     }
 
     #[test]
-    fn put_commit_restore_roundtrip() {
+    fn stage_commit_restore_roundtrip() {
         let mut a = arena();
         let mut rt = PmRt::create(&mut a).unwrap();
         let st = RunState { step: 12, t: 0.25, tag: "droplet".into() };
-        rt.put(&mut a, "run", &st).unwrap();
-        rt.put(&mut a, "answer", &42u64).unwrap();
+        rt.stage(&mut a, "run", &st).unwrap();
+        rt.stage(&mut a, "answer", &42u64).unwrap();
         rt.commit(&mut a).unwrap();
         a.crash(CrashMode::LoseDirty);
         let mut r = PmRt::restore(&mut a).unwrap();
-        assert_eq!(r.get::<RunState>(&mut a, "run").unwrap(), Some(st));
-        assert_eq!(r.get::<u64>(&mut a, "answer").unwrap(), Some(42));
-        assert_eq!(r.get::<u64>(&mut a, "nope").unwrap(), None);
+        assert_eq!(r.load::<RunState>(&mut a, "run").unwrap(), Some(st));
+        assert_eq!(r.load::<u64>(&mut a, "answer").unwrap(), Some(42));
+        assert_eq!(r.load::<u64>(&mut a, "nope").unwrap(), None);
     }
 
     #[test]
-    fn uncommitted_put_is_lost_committed_survives() {
+    fn deprecated_shims_still_roundtrip() {
+        // The one caller of the pre-service API: proves the shims stay
+        // wired to the engine until their removal release.
+        #![allow(deprecated)]
         let mut a = arena();
         let mut rt = PmRt::create(&mut a).unwrap();
-        rt.put(&mut a, "x", &1u64).unwrap();
+        let p = rt.put(&mut a, "x", &7u64).unwrap();
+        assert_eq!(rt.read_ptr(&mut a, p).unwrap(), 7);
+        assert_eq!(rt.get::<u64>(&mut a, "x").unwrap(), Some(7));
+        assert_eq!(rt.ptr::<u64>("x"), Some(p));
+        assert!(rt.remove("x"));
+        assert_eq!(rt.get::<u64>(&mut a, "x").unwrap(), None);
+    }
+
+    #[test]
+    fn uncommitted_stage_is_lost_committed_survives() {
+        let mut a = arena();
+        let mut rt = PmRt::create(&mut a).unwrap();
+        rt.stage(&mut a, "x", &1u64).unwrap();
         rt.commit(&mut a).unwrap();
-        rt.put(&mut a, "x", &2u64).unwrap(); // staged, not committed
+        rt.stage(&mut a, "x", &2u64).unwrap(); // staged, not committed
         a.crash(CrashMode::LoseDirty);
         let mut r = PmRt::restore(&mut a).unwrap();
-        assert_eq!(r.get::<u64>(&mut a, "x").unwrap(), Some(1));
+        assert_eq!(r.load::<u64>(&mut a, "x").unwrap(), Some(1));
     }
 
     #[test]
     fn crash_armed_at_every_opportunity_recovers_old_or_new() {
-        // Count the opportunities of one put+commit, then crash at each
+        // Count the opportunities of one stage+commit, then crash at each
         // one under every mode: restore must see x == 1 or x == 2, and
         // the rt::commit failpoint must be among the opportunities.
         let mut a = arena();
         let mut rt = PmRt::create(&mut a).unwrap();
-        rt.put(&mut a, "x", &1u64).unwrap();
+        rt.stage(&mut a, "x", &1u64).unwrap();
         rt.commit(&mut a).unwrap();
         let before = a.clone_media();
         a.set_fail_plan(FailPlan::count());
-        rt.put(&mut a, "x", &2u64).unwrap();
+        rt.stage(&mut a, "x", &2u64).unwrap();
         rt.commit(&mut a).unwrap();
         let plan = a.take_fail_plan().expect("plan installed");
         let n = plan.opportunities();
@@ -501,12 +785,12 @@ mod tests {
                 b.restore_media(&before);
                 let mut rtb = PmRt::restore(&mut b).unwrap();
                 b.set_fail_plan(FailPlan::armed(at, mode));
-                rtb.put(&mut b, "x", &2u64).unwrap();
+                rtb.stage(&mut b, "x", &2u64).unwrap();
                 let _ = rtb.commit(&mut b);
                 if let Some(cap) = b.take_fail_plan().and_then(|mut p| p.take_capture()) {
                     let mut c = NvbmArena::from_media(cap.media, DeviceModel::default());
                     let mut rec = PmRt::restore(&mut c).unwrap();
-                    let x = rec.get::<u64>(&mut c, "x").unwrap();
+                    let x = rec.load::<u64>(&mut c, "x").unwrap();
                     assert!(
                         x == Some(1) || x == Some(2),
                         "crash at {at}/{n} under {mode:?} saw {x:?}"
@@ -520,7 +804,7 @@ mod tests {
     fn restore_fires_swizzle_failpoint() {
         let mut a = arena();
         let mut rt = PmRt::create(&mut a).unwrap();
-        rt.put(&mut a, "x", &5u64).unwrap();
+        rt.stage(&mut a, "x", &5u64).unwrap();
         rt.commit(&mut a).unwrap();
         a.set_fail_plan(FailPlan::count());
         let _ = PmRt::restore(&mut a).unwrap();
@@ -529,20 +813,20 @@ mod tests {
     }
 
     #[test]
-    fn restore_on_blank_arena_is_missing() {
+    fn restore_on_blank_arena_is_not_found() {
         let mut a = arena();
-        assert!(matches!(PmRt::restore(&mut a), Err(RtError::Missing(_))));
+        assert!(matches!(PmRt::restore(&mut a), Err(PmError::NotFound(_))));
     }
 
     #[test]
     fn corrupt_table_pointer_is_err_not_panic() {
         let mut a = arena();
         let mut rt = PmRt::create(&mut a).unwrap();
-        rt.put(&mut a, "x", &5u64).unwrap();
+        rt.stage(&mut a, "x", &5u64).unwrap();
         rt.commit(&mut a).unwrap();
         // Point rt_root into the weeds.
         a.set_rt_root(POffset(a.capacity() as u64 - 8));
-        assert!(matches!(PmRt::restore(&mut a), Err(RtError::Corrupt(_))));
+        assert!(matches!(PmRt::restore(&mut a), Err(PmError::Corrupt(_))));
         a.set_rt_root(POffset(HEADER_SIZE));
         assert!(PmRt::restore(&mut a).is_err());
     }
@@ -551,12 +835,12 @@ mod tests {
     fn corrupt_root_near_u64_max_is_err_not_panic() {
         let mut a = arena();
         let mut rt = PmRt::create(&mut a).unwrap();
-        rt.put(&mut a, "x", &5u64).unwrap();
+        rt.stage(&mut a, "x", &5u64).unwrap();
         rt.commit(&mut a).unwrap();
         // A torn header write can leave rt_root near u64::MAX; the bound
         // check must not wrap around and panic inside the arena read.
         a.set_rt_root(POffset(u64::MAX - 4));
-        assert!(matches!(PmRt::restore(&mut a), Err(RtError::Corrupt(_))));
+        assert!(matches!(PmRt::restore(&mut a), Err(PmError::Corrupt(_))));
     }
 
     #[test]
@@ -570,7 +854,7 @@ mod tests {
         let mut t = PmOctree::create(a, PmConfig::default());
         let mut rt = PmRt::create(&mut t.store.arena).unwrap();
         let tag = "A".repeat(512);
-        rt.put(&mut t.store.arena, "tag", &tag).unwrap();
+        rt.stage(&mut t.store.arena, "tag", &tag).unwrap();
         rt.commit(&mut t.store.arena).unwrap();
         let floor = rt.heap_floor();
         let mut n = 0u64;
@@ -593,11 +877,11 @@ mod tests {
         // device to the boundary.
         t.store.arena.crash(CrashMode::LoseDirty);
         let mut r = PmRt::restore(&mut t.store.arena).unwrap();
-        assert_eq!(r.get::<String>(&mut t.store.arena, "tag").unwrap(), Some(tag));
+        assert_eq!(r.load::<String>(&mut t.store.arena, "tag").unwrap(), Some(tag));
         // And the other direction: with the device full of octants, an
         // oversized runtime allocation fails cleanly.
         let big = "B".repeat(12 << 10);
-        assert!(matches!(r.put(&mut t.store.arena, "big", &big), Err(RtError::Full(_))));
+        assert!(matches!(r.stage(&mut t.store.arena, "big", &big), Err(PmError::Recovery(_))));
     }
 
     #[test]
@@ -621,9 +905,9 @@ mod tests {
         assert!(bump > 8 << 10, "tree must have grown past the create-time bump");
         // Sized to fit under the capacity but not above the live bump.
         let big = "B".repeat((60 << 10) - 64);
-        match rt.put(&mut t.store.arena, "big", &big) {
-            Err(RtError::Full(m)) => assert!(m.contains("cross"), "wrong full cause: {m}"),
-            other => panic!("expected Full(cross), got {other:?}"),
+        match rt.stage(&mut t.store.arena, "big", &big) {
+            Err(PmError::Recovery(m)) => assert!(m.contains("cross"), "wrong full cause: {m}"),
+            other => panic!("expected Recovery(cross), got {other:?}"),
         }
         assert!(rt.heap_floor() >= bump);
         // Nothing was written: the persisted tree is untouched.
@@ -637,17 +921,17 @@ mod tests {
     }
 
     #[test]
-    fn remove_drops_root_after_commit() {
+    fn unregister_drops_root_after_commit() {
         let mut a = arena();
         let mut rt = PmRt::create(&mut a).unwrap();
-        rt.put(&mut a, "x", &5u64).unwrap();
+        rt.stage(&mut a, "x", &5u64).unwrap();
         rt.commit(&mut a).unwrap();
-        assert!(rt.remove("x"));
-        assert!(!rt.remove("x"));
+        assert!(rt.unregister("x"));
+        assert!(!rt.unregister("x"));
         rt.commit(&mut a).unwrap();
         a.crash(CrashMode::LoseDirty);
         let mut r = PmRt::restore(&mut a).unwrap();
-        assert_eq!(r.get::<u64>(&mut a, "x").unwrap(), None);
+        assert_eq!(r.load::<u64>(&mut a, "x").unwrap(), None);
     }
 
     #[test]
@@ -655,34 +939,108 @@ mod tests {
         let mut a = arena();
         let mut rt = PmRt::create(&mut a).unwrap();
         for i in 0..200u64 {
-            rt.put(&mut a, "x", &i).unwrap();
+            rt.stage(&mut a, "x", &i).unwrap();
             rt.commit(&mut a).unwrap();
         }
         // 200 rewrites of one small root must not consume 200 blobs of
         // fresh space: floor stays within a few blocks of the top.
         assert!(a.capacity() as u64 - rt.heap_floor() < 1024);
+        assert_eq!(rt.deferred_len(), 0, "no pins, nothing deferred");
+    }
+
+    #[test]
+    fn staged_over_staged_reclaims_immediately() {
+        let mut a = arena();
+        let mut rt = PmRt::create(&mut a).unwrap();
+        rt.stage(&mut a, "x", &1u64).unwrap();
+        rt.commit(&mut a).unwrap();
+        let floor = rt.heap_floor();
+        // Rewrite the same staged root many times without committing: the
+        // superseded staged blobs recycle, so the floor cannot sink.
+        for i in 0..100u64 {
+            rt.stage(&mut a, "x", &i).unwrap();
+        }
+        assert!(floor - rt.heap_floor() < 256, "staged rewrites must recycle");
+        rt.commit(&mut a).unwrap();
+        a.crash(CrashMode::LoseDirty);
+        let mut r = PmRt::restore(&mut a).unwrap();
+        assert_eq!(r.load::<u64>(&mut a, "x").unwrap(), Some(99));
+    }
+
+    #[test]
+    fn revert_staged_prefix_restores_committed_view() {
+        let mut a = arena();
+        let mut rt = PmRt::create(&mut a).unwrap();
+        rt.stage(&mut a, "t1/x", &1u64).unwrap();
+        rt.stage(&mut a, "t2/y", &10u64).unwrap();
+        rt.commit(&mut a).unwrap();
+        // Tenant t1 stages a rewrite, a new root, and a removal; t2 also
+        // stages. Reverting t1 must not disturb t2's staged write.
+        rt.stage(&mut a, "t1/x", &2u64).unwrap();
+        rt.stage(&mut a, "t1/z", &3u64).unwrap();
+        rt.stage(&mut a, "t2/y", &20u64).unwrap();
+        assert_eq!(rt.revert_staged_prefix("t1/"), 2);
+        assert_eq!(rt.load::<u64>(&mut a, "t1/x").unwrap(), Some(1));
+        assert_eq!(rt.load::<u64>(&mut a, "t1/z").unwrap(), None);
+        assert_eq!(rt.load::<u64>(&mut a, "t2/y").unwrap(), Some(20));
+        rt.commit(&mut a).unwrap();
+        a.crash(CrashMode::LoseDirty);
+        let mut r = PmRt::restore(&mut a).unwrap();
+        assert_eq!(r.load::<u64>(&mut a, "t1/x").unwrap(), Some(1));
+        assert_eq!(r.load::<u64>(&mut a, "t1/z").unwrap(), None);
+        assert_eq!(r.load::<u64>(&mut a, "t2/y").unwrap(), Some(20));
+    }
+
+    #[test]
+    fn revert_after_unregister_reinstates_root() {
+        let mut a = arena();
+        let mut rt = PmRt::create(&mut a).unwrap();
+        rt.stage(&mut a, "t/x", &5u64).unwrap();
+        rt.commit(&mut a).unwrap();
+        rt.stage(&mut a, "t/x", &6u64).unwrap();
+        assert!(rt.unregister("t/x"));
+        assert_eq!(rt.revert_staged_prefix("t/"), 1);
+        assert_eq!(rt.load::<u64>(&mut a, "t/x").unwrap(), Some(5));
+        rt.commit(&mut a).unwrap();
+        let mut r = PmRt::restore(&mut a).unwrap();
+        assert_eq!(r.load::<u64>(&mut a, "t/x").unwrap(), Some(5));
+    }
+
+    #[test]
+    fn prefix_usage_tracks_staged_view() {
+        let mut a = arena();
+        let mut rt = PmRt::create(&mut a).unwrap();
+        assert_eq!(rt.prefix_usage("t/"), 0);
+        rt.stage(&mut a, "t/x", &vec![0u8; 100]).unwrap();
+        let one = rt.prefix_usage("t/");
+        assert!(one >= 100);
+        rt.stage(&mut a, "t/y", &vec![0u8; 100]).unwrap();
+        assert!(rt.prefix_usage("t/") > one);
+        rt.unregister("t/y");
+        assert_eq!(rt.prefix_usage("t/"), one);
+        assert_eq!(rt.prefix_usage("u/"), 0);
     }
 
     #[test]
     fn pptr_is_stable_across_restore() {
         let mut a = arena();
         let mut rt = PmRt::create(&mut a).unwrap();
-        let p = rt.put(&mut a, "x", &77u64).unwrap();
+        let p = rt.stage(&mut a, "x", &77u64).unwrap();
         rt.commit(&mut a).unwrap();
         a.crash(CrashMode::LoseDirty);
         let mut r = PmRt::restore(&mut a).unwrap();
-        let q: PPtr<u64> = r.ptr("x").expect("swizzled pointer");
+        let q: PPtr<u64> = r.resolve("x").expect("swizzled pointer");
         assert_eq!(p, q, "offsets are arena-relative, nothing to fix up");
-        assert_eq!(r.read_ptr(&mut a, q).unwrap(), 77);
+        assert_eq!(r.load_ptr(&mut a, q).unwrap(), 77);
     }
 
     #[test]
     fn destroy_clears_registry() {
         let mut a = arena();
         let mut rt = PmRt::create(&mut a).unwrap();
-        rt.put(&mut a, "x", &5u64).unwrap();
+        rt.stage(&mut a, "x", &5u64).unwrap();
         rt.commit(&mut a).unwrap();
         PmRt::destroy(&mut a);
-        assert!(matches!(PmRt::restore(&mut a), Err(RtError::Missing(_))));
+        assert!(matches!(PmRt::restore(&mut a), Err(PmError::NotFound(_))));
     }
 }

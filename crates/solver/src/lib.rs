@@ -23,6 +23,6 @@ pub use interface::{DropletEjection, DropletParams};
 pub use levelset::{advect_levelset, BoilingFlow, DropletImpact, LevelSet, LevelSetCriterion};
 pub use persistent::{
     canonical_pm_cfg, reattach, resume_persistent, run_persistent, run_persistent_partial,
-    PersistentRun, Reattach, RunState, RUN_ROOT,
+    PersistentRun, Reattach, RunState, RUN_ROOT, RUN_TENANT,
 };
 pub use sweeps::{advect, estimate_work, relax_pressure, relax_pressure_neighbors};

@@ -36,8 +36,11 @@ use pmoctree_nvbm::{NvbmArena, POffset};
 
 use crate::driver::{RunReport, SimConfig, Simulation, StepBreakdown};
 
-/// The named `pm-rt` root the run state lives under.
-pub const RUN_ROOT: &str = "solver::run";
+/// The `pm-rt` tenant namespace the solver owns.
+pub const RUN_TENANT: &str = "solver";
+
+/// The root (inside [`RUN_TENANT`]) the run state lives under.
+pub const RUN_ROOT: &str = "run";
 
 /// Everything needed to resume a run, as one persistent object.
 #[derive(Debug, Clone, PartialEq)]
@@ -125,13 +128,6 @@ pub fn canonical_pm_cfg(pm_cfg: PmConfig) -> PmConfig {
     PmConfig { seed_c0: false, dynamic_transform: false, ..pm_cfg }
 }
 
-fn rt_err(e: RtError) -> PmError {
-    match e {
-        RtError::Corrupt(m) => PmError::Corrupt(format!("rt: {m}")),
-        other => PmError::Recovery(format!("rt: {other}")),
-    }
-}
-
 /// Run the droplet simulation from scratch with whole-application
 /// persistence: every persist point commits mesh *and* run state.
 pub fn run_persistent(
@@ -157,7 +153,7 @@ pub fn run_persistent_partial(
 ) -> Result<(PmBackend, PmRt, Vec<StepBreakdown>), PmError> {
     let tree = PmOctree::create(arena, canonical_pm_cfg(pm_cfg));
     let mut backend = PmBackend::new(tree);
-    let mut rt = PmRt::create(&mut backend.tree.store.arena).map_err(rt_err)?;
+    let mut rt = PmRt::create(&mut backend.tree.store.arena)?;
     let sim = Simulation::new(cfg);
     sim.construct(&mut backend);
     let report = drive(&sim, &mut backend, &mut rt, 0, until_step.min(cfg.steps), Vec::new())?;
@@ -183,13 +179,12 @@ pub enum Reattach {
 /// cost.
 pub fn reattach(mut arena: NvbmArena, pm_cfg: PmConfig) -> Result<Reattach, PmError> {
     let restored = match PmRt::restore(&mut arena) {
-        Ok(mut rt) => match rt.get::<RunState>(&mut arena, RUN_ROOT) {
-            Ok(Some(state)) => Some((rt, state)),
-            Ok(None) => None,
-            Err(e) => return Err(rt_err(e)),
-        },
-        Err(RtError::Missing(_)) => None,
-        Err(e) => return Err(rt_err(e)),
+        Ok(mut rt) => {
+            let state = rt.session(&mut arena).tenant(RUN_TENANT)?.get::<RunState>(RUN_ROOT)?;
+            state.map(|s| (rt, s))
+        }
+        Err(PmError::NotFound(_)) => None,
+        Err(e) => return Err(e),
     };
     let Some((rt, state)) = restored else {
         return Ok(Reattach::Nothing(arena));
@@ -256,10 +251,9 @@ fn drive(
                         steps,
                         tree_root: arena.root(1).0,
                     };
-                    let regions = rt_ref
-                        .put(arena, RUN_ROOT, &state)
-                        .and_then(|_| rt_ref.commit(arena))
-                        .map_err(rt_err)?;
+                    let mut tenant = rt_ref.session(arena).tenant(RUN_TENANT)?;
+                    tenant.put(RUN_ROOT, &state)?;
+                    let regions = tenant.commit()?;
                     staged = Some(persist_ns);
                     Ok(regions)
                 });

@@ -76,21 +76,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("cell data intact: phi = {}", d.phi);
 
     // The same four verbs for arbitrary data: the pm-rt runtime persists
-    // any `PmData` value under a named root, commits with one atomic
-    // root-table swap, and swizzles everything back on restore. No
-    // octree required.
+    // any `PmData` value under a tenant-scoped root, commits with one
+    // atomic root-table swap, and swizzles everything back on restore.
+    // The typed-handle API binds runtime + arena into a session, then
+    // scopes it to a tenant namespace. No octree required.
     let mut arena = NvbmArena::new(1 << 20, DeviceModel::default());
     let mut rt = PmRt::create(&mut arena)?; // pm_create
-    rt.put(&mut arena, "app::greeting", &"hello, NVBM".to_string())?;
-    rt.put(&mut arena, "app::step", &7u64)?;
-    rt.commit(&mut arena)?; // pm_persistent
-    rt.put(&mut arena, "app::step", &8u64)?; // staged, never committed...
+    {
+        let mut app = rt.session(&mut arena).tenant("app")?;
+        app.put("greeting", &"hello, NVBM".to_string())?;
+        app.put("step", &7u64)?;
+        app.commit()?; // pm_persistent
+        app.put("step", &8u64)?; // staged, never committed...
+    }
     arena.crash(CrashMode::LoseDirty); // ...and lost here
     let mut back = PmRt::restore(&mut arena)?; // pm_restore
-    let step: u64 = back.get(&mut arena, "app::step")?.ok_or("step root missing")?;
-    let greeting: String = back.get(&mut arena, "app::greeting")?.ok_or("greeting missing")?;
+    let mut app = back.session(&mut arena).tenant("app")?;
+    let step: u64 = app.get("step")?.ok_or("step root missing")?;
+    let greeting: String = app.get("greeting")?.ok_or("greeting missing")?;
     println!("pm-rt after crash: {greeting:?}, step {step} (the uncommitted 8 was discarded)");
     assert_eq!(step, 7);
+
+    // MVCC: pin a snapshot of the committed state, keep writing, and the
+    // snapshot still reads the pinned version until it is dropped.
+    let snap = app.snapshot();
+    app.put("step", &9u64)?;
+    app.commit()?;
+    let pinned: u64 = snap.get(&mut arena, "step")?.ok_or("pinned step missing")?;
+    println!("snapshot still reads step {pinned} while HEAD is at 9");
+    assert_eq!(pinned, 7);
+    drop(snap);
     PmRt::destroy(&mut arena); // pm_delete
     Ok(())
 }
