@@ -48,3 +48,31 @@ if ! diff -q BENCH_service.w1.json BENCH_service.json; then
     exit 1
 fi
 rm -f BENCH_service.w1.json
+# Flight-recorder gate: the blackbox run (recorder on, recovered from the
+# arena's own media, overhead measured against a recorder-off run) must
+# pass its internal gates — well-formed dump, <=5% virtual-clock
+# inflation — and emit byte-identical JSON under 1 and 4 workers.
+cargo run --release -p pmoctree-bench --bin repro -- blackbox --quick --workers 1
+mv BENCH_blackbox.json BENCH_blackbox.w1.json
+cargo run --release -p pmoctree-bench --bin repro -- blackbox --quick --workers 4
+if ! diff -q BENCH_blackbox.w1.json BENCH_blackbox.json; then
+    echo "blackbox run diverged between 1 and 4 workers" >&2
+    exit 1
+fi
+rm -f BENCH_blackbox.w1.json
+# Wear-telemetry gate: after the write_fraction and service runs above,
+# BENCH_wear.json must hold complete per-region/per-phase attribution
+# for BOTH drivers (the shape is checked by trace-check below).
+cargo run --release -p pmoctree-bench --bin repro -- write_fraction --quick
+for d in droplet service; do
+    if ! grep -q "\"driver\":\"$d\"" BENCH_wear.json; then
+        echo "BENCH_wear.json is missing the $d driver" >&2
+        exit 1
+    fi
+done
+# BENCH-document shape gate: trace-check validates every emitted
+# BENCH_*.json (wear docs need all four regions + the 16-bucket
+# histogram; blackbox needs a well-formed recovered dump).
+for f in BENCH_*.json; do
+    cargo run --release -p pmoctree-bench --bin repro -- trace-check "$f"
+done

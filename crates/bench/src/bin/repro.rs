@@ -8,6 +8,7 @@
 //! repro recovery-rt [--smoke]
 //! repro service [--smoke]
 //! repro droplet [--quick] [--trace out.json] [--metrics out.prom]
+//! repro blackbox [--quick]
 //! repro cluster-smoke [--workers N]
 //! repro morton [--quick]
 //! repro trace-check FILE
@@ -49,6 +50,20 @@
 //! Chrome trace-event JSON (load in `chrome://tracing` or Perfetto) and
 //! `--metrics` dumps a Prometheus text snapshot. `trace-check` validates
 //! such an exported trace file and exits non-zero if it is malformed.
+//!
+//! `blackbox` (not part of `all`) runs the droplet workload with the
+//! persistent flight recorder enabled, recovers the ring from the
+//! arena's own media, prints the tail of the recovered entries, and
+//! measures the recorder's virtual-clock overhead against a
+//! recorder-off run of the same workload. Writes `BENCH_blackbox.json`
+//! (virtual-clock deterministic, part of the `ci.sh` 1-vs-4-worker
+//! byte-diff gates); exits non-zero if the recovered dump is malformed
+//! or the overhead exceeds the 5% bound.
+//!
+//! `trace-check FILE` validates an exported Chrome trace, or — when the
+//! file is a `BENCH_*.json` document carrying an `"experiment"` key —
+//! checks that document's shape instead (wear reports must carry all
+//! four regions and the 16-bucket wear histogram).
 //!
 //! `morton` (not part of `all`) times the batched Morton kernels under
 //! the scalar fallback and under the hardware dispatch on real
@@ -149,6 +164,13 @@ fn main() {
         let w = write_fraction(8, 4);
         println!("{}", write_fraction_str(&w));
         write_bench_json("write_fraction", &write_fraction_json(&w));
+        // Wear attribution rides along: write_fraction itself runs on
+        // DRAM snapshots, so an NVBM droplet run supplies the per-phase
+        // per-region bytes-written and the hottest-block report.
+        let run = droplet_untraced(scale.steps, scale.recovery_level);
+        println!("NVBM wear attribution (droplet driver):");
+        println!("{}", wear_str(&run.wear));
+        write_wear_json("droplet", &run.wear);
     }
     if all || what == "layout" {
         println!("{}", layout_str(&layout_ablation()));
@@ -238,6 +260,7 @@ fn main() {
         let b = service_bench(&cfg);
         println!("{}", service_str(&b));
         write_bench_json("service", &service_json(&b));
+        write_wear_json("service", &b.wear);
         if !b.snapshot_ok {
             eprintln!("service: a pinned snapshot changed under later commits");
             std::process::exit(1);
@@ -273,7 +296,10 @@ fn main() {
         println!("{}", droplet_str(&run));
         write_bench_json("droplet", &droplet_json(&run));
         if let Some(path) = &trace_path {
-            let json = pmoctree_obsv::chrome::trace_json(&[(0, run.events.clone())]);
+            let json = pmoctree_obsv::chrome::trace_json_with_metrics(
+                &[(0, run.events.clone())],
+                &run.metrics,
+            );
             match std::fs::write(path, &json) {
                 Ok(()) => println!("wrote Chrome trace to {path} ({} bytes)", json.len()),
                 Err(e) => {
@@ -291,6 +317,22 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+        }
+    }
+    if what == "blackbox" {
+        let b = blackbox(scale.steps, scale.recovery_level);
+        print!("{}", blackbox_str(&b));
+        write_bench_json("blackbox", &blackbox_json(&b));
+        if !b.dump.header_ok || b.dump.entries.is_empty() {
+            eprintln!("blackbox: recovered flight-recorder dump is malformed");
+            std::process::exit(1);
+        }
+        if b.overhead.inflation_percent() > 5.0 {
+            eprintln!(
+                "blackbox: recorder inflates the traced droplet run by {:.2}% (bound: 5%)",
+                b.overhead.inflation_percent()
+            );
+            std::process::exit(1);
         }
     }
     if what == "morton" {
@@ -318,11 +360,21 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        match check_trace(&text) {
-            Ok(summary) => print!("{}", trace_check_str(path, &summary)),
-            Err(e) => {
-                eprintln!("{path}: INVALID trace: {e}");
-                std::process::exit(1);
+        if looks_like_bench_doc(&text) {
+            match check_bench_doc(&text) {
+                Ok(kind) => println!("{path}: valid BENCH document (experiment {kind:?})"),
+                Err(e) => {
+                    eprintln!("{path}: INVALID bench document: {e}");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            match check_trace(&text) {
+                Ok(summary) => print!("{}", trace_check_str(path, &summary)),
+                Err(e) => {
+                    eprintln!("{path}: INVALID trace: {e}");
+                    std::process::exit(1);
+                }
             }
         }
     }

@@ -25,7 +25,8 @@ use std::sync::{Arc, Mutex};
 use pm_octree::{check_invariants, CellData, PmConfig, PmOctree};
 use pm_rt::{PmRt, ServiceCmd, ServiceConfig, StateService};
 use pmoctree_morton::OctKey;
-use pmoctree_nvbm::{CrashMode, DeviceModel, FailPlan, NvbmArena};
+use pmoctree_nvbm::recorder::{self, RecorderDump};
+use pmoctree_nvbm::{CrashMode, DeviceModel, FailPlan, NvbmArena, RecKind};
 
 /// The pm-rt tenant namespace the sweep workload commits each step.
 const RT_TENANT: &str = "sweep";
@@ -119,6 +120,9 @@ pub struct CrashSweep {
     pub elements: usize,
     /// Steps executed.
     pub steps: usize,
+    /// Recovered flight-recorder dumps validated (one per opportunity ×
+    /// mode; failures count as violations in their mode's row).
+    pub recorder_checked: u64,
 }
 
 impl CrashSweep {
@@ -145,9 +149,57 @@ struct Oracle {
 struct SweepStats {
     rows: Vec<CrashModeRow>,
     violations: Vec<Violation>,
+    recorder_checked: u64,
 }
 
 const MAX_RECORDED_VIOLATIONS: usize = 16;
+
+/// Flight-recorder side of the recovery oracle, shared by both sweeps.
+/// The recorder recovered from a crash image must be well-formed: the
+/// ring descriptor decodes, the surviving entries are seq-contiguous
+/// (torn tail truncated — [`recorder::recover`] never panics), and no
+/// entry is newer than what a *clean* shutdown at the same opportunity
+/// would have preserved. At a labelled failpoint the newest durable
+/// entry must be that failpoint itself: the entry is written and flushed
+/// immediately before the opportunity fires, so every crash image
+/// already carries it.
+fn check_recorder(
+    image: &[u8],
+    full: &RecorderDump,
+    label: Option<&'static str>,
+) -> Result<(), String> {
+    let dump = recorder::recover(image);
+    if !dump.header_ok {
+        return Err("recorder: ring descriptor unreadable after crash".into());
+    }
+    for w in dump.entries.windows(2) {
+        if w[1].seq != w[0].seq + 1 {
+            return Err(format!(
+                "recorder: recovered entries not seq-contiguous ({} then {})",
+                w[0].seq, w[1].seq
+            ));
+        }
+    }
+    let crash_last = dump.last().map_or(0, |e| e.seq);
+    let full_last = full.last().map_or(0, |e| e.seq);
+    if crash_last > full_last {
+        return Err(format!(
+            "recorder: crashed dump ends at seq {crash_last}, past the injected crash point \
+             (clean shutdown ends at {full_last})"
+        ));
+    }
+    if let Some(l) = label {
+        match dump.last() {
+            Some(e) if e.kind == RecKind::Failpoint && e.label == l => {}
+            other => {
+                return Err(format!(
+                    "recorder: at failpoint {l:?} the newest durable entry is {other:?}"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
 
 /// pm-rt side of the recovery oracle: the registry must swizzle, hold a
 /// legal `sweep::step` value, and respect the combined-commit ordering —
@@ -243,6 +295,7 @@ pub fn crash_sweep(cfg: &CrashSweepConfig) -> CrashSweep {
             })
             .collect(),
         violations: Vec::new(),
+        recorder_checked: 0,
     }));
 
     let hook_oracle = oracle.clone();
@@ -253,10 +306,25 @@ pub fn crash_sweep(cfg: &CrashSweepConfig) -> CrashSweep {
             let o = hook_oracle.lock().expect("oracle lock");
             (o.valid.clone(), o.rt_valid.clone())
         };
+        // What a clean shutdown at this opportunity would preserve — the
+        // upper bound every crashed recorder dump is checked against.
+        let full_dump = recorder::recover(&view.full_image());
         let mut st = hook_stats.lock().expect("stats lock");
         for (i, (name, mode)) in hook_modes.iter().enumerate() {
             st.rows[i].checked += 1;
             let image = view.image(*mode);
+            st.recorder_checked += 1;
+            if let Err(reason) = check_recorder(&image, &full_dump, view.label) {
+                st.rows[i].violations += 1;
+                if st.violations.len() < MAX_RECORDED_VIOLATIONS {
+                    st.violations.push(Violation {
+                        opportunity: view.opportunity,
+                        label: view.label,
+                        mode: name.clone(),
+                        reason,
+                    });
+                }
+            }
             let rebooted = NvbmArena::from_media(image, DeviceModel::default());
             let verdict: Result<usize, String> = match PmOctree::restore(rebooted, pm_cfg) {
                 Err(e) => Err(format!("restore failed: {e}")),
@@ -365,6 +433,7 @@ pub fn crash_sweep(cfg: &CrashSweepConfig) -> CrashSweep {
         violations: st.violations,
         elements: t.leaf_count(),
         steps: cfg.steps,
+        recorder_checked: st.recorder_checked,
     }
 }
 
@@ -388,6 +457,9 @@ pub struct ServiceSweep {
     pub batches: usize,
     /// Tenants in the service.
     pub tenants: usize,
+    /// Recovered flight-recorder dumps validated (one per opportunity ×
+    /// mode; failures count as violations in their mode's row).
+    pub recorder_checked: u64,
 }
 
 impl ServiceSweep {
@@ -466,6 +538,7 @@ pub fn service_crash_sweep(cfg: &CrashSweepConfig) -> ServiceSweep {
             })
             .collect(),
         violations: Vec::new(),
+        recorder_checked: 0,
     }));
 
     let hook_oracle = oracle.clone();
@@ -473,10 +546,25 @@ pub fn service_crash_sweep(cfg: &CrashSweepConfig) -> ServiceSweep {
     let hook_modes = modes.clone();
     arena.set_fail_plan(FailPlan::with_hook(Box::new(move |view| {
         let valid = hook_oracle.lock().expect("oracle lock").clone();
+        // Clean-shutdown recorder dump: the upper bound every crashed
+        // dump at this opportunity is checked against.
+        let full_dump = recorder::recover(&view.full_image());
         let mut st = hook_stats.lock().expect("stats lock");
         for (i, (name, mode)) in hook_modes.iter().enumerate() {
             st.rows[i].checked += 1;
             let image = view.image(*mode);
+            st.recorder_checked += 1;
+            if let Err(reason) = check_recorder(&image, &full_dump, view.label) {
+                st.rows[i].violations += 1;
+                if st.violations.len() < MAX_RECORDED_VIOLATIONS {
+                    st.violations.push(Violation {
+                        opportunity: view.opportunity,
+                        label: view.label,
+                        mode: name.clone(),
+                        reason,
+                    });
+                }
+            }
             let mut rebooted = NvbmArena::from_media(image, DeviceModel::default());
             let verdict: Result<usize, String> = match StateService::audit(&mut rebooted) {
                 Err(e) => Err(format!("service audit failed: {e}")),
@@ -595,6 +683,7 @@ pub fn service_crash_sweep(cfg: &CrashSweepConfig) -> ServiceSweep {
         violations: st.violations,
         batches,
         tenants: TENANTS,
+        recorder_checked: st.recorder_checked,
     }
 }
 
@@ -611,6 +700,8 @@ mod tests {
             assert_eq!(row.checked, sweep.opportunities, "{}", row.mode);
             assert!(row.recovered_committed > 0, "{}", row.mode);
         }
+        // The flight-recorder oracle ran at every opportunity × mode.
+        assert_eq!(sweep.recorder_checked, sweep.opportunities * sweep.rows.len() as u64);
         // Every protocol failpoint must have fired at least once.
         for label in [
             "persist::merge",
@@ -641,6 +732,8 @@ mod tests {
             assert!(row.recovered_committed > 0, "{}", row.mode);
             assert!(row.recovered_in_flight > 0, "{}", row.mode);
         }
+        // The flight-recorder oracle ran at every opportunity × mode.
+        assert_eq!(sweep.recorder_checked, sweep.opportunities * sweep.rows.len() as u64);
         // The service protocol points must appear in the opportunity
         // space, alongside the underlying rt commit they wrap.
         for label in ["svc::commit_batch", "svc::snapshot_pin", "rt::commit"] {

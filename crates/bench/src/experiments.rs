@@ -527,26 +527,32 @@ pub struct DropletRun {
     pub metrics: pmoctree_nvbm::Metrics,
     /// Octant-location counters over the run.
     pub trav: TraversalStats,
+    /// Wear / write-amplification attribution of the run's NVBM device.
+    pub wear: pmoctree_nvbm::WearReport,
+    /// Recovered flight-recorder dump (from the durable media view).
+    pub blackbox: pmoctree_nvbm::RecorderDump,
 }
 
 /// Run the droplet workload with tracing attached (tid 0). Deterministic:
 /// two runs at the same scale produce byte-identical journals.
 pub fn droplet_traced(steps: usize, max_level: u8) -> DropletRun {
-    droplet_run(steps, max_level, true)
+    droplet_run(steps, max_level, true, true)
 }
 
 /// Same workload with the tracer compiled to its disabled (`None`) state:
 /// the zero-inflation control for the acceptance tests. Its `events` and
 /// `metrics` are empty.
 pub fn droplet_untraced(steps: usize, max_level: u8) -> DropletRun {
-    droplet_run(steps, max_level, false)
+    droplet_run(steps, max_level, false, true)
 }
 
-fn droplet_run(steps: usize, max_level: u8, traced: bool) -> DropletRun {
+fn droplet_run(steps: usize, max_level: u8, traced: bool, recorder: bool) -> DropletRun {
     use pmoctree_amr::OctreeBackend;
     let sim = Simulation::new(sim_cfg(steps, max_level));
+    let mut arena = NvbmArena::new(ARENA_BYTES, DeviceModel::default());
+    arena.set_recorder_enabled(recorder);
     let mut b = PmBackend::new(PmOctree::create(
-        NvbmArena::new(ARENA_BYTES, DeviceModel::default()),
+        arena,
         PmConfig::builder().dynamic_transform(true).replicas(true).build().expect("valid config"),
     ));
     // Features arm the sampling/transform paths so their spans appear.
@@ -567,7 +573,72 @@ fn droplet_run(steps: usize, max_level: u8, traced: bool) -> DropletRun {
         events: tr.events(),
         metrics: tr.metrics(),
         trav: b.tree.store.arena.stats.trav,
+        wear: b.tree.store.arena.stats.wear_report(),
+        blackbox: b.tree.store.arena.recorder_dump(),
         report,
+    }
+}
+
+/// Flight-recorder cost on the traced droplet run: the same workload
+/// with the recorder enabled vs disabled, compared on the virtual clock.
+/// Both runs are untraced so the comparison isolates the recorder's
+/// line writes + flushes from the (DRAM-side) journal cost.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct RecorderOverhead {
+    /// Total virtual seconds with the recorder on.
+    pub on_secs: f64,
+    /// Total virtual seconds with the recorder off.
+    pub off_secs: f64,
+}
+
+impl RecorderOverhead {
+    /// Virtual-clock inflation of recording, in percent.
+    pub fn inflation_percent(&self) -> f64 {
+        if self.off_secs == 0.0 {
+            0.0
+        } else {
+            (self.on_secs / self.off_secs - 1.0) * 100.0
+        }
+    }
+}
+
+/// Measure the recorder's virtual-clock overhead on the droplet run
+/// (acceptance bound: ≤ 5% inflation).
+pub fn recorder_overhead(steps: usize, max_level: u8) -> RecorderOverhead {
+    let on = droplet_run(steps, max_level, false, true);
+    let off = droplet_run(steps, max_level, false, false);
+    RecorderOverhead { on_secs: on.report.total_secs(), off_secs: off.report.total_secs() }
+}
+
+/// The `repro blackbox` result: a deterministic droplet run, its
+/// recovered flight-recorder dump (exactly what a post-crash reboot
+/// would read from the media), and the recorder's measured overhead.
+#[derive(Debug, Clone)]
+pub struct BlackboxRun {
+    /// Final element count of the run.
+    pub elements: usize,
+    /// Steps executed.
+    pub steps: usize,
+    /// The recovered ring, oldest surviving entry first.
+    pub dump: pmoctree_nvbm::RecorderDump,
+    /// Wear attribution of the same run.
+    pub wear: pmoctree_nvbm::WearReport,
+    /// Recorder on/off virtual-clock comparison.
+    pub overhead: RecorderOverhead,
+}
+
+/// Run the blackbox experiment: drive the droplet workload with the
+/// recorder on, then recover the ring from the durable media view — the
+/// same path `recorder::recover` takes after a real crash. Virtual-clock
+/// deterministic: worker count must not change a byte of the output.
+pub fn blackbox(steps: usize, max_level: u8) -> BlackboxRun {
+    let run = droplet_run(steps, max_level, false, true);
+    BlackboxRun {
+        elements: run.elements,
+        steps,
+        dump: run.blackbox,
+        wear: run.wear,
+        overhead: recorder_overhead(steps, max_level),
     }
 }
 

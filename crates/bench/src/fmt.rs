@@ -272,8 +272,8 @@ pub fn droplet_str(run: &DropletRun) -> String {
 /// Render a trace-check verdict.
 pub fn trace_check_str(path: &str, s: &crate::trace_check::TraceSummary) -> String {
     format!(
-        "{path}: valid Chrome trace — {} events, {} threads, {} complete spans\n",
-        s.events, s.threads, s.spans
+        "{path}: valid Chrome trace — {} events, {} threads, {} complete spans, {} counters\n",
+        s.events, s.threads, s.spans, s.counters
     )
 }
 
@@ -333,6 +333,10 @@ pub fn service_sweep_str(sweep: &crate::crash_sweep::ServiceSweep) -> String {
             v.reason
         ));
     }
+    s.push_str(&format!(
+        "flight recorder: {} recovered dumps validated against the injected crash points\n",
+        sweep.recorder_checked
+    ));
     if sweep.total_violations() == 0 {
         s.push_str("every crash recovers a batch all-or-nothing for every tenant\n");
     }
@@ -364,6 +368,69 @@ pub fn service_str(b: &crate::service_bench::ServiceBench) -> String {
         b.snapshot_checks,
         if b.snapshot_ok { "all byte-identical" } else { "VIOLATED" }
     ));
+    s.push_str(&format!("per-tenant telemetry: {} labelled series\n", b.labeled_series));
+    s.push_str(&wear_str(&b.wear));
+    s
+}
+
+/// Render a wear / write-amplification report: per-region and per-phase
+/// committed bytes plus the block-wear histogram.
+pub fn wear_str(w: &pmoctree_nvbm::WearReport) -> String {
+    let mut s = format!(
+        "wear: {} bytes committed over {} blocks (mean {:.1} commits/block, \
+         hottest block {} commits at offset {:#x})\n",
+        w.bytes_committed, w.blocks_touched, w.mean_wear, w.max_wear, w.max_wear_offset
+    );
+    let row = |items: &[pmoctree_nvbm::NamedBytes]| {
+        items.iter().map(|r| format!("{} {}", r.name, r.bytes)).collect::<Vec<_>>().join(", ")
+    };
+    s.push_str(&format!("  bytes by region: {}\n", row(&w.bytes_by_region)));
+    s.push_str(&format!("  bytes by phase:  {}\n", row(&w.bytes_by_phase)));
+    let hist: Vec<String> = w
+        .wear_hist
+        .iter()
+        .enumerate()
+        .filter(|(_, &n)| n > 0)
+        .map(|(i, &n)| format!("2^{i}:{n}"))
+        .collect();
+    s.push_str(&format!("  wear histogram (log2 buckets): {}\n", hist.join(" ")));
+    s
+}
+
+/// Render the blackbox (flight recorder) run: the recovered ring and the
+/// recorder's measured overhead.
+pub fn blackbox_str(b: &crate::experiments::BlackboxRun) -> String {
+    let mut s = format!(
+        "Blackbox: droplet run, {} steps, {} elements; recovered flight recorder holds \
+         {} entries ({} slots, {} dropped, {} truncated)\n",
+        b.steps,
+        b.elements,
+        b.dump.entries.len(),
+        b.dump.slots,
+        b.dump.dropped_slots,
+        b.dump.truncated
+    );
+    s.push_str("   seq |        t_ns | kind       | label                      | arg\n");
+    for e in b.dump.entries.iter().rev().take(20).rev() {
+        s.push_str(&format!(
+            "{:>6} | {:>11} | {:<10} | {:<26} | {}\n",
+            e.seq,
+            e.t_ns,
+            e.kind.as_str(),
+            e.label,
+            e.arg
+        ));
+    }
+    if b.dump.entries.len() > 20 {
+        s.push_str(&format!("   ... ({} older entries not shown)\n", b.dump.entries.len() - 20));
+    }
+    s.push_str(&format!(
+        "recorder overhead: {:.4} virtual s on vs {:.4} off => {:.2}% inflation (bound: 5%)\n",
+        b.overhead.on_secs,
+        b.overhead.off_secs,
+        b.overhead.inflation_percent()
+    ));
+    s.push_str(&wear_str(&b.wear));
     s
 }
 
@@ -396,6 +463,10 @@ pub fn crash_sweep_str(sweep: &crate::crash_sweep::CrashSweep) -> String {
             v.reason
         ));
     }
+    s.push_str(&format!(
+        "flight recorder: {} recovered dumps validated against the injected crash points\n",
+        sweep.recorder_checked
+    ));
     if sweep.total_violations() == 0 {
         s.push_str("every crash recovers to exactly V_i or V_i-1 with invariants intact\n");
     }

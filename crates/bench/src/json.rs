@@ -267,6 +267,87 @@ pub fn service_json(b: &crate::service_bench::ServiceBench) -> String {
     json_doc(&ServiceDoc { experiment: "service", bench: b.clone() })
 }
 
+#[derive(Serialize)]
+struct WearDriverDoc {
+    driver: String,
+    wear: pmoctree_nvbm::WearReport,
+}
+
+/// Render one driver's wear entry (a single line, used by the
+/// `BENCH_wear.json` merge below).
+fn wear_driver_line(driver: &str, wear: &pmoctree_nvbm::WearReport) -> String {
+    json_doc(&WearDriverDoc { driver: driver.to_string(), wear: wear.clone() })
+}
+
+/// Render the whole wear document from per-driver entry lines.
+fn wear_doc(lines: &[String]) -> String {
+    format!("{{\"experiment\":\"wear\",\"drivers\":[\n{}\n]}}", lines.join(",\n"))
+}
+
+/// Build a full wear document in memory — test seam for the
+/// `trace-check` shape validator, bypassing the filesystem merge.
+#[cfg(test)]
+pub(crate) fn wear_doc_for_tests(drivers: &[(&str, &pmoctree_nvbm::WearReport)]) -> String {
+    let lines: Vec<String> = drivers.iter().map(|(d, w)| wear_driver_line(d, w)).collect();
+    wear_doc(&lines)
+}
+
+/// Merge one driver's wear report into `BENCH_wear.json`: the file holds
+/// one entry per driver (`droplet` from `repro write_fraction`, `service`
+/// from `repro service`), each on its own line, sorted by driver name —
+/// so the two subcommands can update it independently and the result is
+/// byte-stable under any invocation order.
+pub fn write_wear_json(driver: &str, wear: &pmoctree_nvbm::WearReport) {
+    let path = "BENCH_wear.json";
+    // Keep the other drivers' lines from an existing (valid) file.
+    let mut entries: Vec<(String, String)> = Vec::new();
+    if let Ok(text) = std::fs::read_to_string(path) {
+        if serde_json::from_str(&text).is_ok() {
+            for line in text.lines() {
+                let line = line.trim_end_matches(',');
+                if let Some(rest) = line.strip_prefix("{\"driver\":\"") {
+                    if let Some(name) = rest.split('"').next() {
+                        if name != driver {
+                            entries.push((name.to_string(), line.to_string()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    entries.push((driver.to_string(), wear_driver_line(driver, wear)));
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    let lines: Vec<String> = entries.into_iter().map(|(_, l)| l).collect();
+    let body = wear_doc(&lines);
+    debug_assert!(serde_json::from_str(&body).is_ok(), "wear doc must be valid JSON");
+    write_bench_json("wear", &body);
+}
+
+#[derive(Serialize)]
+struct BlackboxDoc {
+    experiment: &'static str,
+    steps: usize,
+    elements: usize,
+    recorder_overhead_percent: f64,
+    dump: pmoctree_nvbm::RecorderDump,
+    wear: pmoctree_nvbm::WearReport,
+}
+
+/// JSON for the `repro blackbox` run: the recovered flight-recorder ring
+/// plus the run's wear attribution and the recorder's measured
+/// virtual-clock overhead. Virtual-clock deterministic — part of the
+/// `ci.sh` 1-vs-4-worker byte-diff gates.
+pub fn blackbox_json(b: &crate::experiments::BlackboxRun) -> String {
+    json_doc(&BlackboxDoc {
+        experiment: "blackbox",
+        steps: b.steps,
+        elements: b.elements,
+        recorder_overhead_percent: b.overhead.inflation_percent(),
+        dump: b.dump.clone(),
+        wear: b.wear.clone(),
+    })
+}
+
 fn json_doc<T: Serialize>(doc: &T) -> String {
     serde_json::to_string(doc).unwrap_or_else(|e| format!("{{\"error\": \"{e}\"}}"))
 }

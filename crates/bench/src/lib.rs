@@ -21,4 +21,4 @@ pub use experiments::*;
 pub use morton_bench::{morton_bench, MortonBench, MortonRow};
 pub use recovery_rt::{recovery_rt, CrashResumeRow, RecoveryRt, RecoveryRtConfig};
 pub use service_bench::{service_bench, ServiceBench, ServiceBenchConfig};
-pub use trace_check::{check_trace, TraceSummary};
+pub use trace_check::{check_bench_doc, check_trace, looks_like_bench_doc, TraceSummary};

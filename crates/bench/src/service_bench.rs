@@ -132,6 +132,12 @@ pub struct ServiceBench {
     pub snapshot_checks: u64,
     /// Whether every pinned snapshot reread byte-identically.
     pub snapshot_ok: bool,
+    /// Wear / write-amplification attribution of the service's device.
+    pub wear: pmoctree_nvbm::WearReport,
+    /// Per-tenant labelled series published by the service (flush
+    /// latency and write-bytes histograms, quota-rejection counters),
+    /// summarised as the number of distinct (metric, tenant) series.
+    pub labeled_series: u64,
 }
 
 /// Deterministic xorshift64* stream.
@@ -189,6 +195,9 @@ fn percentile(sorted: &[u64], p: usize) -> u64 {
 /// exactly the design point being measured).
 pub fn service_bench(cfg: &ServiceBenchConfig) -> ServiceBench {
     let mut arena = NvbmArena::new(cfg.arena_bytes, DeviceModel::default());
+    // Tracing on: the service publishes per-tenant flush-latency /
+    // write-bytes histograms and quota counters through the tracer.
+    arena.tracer = pmoctree_nvbm::Tracer::enabled(0);
     let scfg = ServiceConfig::builder()
         .max_tenants(cfg.tenants)
         .default_quota(cfg.quota)
@@ -304,7 +313,16 @@ pub fn service_bench(cfg: &ServiceBenchConfig) -> ServiceBench {
         hot_tenant_share: hot_hits as f64 / cfg.ops as f64,
         snapshot_checks,
         snapshot_ok,
+        wear: arena.stats.wear_report(),
+        labeled_series: labeled_series(&arena),
     }
+}
+
+/// Count the distinct per-tenant labelled series the service published
+/// on the arena's tracer (counters + histograms).
+fn labeled_series(arena: &NvbmArena) -> u64 {
+    let m = arena.tracer.metrics();
+    (m.labeled_counters().count() + m.labeled_histograms().count()) as u64
 }
 
 #[cfg(test)]
@@ -344,6 +362,10 @@ mod tests {
         assert!(b.p99_ns >= b.p50_ns);
         assert!(b.ops_per_virtual_sec > 0.0);
         assert!(b.hot_tenant_share > 0.1, "Zipf skew missing: {}", b.hot_tenant_share);
+        assert!(b.labeled_series > 0, "no per-tenant labelled series published");
+        assert!(b.wear.bytes_committed > 0, "wear attribution recorded nothing");
+        let committed: u64 = b.wear.bytes_by_region.iter().map(|r| r.bytes).sum();
+        assert_eq!(committed, b.wear.bytes_committed, "region breakdown must sum to total");
     }
 
     #[test]

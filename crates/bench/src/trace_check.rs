@@ -20,6 +20,9 @@ pub struct TraceSummary {
     pub threads: usize,
     /// Complete spans (matched `B`/`E` pairs).
     pub spans: usize,
+    /// Counter (`ph:"C"`) events — metric snapshots appended by
+    /// [`pmoctree_obsv::chrome::trace_json_with_metrics`].
+    pub counters: usize,
 }
 
 /// Validate the text of a Chrome trace-event JSON file.
@@ -32,6 +35,7 @@ pub fn check_trace(text: &str) -> Result<TraceSummary, String> {
     let mut stacks: BTreeMap<(u64, u64), Vec<String>> = BTreeMap::new();
     let mut last_ts: BTreeMap<(u64, u64), f64> = BTreeMap::new();
     let mut spans = 0usize;
+    let mut counters = 0usize;
     for (i, e) in events.iter().enumerate() {
         let name = e
             .get("name")
@@ -45,6 +49,16 @@ pub fn check_trace(text: &str) -> Result<TraceSummary, String> {
             .get("ts")
             .and_then(Value::as_f64)
             .ok_or_else(|| format!("event {i}: missing numeric \"ts\""))?;
+        if ph == "C" {
+            // Counter snapshots are appended at ts 0 after the span
+            // stream; they are exempt from the per-tid monotone check
+            // but must carry an args payload.
+            if e.get("args").is_none() {
+                return Err(format!("event {i} ({name}): counter event without \"args\""));
+            }
+            counters += 1;
+            continue;
+        }
         let pid = e.get("pid").and_then(Value::as_u64).unwrap_or(0);
         let tid = e.get("tid").and_then(Value::as_u64).unwrap_or(0);
         let key = (pid, tid);
@@ -74,7 +88,101 @@ pub fn check_trace(text: &str) -> Result<TraceSummary, String> {
             return Err(format!("tid {tid}: trace ends with span {open} still open"));
         }
     }
-    Ok(TraceSummary { events: events.len(), threads: last_ts.len(), spans })
+    Ok(TraceSummary { events: events.len(), threads: last_ts.len(), spans, counters })
+}
+
+/// Does this text look like a `BENCH_*.json` document rather than a
+/// Chrome trace? True when it parses as a JSON object with a top-level
+/// `"experiment"` key.
+pub fn looks_like_bench_doc(text: &str) -> bool {
+    matches!(serde_json::from_str(text), Ok(doc) if doc.get("experiment").is_some())
+}
+
+/// The four device regions a wear report must attribute bytes to.
+const WEAR_REGIONS: [&str; 4] = ["root_table", "octree", "rt_heap", "recorder"];
+
+fn check_wear_section(wear: &Value, ctx: &str) -> Result<(), String> {
+    let regions = wear
+        .get("bytes_by_region")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{ctx}: missing \"bytes_by_region\" array"))?;
+    for want in WEAR_REGIONS {
+        if !regions.iter().any(|r| r.get("name").and_then(Value::as_str) == Some(want)) {
+            return Err(format!("{ctx}: bytes_by_region lacks region {want:?}"));
+        }
+    }
+    let phases = wear
+        .get("bytes_by_phase")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{ctx}: missing \"bytes_by_phase\" array"))?;
+    if phases.is_empty() {
+        return Err(format!("{ctx}: bytes_by_phase is empty"));
+    }
+    let hist = wear
+        .get("wear_hist")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{ctx}: missing \"wear_hist\" array"))?;
+    if hist.len() != 16 {
+        return Err(format!("{ctx}: wear_hist has {} buckets, want 16", hist.len()));
+    }
+    for field in ["max_wear", "max_wear_offset", "bytes_committed"] {
+        if wear.get(field).and_then(Value::as_u64).is_none() {
+            return Err(format!("{ctx}: missing numeric \"{field}\""));
+        }
+    }
+    Ok(())
+}
+
+/// Validate a `BENCH_*.json` document's shape. Every document must be
+/// strict JSON with an `"experiment"` string; wear and blackbox
+/// documents additionally must carry complete wear attribution (all
+/// four regions, a non-empty phase breakdown, the 16-bucket histogram)
+/// and — for blackbox — a well-formed recovered recorder dump. Returns
+/// the experiment name.
+pub fn check_bench_doc(text: &str) -> Result<String, String> {
+    let doc = serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let kind = doc
+        .get("experiment")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing \"experiment\" string".to_string())?
+        .to_string();
+    match kind.as_str() {
+        "wear" => {
+            let drivers = doc
+                .get("drivers")
+                .and_then(Value::as_array)
+                .ok_or_else(|| "wear: missing \"drivers\" array".to_string())?;
+            if drivers.is_empty() {
+                return Err("wear: no drivers recorded".to_string());
+            }
+            for d in drivers {
+                let name = d
+                    .get("driver")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| "wear: driver entry without \"driver\" name".to_string())?;
+                let wear =
+                    d.get("wear").ok_or_else(|| format!("wear: driver {name:?} lacks \"wear\""))?;
+                check_wear_section(wear, &format!("driver {name:?}"))?;
+            }
+        }
+        "blackbox" => {
+            let dump = doc.get("dump").ok_or_else(|| "blackbox: missing \"dump\"".to_string())?;
+            if dump.get("header_ok").and_then(Value::as_bool) != Some(true) {
+                return Err("blackbox: dump.header_ok is not true".to_string());
+            }
+            let entries = dump
+                .get("entries")
+                .and_then(Value::as_array)
+                .ok_or_else(|| "blackbox: dump lacks \"entries\" array".to_string())?;
+            if entries.is_empty() {
+                return Err("blackbox: recovered dump has no entries".to_string());
+            }
+            let wear = doc.get("wear").ok_or_else(|| "blackbox: missing \"wear\"".to_string())?;
+            check_wear_section(wear, "blackbox")?;
+        }
+        _ => {}
+    }
+    Ok(kind)
 }
 
 #[cfg(test)]
@@ -119,6 +227,40 @@ mod tests {
             {"name":"a","ph":"B","ts":5,"pid":0,"tid":0},
             {"name":"a","ph":"E","ts":4,"pid":0,"tid":0}]}"#;
         assert!(check_trace(back).unwrap_err().contains("back in time"));
+    }
+
+    #[test]
+    fn accepts_counter_events_from_metrics_exporter() {
+        let t = Tracer::enabled(0);
+        t.begin("step", 0, None);
+        t.end("step", 500);
+        let mut m = pmoctree_obsv::Metrics::new();
+        m.counter_add("nvbm.flush_lines", 3);
+        m.counter_add_labeled("svc.write_bytes", "tenant=\"t0\"", 42);
+        let json = chrome::trace_json_with_metrics(&[(0, t.events())], &m);
+        let s = check_trace(&json).unwrap();
+        assert_eq!(s.spans, 1);
+        assert!(s.counters >= 2, "both metric series become counter events: {s:?}");
+    }
+
+    #[test]
+    fn bench_doc_detection_and_wear_shape() {
+        assert!(!looks_like_bench_doc("not json"));
+        assert!(!looks_like_bench_doc(r#"{"traceEvents":[]}"#));
+
+        let mut st = pmoctree_nvbm::MemStats::default();
+        st.wear_commit(0, 64);
+        let wear = st.wear_report();
+        let body = crate::json::wear_doc_for_tests(&[("droplet", &wear), ("service", &wear)]);
+        assert!(looks_like_bench_doc(&body));
+        assert_eq!(check_bench_doc(&body).unwrap(), "wear");
+
+        // A wear doc missing a region must be rejected.
+        let truncated = body.replace("root_table", "root_tably");
+        assert!(check_bench_doc(&truncated).unwrap_err().contains("root_table"));
+
+        // Unknown experiments only need the experiment key.
+        assert_eq!(check_bench_doc(r#"{"experiment":"fig6","rows":[]}"#).unwrap(), "fig6");
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::clock::VirtualClock;
 use crate::failplan::FailPlan;
 use crate::model::{DeviceModel, CACHELINE};
 use crate::pins::EpochPins;
+use crate::recorder::{self, RecKind, RecorderDump, OFF_REC_BASE, OFF_REC_SLOTS};
 use crate::stats::MemStats;
 use pmoctree_obsv::{Span, Tracer};
 
@@ -121,7 +122,7 @@ pub(crate) fn apply_crash(
                 }
                 media[s..e].copy_from_slice(&data[..e - s]);
                 if let Some(st) = stats.as_deref_mut() {
-                    st.wear_commit(s as u64);
+                    st.wear_commit(s as u64, e - s);
                 }
             }
         }
@@ -139,7 +140,7 @@ fn commit_line_to(
     let e = (s + CACHELINE).min(media.len());
     media[s..e].copy_from_slice(&data[..e - s]);
     if let Some(st) = stats {
-        st.wear_commit(s as u64);
+        st.wear_commit(s as u64, e - s);
     }
 }
 
@@ -193,11 +194,22 @@ pub struct NvbmArena {
     /// readers). Volatile: invalidated whenever the media is replaced,
     /// because the pinned epochs belong to the old lineage.
     rt_pins: EpochPins,
+    /// Flight-recorder ring base (from the header descriptor; 0 = none).
+    rec_base: u64,
+    /// Flight-recorder ring capacity in one-cacheline slots (0 = none).
+    rec_slots: usize,
+    /// Next recorder sequence number (volatile; re-derived from the
+    /// recovered ring on `from_media`/`restore_media`).
+    rec_next_seq: u64,
+    /// Recorder on/off switch (volatile). On by default; benches flip it
+    /// off to measure the recorder's virtual-clock overhead.
+    rec_enabled: bool,
 }
 
 /// Derive the live allocation boundaries from a media image's header:
 /// the persisted bump / rt-floor hints, clamped into the arena. A zero
-/// rt hint means the rt heap was never used (floor = capacity).
+/// rt hint means the rt heap was never used (floor = top of the heap —
+/// the flight-recorder ring base when one is present, else capacity).
 fn derive_live_bounds(media: &[u8]) -> (u64, u64) {
     let cap = media.len() as u64;
     let rd = |off: u64| {
@@ -205,28 +217,65 @@ fn derive_live_bounds(media: &[u8]) -> (u64, u64) {
         u64::from_le_bytes(media[s..s + 8].try_into().expect("header slot"))
     };
     let bump = rd(OFF_BUMP).clamp(HEADER_SIZE, cap);
+    let top = match recorder::region_of(media) {
+        Some((base, slots)) if slots > 0 => base,
+        _ => cap,
+    };
     let rt = rd(OFF_RT_BUMP);
-    let floor = if rt == 0 { cap } else { rt.clamp(HEADER_SIZE, cap) };
+    let floor = if rt == 0 { top } else { rt.clamp(HEADER_SIZE, top) };
     (bump, floor)
 }
 
 impl NvbmArena {
     /// Create a fresh, zeroed arena of `capacity` bytes with a default
-    /// dirty-cache of 4096 lines (256 KiB, an L2-ish footprint).
+    /// dirty-cache of 4096 lines (256 KiB, an L2-ish footprint) and a
+    /// default-sized flight-recorder ring (see
+    /// [`NvbmArena::default_recorder_slots`]).
     pub fn new(capacity: usize, model: DeviceModel) -> Self {
+        let slots = Self::default_recorder_slots(capacity);
+        Self::new_with_recorder(capacity, model, slots)
+    }
+
+    /// Default recorder sizing: 1/8th of the device, capped at 256 slots
+    /// (16 KiB); 0 (disabled) for devices too small to spare a slot.
+    pub fn default_recorder_slots(capacity: usize) -> usize {
+        if (capacity as u64) < HEADER_SIZE + CACHELINE as u64 {
+            return 0;
+        }
+        (capacity / 8 / CACHELINE).min(256)
+    }
+
+    /// [`NvbmArena::new`] with an explicit flight-recorder ring capacity
+    /// (`slots` one-cacheline entries carved from the top of the device;
+    /// 0 disables the recorder).
+    pub fn new_with_recorder(capacity: usize, model: DeviceModel, slots: usize) -> Self {
         assert!(capacity as u64 >= HEADER_SIZE, "arena smaller than header");
+        let rec_bytes = (slots * CACHELINE) as u64;
+        assert!(
+            rec_bytes == 0 || HEADER_SIZE + rec_bytes <= capacity as u64,
+            "recorder ring ({rec_bytes} bytes) does not fit in {capacity} bytes"
+        );
+        let rec_base =
+            if slots == 0 { 0 } else { (capacity as u64 - rec_bytes) & !(CACHELINE as u64 - 1) };
+        let heap_top = if slots == 0 { capacity as u64 } else { rec_base };
+        let mut stats = MemStats::new(capacity);
+        stats.set_region_bounds(rec_base, heap_top);
         let mut a = NvbmArena {
             media: vec![0; capacity],
             cache: BTreeMap::new(),
             cache_cap: 4096,
             model,
             clock: VirtualClock::new(),
-            stats: MemStats::new(capacity),
+            stats,
             tracer: Tracer::default(),
             plan: None,
             octree_bump_live: HEADER_SIZE,
-            rt_floor_live: capacity as u64,
+            rt_floor_live: heap_top,
             rt_pins: EpochPins::new(),
+            rec_base,
+            rec_slots: slots,
+            rec_next_seq: 1,
+            rec_enabled: true,
         };
         a.format();
         a
@@ -234,11 +283,15 @@ impl NvbmArena {
 
     /// Build an arena directly over a media image (e.g. a crash snapshot
     /// from a [`FailPlan`] capture). The dirty cache starts cold, exactly
-    /// like a rebooted node.
+    /// like a rebooted node. The flight recorder is recovered from the
+    /// image: recording continues after the last surviving entry.
     pub fn from_media(media: Vec<u8>, model: DeviceModel) -> Self {
         assert!(media.len() as u64 >= HEADER_SIZE, "image too small");
-        let stats = MemStats::new(media.len());
+        let mut stats = MemStats::new(media.len());
         let (octree_bump_live, rt_floor_live) = derive_live_bounds(&media);
+        let (rec_base, rec_slots) = recorder::region_of(&media).unwrap_or((0, 0));
+        let rec_next_seq = recorder::recover(&media).last().map_or(1, |e| e.seq + 1);
+        stats.set_region_bounds(rec_base, rt_floor_live);
         NvbmArena {
             media,
             cache: BTreeMap::new(),
@@ -251,6 +304,10 @@ impl NvbmArena {
             octree_bump_live,
             rt_floor_live,
             rt_pins: EpochPins::new(),
+            rec_base,
+            rec_slots,
+            rec_next_seq,
+            rec_enabled: true,
         }
     }
 
@@ -307,10 +364,86 @@ impl NvbmArena {
         t.counter_set("trav.index_rebuild_octants", s.trav.index_rebuild_octants);
         t.counter_set("trav.descent_lines", s.trav.descent_lines);
         t.gauge_set("trav.charged_lines_per_descent", s.trav.charged_lines_per_descent());
-        t.gauge_set("wear.max", s.max_wear() as f64);
+        let (max_wear, max_wear_offset) = s.max_wear();
+        t.gauge_set("wear.max", max_wear as f64);
+        t.gauge_set("wear.max_offset", max_wear_offset as f64);
         t.gauge_set("wear.mean", s.mean_wear());
+        let by_region = s.bytes_by_region();
+        t.counter_set("wear.bytes.root_table", by_region[0]);
+        t.counter_set("wear.bytes.octree", by_region[1]);
+        t.counter_set("wear.bytes.rt_heap", by_region[2]);
+        t.counter_set("wear.bytes.recorder", by_region[3]);
+        for (phase, bytes) in s.bytes_by_phase() {
+            t.counter_set_labeled("wear.bytes_by_phase", &format!("phase=\"{phase}\""), bytes);
+        }
+        t.counter_set("recorder.entries", self.rec_next_seq - 1);
         t.gauge_set("write_fraction", s.overall_write_fraction());
         t.gauge_set("clock.now_secs", self.clock.now_secs());
+    }
+
+    // ---- flight recorder -------------------------------------------------
+
+    /// The flight-recorder ring geometry `(base, slots)`; `(0, 0)` when
+    /// the device carries no recorder.
+    pub fn recorder_region(&self) -> (u64, usize) {
+        (self.rec_base, self.rec_slots)
+    }
+
+    /// Highest offset the downward-growing rt heap may occupy: the base
+    /// of the recorder ring when one is carved, the device capacity
+    /// otherwise. `pm-rt` uses this instead of [`NvbmArena::capacity`] so
+    /// heap objects never collide with the ring.
+    pub fn rt_heap_top(&self) -> u64 {
+        if self.rec_slots > 0 {
+            self.rec_base
+        } else {
+            self.media.len() as u64
+        }
+    }
+
+    /// Disable or re-enable recording (volatile switch; the persisted
+    /// ring is untouched). Benches use this to measure the recorder's
+    /// virtual-clock overhead.
+    pub fn set_recorder_enabled(&mut self, on: bool) {
+        self.rec_enabled = on;
+    }
+
+    /// Whether recording is live (a ring exists and is enabled).
+    pub fn recorder_enabled(&self) -> bool {
+        self.rec_enabled && self.rec_slots > 0
+    }
+
+    /// Append one entry to the flight recorder: a single cacheline store
+    /// followed by a line flush — the exact discipline real data uses, so
+    /// the entry is durable the moment this returns and a crash sweep
+    /// injecting *during* the append can at worst tear this one entry.
+    pub fn rec_mark(&mut self, kind: RecKind, label: &'static str, arg: u64) {
+        if !self.recorder_enabled() {
+            return;
+        }
+        let seq = self.rec_next_seq;
+        let slot = (seq - 1) % self.rec_slots as u64;
+        let off = self.rec_base + slot * CACHELINE as u64;
+        let bytes = recorder::encode_slot(seq, self.clock.now_ns(), arg, kind, label);
+        self.write(off, &bytes);
+        self.flush_line(off);
+        self.rec_next_seq = seq + 1;
+    }
+
+    /// Recover the flight recorder from this arena's *durable* view (the
+    /// media, not the dirty cache) — exactly what a post-crash reboot
+    /// would see.
+    pub fn recorder_dump(&self) -> RecorderDump {
+        recorder::recover(&self.media)
+    }
+
+    // ---- write attribution ----------------------------------------------
+
+    /// Set the protocol phase that committed bytes are attributed to (see
+    /// [`MemStats::set_phase`]); returns the previous phase so callers
+    /// restore it when their phase ends.
+    pub fn set_phase(&mut self, phase: &'static str) -> &'static str {
+        self.stats.set_phase(phase)
     }
 
     // ---- crash-opportunity plan -----------------------------------------
@@ -332,8 +465,12 @@ impl NvbmArena {
 
     /// An explicit, labelled crash opportunity: protocol code calls this
     /// between phases (e.g. `"gc::sweep"`, `"persist::root_swap"`) so
-    /// sweeps can attribute opportunities to protocol phases.
+    /// sweeps can attribute opportunities to protocol phases. The label
+    /// is first appended (and flushed) to the flight recorder, so at the
+    /// moment a sweep injects a crash here, the recorder's newest durable
+    /// entry *is* this failpoint.
     pub fn failpoint(&mut self, label: &'static str) {
+        self.rec_mark(RecKind::Failpoint, label, 0);
         self.opportunity(Some(label));
     }
 
@@ -353,14 +490,19 @@ impl NvbmArena {
         self.evict_over_cap();
     }
 
-    /// Write the header magic and zeroed roots, bypassing the cache (a
-    /// freshly formatted device is by definition persistent).
+    /// Write the header magic, zeroed roots, and the flight-recorder ring
+    /// descriptor, bypassing the cache (a freshly formatted device is by
+    /// definition persistent).
     fn format(&mut self) {
         self.media[..HEADER_SIZE as usize].fill(0);
         self.media[OFF_MAGIC as usize..OFF_MAGIC as usize + 8]
             .copy_from_slice(&MAGIC.to_le_bytes());
         let bump = HEADER_SIZE;
         self.media[OFF_BUMP as usize..OFF_BUMP as usize + 8].copy_from_slice(&bump.to_le_bytes());
+        self.media[OFF_REC_BASE as usize..OFF_REC_BASE as usize + 8]
+            .copy_from_slice(&self.rec_base.to_le_bytes());
+        self.media[OFF_REC_SLOTS as usize..OFF_REC_SLOTS as usize + 8]
+            .copy_from_slice(&(self.rec_slots as u64).to_le_bytes());
     }
 
     /// Device capacity in bytes.
@@ -592,9 +734,11 @@ impl NvbmArena {
 
     /// Publish the `pm-rt` heap floor. Called by the runtime after every
     /// heap allocation (and heap rebuild) so the octree allocator sees
-    /// the boundary move in real time.
+    /// the boundary move in real time (and so wear attribution classifies
+    /// commits above it as runtime-heap traffic).
     pub fn publish_rt_floor(&mut self, f: u64) {
         self.rt_floor_live = f.clamp(HEADER_SIZE, self.media.len() as u64);
+        self.stats.set_rt_floor(self.rt_floor_live);
     }
 
     /// The device's registry of pinned `pm-rt` root-table epochs (MVCC
@@ -663,6 +807,13 @@ impl NvbmArena {
         self.octree_bump_live = bump;
         self.rt_floor_live = floor;
         self.rt_pins.invalidate();
+        // The image carries its own flight recorder: adopt its ring and
+        // continue recording after its last surviving entry.
+        let (rec_base, rec_slots) = recorder::region_of(&self.media).unwrap_or((0, 0));
+        self.rec_base = rec_base;
+        self.rec_slots = rec_slots;
+        self.rec_next_seq = recorder::recover(&self.media).last().map_or(1, |e| e.seq + 1);
+        self.stats.set_region_bounds(rec_base, floor);
     }
 }
 
@@ -836,14 +987,20 @@ mod tests {
     #[test]
     fn live_bounds_rederived_from_media() {
         let mut a = arena();
+        // The recorder ring carves the top of the device; the rt heap's
+        // virgin floor sits just below it.
+        let (rec_base, rec_slots) = a.recorder_region();
+        assert_eq!(rec_slots, 256);
+        assert_eq!(rec_base, (1 << 20) - 256 * 64);
         assert_eq!(a.live_bump(), HEADER_SIZE);
-        assert_eq!(a.live_rt_floor(), 1 << 20);
+        assert_eq!(a.live_rt_floor(), rec_base);
         a.set_bump_hint(4096);
-        a.set_rt_bump_hint((1 << 20) - 8192);
+        a.set_rt_bump_hint(rec_base - 8192);
         let b = NvbmArena::from_media(a.clone_media(), DeviceModel::default());
         assert_eq!(b.live_bump(), 4096);
-        assert_eq!(b.live_rt_floor(), (1 << 20) - 8192);
-        // restore_media re-derives too; a zero rt hint means floor = cap.
+        assert_eq!(b.live_rt_floor(), rec_base - 8192);
+        // restore_media re-derives too; a zero rt hint means floor = ring
+        // base; an rt hint above the ring base is clamped under it.
         let mut c = arena();
         c.set_bump_hint(2048);
         let img = c.clone_media();
@@ -852,7 +1009,7 @@ mod tests {
         d.publish_rt_floor(5000);
         d.restore_media(&img);
         assert_eq!(d.live_bump(), 2048);
-        assert_eq!(d.live_rt_floor(), 1 << 20);
+        assert_eq!(d.live_rt_floor(), rec_base);
     }
 
     #[test]
@@ -892,8 +1049,71 @@ mod tests {
         for _ in 0..10 {
             a.write(0x3000, &[1u8; 64]);
         }
-        assert_eq!(a.stats.max_wear(), 0, "no commit yet");
+        assert_eq!(a.stats.max_wear(), (0, 0), "no commit yet");
         a.flush_all();
-        assert_eq!(a.stats.max_wear(), 1, "ten cached writes commit once");
+        assert_eq!(a.stats.max_wear(), (1, 0x3000), "ten cached writes commit once");
+        assert_eq!(a.stats.bytes_by_region()[1], 64, "0x3000 is octree territory");
+    }
+
+    #[test]
+    fn failpoints_land_in_the_recorder_durably() {
+        let mut a = arena();
+        a.failpoint("persist::merge");
+        a.failpoint("persist::root_swap");
+        // No flush_all: each entry is flushed by rec_mark itself.
+        a.crash(CrashMode::LoseDirty);
+        let d = a.recorder_dump();
+        assert!(d.header_ok);
+        let labels: Vec<&str> = d.entries.iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(labels, vec!["persist::merge", "persist::root_swap"]);
+        assert_eq!(d.last().expect("entries").seq, 2);
+    }
+
+    #[test]
+    fn recorder_survives_restore_and_continues_numbering() {
+        let mut a = arena();
+        a.rec_mark(crate::recorder::RecKind::Note, "before", 7);
+        a.failpoint("gc::sweep");
+        let img = a.clone_media();
+        // A rebooted arena adopts the ring and appends after seq 2.
+        let mut b = NvbmArena::from_media(img.clone(), DeviceModel::default());
+        b.rec_mark(crate::recorder::RecKind::Note, "after", 0);
+        let d = b.recorder_dump();
+        let seqs: Vec<u64> = d.entries.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+        assert_eq!(d.entries[0].arg, 7);
+        assert_eq!(d.entries[2].label, "after");
+        // restore_media adopts too.
+        let mut c = arena();
+        c.restore_media(&img);
+        c.rec_mark(crate::recorder::RecKind::Note, "replica", 0);
+        assert_eq!(c.recorder_dump().last().expect("entries").seq, 3);
+    }
+
+    #[test]
+    fn recorder_disabled_writes_nothing() {
+        let mut a = arena();
+        a.set_recorder_enabled(false);
+        a.failpoint("persist::merge");
+        assert!(a.recorder_dump().entries.is_empty());
+        let t0 = a.clock.now_ns();
+        a.failpoint("persist::flush");
+        assert_eq!(a.clock.now_ns(), t0, "disabled recorder is free");
+        // Tiny devices have no ring at all and never panic.
+        let mut tiny = NvbmArena::new(HEADER_SIZE as usize, DeviceModel::default());
+        tiny.failpoint("persist::merge");
+        assert_eq!(tiny.recorder_region(), (0, 0));
+    }
+
+    #[test]
+    fn recorder_ring_wraps_and_keeps_newest() {
+        let mut a = NvbmArena::new_with_recorder(1 << 20, DeviceModel::default(), 8);
+        for i in 0..20u64 {
+            a.rec_mark(crate::recorder::RecKind::Note, "op", i);
+        }
+        let d = a.recorder_dump();
+        assert_eq!(d.slots, 8);
+        let args: Vec<u64> = d.entries.iter().map(|e| e.arg).collect();
+        assert_eq!(args, (12..20).collect::<Vec<u64>>());
     }
 }

@@ -69,6 +69,20 @@ impl<'a> CrashView<'a> {
         apply_crash(&mut media, self.dirty, mode, None);
         media
     }
+
+    /// The media image a *clean* shutdown would find: every dirty line
+    /// committed. An upper bound for what any crash image can contain —
+    /// the sweep oracle compares a crashed flight-recorder dump against
+    /// the dump recovered from this image.
+    pub fn full_image(&self) -> Vec<u8> {
+        let mut media = self.media.to_vec();
+        for (&line, data) in self.dirty {
+            let s = line as usize * CACHELINE;
+            let e = (s + CACHELINE).min(media.len());
+            media[s..e].copy_from_slice(&data[..e - s]);
+        }
+        media
+    }
 }
 
 /// The crashed-media snapshot captured by an armed plan.

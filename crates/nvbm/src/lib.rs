@@ -28,6 +28,7 @@ pub mod clock;
 pub mod failplan;
 pub mod model;
 pub mod pins;
+pub mod recorder;
 pub mod stats;
 
 // The observability layer: re-exported whole so downstream crates reach
@@ -41,7 +42,8 @@ pub use failplan::{CrashCapture, CrashView, FailHook, FailPlan};
 pub use model::{BlockDeviceModel, DeviceModel, MemLatency, NetworkModel, CACHELINE, PAGE};
 pub use pins::{EpochPins, PinGuard};
 pub use pmoctree_obsv::{Event, EventKind, Metrics, Span, Tracer};
-pub use stats::{MemStats, TierStats, TraversalStats, WEAR_BLOCK};
+pub use recorder::{RecEntry, RecKind, RecorderDump, REC_LABEL_MAX};
+pub use stats::{MemStats, NamedBytes, TierStats, TraversalStats, WearReport, WEAR_BLOCK};
 
 /// Compile-time `Send`/`Sync` audit for everything a rank carries across
 /// worker threads now that the `rayon` shim runs a real pool. A rank's

@@ -5,7 +5,11 @@
 //! counts saved by dynamic transformation (−31%, §5.5), and (c) implies
 //! endurance pressure (Table 2). This module supplies those counters.
 
+use std::collections::BTreeMap;
+
 use serde::Serialize;
+
+use crate::arena::HEADER_SIZE;
 
 /// Counters for one memory tier.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -87,9 +91,50 @@ impl TraversalStats {
     }
 }
 
+/// Canonical attribution regions of an NVBM device, in reporting order:
+/// the header (root slots + allocator hints), the octree allocator's
+/// upward territory, the `pm-rt` heap growing down from the top, and the
+/// flight-recorder ring above it.
+pub const REGIONS: [&str; 4] = ["root_table", "octree", "rt_heap", "recorder"];
+
+/// A `(name, bytes)` attribution row — the compat serde has no map
+/// support, so breakdowns serialize as vectors of these.
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize)]
+pub struct NamedBytes {
+    /// Region or phase name.
+    pub name: String,
+    /// Bytes committed to media under that name.
+    pub bytes: u64,
+}
+
+/// Serializable wear / write-amplification report: where committed bytes
+/// landed (region), which protocol phase pushed them (phase), and how
+/// unevenly the wear blocks absorbed them (histogram).
+#[derive(Debug, Default, Clone, PartialEq, Serialize)]
+pub struct WearReport {
+    /// Committed bytes per device region, in [`REGIONS`] order.
+    pub bytes_by_region: Vec<NamedBytes>,
+    /// Committed bytes per protocol phase, sorted by phase name.
+    pub bytes_by_phase: Vec<NamedBytes>,
+    /// Log2-bucketed block-wear histogram: `wear_hist[i]` counts wear
+    /// blocks whose commit count is in `[2^i, 2^(i+1))`; the last bucket
+    /// absorbs everything ≥ 2^15. Untouched blocks are not counted.
+    pub wear_hist: Vec<u64>,
+    /// Commit count of the hottest wear block.
+    pub max_wear: u32,
+    /// Byte offset of the hottest wear block.
+    pub max_wear_offset: u64,
+    /// Mean commits over blocks ever written.
+    pub mean_wear: f64,
+    /// Wear blocks written at least once.
+    pub blocks_touched: u64,
+    /// Total bytes committed to media (sum over regions).
+    pub bytes_committed: u64,
+}
+
 /// Combined DRAM + NVBM accounting plus a per-block wear map for the NVBM
 /// device.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct MemStats {
     /// DRAM tier counters (the C0 tree instruments itself through these).
     pub dram: TierStats,
@@ -99,10 +144,32 @@ pub struct MemStats {
     pub trav: TraversalStats,
     /// Writes per 4 KiB wear block of the NVBM arena (committed lines).
     wear: Vec<u32>,
+    /// Protocol phase commits are currently attributed to ("" = mutate).
+    phase: &'static str,
+    /// Base of the flight-recorder ring (0 = none): commits at or above
+    /// it are recorder traffic.
+    rec_base: u64,
+    /// Live `pm-rt` heap floor (0 = none): commits in `[rt_floor,
+    /// rec_base)` are runtime-heap traffic.
+    rt_floor: u64,
+    /// Committed bytes per region, [`REGIONS`] order.
+    bytes_by_region: [u64; REGIONS.len()],
+    /// Committed bytes per phase tag.
+    bytes_by_phase: BTreeMap<&'static str, u64>,
 }
 
 /// Wear-map block granularity.
 pub const WEAR_BLOCK: usize = 4096;
+
+/// The attribution phase in force when none was ever set: ordinary
+/// mutation traffic between protocol phases.
+pub const PHASE_MUTATE: &str = "mutate";
+
+impl Default for MemStats {
+    fn default() -> Self {
+        MemStats::new(0)
+    }
+}
 
 impl MemStats {
     /// Stats for an arena of `capacity` bytes.
@@ -112,7 +179,61 @@ impl MemStats {
             nvbm: TierStats::default(),
             trav: TraversalStats::default(),
             wear: vec![0; capacity.div_ceil(WEAR_BLOCK)],
+            phase: PHASE_MUTATE,
+            rec_base: 0,
+            rt_floor: 0,
+            bytes_by_region: [0; REGIONS.len()],
+            bytes_by_phase: BTreeMap::new(),
         }
+    }
+
+    // ---- write attribution ----------------------------------------------
+
+    /// Set the protocol phase subsequent commits are attributed to;
+    /// returns the previous phase so callers can restore it when the
+    /// phase ends (phases nest, e.g. `rt::commit` inside a persist hook).
+    pub fn set_phase(&mut self, phase: &'static str) -> &'static str {
+        std::mem::replace(&mut self.phase, phase)
+    }
+
+    /// The attribution phase in force.
+    pub fn phase(&self) -> &'static str {
+        self.phase
+    }
+
+    /// Publish the region boundaries commits are classified against: the
+    /// flight-recorder ring base and the live `pm-rt` heap floor (0 for
+    /// "none"). The owning arena keeps these fresh.
+    pub fn set_region_bounds(&mut self, rec_base: u64, rt_floor: u64) {
+        self.rec_base = rec_base;
+        self.rt_floor = rt_floor;
+    }
+
+    /// Update just the live `pm-rt` heap floor.
+    pub fn set_rt_floor(&mut self, rt_floor: u64) {
+        self.rt_floor = rt_floor;
+    }
+
+    fn region_index(&self, offset: u64) -> usize {
+        if offset < HEADER_SIZE {
+            0 // root_table
+        } else if self.rec_base != 0 && offset >= self.rec_base {
+            3 // recorder
+        } else if self.rt_floor != 0 && offset >= self.rt_floor {
+            2 // rt_heap
+        } else {
+            1 // octree
+        }
+    }
+
+    /// Committed bytes per region, [`REGIONS`] order.
+    pub fn bytes_by_region(&self) -> [u64; REGIONS.len()] {
+        self.bytes_by_region
+    }
+
+    /// Committed bytes per phase tag, in name order.
+    pub fn bytes_by_phase(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.bytes_by_phase.iter().map(|(k, v)| (*k, *v))
     }
 
     /// Record one full root-to-leaf descent.
@@ -177,19 +298,65 @@ impl MemStats {
         self.dram.bytes_written += len as u64;
     }
 
-    /// Record a committed (persisted) line at byte `offset` in the wear
-    /// map. Called when a dirty cacheline actually reaches the media.
+    /// Record a committed (persisted) write of `bytes` bytes at byte
+    /// `offset`: bumps the wear map and attributes the bytes to the
+    /// current phase and the offset's region. Called when a dirty
+    /// cacheline (or a torn prefix of one) actually reaches the media.
     #[inline]
-    pub fn wear_commit(&mut self, offset: u64) {
+    pub fn wear_commit(&mut self, offset: u64, bytes: usize) {
         let b = offset as usize / WEAR_BLOCK;
         if let Some(w) = self.wear.get_mut(b) {
             *w += 1;
         }
+        self.bytes_by_region[self.region_index(offset)] += bytes as u64;
+        *self.bytes_by_phase.entry(self.phase).or_insert(0) += bytes as u64;
     }
 
-    /// Maximum writes any single wear block has absorbed.
-    pub fn max_wear(&self) -> u32 {
-        self.wear.iter().copied().max().unwrap_or(0)
+    /// Maximum writes any single wear block has absorbed, and the byte
+    /// offset of that hottest block (0 when nothing was ever committed).
+    pub fn max_wear(&self) -> (u32, u64) {
+        let mut best = (0u32, 0u64);
+        for (i, &w) in self.wear.iter().enumerate() {
+            if w > best.0 {
+                best = (w, (i * WEAR_BLOCK) as u64);
+            }
+        }
+        best
+    }
+
+    /// Log2-bucketed block-wear histogram (see [`WearReport::wear_hist`]).
+    pub fn wear_histogram(&self) -> [u64; 16] {
+        let mut h = [0u64; 16];
+        for &w in &self.wear {
+            if w == 0 {
+                continue;
+            }
+            h[(w.ilog2() as usize).min(15)] += 1;
+        }
+        h
+    }
+
+    /// Assemble the serializable wear / write-amplification report.
+    pub fn wear_report(&self) -> WearReport {
+        let (max_wear, max_wear_offset) = self.max_wear();
+        WearReport {
+            bytes_by_region: REGIONS
+                .iter()
+                .zip(self.bytes_by_region.iter())
+                .map(|(n, &b)| NamedBytes { name: n.to_string(), bytes: b })
+                .collect(),
+            bytes_by_phase: self
+                .bytes_by_phase
+                .iter()
+                .map(|(n, &b)| NamedBytes { name: n.to_string(), bytes: b })
+                .collect(),
+            wear_hist: self.wear_histogram().to_vec(),
+            max_wear,
+            max_wear_offset,
+            mean_wear: self.mean_wear(),
+            blocks_touched: self.wear.iter().filter(|&&w| w > 0).count() as u64,
+            bytes_committed: self.bytes_by_region.iter().sum(),
+        }
     }
 
     /// Mean writes per wear block (over blocks ever written).
@@ -224,14 +391,22 @@ impl MemStats {
         for (a, b) in self.wear.iter_mut().zip(&other.wear) {
             *a += *b;
         }
+        for (a, b) in self.bytes_by_region.iter_mut().zip(&other.bytes_by_region) {
+            *a += *b;
+        }
+        for (k, v) in &other.bytes_by_phase {
+            *self.bytes_by_phase.entry(k).or_insert(0) += v;
+        }
     }
 
-    /// Zero all counters (keeps wear-map size).
+    /// Zero all counters (keeps wear-map size and region bounds).
     pub fn reset(&mut self) {
         self.dram = TierStats::default();
         self.nvbm = TierStats::default();
         self.trav = TraversalStats::default();
         self.wear.fill(0);
+        self.bytes_by_region = [0; REGIONS.len()];
+        self.bytes_by_phase.clear();
     }
 
     /// Snapshot of NVBM write-line count — convenient for deltas around a
@@ -259,11 +434,23 @@ mod tests {
     #[test]
     fn wear_tracking() {
         let mut s = MemStats::new(WEAR_BLOCK * 4);
-        s.wear_commit(0);
-        s.wear_commit(10);
-        s.wear_commit(WEAR_BLOCK as u64);
-        assert_eq!(s.max_wear(), 2);
+        s.wear_commit(0, 64);
+        s.wear_commit(10, 64);
+        s.wear_commit(WEAR_BLOCK as u64, 64);
+        assert_eq!(s.max_wear(), (2, 0), "block 0 is hottest");
         assert!((s.mean_wear() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_wear_reports_hottest_offset() {
+        let mut s = MemStats::new(WEAR_BLOCK * 8);
+        s.wear_commit(0, 64);
+        for _ in 0..3 {
+            s.wear_commit(3 * WEAR_BLOCK as u64 + 17, 64);
+        }
+        let (count, offset) = s.max_wear();
+        assert_eq!(count, 3);
+        assert_eq!(offset, 3 * WEAR_BLOCK as u64);
     }
 
     #[test]
@@ -272,21 +459,57 @@ mod tests {
         let mut b = MemStats::new(WEAR_BLOCK);
         a.nvbm_write(128, 2);
         b.nvbm_write(64, 1);
-        b.wear_commit(5);
+        b.wear_commit(5, 64);
         a.merge(&b);
         assert_eq!(a.nvbm.write_lines, 3);
         assert_eq!(a.nvbm.bytes_written, 192);
-        assert_eq!(a.max_wear(), 1);
+        assert_eq!(a.max_wear(), (1, 0));
+        assert_eq!(a.bytes_by_region()[0], 64, "offset 5 is root_table");
     }
 
     #[test]
     fn reset_zeroes() {
         let mut s = MemStats::new(WEAR_BLOCK);
         s.nvbm_write(64, 1);
-        s.wear_commit(0);
+        s.wear_commit(0, 64);
         s.reset();
         assert_eq!(s.nvbm.write_lines, 0);
-        assert_eq!(s.max_wear(), 0);
+        assert_eq!(s.max_wear(), (0, 0));
+        assert_eq!(s.wear_report().bytes_committed, 0);
+    }
+
+    #[test]
+    fn commits_attribute_to_region_and_phase() {
+        let mut s = MemStats::new(WEAR_BLOCK * 16);
+        // Regions: recorder ring at the top 4 KiB, rt heap above 48 KiB.
+        s.set_region_bounds(15 * WEAR_BLOCK as u64, 12 * WEAR_BLOCK as u64);
+        s.wear_commit(0, 8); // root_table
+        s.wear_commit(4096, 64); // octree
+        let prev = s.set_phase("persist::flush");
+        assert_eq!(prev, PHASE_MUTATE);
+        s.wear_commit(13 * WEAR_BLOCK as u64, 64); // rt_heap
+        s.wear_commit(15 * WEAR_BLOCK as u64 + 64, 64); // recorder
+        s.set_phase(prev);
+        assert_eq!(s.bytes_by_region(), [8, 64, 64, 64]);
+        let phases: Vec<_> = s.bytes_by_phase().collect();
+        assert_eq!(phases, vec![(PHASE_MUTATE, 72), ("persist::flush", 128)]);
+        let rep = s.wear_report();
+        assert_eq!(rep.bytes_committed, 200);
+        assert_eq!(rep.blocks_touched, 4);
+        assert_eq!(rep.wear_hist[0], 4, "four blocks worn exactly once");
+    }
+
+    #[test]
+    fn wear_histogram_buckets_by_log2() {
+        let mut s = MemStats::new(WEAR_BLOCK * 4);
+        for _ in 0..5 {
+            s.wear_commit(0, 64); // block 0: wear 5 → bucket 2
+        }
+        s.wear_commit(WEAR_BLOCK as u64, 64); // block 1: wear 1 → bucket 0
+        let h = s.wear_histogram();
+        assert_eq!(h[0], 1);
+        assert_eq!(h[2], 1);
+        assert_eq!(h.iter().sum::<u64>(), 2);
     }
 
     #[test]

@@ -62,11 +62,19 @@ impl Histogram {
 }
 
 /// Counters, gauges, and histograms, keyed by static label.
+///
+/// Labeled series (`counter_add_labeled`, `observe_labeled`) carry a
+/// Prometheus-style label set rendered by the caller (e.g.
+/// `tenant="alpha"`); keys are `(name, labels)` tuples so iteration — and
+/// therefore every export — is ordered by metric name first, label set
+/// second.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Metrics {
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, f64>,
     histograms: BTreeMap<&'static str, Histogram>,
+    labeled_counters: BTreeMap<(String, String), u64>,
+    labeled_histograms: BTreeMap<(String, String), Histogram>,
 }
 
 impl Metrics {
@@ -96,6 +104,25 @@ impl Metrics {
         self.histograms.entry(name).or_default().observe(v);
     }
 
+    /// Add to a labeled monotone counter. `labels` is the rendered label
+    /// set without braces, e.g. `tenant="alpha"`.
+    pub fn counter_add_labeled(&mut self, name: &str, labels: &str, v: u64) {
+        *self.labeled_counters.entry((name.to_string(), labels.to_string())).or_insert(0) += v;
+    }
+
+    /// Set a labeled counter to an absolute cumulative value.
+    pub fn counter_set_labeled(&mut self, name: &str, labels: &str, v: u64) {
+        self.labeled_counters.insert((name.to_string(), labels.to_string()), v);
+    }
+
+    /// Record a sample into a labeled histogram.
+    pub fn observe_labeled(&mut self, name: &str, labels: &str, v: u64) {
+        self.labeled_histograms
+            .entry((name.to_string(), labels.to_string()))
+            .or_default()
+            .observe(v);
+    }
+
     /// Counter value, if present.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters.get(name).copied()
@@ -121,6 +148,21 @@ impl Metrics {
         self.histograms.iter().map(|(k, v)| (*k, v))
     }
 
+    /// Labeled counter value, if present.
+    pub fn labeled_counter(&self, name: &str, labels: &str) -> Option<u64> {
+        self.labeled_counters.get(&(name.to_string(), labels.to_string())).copied()
+    }
+
+    /// Iterate labeled counters ordered by (name, label set).
+    pub fn labeled_counters(&self) -> impl Iterator<Item = (&str, &str, u64)> + '_ {
+        self.labeled_counters.iter().map(|((n, l), v)| (n.as_str(), l.as_str(), *v))
+    }
+
+    /// Iterate labeled histograms ordered by (name, label set).
+    pub fn labeled_histograms(&self) -> impl Iterator<Item = (&str, &str, &Histogram)> + '_ {
+        self.labeled_histograms.iter().map(|((n, l), h)| (n.as_str(), l.as_str(), h))
+    }
+
     /// Merge another registry into this one: counters and histogram cells
     /// add; for gauges the other side wins ties by `max` (the use case is
     /// aggregating per-rank registries, where max matches how the cluster
@@ -135,6 +177,12 @@ impl Metrics {
         }
         for (k, h) in &other.histograms {
             self.histograms.entry(k).or_default().merge(h);
+        }
+        for ((n, l), v) in &other.labeled_counters {
+            *self.labeled_counters.entry((n.clone(), l.clone())).or_insert(0) += v;
+        }
+        for ((n, l), h) in &other.labeled_histograms {
+            self.labeled_histograms.entry((n.clone(), l.clone())).or_default().merge(h);
         }
     }
 }
@@ -154,6 +202,34 @@ mod tests {
         assert_eq!(h.buckets[1], 1);
         assert_eq!(h.buckets[15], 1);
         assert_eq!(h.sum, 1 + 150 + (1 << 35));
+    }
+
+    #[test]
+    fn labeled_series_sort_by_name_then_label_set() {
+        let mut m = Metrics::new();
+        m.counter_add_labeled("svc.bytes", "tenant=\"beta\"", 7);
+        m.counter_add_labeled("svc.bytes", "tenant=\"alpha\"", 3);
+        m.counter_add_labeled("svc.bytes", "tenant=\"alpha\"", 2);
+        m.counter_set_labeled("aaa.first", "x=\"1\"", 9);
+        m.observe_labeled("svc.lat", "tenant=\"alpha\"", 100);
+        let order: Vec<_> =
+            m.labeled_counters().map(|(n, l, v)| (n.to_string(), l.to_string(), v)).collect();
+        assert_eq!(
+            order,
+            vec![
+                ("aaa.first".into(), "x=\"1\"".into(), 9),
+                ("svc.bytes".into(), "tenant=\"alpha\"".into(), 5),
+                ("svc.bytes".into(), "tenant=\"beta\"".into(), 7),
+            ]
+        );
+        assert_eq!(m.labeled_counter("svc.bytes", "tenant=\"alpha\""), Some(5));
+        let mut other = Metrics::new();
+        other.counter_add_labeled("svc.bytes", "tenant=\"beta\"", 1);
+        other.observe_labeled("svc.lat", "tenant=\"alpha\"", 50);
+        m.merge(&other);
+        assert_eq!(m.labeled_counter("svc.bytes", "tenant=\"beta\""), Some(8));
+        let h = m.labeled_histograms().next().unwrap().2;
+        assert_eq!((h.count, h.sum), (2, 150));
     }
 
     #[test]

@@ -120,6 +120,22 @@ impl Tracer {
         self.with_journal(|j| j.metrics.gauge_set(name, v));
     }
 
+    /// Add to a labeled monotone counter (`labels` is a rendered label
+    /// set without braces, e.g. `tenant="alpha"`).
+    pub fn counter_add_labeled(&self, name: &str, labels: &str, v: u64) {
+        self.with_journal(|j| j.metrics.counter_add_labeled(name, labels, v));
+    }
+
+    /// Set a labeled counter to an absolute cumulative value.
+    pub fn counter_set_labeled(&self, name: &str, labels: &str, v: u64) {
+        self.with_journal(|j| j.metrics.counter_set_labeled(name, labels, v));
+    }
+
+    /// Record a sample into a labeled histogram.
+    pub fn observe_labeled(&self, name: &str, labels: &str, v: u64) {
+        self.with_journal(|j| j.metrics.observe_labeled(name, labels, v));
+    }
+
     /// Record a duration sample into the named histogram.
     pub fn observe_ns(&self, name: &'static str, v: u64) {
         self.with_journal(|j| j.metrics.observe(name, v));

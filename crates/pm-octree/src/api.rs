@@ -14,7 +14,7 @@
 //! | `pm_delete`        | [`PmOctree::delete`]  |
 
 use pmoctree_morton::{LeafIndex, OctKey};
-use pmoctree_nvbm::{NvbmArena, POffset};
+use pmoctree_nvbm::{NvbmArena, POffset, RecKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -303,6 +303,10 @@ impl PmOctree {
             r.full_sync(&mut t.store.arena);
             t.replicas = Some(r);
         }
+        // Leave a durable mark that this device came back from a crash:
+        // the next black-box dump shows the restore alongside whatever
+        // entries survived from before the failure.
+        t.store.arena.rec_mark(RecKind::Note, "restore", epoch as u64);
         Ok(t)
     }
 
@@ -783,6 +787,11 @@ impl PmOctree {
         // guards close in reverse order on every early return, so a
         // failpoint firing mid-protocol still leaves the journal balanced.
         let _span_persist = self.store.arena.span("persist");
+        self.store.arena.rec_mark(RecKind::SpanBegin, "persist", self.epoch as u64);
+        // Wear attribution: committed bytes are charged to the protocol
+        // phase in force at commit time (write-back, so lines written in
+        // one phase may commit in a later flush — see `MemStats`).
+        let prev_phase = self.store.arena.set_phase("persist::merge");
         // (1) Merge every DRAM subtree into NVBM with diff-sharing.
         let span_merge = self.store.arena.span("persist::merge");
         let ids = self.forest.ids();
@@ -810,6 +819,7 @@ impl PmOctree {
         self.store.arena.failpoint("persist::merge");
         drop(span_merge);
         if stop_after == Some(PersistPhase::Merge) {
+            self.store.arena.set_phase(prev_phase);
             return Ok(());
         }
         // (2) Overlap measurement (Fig. 3): shared = older than this epoch.
@@ -819,19 +829,23 @@ impl PmOctree {
         drop(span_overlap);
         // (3) Flush everything, then the atomic root/epoch advance. Until
         // the set_root below lands, recovery uses the old V_{i-1}.
+        self.store.arena.set_phase("persist::flush");
         let span_flush = self.store.arena.span("persist::flush");
         self.store.arena.flush_all();
         self.store.arena.failpoint("persist::flush");
         drop(span_flush);
         if stop_after == Some(PersistPhase::Flush) {
+            self.store.arena.set_phase(prev_phase);
             return Ok(());
         }
+        self.store.arena.set_phase("persist::root_swap");
         let span_half = self.store.arena.span("persist::root_swap_half");
         self.store.arena.set_bump_hint(self.store.alloc.bump());
         self.store.arena.set_root(0, root);
         self.store.arena.failpoint("persist::root_swap_half");
         drop(span_half);
         if stop_after == Some(PersistPhase::RootSwapHalf) {
+            self.store.arena.set_phase(prev_phase);
             return Ok(());
         }
         let span_swap = self.store.arena.span("persist::root_swap");
@@ -840,6 +854,7 @@ impl PmOctree {
         self.store.arena.failpoint("persist::root_swap");
         drop(span_swap);
         if stop_after == Some(PersistPhase::RootSwap) {
+            self.store.arena.set_phase(prev_phase);
             return Ok(());
         }
         // (3b) Application-state commit (`pm-rt`): the runtime stages and
@@ -850,10 +865,12 @@ impl PmOctree {
         // superseded tree root, and reclaiming those octants (or shipping
         // a replica delta missing the runtime regions) would corrupt the
         // state whole-application resume restores at.
+        self.store.arena.set_phase("rt::commit");
         let extra_regions = match hook.as_mut() {
             Some(h) => match h(&mut self.store.arena) {
                 Ok(regions) => regions,
                 Err(e) => {
+                    self.store.arena.set_phase(prev_phase);
                     // The tree swap is durable; adopt it so the handle
                     // stays coherent (the merged subtrees are already in
                     // NVBM — dropping their DRAM copies loses nothing),
@@ -880,6 +897,7 @@ impl PmOctree {
         // registry now holds exactly the live set of the persisted tree;
         // octants created this epoch are the delta.
         if self.replicas.is_some() {
+            self.store.arena.set_phase("replica::ship");
             let _span_ship = self.store.arena.span("replica::ship");
             let epoch = self.epoch;
             let offsets: Vec<POffset> = self.store.registry.clone();
@@ -892,6 +910,7 @@ impl PmOctree {
             }
         }
         // (6) New working epoch; everything persisted is now shared.
+        self.store.arena.set_phase("persist::reattach");
         let span_reattach = self.store.arena.span("persist::reattach");
         self.epoch += 1;
         // (7) Re-attach the retained DRAM subtrees to the working tree
@@ -911,12 +930,14 @@ impl PmOctree {
         }
         self.forest.decay_access(0.5);
         drop(span_reattach);
+        self.store.arena.set_phase(prev_phase);
         // (8) Dynamic layout transformation (§3.3) runs after merging:
         // one detection pass, promoting up to 16 of the hottest NVBM
         // subtrees.
         if self.cfg.dynamic_transform {
             self.transform_pass(16);
         }
+        self.store.arena.rec_mark(RecKind::SpanEnd, "persist", self.epoch as u64);
         Ok(())
     }
 
@@ -974,6 +995,7 @@ impl PmOctree {
     /// Merge one C0 subtree out to C1 and drop it from the forest.
     pub(crate) fn evict_c0(&mut self, id: u32) {
         let _span = self.store.arena.span("c0::evict");
+        let prev_phase = self.store.arena.set_phase("c0::evict");
         self.store.arena.failpoint("c0::evict");
         let tree = self.forest.remove(id);
         let shadow = self.shadow_of(id);
@@ -992,6 +1014,7 @@ impl PmOctree {
             self.epoch,
         );
         self.events.merges += 1;
+        self.store.arena.set_phase(prev_phase);
     }
 }
 

@@ -49,6 +49,7 @@ pub fn mark(store: &mut PmStore, roots: &[POffset]) -> HashSet<POffset> {
 /// freed and dropped from the registry.
 pub fn collect(store: &mut PmStore, roots: &[POffset]) -> GcReport {
     let _span = store.arena.span("gc::sweep");
+    let prev_phase = store.arena.set_phase("gc::sweep");
     store.arena.failpoint("gc::sweep");
     let marked = mark(store, roots);
     let mut freed = 0usize;
@@ -67,6 +68,7 @@ pub fn collect(store: &mut PmStore, roots: &[POffset]) -> GcReport {
         }
     }
     store.registry = kept;
+    store.arena.set_phase(prev_phase);
     GcReport { live: marked.len(), freed, freed_flagged }
 }
 

@@ -35,6 +35,7 @@ impl PmOctree {
             return 0;
         }
         let _span = self.store.arena.span("transform");
+        let prev_phase = self.store.arena.set_phase("transform");
         self.store.arena.failpoint("transform");
         let l = sampling::l_sub(self.depth(), self.cfg.c0_capacity_octants);
         // Candidate NVBM subtrees: *maximal volatile-free* subtrees at
@@ -44,6 +45,7 @@ impl PmOctree {
         let root = self.root_offset();
         let (_, candidates) = candidate_scan(&mut self.store, root, l);
         if candidates.is_empty() {
+            self.store.arena.set_phase(prev_phase);
             return 0;
         }
         // Sample candidates, capping the per-subtree count at the paper's
@@ -141,6 +143,7 @@ impl PmOctree {
             swaps += 1;
         }
         self.store.arena.tracer.counter_add("transform.swaps", swaps as u64);
+        self.store.arena.set_phase(prev_phase);
         swaps
     }
 

@@ -168,7 +168,7 @@ impl PmRt {
     /// [`PmRt::restore`]. The heap floor starts at the arena top.
     pub fn create(arena: &mut NvbmArena) -> Result<Self, PmError> {
         let _s = arena.span("rt::create");
-        let top = arena.capacity() as u64;
+        let top = arena.rt_heap_top();
         let limit = arena.live_bump().max(HEADER_SIZE);
         let mut rt = PmRt {
             table: BTreeMap::new(),
@@ -220,8 +220,10 @@ impl PmRt {
             return Err(RtError::Corrupt("trailing bytes after table".into()));
         }
         // Swizzle pass: every persistent pointer must name a well-formed
-        // blob before anything dereferences it.
-        let cap = arena.capacity() as u64;
+        // blob before anything dereferences it. Heap blobs live strictly
+        // below the flight-recorder ring, so bounds-check against the
+        // heap top, not the raw device capacity.
+        let cap = arena.rt_heap_top();
         for (name, e) in &table {
             check_bounds(cap, e.off, e.len)
                 .map_err(|m| RtError::Corrupt(format!("root {name:?}: {m}")))?;
@@ -260,7 +262,7 @@ impl PmRt {
     pub fn destroy(arena: &mut NvbmArena) {
         arena.set_rt_root(POffset(0));
         arena.set_rt_bump_hint(0);
-        arena.publish_rt_floor(arena.capacity() as u64);
+        arena.publish_rt_floor(arena.rt_heap_top());
         arena.rt_pins().invalidate();
     }
 
@@ -344,7 +346,7 @@ impl PmRt {
         arena: &mut NvbmArena,
         ptr: PPtr<T>,
     ) -> Result<T, RtError> {
-        check_bounds(arena.capacity() as u64, ptr.off, ptr.len)?;
+        check_bounds(arena.rt_heap_top(), ptr.off, ptr.len)?;
         let payload = read_blob(arena, ptr.off, Some(ptr.len))?;
         T::from_bytes(&payload)
     }
@@ -395,7 +397,13 @@ impl PmRt {
     /// MVCC snapshot pins an older epoch, and deferred to
     /// [`PmRt::collect`] otherwise.
     pub fn commit(&mut self, arena: &mut NvbmArena) -> Result<Vec<(u64, u32)>, PmError> {
-        self.commit_inner(arena).map_err(PmError::from)
+        // Committed bytes (table blob, flushed staged blobs) are charged
+        // to the `rt::commit` phase; restore the caller's phase on every
+        // exit, including errors.
+        let prev_phase = arena.set_phase("rt::commit");
+        let r = self.commit_inner(arena).map_err(PmError::from);
+        arena.set_phase(prev_phase);
+        r
     }
 
     fn commit_inner(&mut self, arena: &mut NvbmArena) -> Result<Vec<(u64, u32)>, RtError> {
@@ -657,7 +665,7 @@ pub(crate) fn read_blob(
     off: u64,
     want_len: Option<u32>,
 ) -> Result<Vec<u8>, RtError> {
-    let cap = arena.capacity() as u64;
+    let cap = arena.rt_heap_top();
     // Checked add: a corrupted root near u64::MAX must report, not wrap
     // past the bound and panic inside the arena read.
     if off.checked_add(OBJ_HEADER as u64).is_none_or(|end| end > cap) {
@@ -903,8 +911,10 @@ mod tests {
         let leaves = t.leaves_sorted();
         let bump = t.store.arena.live_bump();
         assert!(bump > 8 << 10, "tree must have grown past the create-time bump");
-        // Sized to fit under the capacity but not above the live bump.
-        let big = "B".repeat((60 << 10) - 64);
+        // Sized to fit under the heap top (just below the flight-recorder
+        // ring) but not above the live bump.
+        let top = t.store.arena.rt_heap_top();
+        let big = "B".repeat((top as usize - (8 << 10)) - 64);
         match rt.stage(&mut t.store.arena, "big", &big) {
             Err(PmError::Recovery(m)) => assert!(m.contains("cross"), "wrong full cause: {m}"),
             other => panic!("expected Recovery(cross), got {other:?}"),
@@ -943,8 +953,9 @@ mod tests {
             rt.commit(&mut a).unwrap();
         }
         // 200 rewrites of one small root must not consume 200 blobs of
-        // fresh space: floor stays within a few blocks of the top.
-        assert!(a.capacity() as u64 - rt.heap_floor() < 1024);
+        // fresh space: floor stays within a few blocks of the top (which
+        // sits just below the flight-recorder ring).
+        assert!(a.rt_heap_top() - rt.heap_floor() < 1024);
         assert_eq!(rt.deferred_len(), 0, "no pins, nothing deferred");
     }
 

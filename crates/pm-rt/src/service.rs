@@ -26,7 +26,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use pm_octree::PmError;
-use pmoctree_nvbm::NvbmArena;
+use pmoctree_nvbm::{NvbmArena, RecKind};
 
 use crate::data::{ByteReader, PmData};
 use crate::heap::class_of;
@@ -383,6 +383,10 @@ impl StateService {
             });
         }
         self.stats.batches += 1;
+        let t0_ns = arena.clock.now_ns();
+        // Distinct tenants with commands in this batch, for the
+        // per-tenant flush-latency histogram below.
+        let batch_tenants: BTreeSet<String> = cmds.iter().map(|c| c.tenant().to_string()).collect();
         let mut registry_dirty = false;
         let mut mutated = false;
         let mut replies = Vec::with_capacity(cmds.len());
@@ -412,6 +416,9 @@ impl StateService {
         if registry_dirty {
             self.stage_registry(arena)?;
         }
+        // Flight-recorder note *before* the commit point: a crash during
+        // the swap still shows which batch was in flight.
+        arena.rec_mark(RecKind::Note, "svc::flush_batch", replies.len() as u64);
         // Crash here = the whole batch vanishes; crash after = the whole
         // batch is durable. Nothing in between is reachable.
         arena.failpoint("svc::commit_batch");
@@ -419,6 +426,10 @@ impl StateService {
         let bytes: u64 = regions.iter().map(|&(_, l)| u64::from(l)).sum();
         self.stats.commits += 1;
         self.stats.bytes_written += bytes;
+        let dt_ns = arena.clock.now_ns().saturating_sub(t0_ns);
+        for tenant in &batch_tenants {
+            arena.tracer.observe_labeled("svc.flush_ns", &format!("tenant=\"{tenant}\""), dt_ns);
+        }
         Ok(BatchReport { replies, epoch: self.rt.epoch(), bytes_written: bytes, committed: true })
     }
 
@@ -466,11 +477,21 @@ impl StateService {
                 let projected = self.usage(&tenant) - self.rt.entry_footprint(&qualified) + new_fp;
                 if projected > quota {
                     self.stats.quota_rejections += 1;
+                    arena.tracer.counter_add_labeled(
+                        "svc.quota_rejections",
+                        &format!("tenant=\"{tenant}\""),
+                        1,
+                    );
                     return Err(PmError::QuotaExceeded(format!(
                         "tenant {tenant:?}: {projected} B projected > quota {quota} B"
                     )));
                 }
                 self.rt.stage(arena, &qualified, &bytes)?;
+                arena.tracer.observe_labeled(
+                    "svc.write_bytes",
+                    &format!("tenant=\"{tenant}\""),
+                    new_fp,
+                );
                 Ok(ServiceReply::Put)
             }
             ServiceCmd::Commit { tenant } => {

@@ -160,15 +160,18 @@ pub fn run_persistent_partial(
     Ok((backend, rt, report.steps))
 }
 
-/// Outcome of [`reattach`].
+/// Outcome of [`reattach`]. Constructed once per reattach, so the size
+/// gap between a restored session and a bare boxed arena is harmless.
+#[allow(clippy::large_enum_variant)]
 pub enum Reattach {
     /// A combined commit exists: backend and runtime are restored and
     /// ready to step at `state.next_step`. The backend is boxed to keep
     /// the enum small next to the bare-arena variant.
     Resumable(Box<PmBackend>, PmRt, RunState),
     /// No combined commit ever happened — nothing to resume. The arena
-    /// comes back so the caller can start a fresh run on the device.
-    Nothing(NvbmArena),
+    /// comes back (boxed, same reason) so the caller can start a fresh
+    /// run on the device.
+    Nothing(Box<NvbmArena>),
 }
 
 /// Reattach to a crashed device: restore the runtime, read the committed
@@ -187,7 +190,7 @@ pub fn reattach(mut arena: NvbmArena, pm_cfg: PmConfig) -> Result<Reattach, PmEr
         Err(e) => return Err(e),
     };
     let Some((rt, state)) = restored else {
-        return Ok(Reattach::Nothing(arena));
+        return Ok(Reattach::Nothing(Box::new(arena)));
     };
     let tree = PmOctree::restore_at(arena, POffset(state.tree_root), canonical_pm_cfg(pm_cfg))?;
     Ok(Reattach::Resumable(Box::new(PmBackend::new(tree)), rt, state))
@@ -209,7 +212,7 @@ pub fn resume_persistent(
         Reattach::Resumable(b, rt, state) => (*b, rt, state),
         // Crash before the first combined commit: nothing to resume.
         // Start over on the same device — a fresh create re-formats it.
-        Reattach::Nothing(arena) => return run_persistent(cfg, pm_cfg, arena),
+        Reattach::Nothing(arena) => return run_persistent(cfg, pm_cfg, *arena),
     };
     let sim = Simulation::new(state.cfg);
     let resumed_at = state.next_step as usize;

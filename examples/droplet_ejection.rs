@@ -93,6 +93,6 @@ fn main() {
         pm.tree.events.persists,
         100.0 * pm.tree.events.overlap_ratio(),
         pm.tree.events.transforms,
-        pm.tree.store.arena.stats.max_wear(),
+        pm.tree.store.arena.stats.max_wear().0,
     );
 }

@@ -125,7 +125,7 @@ fn nvbm_wear_stays_bounded() {
         s.step(&mut b, step);
     }
     let stats = &b.tree.store.arena.stats;
-    let max = stats.max_wear() as f64;
+    let max = stats.max_wear().0 as f64;
     let mean = stats.mean_wear().max(1.0);
     assert!(max / mean < 3_000.0, "wear hotspot: max {max} vs mean {mean}");
 }
