@@ -14,7 +14,13 @@ cargo fmt --check
 PMOCTREE_MORTON_FORCE_SCALAR=1 cargo test -p pmoctree-morton -q
 # Crash-consistency gate: every crash opportunity x every injection mode
 # must recover to exactly V_i or V_{i-1} (exits non-zero on violation).
+# The opportunity space includes the per-thread interleaving schedules at
+# write-domain publication boundaries (exits non-zero if none fired).
 cargo run --release -p pmoctree-bench --bin repro -- crash-sweep --smoke
+# Concurrent-write-domain gate: batched refine/coarsen/solve sweeps on one
+# tree must be byte-identical (media, leaves, MemStats, reports) whether
+# 1, 2 or 4 workers execute the domains.
+cargo test --release -p pmoctree-cluster --test thread_invariance -q
 # Orthogonal-persistence gate: runs crashed at sampled FailPlan
 # opportunities (including rt::commit) must resume to a report — and
 # hence a BENCH JSON — byte-identical to the uncrashed run, and

@@ -114,8 +114,11 @@ fn balance_worklist(b: &mut dyn OctreeBackend, mut worklist: Vec<OctKey>, full: 
         }
         targets.sort_unstable();
         targets.dedup();
-        for t in targets {
-            if b.refine(t).is_ok() {
+        // Violating coarse leaves are disjoint, so the whole round splits
+        // in one batched call (domain-parallel on backends that shard).
+        let ok = b.refine_many(&targets);
+        for (t, s) in targets.iter().zip(ok) {
+            if s {
                 total += 1;
                 next.extend(t.children());
             }
@@ -123,6 +126,17 @@ fn balance_worklist(b: &mut dyn OctreeBackend, mut worklist: Vec<OctKey>, full: 
         worklist = next;
     }
     total
+}
+
+/// Restore face 2:1 after a *batch* of refinements: seed the worklist
+/// with only the new fine leaves (the children of `refined`) instead of
+/// re-snapshotting the whole leaf set. Splitting a leaf can only create
+/// violations observable from its own children, so this reaches the same
+/// unique closure as a full [`balance`]. Returns the number of ripple
+/// refinements.
+pub fn balance_from(b: &mut dyn OctreeBackend, refined: &[OctKey]) -> usize {
+    let seed: Vec<OctKey> = refined.iter().flat_map(|k| k.children()).collect();
+    balance_worklist(b, seed, false)
 }
 
 /// One full balancing sweep over the tree: refine any leaf that violates

@@ -8,7 +8,7 @@
 use pmoctree_morton::OctKey;
 
 use crate::backend::{Cell, OctreeBackend};
-use crate::balance::{coarsen_balanced, refine_balanced};
+use crate::balance::{balance_from, can_coarsen};
 
 /// What adaptation wants for one leaf.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +41,13 @@ pub struct AdaptReport {
 /// One adaptation pass: refine every leaf voting [`Target::Refine`]
 /// (below the cap), then coarsen every family whose 8 children all vote
 /// [`Target::Coarsen`] and whose merge is 2:1-legal.
+///
+/// Both phases run through the backend's batched mutators
+/// ([`OctreeBackend::refine_many`] / [`OctreeBackend::coarsen_many`]), so
+/// a sharded backend adapts its voted cells domain-parallel. The mesh is
+/// the same as the former one-key-at-a-time pass: the 2:1 closure of a
+/// refinement set is unique, and same-level coarsen families are
+/// 2:1-independent of each other.
 pub fn adapt(b: &mut dyn OctreeBackend, criterion: &dyn AdaptCriterion) -> AdaptReport {
     let mut report = AdaptReport::default();
     // --- refinement phase ---
@@ -50,12 +57,14 @@ pub fn adapt(b: &mut dyn OctreeBackend, criterion: &dyn AdaptCriterion) -> Adapt
             to_refine.push(k);
         }
     });
-    for k in &to_refine {
-        // The leaf may have been split already by a balance ripple.
-        if b.is_leaf(*k) == Some(true) && refine_balanced(b, *k) {
-            report.refined += 1;
-        }
-    }
+    to_refine.sort_unstable();
+    // One batched split of every voted leaf, then one incremental balance
+    // sweep seeded from the new fine leaves to restore 2:1.
+    let ok = b.refine_many(&to_refine);
+    let refined: Vec<OctKey> =
+        to_refine.iter().zip(&ok).filter(|&(_, &s)| s).map(|(&k, _)| k).collect();
+    report.refined += refined.len();
+    balance_from(b, &refined);
     // --- coarsening phase ---
     // Group coarsen votes by parent; a family merges only unanimously.
     let mut votes: std::collections::HashMap<OctKey, u8> = std::collections::HashMap::new();
@@ -68,11 +77,21 @@ pub fn adapt(b: &mut dyn OctreeBackend, criterion: &dyn AdaptCriterion) -> Adapt
     });
     let mut parents: Vec<OctKey> = votes.iter().filter(|(_, &n)| n == 8).map(|(k, _)| *k).collect();
     // Deepest first, so nested coarsening cascades within one pass.
+    // Families at one level cannot affect each other's 2:1 legality
+    // (coarsening only makes regions shallower), so each level's legal
+    // set merges as one batch.
     parents.sort_by(|a, b| b.level().cmp(&a.level()).then(a.cmp(b)));
-    for p in parents {
-        if coarsen_balanced(b, p) {
-            report.coarsened += 1;
+    let mut i = 0;
+    while i < parents.len() {
+        let lvl = parents[i].level();
+        let mut batch = Vec::new();
+        while i < parents.len() && parents[i].level() == lvl {
+            if can_coarsen(b, parents[i]) {
+                batch.push(parents[i]);
+            }
+            i += 1;
         }
+        report.coarsened += b.coarsen_many(&batch).into_iter().filter(|&s| s).count();
     }
     report
 }

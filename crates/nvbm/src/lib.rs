@@ -35,8 +35,10 @@ pub mod stats;
 // the exporters (`nvbm::obsv::chrome`, …) without a separate dependency.
 pub use pmoctree_obsv as obsv;
 
-pub use alloc::{size_class, PmemAllocator, ReusePolicy};
-pub use arena::{CrashMode, NvbmArena, POffset, HEADER_SIZE, ROOT_SLOTS};
+pub use alloc::{size_class, AllocLease, PmemAllocator, ReusePolicy};
+pub use arena::{
+    ArenaSnapshot, CrashMode, NvbmArena, POffset, ShardDelta, ShardWriter, HEADER_SIZE, ROOT_SLOTS,
+};
 pub use clock::{SpinMode, VirtualClock};
 pub use failplan::{CrashCapture, CrashView, FailHook, FailPlan};
 pub use model::{BlockDeviceModel, DeviceModel, MemLatency, NetworkModel, CACHELINE, PAGE};
@@ -66,5 +68,11 @@ mod send_audit {
         assert_sync::<crate::VirtualClock>();
         assert_send::<crate::Tracer>();
         assert_sync::<crate::Tracer>();
+        // Domain-parallel sweeps: workers share one snapshot and each
+        // sends its finished delta back to the serial join point.
+        assert_sync::<crate::ArenaSnapshot<'static>>();
+        assert_send::<crate::ShardWriter<'static>>();
+        assert_send::<crate::ShardDelta>();
+        assert_send::<crate::AllocLease>();
     }
 }

@@ -21,8 +21,9 @@ use rand::SeedableRng;
 use crate::c0::{C0Forest, C0Tree};
 use crate::c1::{self, Locate};
 use crate::config::PmConfig;
+use crate::domains;
 use crate::gc::{self, GcReport};
-use crate::octant::{CellData, ChildPtr, Octant, PmStore};
+use crate::octant::{CellData, ChildPtr, OctAccess, Octant, PmStore};
 use crate::replica::ReplicaSet;
 use crate::sampling::{self, FeatureFn};
 
@@ -77,6 +78,12 @@ pub enum PmError {
     /// The tenant is exclusively leased (checked out) by another client;
     /// retry after the lease is released.
     TenantBusy(String),
+    /// The NVBM device (or a write domain's allocator lease) is full. The
+    /// failed mutation left nothing half-linked: COW paths allocate every
+    /// copy before the single publication write, so the pre-mutation
+    /// version stays intact and restorable; orphaned copies are ordinary
+    /// GC garbage.
+    Full(String),
 }
 
 impl std::fmt::Display for PmError {
@@ -90,6 +97,7 @@ impl std::fmt::Display for PmError {
             PmError::QuotaExceeded(what) => write!(f, "tenant quota exceeded: {what}"),
             PmError::SnapshotGone(what) => write!(f, "snapshot no longer valid: {what}"),
             PmError::TenantBusy(what) => write!(f, "tenant busy: {what}"),
+            PmError::Full(what) => write!(f, "NVBM full: {what}"),
         }
     }
 }
@@ -482,11 +490,11 @@ impl PmOctree {
                             key,
                             ChildPtr::Volatile(id),
                             self.epoch,
-                        );
+                        )?;
                         return self.refine(key);
                     }
                     self.current_root =
-                        c1::refine(&mut self.store, self.current_root, key, self.epoch);
+                        c1::refine(&mut self.store, self.current_root, key, self.epoch)?;
                 }
                 Locate::Volatile(_) => unreachable!("owner_of covers volatile regions"),
                 Locate::Missing => return Err(PmError::NotFound(format!("{key:?}"))),
@@ -545,10 +553,10 @@ impl PmOctree {
                         return Err(PmError::NotALeaf(format!("{key:?}")));
                     }
                     for id in absorb {
-                        self.evict_c0(id);
+                        self.evict_c0(id)?;
                     }
                     self.current_root =
-                        c1::coarsen(&mut self.store, self.current_root, key, self.epoch);
+                        c1::coarsen(&mut self.store, self.current_root, key, self.epoch)?;
                 }
                 Locate::Volatile(_) => unreachable!("owner_of covers volatile regions"),
                 Locate::Missing => return Err(PmError::NotFound(format!("{key:?}"))),
@@ -575,12 +583,45 @@ impl PmOctree {
         match c1::locate(&mut self.store, self.current_root, key) {
             Locate::Nvbm(_) => {
                 self.current_root =
-                    c1::update_data(&mut self.store, self.current_root, key, &data, self.epoch);
+                    c1::update_data(&mut self.store, self.current_root, key, &data, self.epoch)?;
                 Ok(())
             }
             Locate::Volatile(_) => unreachable!("owner_of covers volatile regions"),
             Locate::Missing => Err(PmError::NotFound(format!("{key:?}"))),
         }
+    }
+
+    // ---- domain-parallel batch mutation ----------------------------------
+
+    /// Refine a batch of leaves, sharded across per-subtree write domains
+    /// and executed on the worker pool (see [`crate::domains`]). Returns
+    /// one success flag per key, in input order; a key that is missing,
+    /// not a leaf, or hits a full device reports `false` and leaves the
+    /// tree unchanged at that key. Deterministic: results, media, clock
+    /// and trace are byte-identical for any worker count.
+    pub fn refine_many(&mut self, keys: &[OctKey]) -> Vec<bool> {
+        domains::run_batch(
+            self,
+            &keys.iter().map(|&k| domains::DomainOp::Refine(k)).collect::<Vec<_>>(),
+        )
+    }
+
+    /// Coarsen a batch of octants domain-parallel; same contract as
+    /// [`PmOctree::refine_many`].
+    pub fn coarsen_many(&mut self, keys: &[OctKey]) -> Vec<bool> {
+        domains::run_batch(
+            self,
+            &keys.iter().map(|&k| domains::DomainOp::Coarsen(k)).collect::<Vec<_>>(),
+        )
+    }
+
+    /// Overwrite a batch of leaf payloads domain-parallel; same contract
+    /// as [`PmOctree::refine_many`].
+    pub fn set_data_many(&mut self, ops: &[(OctKey, CellData)]) -> Vec<bool> {
+        domains::run_batch(
+            self,
+            &ops.iter().map(|&(k, d)| domains::DomainOp::SetData(k, d)).collect::<Vec<_>>(),
+        )
     }
 
     // ---- traversal ---------------------------------------------------------
@@ -720,7 +761,8 @@ impl PmOctree {
         );
         for (k, nd) in updates {
             self.current_root =
-                c1::update_data(&mut self.store, self.current_root, k, &nd, self.epoch);
+                c1::update_data(&mut self.store, self.current_root, k, &nd, self.epoch)
+                    .expect("NVBM device full mid-sweep: updates need COW headroom");
         }
         for id in volatile_ids {
             let store = &mut self.store;
@@ -736,7 +778,8 @@ impl PmOctree {
     /// run the dynamic layout transformation. On return, `V_{i-1}` is the
     /// tree as of this call.
     pub fn persist(&mut self) {
-        self.persist_inner(None, None).expect("persist without a hook is infallible");
+        self.persist_inner(None, None)
+            .expect("persist failed: NVBM device cannot hold the merged working set");
     }
 
     /// Failpoint-instrumented persist: execute the persist protocol only
@@ -746,7 +789,8 @@ impl PmOctree {
     /// failure at *any* point of the protocol recovers to a consistent
     /// version. `None` runs the full protocol.
     pub fn persist_with_failpoint(&mut self, stop_after: Option<PersistPhase>) {
-        self.persist_inner(stop_after, None).expect("persist without a hook is infallible");
+        self.persist_inner(stop_after, None)
+            .expect("persist failed: NVBM device cannot hold the merged working set");
     }
 
     /// Persist with an application-state commit hook (the `pm-rt`
@@ -809,11 +853,11 @@ impl PmOctree {
                 shadow
             } else {
                 let octants = self.forest.get(*id).collect();
-                let off = c1::merge_subtree(&mut self.store, &octants, shadow.opt(), self.epoch);
+                let off = c1::merge_subtree(&mut self.store, &octants, shadow.opt(), self.epoch)?;
                 self.events.merges += 1;
                 off
             };
-            root = c1::replace_slot(&mut self.store, root, key, ChildPtr::Nvbm(off), self.epoch);
+            root = c1::replace_slot(&mut self.store, root, key, ChildPtr::Nvbm(off), self.epoch)?;
             merged_offsets.push((*id, off));
         }
         self.store.arena.failpoint("persist::merge");
@@ -926,7 +970,7 @@ impl PmOctree {
                 key,
                 ChildPtr::Volatile(id),
                 self.epoch,
-            );
+            )?;
         }
         self.forest.decay_access(0.5);
         drop(span_reattach);
@@ -973,14 +1017,19 @@ impl PmOctree {
     }
 
     /// Post-mutation housekeeping: DRAM-pressure eviction and on-demand GC.
-    fn after_mutation(&mut self) {
-        // DRAM pressure: evict least-frequently-accessed subtrees.
+    pub(crate) fn after_mutation(&mut self) {
+        // DRAM pressure: evict least-frequently-accessed subtrees. An
+        // eviction that fails for lack of NVBM space is abandoned (the
+        // subtree simply stays in DRAM); the on-demand GC below is the
+        // mechanism that makes room.
         let cap = (self.cfg.c0_capacity_octants as f64 * self.cfg.threshold_dram) as usize;
         while self.forest.total_octants > cap && !self.forest.is_empty() {
             let Some(victim) = self.forest.coldest() else {
                 break;
             };
-            self.evict_c0(victim);
+            if self.evict_c0(victim).is_err() {
+                break;
+            }
             self.events.evictions += 1;
         }
         // NVBM pressure: on-demand GC.
@@ -992,29 +1041,43 @@ impl PmOctree {
         }
     }
 
-    /// Merge one C0 subtree out to C1 and drop it from the forest.
-    pub(crate) fn evict_c0(&mut self, id: u32) {
+    /// Merge one C0 subtree out to C1 and drop it from the forest. On
+    /// [`PmError::Full`] the forest keeps the subtree (the merge's
+    /// partial copies are ordinary GC garbage) and the tree is unchanged.
+    pub(crate) fn evict_c0(&mut self, id: u32) -> Result<(), PmError> {
         let _span = self.store.arena.span("c0::evict");
         let prev_phase = self.store.arena.set_phase("c0::evict");
         self.store.arena.failpoint("c0::evict");
-        let tree = self.forest.remove(id);
+        let r = self.evict_c0_inner(id);
+        self.store.arena.set_phase(prev_phase);
+        r
+    }
+
+    fn evict_c0_inner(&mut self, id: u32) -> Result<(), PmError> {
         let shadow = self.shadow_of(id);
-        self.set_shadow(id, POffset::NULL);
-        let off = if !tree.dirty && !shadow.is_null() {
+        let (dirty, key) = {
+            let t = self.forest.get(id);
+            (t.dirty, t.subtree_key)
+        };
+        let off = if !dirty && !shadow.is_null() {
             shadow
         } else {
-            let octants = tree.collect();
-            c1::merge_subtree(&mut self.store, &octants, shadow.opt(), self.epoch)
+            let octants = self.forest.get(id).collect();
+            c1::merge_subtree(&mut self.store, &octants, shadow.opt(), self.epoch)?
         };
         self.current_root = c1::replace_slot(
             &mut self.store,
             self.current_root,
-            tree.subtree_key,
+            key,
             ChildPtr::Nvbm(off),
             self.epoch,
-        );
+        )?;
+        // Only now that the subtree is fully re-linked in NVBM does the
+        // DRAM copy go away: a failure above leaves it untouched.
+        self.forest.remove(id);
+        self.set_shadow(id, POffset::NULL);
         self.events.merges += 1;
-        self.store.arena.set_phase(prev_phase);
+        Ok(())
     }
 }
 

@@ -14,7 +14,7 @@ use std::collections::HashSet;
 
 use pmoctree_nvbm::{POffset, PmemAllocator};
 
-use crate::octant::{ChildPtr, PmStore, OCTANT_SIZE};
+use crate::octant::{ChildPtr, OctAccess, PmStore, OCTANT_SIZE};
 
 /// Result of a collection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,10 +117,10 @@ mod tests {
     fn collect_frees_unreachable() {
         let mut s = store();
         let mut root = root_tree(&mut s, 1);
-        root = refine(&mut s, root, OctKey::root(), 1);
+        root = refine(&mut s, root, OctKey::root(), 1).unwrap();
         assert_eq!(s.registry.len(), 9);
         // Coarsen at the same epoch: children flagged deleted + unlinked.
-        let root = coarsen(&mut s, root, OctKey::root(), 1);
+        let root = coarsen(&mut s, root, OctKey::root(), 1).unwrap();
         let r = collect(&mut s, &[root]);
         assert_eq!(r.live, 1);
         assert_eq!(r.freed, 8);
@@ -132,10 +132,10 @@ mod tests {
     fn collect_with_two_roots_keeps_both_versions() {
         let mut s = store();
         let mut root = root_tree(&mut s, 1);
-        root = refine(&mut s, root, OctKey::root(), 1);
+        root = refine(&mut s, root, OctKey::root(), 1).unwrap();
         let old_root = root;
         // New epoch: refine child 0 → path copy creates new root.
-        let new_root = refine(&mut s, root, OctKey::root().child(0), 2);
+        let new_root = refine(&mut s, root, OctKey::root().child(0), 2).unwrap();
         let before = s.registry.len();
         let r = collect(&mut s, &[old_root, new_root]);
         assert_eq!(r.freed, 0, "both versions reachable, nothing to free");
@@ -150,8 +150,8 @@ mod tests {
     fn freed_space_is_reused() {
         let mut s = store();
         let mut root = root_tree(&mut s, 1);
-        root = refine(&mut s, root, OctKey::root(), 1);
-        root = coarsen(&mut s, root, OctKey::root(), 1);
+        root = refine(&mut s, root, OctKey::root(), 1).unwrap();
+        root = coarsen(&mut s, root, OctKey::root(), 1).unwrap();
         collect(&mut s, &[root]);
         let live_before = s.alloc.live_bytes();
         // New refinement reuses the freed blocks.
@@ -163,8 +163,8 @@ mod tests {
     fn rebuild_after_crash_restores_allocator_and_registry() {
         let mut s = store();
         let mut root = root_tree(&mut s, 1);
-        root = refine(&mut s, root, OctKey::root(), 1);
-        root = refine(&mut s, root, OctKey::root().child(3), 1);
+        root = refine(&mut s, root, OctKey::root(), 1).unwrap();
+        root = refine(&mut s, root, OctKey::root().child(3), 1).unwrap();
         s.arena.flush_all();
         s.arena.set_root(1, root);
         let live_expected = 17;
@@ -188,14 +188,15 @@ mod tests {
     fn mark_stops_at_volatile_handles() {
         let mut s = store();
         let mut root = root_tree(&mut s, 1);
-        root = refine(&mut s, root, OctKey::root(), 1);
+        root = refine(&mut s, root, OctKey::root(), 1).unwrap();
         let root = crate::c1::replace_slot(
             &mut s,
             root,
             OctKey::root().child(0),
             ChildPtr::Volatile(3),
             1,
-        );
+        )
+        .unwrap();
         let marked = mark(&mut s, &[root]);
         assert_eq!(marked.len(), 8, "root + 7 children (one slot volatile)");
     }

@@ -33,8 +33,9 @@
 //! safe because recovery never follows `V_i` pointers, it returns to the
 //! fully-NVBM `V_{i-1}`.
 
+use crate::api::PmError;
 use pmoctree_morton::OctKey;
-use pmoctree_nvbm::{NvbmArena, POffset, PmemAllocator};
+use pmoctree_nvbm::{AllocLease, ArenaSnapshot, NvbmArena, POffset, PmemAllocator, ShardWriter};
 
 /// Size of one on-media octant record.
 pub const OCTANT_SIZE: usize = 128;
@@ -78,23 +79,54 @@ impl ChildPtr {
         match self {
             ChildPtr::Null => 0,
             ChildPtr::Nvbm(p) => {
-                debug_assert!(!p.is_null() && p.0 % 64 == 0 && p.0 >> 6 < VOLATILE_BIT);
+                // Release-mode guard: an unaligned or null offset here
+                // would silently corrupt the link; the crash sweep runs
+                // in `--release`, so this must not be a debug_assert.
+                assert!(
+                    !p.is_null() && p.0 % 64 == 0 && p.0 >> 6 < VOLATILE_BIT,
+                    "unencodable NVBM child link: {:#x}",
+                    p.0
+                );
                 p.0 >> 6
             }
             ChildPtr::Volatile(id) => VOLATILE_BIT | id as u64,
         }
     }
 
-    /// Decode from the compact 48-bit link value.
+    /// Decode from the compact 48-bit link value, rejecting malformed
+    /// encodings instead of silently truncating them: a link wider than
+    /// 6 bytes, or a volatile handle carrying garbage in bits 32..47, is
+    /// a corrupted record, not a pointer. This is the checked entry point
+    /// recovery scans use ([`OctAccess::nav_line_checked`]); the hot path
+    /// goes through [`ChildPtr::decode`], which asserts instead.
+    #[inline]
+    pub fn try_decode(raw: u64) -> Result<Self, PmError> {
+        if raw >= 1 << 48 {
+            return Err(PmError::Corrupt(format!("child link {raw:#x} exceeds 6 bytes")));
+        }
+        if raw == 0 {
+            Ok(ChildPtr::Null)
+        } else if raw & VOLATILE_BIT != 0 {
+            if raw & !(VOLATILE_BIT | 0xffff_ffff) != 0 {
+                return Err(PmError::Corrupt(format!(
+                    "volatile child link {raw:#x} has non-zero reserved bits"
+                )));
+            }
+            Ok(ChildPtr::Volatile((raw & 0xffff_ffff) as u32))
+        } else {
+            Ok(ChildPtr::Nvbm(POffset(raw << 6)))
+        }
+    }
+
+    /// Decode from the compact 48-bit link value. Panics on a malformed
+    /// encoding — in release builds too (see [`ChildPtr::try_decode`]):
+    /// following a corrupted link silently is how a bad traversal turns
+    /// into bad committed state.
     #[inline]
     pub fn decode(raw: u64) -> Self {
-        debug_assert!(raw < 1 << 48, "link value exceeds 6 bytes");
-        if raw == 0 {
-            ChildPtr::Null
-        } else if raw & VOLATILE_BIT != 0 {
-            ChildPtr::Volatile((raw & 0xffff_ffff) as u32)
-        } else {
-            ChildPtr::Nvbm(POffset(raw << 6))
+        match Self::try_decode(raw) {
+            Ok(c) => c,
+            Err(e) => panic!("corrupt child link: {e}"),
         }
     }
 
@@ -218,26 +250,64 @@ impl PmStore {
         PmStore { arena, alloc: PmemAllocator::new(cap), registry: Vec::new() }
     }
 
-    /// Allocate and write a new octant; returns its offset.
-    /// `None` when the device is full (bump would cross the live floor
-    /// of the `pm-rt` heap sharing this arena).
-    pub fn alloc_octant(&mut self, o: &Octant) -> Option<POffset> {
-        self.alloc.set_limit(self.arena.live_rt_floor());
-        let p = self.alloc.alloc(OCTANT_SIZE)?;
-        self.arena.publish_bump(self.alloc.bump());
-        self.registry.push(p);
-        self.write_octant(p, o);
-        Some(p)
-    }
-
     /// Free an octant's space (GC sweep). The registry entry must be
     /// removed separately (GC rebuilds the registry wholesale).
     pub fn free_octant(&mut self, p: POffset) {
         self.alloc.free(p, OCTANT_SIZE);
     }
+}
+
+impl OctAccess for PmStore {
+    fn io_read(&mut self, offset: u64, buf: &mut [u8]) {
+        self.arena.read(offset, buf);
+    }
+
+    fn io_write(&mut self, offset: u64, data: &[u8]) {
+        self.arena.write(offset, data);
+    }
+
+    fn alloc_block(&mut self) -> Result<POffset, PmError> {
+        self.alloc.set_limit(self.arena.live_rt_floor());
+        let p = self
+            .alloc
+            .alloc(OCTANT_SIZE)
+            .ok_or_else(|| PmError::Full("NVBM arena full allocating an octant".into()))?;
+        self.arena.publish_bump(self.alloc.bump());
+        self.registry.push(p);
+        Ok(p)
+    }
+}
+
+/// Octant-granular access over any device view that can read bytes,
+/// write bytes, and allocate 128-byte records.
+///
+/// [`PmStore`] implements it over the live arena (the single-writer
+/// path); [`ShardStore`] implements it over a snapshot plus a private
+/// overlay and allocator lease (one write domain of a domain-parallel
+/// sweep). The COW mutation code in `c1` is generic over this trait, so
+/// the exact same path-copy discipline runs serially or sharded.
+pub trait OctAccess {
+    /// Read `buf.len()` bytes at `offset` from this view of the device.
+    fn io_read(&mut self, offset: u64, buf: &mut [u8]);
+
+    /// Write `data` at `offset` into this view of the device.
+    fn io_write(&mut self, offset: u64, data: &[u8]);
+
+    /// Allocate one cacheline-aligned [`OCTANT_SIZE`] record.
+    /// [`PmError::Full`] when the device (or this domain's lease) is
+    /// exhausted.
+    fn alloc_block(&mut self) -> Result<POffset, PmError>;
+
+    /// Allocate and write a new octant; returns its offset, or
+    /// [`PmError::Full`] with nothing mutated when space is exhausted.
+    fn alloc_octant(&mut self, o: &Octant) -> Result<POffset, PmError> {
+        let p = self.alloc_block()?;
+        self.write_octant(p, o);
+        Ok(p)
+    }
 
     /// Write a complete octant record.
-    pub fn write_octant(&mut self, p: POffset, o: &Octant) {
+    fn write_octant(&mut self, p: POffset, o: &Octant) {
         let mut buf = [0u8; OCTANT_SIZE];
         let mut mask = 0u8;
         for (i, c) in o.children.iter().enumerate() {
@@ -254,13 +324,13 @@ impl PmStore {
         buf[OFF_PARENT as usize..OFF_PARENT as usize + 8]
             .copy_from_slice(&o.parent.0.to_le_bytes());
         buf[OFF_DATA as usize..OFF_DATA as usize + 32].copy_from_slice(&o.data.to_bytes());
-        self.arena.write(p.0, &buf);
+        self.io_write(p.0, &buf);
     }
 
     /// Read a complete octant record.
-    pub fn read_octant(&mut self, p: POffset) -> Octant {
+    fn read_octant(&mut self, p: POffset) -> Octant {
         let mut buf = [0u8; OCTANT_SIZE];
-        self.arena.read(p.0, &mut buf);
+        self.io_read(p.0, &mut buf);
         let mut children = [ChildPtr::Null; FANOUT];
         for (i, c) in children.iter_mut().enumerate() {
             *c = ChildPtr::decode(get_link(&buf, i));
@@ -293,10 +363,10 @@ impl PmStore {
 
     /// Read one child pointer (touches only the navigation line).
     #[inline]
-    pub fn child(&mut self, p: POffset, i: usize) -> ChildPtr {
+    fn child(&mut self, p: POffset, i: usize) -> ChildPtr {
         debug_assert!(i < FANOUT);
         let mut b = [0u8; 6];
-        self.arena.read(p.0 + OFF_LINKS + LINK_SIZE * i as u64, &mut b);
+        self.io_read(p.0 + OFF_LINKS + LINK_SIZE * i as u64, &mut b);
         ChildPtr::decode(get_link(&b, 0))
     }
 
@@ -304,9 +374,9 @@ impl PmStore {
     /// compact links span 48 bytes of the navigation line, so traversals
     /// pay one read per visited octant, not eight.
     #[inline]
-    pub fn children(&mut self, p: POffset) -> [ChildPtr; FANOUT] {
+    fn children(&mut self, p: POffset) -> [ChildPtr; FANOUT] {
         let mut buf = [0u8; 48];
-        self.arena.read(p.0 + OFF_LINKS, &mut buf);
+        self.io_read(p.0 + OFF_LINKS, &mut buf);
         let mut out = [ChildPtr::Null; FANOUT];
         for (i, c) in out.iter_mut().enumerate() {
             *c = ChildPtr::decode(get_link(&buf, i));
@@ -317,21 +387,21 @@ impl PmStore {
     /// Write one child pointer, keeping the presence mask coherent (one
     /// mask read-modify-write; all traffic stays on the navigation line).
     #[inline]
-    pub fn set_child(&mut self, p: POffset, i: usize, c: ChildPtr) {
+    fn set_child(&mut self, p: POffset, i: usize, c: ChildPtr) {
         debug_assert!(i < FANOUT);
         let raw = c.encode();
-        self.arena.write(p.0 + OFF_LINKS + LINK_SIZE * i as u64, &raw.to_le_bytes()[..6]);
+        self.io_write(p.0 + OFF_LINKS + LINK_SIZE * i as u64, &raw.to_le_bytes()[..6]);
         let mut m = [0u8; 1];
-        self.arena.read(p.0 + OFF_MASK, &mut m);
+        self.io_read(p.0 + OFF_MASK, &mut m);
         let nm = if c.is_null() { m[0] & !(1 << i) } else { m[0] | (1 << i) };
-        self.arena.write(p.0 + OFF_MASK, &[nm]);
+        self.io_write(p.0 + OFF_MASK, &[nm]);
     }
 
     /// Replace all 8 child pointers and the presence mask in two writes
     /// to the navigation line — the bulk form refine/coarsen use instead
     /// of eight `set_child` read-modify-writes.
     #[inline]
-    pub fn set_children(&mut self, p: POffset, cs: &[ChildPtr; FANOUT]) {
+    fn set_children(&mut self, p: POffset, cs: &[ChildPtr; FANOUT]) {
         let mut buf = [0u8; 48];
         let mut mask = 0u8;
         for (i, c) in cs.iter().enumerate() {
@@ -340,41 +410,43 @@ impl PmStore {
                 mask |= 1 << i;
             }
         }
-        self.arena.write(p.0 + OFF_LINKS, &buf);
-        self.arena.write(p.0 + OFF_MASK, &[mask]);
+        self.io_write(p.0 + OFF_LINKS, &buf);
+        self.io_write(p.0 + OFF_MASK, &[mask]);
     }
 
     /// Read the child-presence mask: bit `i` set iff `children[i]` is
     /// non-null. One single-byte read on the navigation line — the leaf
     /// test descents use instead of probing eight slots.
     #[inline]
-    pub fn child_mask(&mut self, p: POffset) -> u8 {
+    fn child_mask(&mut self, p: POffset) -> u8 {
         let mut m = [0u8; 1];
-        self.arena.read(p.0 + OFF_MASK, &mut m);
+        self.io_read(p.0 + OFF_MASK, &mut m);
         m[0]
     }
 
     /// Is the octant at `p` a leaf (no children)? Charges one line.
     #[inline]
-    pub fn is_leaf_octant(&mut self, p: POffset) -> bool {
+    fn is_leaf_octant(&mut self, p: POffset) -> bool {
         self.child_mask(p) == 0
     }
 
     /// Read the parent offset.
     #[inline]
-    pub fn parent(&mut self, p: POffset) -> POffset {
-        POffset(self.arena.read_u64(p.0 + OFF_PARENT))
+    fn parent(&mut self, p: POffset) -> POffset {
+        let mut b = [0u8; 8];
+        self.io_read(p.0 + OFF_PARENT, &mut b);
+        POffset(u64::from_le_bytes(b))
     }
 
     /// Write the parent offset.
     #[inline]
-    pub fn set_parent(&mut self, p: POffset, parent: POffset) {
-        self.arena.write_u64(p.0 + OFF_PARENT, parent.0);
+    fn set_parent(&mut self, p: POffset, parent: POffset) {
+        self.io_write(p.0 + OFF_PARENT, &parent.0.to_le_bytes());
     }
 
     /// Read the locational code.
     #[inline]
-    pub fn key(&mut self, p: POffset) -> OctKey {
+    fn key(&mut self, p: POffset) -> OctKey {
         let (code, level) = self.raw_key(p);
         OctKey::from_raw(code, level)
     }
@@ -385,9 +457,9 @@ impl PmStore {
     /// and level are adjacent on the navigation line, so this is one
     /// 9-byte, single-line read.
     #[inline]
-    pub fn raw_key(&mut self, p: POffset) -> (u64, u8) {
+    fn raw_key(&mut self, p: POffset) -> (u64, u8) {
         let mut b = [0u8; 9];
-        self.arena.read(p.0 + OFF_CODE, &mut b);
+        self.io_read(p.0 + OFF_CODE, &mut b);
         (u64::from_le_bytes(b[..8].try_into().expect("8 bytes")), b[8])
     }
 
@@ -396,64 +468,134 @@ impl PmStore {
     /// traversals that need several hot fields of the same octant use
     /// this to charge exactly one line instead of one per field.
     #[inline]
-    pub fn nav_line(&mut self, p: POffset) -> NavLine {
+    fn nav_line(&mut self, p: POffset) -> NavLine {
         let mut buf = [0u8; 64];
-        self.arena.read(p.0, &mut buf);
+        self.io_read(p.0, &mut buf);
         let mut children = [ChildPtr::Null; FANOUT];
         for (i, c) in children.iter_mut().enumerate() {
             *c = ChildPtr::decode(get_link(&buf, i));
         }
-        NavLine {
-            children,
-            code: u64::from_le_bytes(
-                buf[OFF_CODE as usize..OFF_CODE as usize + 8].try_into().expect("8"),
-            ),
-            level: buf[OFF_LEVEL as usize],
-            deleted: buf[OFF_FLAGS as usize] & FLAG_DELETED != 0,
-            mask: buf[OFF_MASK as usize],
-            epoch: u32::from_le_bytes(
-                buf[OFF_EPOCH as usize..OFF_EPOCH as usize + 4].try_into().expect("4"),
-            ),
+        decode_nav_tail(&buf, children)
+    }
+
+    /// [`OctAccess::nav_line`] with checked link decoding: a corrupted
+    /// child link surfaces as [`PmError::Corrupt`] instead of a panic.
+    /// Recovery validation and `verify` scans use this — they run over
+    /// media that a crash (or a poison test) may have mangled, and must
+    /// report, not abort.
+    fn nav_line_checked(&mut self, p: POffset) -> Result<NavLine, PmError> {
+        let mut buf = [0u8; 64];
+        self.io_read(p.0, &mut buf);
+        let mut children = [ChildPtr::Null; FANOUT];
+        for (i, c) in children.iter_mut().enumerate() {
+            *c = ChildPtr::try_decode(get_link(&buf, i))
+                .map_err(|e| PmError::Corrupt(format!("octant {:#x} child {i}: {e}", p.0)))?;
         }
+        Ok(decode_nav_tail(&buf, children))
     }
 
     /// Read the deleted flag.
     #[inline]
-    pub fn is_deleted(&mut self, p: POffset) -> bool {
+    fn is_deleted(&mut self, p: POffset) -> bool {
         let mut f = [0u8; 1];
-        self.arena.read(p.0 + OFF_FLAGS, &mut f);
+        self.io_read(p.0 + OFF_FLAGS, &mut f);
         f[0] & FLAG_DELETED != 0
     }
 
     /// Set or clear the deleted flag.
     #[inline]
-    pub fn set_deleted(&mut self, p: POffset, deleted: bool) {
+    fn set_deleted(&mut self, p: POffset, deleted: bool) {
         let mut f = [0u8; 1];
-        self.arena.read(p.0 + OFF_FLAGS, &mut f);
+        self.io_read(p.0 + OFF_FLAGS, &mut f);
         let nf = if deleted { f[0] | FLAG_DELETED } else { f[0] & !FLAG_DELETED };
-        self.arena.write(p.0 + OFF_FLAGS, &[nf]);
+        self.io_write(p.0 + OFF_FLAGS, &[nf]);
     }
 
     /// Read the creation epoch.
     #[inline]
-    pub fn epoch_of(&mut self, p: POffset) -> u32 {
+    fn epoch_of(&mut self, p: POffset) -> u32 {
         let mut b = [0u8; 4];
-        self.arena.read(p.0 + OFF_EPOCH, &mut b);
+        self.io_read(p.0 + OFF_EPOCH, &mut b);
         u32::from_le_bytes(b)
     }
 
     /// Read the payload.
     #[inline]
-    pub fn data(&mut self, p: POffset) -> CellData {
+    fn data(&mut self, p: POffset) -> CellData {
         let mut b = [0u8; 32];
-        self.arena.read(p.0 + OFF_DATA, &mut b);
+        self.io_read(p.0 + OFF_DATA, &mut b);
         CellData::from_bytes(&b)
     }
 
     /// Write the payload.
     #[inline]
-    pub fn set_data(&mut self, p: POffset, d: &CellData) {
-        self.arena.write(p.0 + OFF_DATA, &d.to_bytes());
+    fn set_data(&mut self, p: POffset, d: &CellData) {
+        self.io_write(p.0 + OFF_DATA, &d.to_bytes());
+    }
+}
+
+/// Decode the non-link fields of a navigation-line buffer.
+fn decode_nav_tail(buf: &[u8; 64], children: [ChildPtr; FANOUT]) -> NavLine {
+    NavLine {
+        children,
+        code: u64::from_le_bytes(
+            buf[OFF_CODE as usize..OFF_CODE as usize + 8].try_into().expect("8"),
+        ),
+        level: buf[OFF_LEVEL as usize],
+        deleted: buf[OFF_FLAGS as usize] & FLAG_DELETED != 0,
+        mask: buf[OFF_MASK as usize],
+        epoch: u32::from_le_bytes(
+            buf[OFF_EPOCH as usize..OFF_EPOCH as usize + 4].try_into().expect("4"),
+        ),
+    }
+}
+
+/// One write domain's octant store during a domain-parallel sweep: reads
+/// fall through a private overlay to the shared fork-point
+/// [`ArenaSnapshot`]; writes buffer into the overlay; allocations walk a
+/// pre-carved [`AllocLease`], so concurrent domains never contend for the
+/// allocator or interleave lines. Everything it produces — the dirty
+/// overlay, the consumed lease prefix, newly allocated offsets — is
+/// handed back at the serial join point via [`ShardStore::into_parts`].
+pub struct ShardStore<'a> {
+    w: ShardWriter<'a>,
+    lease: AllocLease,
+    registry: Vec<POffset>,
+}
+
+impl<'a> ShardStore<'a> {
+    /// A store for one domain over the sweep's fork-point snapshot and
+    /// the domain's allocator lease.
+    pub fn new(snap: &'a ArenaSnapshot<'a>, lease: AllocLease) -> Self {
+        ShardStore { w: ShardWriter::new(snap), lease, registry: Vec::new() }
+    }
+
+    /// Finish the domain: the buffered device delta (for
+    /// [`NvbmArena::absorb_shard`]), the lease with its cursor advanced
+    /// past the consumed prefix (release the tail back to the
+    /// allocator), and the offsets allocated by this domain (append to
+    /// the live registry in domain order).
+    pub fn into_parts(self) -> (pmoctree_nvbm::ShardDelta, AllocLease, Vec<POffset>) {
+        (self.w.into_delta(), self.lease, self.registry)
+    }
+}
+
+impl OctAccess for ShardStore<'_> {
+    fn io_read(&mut self, offset: u64, buf: &mut [u8]) {
+        self.w.read(offset, buf);
+    }
+
+    fn io_write(&mut self, offset: u64, data: &[u8]) {
+        self.w.write(offset, data);
+    }
+
+    fn alloc_block(&mut self) -> Result<POffset, PmError> {
+        let p = self
+            .lease
+            .alloc()
+            .ok_or_else(|| PmError::Full("write-domain lease exhausted".into()))?;
+        self.registry.push(p);
+        Ok(p)
     }
 }
 
@@ -579,6 +721,80 @@ mod tests {
         assert_eq!(nav.mask, 1 << 5);
         assert!(!nav.deleted);
         assert_eq!(nav.epoch, 9);
+    }
+
+    #[test]
+    fn try_decode_rejects_corrupt_links() {
+        assert!(ChildPtr::try_decode(1 << 48).is_err(), "wider than 6 bytes");
+        // A volatile handle with garbage in the reserved bits 32..47 used
+        // to be silently truncated to a (wrong) id.
+        assert!(ChildPtr::try_decode(VOLATILE_BIT | (1 << 40) | 7).is_err());
+        assert_eq!(ChildPtr::try_decode(VOLATILE_BIT | 7).unwrap(), ChildPtr::Volatile(7));
+        assert_eq!(ChildPtr::try_decode(0).unwrap(), ChildPtr::Null);
+        assert_eq!(ChildPtr::try_decode(0x2000 >> 6).unwrap(), ChildPtr::Nvbm(POffset(0x2000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt child link")]
+    fn decode_checks_links_in_release_builds_too() {
+        let _ = ChildPtr::decode(VOLATILE_BIT | (1 << 40));
+    }
+
+    #[test]
+    fn nav_line_checked_reports_corruption() {
+        let mut s = store();
+        let o = Octant::leaf(OctKey::root(), POffset::NULL, 0, CellData::default());
+        let p = s.alloc_octant(&o).unwrap();
+        assert!(s.nav_line_checked(p).is_ok());
+        // Poison child slot 0 with a volatile link carrying reserved bits.
+        let raw = VOLATILE_BIT | (1 << 40) | 3;
+        s.arena.write(p.0, &raw.to_le_bytes()[..6]);
+        match s.nav_line_checked(p) {
+            Err(PmError::Corrupt(m)) => assert!(m.contains("child 0"), "{m}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shard_store_is_invisible_until_absorbed() {
+        let mut s = store();
+        let root = s
+            .alloc_octant(&Octant::leaf(OctKey::root(), POffset::NULL, 0, CellData::default()))
+            .unwrap();
+        s.alloc.set_limit(s.arena.live_rt_floor());
+        let lease = s.alloc.carve_lease(4, OCTANT_SIZE).unwrap();
+        let (delta, lease, regs) = {
+            let snap = s.arena.snapshot();
+            let mut shard = ShardStore::new(&snap, lease);
+            assert_eq!(shard.key(root), OctKey::root(), "shard reads the snapshot");
+            let c = shard
+                .alloc_octant(&Octant::leaf(OctKey::root().child(2), root, 1, CellData::default()))
+                .unwrap();
+            shard.set_child(root, 2, ChildPtr::Nvbm(c));
+            shard.into_parts()
+        };
+        assert_eq!(regs, vec![POffset(lease.start())]);
+        assert!(s.is_leaf_octant(root), "buffered shard writes are invisible");
+        s.arena.absorb_shard("sweep::interleave", delta);
+        s.alloc.release_lease(lease, lease.cursor());
+        s.registry.extend(regs);
+        assert_eq!(s.child(root, 2), ChildPtr::Nvbm(POffset(lease.start())));
+        assert_eq!(s.key(POffset(lease.start())), OctKey::root().child(2));
+    }
+
+    #[test]
+    fn shard_lease_exhaustion_is_full_not_panic() {
+        let mut s = store();
+        s.alloc.set_limit(s.arena.live_rt_floor());
+        let lease = s.alloc.carve_lease(1, OCTANT_SIZE).unwrap();
+        let snap = s.arena.snapshot();
+        let mut shard = ShardStore::new(&snap, lease);
+        let o = Octant::leaf(OctKey::root(), POffset::NULL, 0, CellData::default());
+        assert!(shard.alloc_octant(&o).is_ok());
+        match shard.alloc_octant(&o) {
+            Err(PmError::Full(_)) => {}
+            other => panic!("expected Full, got {other:?}"),
+        }
     }
 
     #[test]

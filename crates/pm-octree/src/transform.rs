@@ -15,7 +15,7 @@ use pmoctree_nvbm::POffset;
 use crate::api::PmOctree;
 use crate::c0::C0Tree;
 use crate::c1::{self};
-use crate::octant::ChildPtr;
+use crate::octant::{ChildPtr, OctAccess};
 use crate::sampling;
 
 impl PmOctree {
@@ -128,19 +128,36 @@ impl PmOctree {
                 }
                 victims.next();
                 // The victim may already have been demoted by pressure.
-                if self.forest.ids().contains(&vid) {
-                    self.evict_c0(vid);
+                if self.forest.ids().contains(&vid) && self.evict_c0(vid).is_err() {
+                    // Demotion needs NVBM headroom for the merged image;
+                    // without it no further swap can succeed either.
+                    break 'promote;
                 }
             }
             let subtree_key = octants[0].0;
             let tree = C0Tree::from_octants(subtree_key, &octants);
             let id = self.register_c0(tree, hot_off);
             let (root, epoch) = (self.root_offset(), self.epoch());
-            let new_root =
-                c1::replace_slot(&mut self.store, root, subtree_key, ChildPtr::Volatile(id), epoch);
-            self.set_root_offset(new_root);
-            self.events.transforms += 1;
-            swaps += 1;
+            match c1::replace_slot(
+                &mut self.store,
+                root,
+                subtree_key,
+                ChildPtr::Volatile(id),
+                epoch,
+            ) {
+                Ok(new_root) => {
+                    self.set_root_offset(new_root);
+                    self.events.transforms += 1;
+                    swaps += 1;
+                }
+                Err(_) => {
+                    // Path COW ran out of NVBM: unwind the registration
+                    // and stop — the transformation is strictly optional.
+                    self.forest.remove(id);
+                    self.set_shadow(id, pmoctree_nvbm::POffset::NULL);
+                    break 'promote;
+                }
+            }
         }
         self.store.arena.tracer.counter_add("transform.swaps", swaps as u64);
         self.store.arena.set_phase(prev_phase);

@@ -28,7 +28,7 @@ use pmoctree_nvbm::{POffset, CACHELINE, HEADER_SIZE};
 
 use crate::api::{PmError, PmOctree};
 use crate::gc;
-use crate::octant::{ChildPtr, PmStore, OCTANT_SIZE};
+use crate::octant::{ChildPtr, OctAccess, PmStore, OCTANT_SIZE};
 
 /// What a validated scan learned about the tree below one root.
 #[derive(Debug, Clone, Default)]
@@ -97,8 +97,9 @@ pub fn scan_tree(store: &mut PmStore, root: POffset) -> Result<TreeScan, PmError
             )));
         }
         // The whole hot line — children, raw key, flags, mask, epoch —
-        // arrives in one validated read.
-        let nav = store.nav_line(p);
+        // arrives in one validated read; a torn child link surfaces as
+        // `Corrupt` here instead of a decode panic.
+        let nav = store.nav_line_checked(p)?;
         let key = checked_key(p, nav.code, nav.level)?;
         if let Some(want) = expected.remove(&p) {
             if key != want {

@@ -17,8 +17,7 @@ use crate::heap::{class_of, RtHeap};
 /// Codec-layer errors. Every decode/validation failure is reported,
 /// never panicked — the input is post-crash media. Public runtime verbs
 /// fold these into [`PmError`]; only [`PmData`](crate::data::PmData)
-/// implementations and the deprecated string-keyed shims still speak
-/// `RtError` directly.
+/// implementations still speak `RtError` directly.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RtError {
     /// On-media bytes failed validation (bad magic, truncation, overlap).
@@ -579,59 +578,6 @@ impl PmRt {
     }
 }
 
-// ---------------------------------------------------------------------
-// Deprecated string-keyed shims (pre-service API). Internal code uses
-// the engine verbs above or the typed handles in `tenant`; these remain
-// for one release so external callers migrate at their own pace.
-// ---------------------------------------------------------------------
-impl PmRt {
-    /// Stage `value` under `name`.
-    #[deprecated(note = "use `PmRt::stage`, or the typed `TenantHandle::put` via `PmRt::session`")]
-    pub fn put<T: PmData>(
-        &mut self,
-        arena: &mut NvbmArena,
-        name: &str,
-        value: &T,
-    ) -> Result<PPtr<T>, RtError> {
-        self.stage_inner(arena, name, value)
-    }
-
-    /// Read the current value of a named root.
-    #[deprecated(note = "use `PmRt::load`, or the typed `TenantHandle::get` via `PmRt::session`")]
-    pub fn get<T: PmData>(
-        &mut self,
-        arena: &mut NvbmArena,
-        name: &str,
-    ) -> Result<Option<T>, RtError> {
-        let Some(&e) = self.table.get(name) else {
-            return Ok(None);
-        };
-        self.load_ptr_inner(arena, PPtr::from_entry(e)).map(Some)
-    }
-
-    /// The persistent pointer currently registered under `name`.
-    #[deprecated(note = "use `PmRt::resolve`, or `TenantHandle::root` via `PmRt::session`")]
-    pub fn ptr<T: PmData>(&self, name: &str) -> Option<PPtr<T>> {
-        self.resolve(name)
-    }
-
-    /// Dereference a persistent pointer.
-    #[deprecated(note = "use `PmRt::load_ptr`")]
-    pub fn read_ptr<T: PmData>(
-        &mut self,
-        arena: &mut NvbmArena,
-        ptr: PPtr<T>,
-    ) -> Result<T, RtError> {
-        self.load_ptr_inner(arena, ptr)
-    }
-
-    /// Unregister a named root.
-    #[deprecated(note = "use `PmRt::unregister`, or `TenantHandle::remove` via `PmRt::session`")]
-    pub fn remove(&mut self, name: &str) -> bool {
-        self.unregister(name)
-    }
-}
-
 fn check_bounds(cap: u64, off: u64, len: u32) -> Result<(), RtError> {
     let end = off
         .checked_add(OBJ_HEADER as u64 + len as u64)
@@ -737,21 +683,6 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_still_roundtrip() {
-        // The one caller of the pre-service API: proves the shims stay
-        // wired to the engine until their removal release.
-        #![allow(deprecated)]
-        let mut a = arena();
-        let mut rt = PmRt::create(&mut a).unwrap();
-        let p = rt.put(&mut a, "x", &7u64).unwrap();
-        assert_eq!(rt.read_ptr(&mut a, p).unwrap(), 7);
-        assert_eq!(rt.get::<u64>(&mut a, "x").unwrap(), Some(7));
-        assert_eq!(rt.ptr::<u64>("x"), Some(p));
-        assert!(rt.remove("x"));
-        assert_eq!(rt.get::<u64>(&mut a, "x").unwrap(), None);
-    }
-
-    #[test]
     fn uncommitted_stage_is_lost_committed_survives() {
         let mut a = arena();
         let mut rt = PmRt::create(&mut a).unwrap();
@@ -853,7 +784,7 @@ mod tests {
 
     #[test]
     fn octree_bump_cannot_cross_committed_rt_blobs() {
-        use pm_octree::{CellData, Octant, PmConfig, PmOctree, OCTANT_SIZE};
+        use pm_octree::{CellData, OctAccess, Octant, PmConfig, PmOctree, OCTANT_SIZE};
         use pmoctree_morton::OctKey;
 
         // A tight shared device: the octree must report full at the
@@ -869,7 +800,7 @@ mod tests {
         loop {
             let o = Octant::leaf(OctKey::root(), POffset::NULL, 1, CellData::default());
             match t.store.alloc_octant(&o) {
-                Some(p) => {
+                Ok(p) => {
                     assert!(
                         p.0 + OCTANT_SIZE as u64 <= floor,
                         "octant at {:#x} crosses the rt floor {floor:#x}",
@@ -877,7 +808,7 @@ mod tests {
                     );
                     n += 1;
                 }
-                None => break,
+                Err(_) => break,
             }
         }
         assert!(n > 0, "the device has room below the floor");
