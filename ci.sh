@@ -76,6 +76,25 @@ for d in droplet service; do
         exit 1
     fi
 done
+# Log-structured wear-leveling gate: the wear-level driver must pass its
+# internal gates (>=1 wear-GC relocation, pinned snapshots byte-identical
+# under relocation, bytes/commit and flatness against recorded baselines)
+# and both its documents — BENCH_wear_level.json and the merged
+# BENCH_wear.json — must be byte-identical under 1 and 4 workers.
+cargo run --release -p pmoctree-bench --bin repro -- wear-level --smoke --workers 1
+mv BENCH_wear_level.json BENCH_wear_level.w1.json
+cp BENCH_wear.json BENCH_wear.w1.json
+cargo run --release -p pmoctree-bench --bin repro -- wear-level --smoke --workers 4
+if ! diff -q BENCH_wear_level.w1.json BENCH_wear_level.json ||
+    ! diff -q BENCH_wear.w1.json BENCH_wear.json; then
+    echo "wear-level benchmark diverged between 1 and 4 workers" >&2
+    exit 1
+fi
+rm -f BENCH_wear_level.w1.json BENCH_wear.w1.json
+if ! grep -q "\"driver\":\"wear-level\"" BENCH_wear.json; then
+    echo "BENCH_wear.json is missing the wear-level driver" >&2
+    exit 1
+fi
 # BENCH-document shape gate: trace-check validates every emitted
 # BENCH_*.json (wear docs need all four regions + the 16-bucket
 # histogram; blackbox needs a well-formed recovered dump).

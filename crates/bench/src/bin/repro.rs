@@ -7,6 +7,7 @@
 //! repro crash-sweep [--smoke]
 //! repro recovery-rt [--smoke]
 //! repro service [--smoke]
+//! repro wear-level [--smoke]
 //! repro droplet [--quick] [--trace out.json] [--metrics out.prom]
 //! repro blackbox [--quick]
 //! repro cluster-smoke [--workers N]
@@ -36,6 +37,16 @@
 //! `BENCH_service.json`; exits non-zero if a pinned snapshot ever
 //! changes. Single-threaded and virtual-clock only, so the JSON is part
 //! of the `ci.sh` determinism gates.
+//!
+//! `wear-level` (not part of `all`) measures the log-structured region
+//! manager's endurance levers: rt-heap bytes written per commit on the
+//! service workload and wear-histogram flatness on the droplet workload,
+//! both against recorded pre-log baselines, plus the wear GC's
+//! relocation counters. Writes `BENCH_wear_level.json` and merges the
+//! `wear-level` entry (with its `wear_leveling` section) into
+//! `BENCH_wear.json`; exits non-zero if a pinned snapshot changed under
+//! relocation or the wear GC never relocated a blob. Virtual-clock
+//! deterministic, part of the `ci.sh` 1-vs-4-worker byte-diff gates.
 //!
 //! `recovery-rt` (not part of `all`) exercises the pm-rt
 //! orthogonal-persistence runtime: sampled crashes (including at
@@ -255,6 +266,40 @@ fn main() {
         println!("{}", service_sweep_str(&svc));
         if svc.total_violations() > 0 {
             eprintln!("service crash sweep found {} violations", svc.total_violations());
+            std::process::exit(1);
+        }
+        // The log-structured heap's failpoints must appear in both
+        // sweeps' opportunity spaces — a sweep that never crossed them
+        // proved nothing about the log's crash surface.
+        for label in ["heap::append", "heap::compact", "wear::relocate"] {
+            for (sweep_name, counts) in
+                [("droplet", &sweep.label_counts), ("service", &svc.label_counts)]
+            {
+                if !counts.iter().any(|(l, n)| l == label && *n > 0) {
+                    eprintln!(
+                        "crash sweep ({sweep_name}): failpoint {label} fired no opportunities"
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    if what == "wear-level" {
+        let cfg = if args.iter().any(|a| a == "--smoke") || quick {
+            WearLevelConfig::smoke()
+        } else {
+            WearLevelConfig::full()
+        };
+        let b = wear_level_bench(&cfg);
+        println!("{}", wear_level_str(&b));
+        write_bench_json("wear_level", &wear_level_json(&b));
+        write_wear_json_leveled("wear-level", &b.wear, &b.leveling);
+        if !b.service_snapshot_ok {
+            eprintln!("wear-level: a pinned snapshot changed under relocation");
+            std::process::exit(1);
+        }
+        if b.leveling.relocations == 0 {
+            eprintln!("wear-level: the wear GC never relocated a blob");
             std::process::exit(1);
         }
     }

@@ -4,8 +4,9 @@
 //! with a [`FailPlan`] hook installed, so **every** crash opportunity the
 //! workload has — every store, every cacheline writeback, every labelled
 //! protocol point (`persist::*`, `gc::sweep`, `c0::evict`,
-//! `replica::ship`, `transform`, `rt::commit`, `rt::swizzle`) — is
-//! visited exactly once. At each
+//! `replica::ship`, `transform`, `rt::commit`, `rt::swizzle`, and the
+//! log-structured heap's `heap::append` / `heap::compact` /
+//! `wear::relocate`) — is visited exactly once. At each
 //! opportunity the hook materialises the media image a reboot would find
 //! under each [`CrashMode`] (drop dirty lines, commit a random subset,
 //! tear each line at a random word boundary), restores a fresh tree from
@@ -738,6 +739,9 @@ mod tests {
             "transform",
             "rt::commit",
             "rt::swizzle",
+            "heap::append",
+            "heap::compact",
+            "wear::relocate",
             "sweep::interleave",
         ] {
             assert!(
@@ -762,7 +766,14 @@ mod tests {
         assert_eq!(sweep.recorder_checked, sweep.opportunities * sweep.rows.len() as u64);
         // The service protocol points must appear in the opportunity
         // space, alongside the underlying rt commit they wrap.
-        for label in ["svc::commit_batch", "svc::snapshot_pin", "rt::commit"] {
+        for label in [
+            "svc::commit_batch",
+            "svc::snapshot_pin",
+            "rt::commit",
+            "heap::append",
+            "heap::compact",
+            "wear::relocate",
+        ] {
             assert!(
                 sweep.label_counts.iter().any(|(l, n)| l == label && *n > 0),
                 "failpoint {label} never fired; coverage: {:?}",

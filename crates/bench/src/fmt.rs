@@ -373,6 +373,34 @@ pub fn service_str(b: &crate::service_bench::ServiceBench) -> String {
     s
 }
 
+/// Render the wear-leveling benchmark: both endurance readouts against
+/// their recorded pre-log baselines, plus the wear GC's counters.
+pub fn wear_level_str(b: &crate::wear_bench::WearLevelBench) -> String {
+    let mut s = format!(
+        "Wear leveling: service {} commits, {} bytes => {:.0} bytes/commit \
+         (baseline {:.0}, {:.1}% reduction)\n",
+        b.service_commits,
+        b.service_bytes_written,
+        b.service_bytes_per_commit,
+        b.baseline_bytes_per_commit,
+        b.bytes_per_commit_reduction_percent
+    );
+    s.push_str(&format!(
+        "droplet flatness (hottest/mean block wear): {:.3} (baseline {:.2}); \
+         {} steps, {} elements\n",
+        b.droplet_flatness, b.baseline_flatness, b.droplet_steps, b.droplet_elements
+    ));
+    s.push_str(&format!(
+        "wear GC: watermark {:.2}, {} relocations, {} bytes moved; snapshots {}\n",
+        b.leveling.occupancy_watermark,
+        b.leveling.relocations,
+        b.leveling.bytes_moved,
+        if b.service_snapshot_ok { "byte-identical under relocation" } else { "VIOLATED" }
+    ));
+    s.push_str(&wear_str(&b.wear));
+    s
+}
+
 /// Render a wear / write-amplification report: per-region and per-phase
 /// committed bytes plus the block-wear histogram.
 pub fn wear_str(w: &pmoctree_nvbm::WearReport) -> String {

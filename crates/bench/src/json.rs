@@ -273,12 +273,16 @@ pub fn service_json(b: &crate::service_bench::ServiceBench) -> String {
 struct WearDriverDoc {
     driver: String,
     wear: pmoctree_nvbm::WearReport,
+    /// The wear GC's own counters — an object on the `wear-level`
+    /// driver's entry (where `trace-check` requires it), JSON `null` on
+    /// every other driver's.
+    wear_leveling: Option<crate::wear_bench::WearLeveling>,
 }
 
 /// Render one driver's wear entry (a single line, used by the
 /// `BENCH_wear.json` merge below).
 fn wear_driver_line(driver: &str, wear: &pmoctree_nvbm::WearReport) -> String {
-    json_doc(&WearDriverDoc { driver: driver.to_string(), wear: wear.clone() })
+    json_doc(&WearDriverDoc { driver: driver.to_string(), wear: wear.clone(), wear_leveling: None })
 }
 
 /// Render the whole wear document from per-driver entry lines.
@@ -287,19 +291,64 @@ fn wear_doc(lines: &[String]) -> String {
 }
 
 /// Build a full wear document in memory — test seam for the
-/// `trace-check` shape validator, bypassing the filesystem merge.
+/// `trace-check` shape validator, bypassing the filesystem merge. Each
+/// driver optionally carries its `wear_leveling` section.
 #[cfg(test)]
-pub(crate) fn wear_doc_for_tests(drivers: &[(&str, &pmoctree_nvbm::WearReport)]) -> String {
-    let lines: Vec<String> = drivers.iter().map(|(d, w)| wear_driver_line(d, w)).collect();
+pub(crate) fn wear_doc_for_tests(
+    drivers: &[(&str, &pmoctree_nvbm::WearReport, Option<&crate::wear_bench::WearLeveling>)],
+) -> String {
+    let lines: Vec<String> = drivers
+        .iter()
+        .map(|(d, w, l)| {
+            json_doc(&WearDriverDoc {
+                driver: d.to_string(),
+                wear: (*w).clone(),
+                wear_leveling: l.cloned(),
+            })
+        })
+        .collect();
     wear_doc(&lines)
+}
+
+#[derive(Serialize)]
+struct WearLevelDoc {
+    experiment: &'static str,
+    bench: crate::wear_bench::WearLevelBench,
+}
+
+/// JSON for the wear-leveling benchmark (`BENCH_wear_level.json`).
+/// Virtual-clock and count fields only — part of the `ci.sh`
+/// 1-vs-4-worker byte-diff gates.
+pub fn wear_level_json(b: &crate::wear_bench::WearLevelBench) -> String {
+    json_doc(&WearLevelDoc { experiment: "wear_level", bench: b.clone() })
+}
+
+/// Merge the `wear-level` driver's entry — wear report *plus* the
+/// required `wear_leveling` GC-counter section — into `BENCH_wear.json`.
+pub fn write_wear_json_leveled(
+    driver: &str,
+    wear: &pmoctree_nvbm::WearReport,
+    leveling: &crate::wear_bench::WearLeveling,
+) {
+    let line = json_doc(&WearDriverDoc {
+        driver: driver.to_string(),
+        wear: wear.clone(),
+        wear_leveling: Some(leveling.clone()),
+    });
+    merge_wear_line(driver, line);
 }
 
 /// Merge one driver's wear report into `BENCH_wear.json`: the file holds
 /// one entry per driver (`droplet` from `repro write_fraction`, `service`
-/// from `repro service`), each on its own line, sorted by driver name —
-/// so the two subcommands can update it independently and the result is
-/// byte-stable under any invocation order.
+/// from `repro service`, `wear-level` from `repro wear-level`), each on
+/// its own line, sorted by driver name — so the subcommands can update it
+/// independently and the result is byte-stable under any invocation
+/// order.
 pub fn write_wear_json(driver: &str, wear: &pmoctree_nvbm::WearReport) {
+    merge_wear_line(driver, wear_driver_line(driver, wear));
+}
+
+fn merge_wear_line(driver: &str, rendered: String) {
     let path = "BENCH_wear.json";
     // Keep the other drivers' lines from an existing (valid) file.
     let mut entries: Vec<(String, String)> = Vec::new();
@@ -317,7 +366,7 @@ pub fn write_wear_json(driver: &str, wear: &pmoctree_nvbm::WearReport) {
             }
         }
     }
-    entries.push((driver.to_string(), wear_driver_line(driver, wear)));
+    entries.push((driver.to_string(), rendered));
     entries.sort_by(|a, b| a.0.cmp(&b.0));
     let lines: Vec<String> = entries.into_iter().map(|(_, l)| l).collect();
     let body = wear_doc(&lines);

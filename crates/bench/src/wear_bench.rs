@@ -1,0 +1,208 @@
+//! Wear-leveling benchmark (`repro wear-level`).
+//!
+//! Measures the two endurance levers of the log-structured region
+//! manager against the recorded pre-log baselines, on the **virtual**
+//! clock so the output is machine-independent and part of the `ci.sh`
+//! 1-vs-4-worker byte-diff gates:
+//!
+//! * **rt-heap write volume** — the multi-tenant service workload's
+//!   bytes written per published commit. The append-only delta chain
+//!   replaces the old whole-table rewrite, so this is where the log
+//!   pays for itself ([`BASELINE_SERVICE_BYTES_PER_COMMIT`]).
+//! * **wear-histogram flatness** — the droplet workload's hottest-block
+//!   over mean-block commit ratio (1.0 = perfectly even). Header-write
+//!   batching plus cold-first free-list steering flatten it
+//!   ([`BASELINE_DROPLET_FLATNESS`]).
+//!
+//! The run also surfaces the wear GC's own counters (occupancy
+//! watermark, relocations performed, bytes moved) as the
+//! `wear_leveling` section of the `wear-level` driver entry in
+//! `BENCH_wear.json`, which `repro trace-check` requires for that
+//! driver.
+
+use crate::experiments::droplet_untraced;
+use crate::service_bench::{service_bench, ServiceBenchConfig};
+use pmoctree_nvbm::WearReport;
+
+/// Mean bytes written per published commit on the smoke service
+/// workload *before* the log-structured heap (whole-table rewrite per
+/// commit), recorded for the delta readout.
+pub const BASELINE_SERVICE_BYTES_PER_COMMIT: f64 = 20_777.0;
+
+/// The same pre-log baseline at full scale (`repro service`, 782
+/// commits, 40,450,048 rt-heap bytes).
+pub const BASELINE_SERVICE_BYTES_PER_COMMIT_FULL: f64 = 51_726.0;
+
+/// Droplet wear-histogram flatness (hottest block / mean) before
+/// header-write batching and cold-first steering.
+pub const BASELINE_DROPLET_FLATNESS: f64 = 1.29;
+
+/// The same pre-batching baseline at full scale (10 steps, level 5:
+/// hottest block 320 commits, mean 144.8). At this scale the hottest
+/// line is the octree bump region, which the header-batching lever does
+/// not touch, so the full-scale flatness barely moves.
+pub const BASELINE_DROPLET_FLATNESS_FULL: f64 = 2.21;
+
+/// Scale knobs for the wear-leveling benchmark.
+#[derive(Clone, Debug)]
+pub struct WearLevelConfig {
+    /// The service workload measured for bytes-per-commit.
+    pub service: ServiceBenchConfig,
+    /// Droplet adaptation steps measured for wear flatness.
+    pub droplet_steps: usize,
+    /// Maximum droplet refinement level.
+    pub droplet_level: u8,
+    /// Pre-log bytes-per-commit recorded at this scale.
+    pub baseline_bytes_per_commit: f64,
+    /// Pre-batching droplet flatness recorded at this scale.
+    pub baseline_flatness: f64,
+}
+
+impl WearLevelConfig {
+    /// CI-sized run (the scale [`BASELINE_SERVICE_BYTES_PER_COMMIT`]
+    /// was recorded at).
+    pub fn smoke() -> Self {
+        WearLevelConfig {
+            service: ServiceBenchConfig::smoke(),
+            droplet_steps: 3,
+            droplet_level: 4,
+            baseline_bytes_per_commit: BASELINE_SERVICE_BYTES_PER_COMMIT,
+            baseline_flatness: BASELINE_DROPLET_FLATNESS,
+        }
+    }
+
+    /// Default run, against the full-scale baselines.
+    pub fn full() -> Self {
+        WearLevelConfig {
+            service: ServiceBenchConfig::full(),
+            droplet_steps: 10,
+            droplet_level: 5,
+            baseline_bytes_per_commit: BASELINE_SERVICE_BYTES_PER_COMMIT_FULL,
+            baseline_flatness: BASELINE_DROPLET_FLATNESS_FULL,
+        }
+    }
+}
+
+/// The wear GC's own activity counters — the `wear_leveling` section of
+/// the `wear-level` driver entry in `BENCH_wear.json`.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct WearLeveling {
+    /// Log occupancy fraction above which the compaction pass relocates
+    /// live records ([`pm_rt::COMPACT_WATERMARK`]).
+    pub occupancy_watermark: f64,
+    /// Wear-leveling relocations performed (hot blobs copied off the
+    /// hottest block, plus compaction moves).
+    pub relocations: u64,
+    /// Live bytes moved by those relocations.
+    pub bytes_moved: u64,
+}
+
+/// Benchmark outcome; every field is virtual-clock or count data, so
+/// the serialized form is deterministic across machines and worker
+/// counts.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct WearLevelBench {
+    /// Root-table swaps the service workload published.
+    pub service_commits: u64,
+    /// Bytes the service workload wrote across those swaps.
+    pub service_bytes_written: u64,
+    /// Mean bytes per published commit.
+    pub service_bytes_per_commit: f64,
+    /// Pre-log baseline for the same smoke workload.
+    pub baseline_bytes_per_commit: f64,
+    /// Reduction vs the baseline, percent (positive = fewer bytes).
+    pub bytes_per_commit_reduction_percent: f64,
+    /// Whether every pinned snapshot in the service workload reread
+    /// byte-identically (relocation must never perturb a pin).
+    pub service_snapshot_ok: bool,
+    /// Droplet adaptation steps run.
+    pub droplet_steps: usize,
+    /// Final droplet leaf count.
+    pub droplet_elements: usize,
+    /// Droplet wear-histogram flatness (hottest / mean; 1.0 = even).
+    pub droplet_flatness: f64,
+    /// Pre-batching baseline flatness for the same workload.
+    pub baseline_flatness: f64,
+    /// Wear attribution of the droplet device (the flatness readout).
+    pub wear: WearReport,
+    /// The wear GC's counters, from the service device (where the
+    /// rt-heap churn lives).
+    pub leveling: WearLeveling,
+}
+
+/// Run the benchmark: the service workload for the rt-heap
+/// bytes-per-commit readout, then the droplet workload for the
+/// wear-flatness readout. Single-threaded, virtual-clock only.
+pub fn wear_level_bench(cfg: &WearLevelConfig) -> WearLevelBench {
+    let svc = service_bench(&cfg.service);
+    let leveling = WearLeveling {
+        occupancy_watermark: pm_rt::COMPACT_WATERMARK,
+        relocations: svc.wear.relocations,
+        bytes_moved: svc.wear.relocated_bytes,
+    };
+    let droplet = droplet_untraced(cfg.droplet_steps, cfg.droplet_level);
+    WearLevelBench {
+        service_commits: svc.commits,
+        service_bytes_written: svc.bytes_written,
+        service_bytes_per_commit: svc.bytes_per_commit,
+        baseline_bytes_per_commit: cfg.baseline_bytes_per_commit,
+        bytes_per_commit_reduction_percent: 100.0
+            * (1.0 - svc.bytes_per_commit / cfg.baseline_bytes_per_commit),
+        service_snapshot_ok: svc.snapshot_ok,
+        droplet_steps: cfg.droplet_steps,
+        droplet_elements: droplet.elements,
+        droplet_flatness: droplet.wear.flatness,
+        baseline_flatness: cfg.baseline_flatness,
+        wear: droplet.wear,
+        leveling,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> WearLevelConfig {
+        WearLevelConfig {
+            service: ServiceBenchConfig {
+                tenants: 100,
+                ops: 3_000,
+                batch_capacity: 32,
+                check_interval: 500,
+                check_span: 200,
+                arena_bytes: 4 << 20,
+                ..ServiceBenchConfig::smoke()
+            },
+            droplet_steps: 2,
+            droplet_level: 3,
+            ..WearLevelConfig::smoke()
+        }
+    }
+
+    #[test]
+    fn wear_level_bench_exercises_both_levers() {
+        let b = wear_level_bench(&tiny());
+        assert!(b.service_commits > 0 && b.service_bytes_per_commit > 0.0);
+        assert!(b.service_snapshot_ok, "relocation perturbed a pinned snapshot");
+        assert!(b.leveling.relocations > 0, "wear GC never relocated a blob");
+        assert!(b.leveling.bytes_moved > 0);
+        assert!(
+            b.leveling.occupancy_watermark > 0.0 && b.leveling.occupancy_watermark <= 1.0,
+            "watermark out of range: {}",
+            b.leveling.occupancy_watermark
+        );
+        assert!(b.droplet_flatness >= 1.0, "flatness is max/mean: {}", b.droplet_flatness);
+        assert!(b.wear.bytes_committed > 0);
+    }
+
+    #[test]
+    fn wear_level_bench_is_deterministic() {
+        let a = wear_level_bench(&tiny());
+        let b = wear_level_bench(&tiny());
+        assert_eq!(
+            crate::json::wear_level_json(&a),
+            crate::json::wear_level_json(&b),
+            "wear-level output must be byte-stable"
+        );
+    }
+}

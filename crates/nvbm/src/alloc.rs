@@ -126,6 +126,21 @@ impl PmemAllocator {
         self.live_bytes = self.live_bytes.saturating_sub(cls as u64);
     }
 
+    /// Sort every size-class free list coldest-first by measured block
+    /// wear, so [`ReusePolicy::WearAware`]'s front-of-list reuse lands on
+    /// the least-worn blocks instead of merely rotating FIFO. `wear_of`
+    /// maps a byte offset to its block's effective wear (pass
+    /// [`MemStats::block_wear`](crate::MemStats::block_wear)). The sort is
+    /// stable, so equally-cold blocks keep their FIFO rotation order.
+    /// O(n log n) over the free set — call from GC sweeps, not per alloc.
+    pub fn steer_cold(&mut self, wear_of: impl Fn(u64) -> u32) {
+        for list in self.free.values_mut() {
+            let mut v: Vec<u64> = list.drain(..).collect();
+            v.sort_by_key(|&off| wear_of(off));
+            list.extend(v);
+        }
+    }
+
     /// Bytes currently allocated.
     pub fn live_bytes(&self) -> u64 {
         self.live_bytes
@@ -284,6 +299,7 @@ impl AllocLease {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -394,6 +410,31 @@ mod tests {
             lifo.free(p, 128);
         }
         assert_eq!(seen_l.len(), 1);
+    }
+
+    #[test]
+    fn steer_cold_reorders_reuse_coldest_first() {
+        let mut a = PmemAllocator::with_policy(1 << 20, ReusePolicy::WearAware);
+        let blocks: Vec<_> = (0..6).map(|_| a.alloc(128).unwrap()).collect();
+        for &b in &blocks {
+            a.free(b, 128);
+        }
+        // Synthetic wear: earlier (lower-offset) blocks are the hottest,
+        // i.e. exactly the ones FIFO rotation would reuse first.
+        let hottest = blocks[0];
+        a.steer_cold(|off| u32::MAX - (off / 64) as u32);
+        let order: Vec<_> = (0..6).map(|_| a.alloc(128).unwrap()).collect();
+        let mut coldest_first = blocks.clone();
+        coldest_first.reverse();
+        assert_eq!(order, coldest_first, "reuse must visit coldest blocks first");
+        assert_eq!(*order.last().unwrap(), hottest, "hottest block reused last");
+        // Stable on ties: uniform wear degrades to the FIFO rotation.
+        for &b in &order {
+            a.free(b, 128);
+        }
+        a.steer_cold(|_| 7);
+        let tied: Vec<_> = (0..6).map(|_| a.alloc(128).unwrap()).collect();
+        assert_eq!(tied, coldest_first, "tied wear keeps FIFO order");
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::failplan::FailPlan;
 use crate::model::{DeviceModel, CACHELINE};
 use crate::pins::EpochPins;
 use crate::recorder::{self, RecKind, RecorderDump, OFF_REC_BASE, OFF_REC_SLOTS};
+use crate::region::RegionManager;
 use crate::stats::MemStats;
 use pmoctree_obsv::{Span, Tracer};
 
@@ -201,18 +202,16 @@ pub struct NvbmArena {
     pub tracer: Tracer,
     /// Installed crash-opportunity plan (see [`FailPlan`]).
     plan: Option<FailPlan>,
-    /// Live (volatile) boundary between the two allocators sharing this
-    /// device: the octree bump-allocates upward in
-    /// `[HEADER_SIZE, octree_bump_live)` and the `pm-rt` heap grows
-    /// downward in `[rt_floor_live, capacity)`. Each side publishes its
-    /// edge here and consults the other's before growing, so neither can
-    /// silently overwrite committed state the other owns. Not part of
-    /// the media: re-derived (conservatively, from the persisted header
-    /// hints) on `from_media`/`restore_media`, then corrected by each
-    /// subsystem's restore.
-    octree_bump_live: u64,
-    /// See [`NvbmArena::octree_bump_live`].
-    rt_floor_live: u64,
+    /// The device address space as explicit typed regions (root table,
+    /// octree, rt heap, recorder) with live edges: the octree
+    /// bump-allocates upward in `[HEADER_SIZE, octree_edge)` and the
+    /// `pm-rt` heap grows downward in `[rt_floor, heap_top)`. Each side
+    /// publishes its edge here and consults the other's before growing,
+    /// so neither can silently overwrite committed state the other owns.
+    /// Not part of the media: re-derived (conservatively, from the
+    /// persisted header hints) on `from_media`/`restore_media`, then
+    /// corrected by each subsystem's restore.
+    regions: RegionManager,
     /// Refcounted pins on `pm-rt` root-table epochs (MVCC snapshot
     /// readers). Volatile: invalidated whenever the media is replaced,
     /// because the pinned epochs belong to the old lineage.
@@ -292,8 +291,7 @@ impl NvbmArena {
             stats,
             tracer: Tracer::default(),
             plan: None,
-            octree_bump_live: HEADER_SIZE,
-            rt_floor_live: heap_top,
+            regions: RegionManager::new(capacity as u64, rec_base),
             rt_pins: EpochPins::new(),
             rec_base,
             rec_slots: slots,
@@ -311,10 +309,12 @@ impl NvbmArena {
     pub fn from_media(media: Vec<u8>, model: DeviceModel) -> Self {
         assert!(media.len() as u64 >= HEADER_SIZE, "image too small");
         let mut stats = MemStats::new(media.len());
-        let (octree_bump_live, rt_floor_live) = derive_live_bounds(&media);
+        let (octree_edge, rt_floor) = derive_live_bounds(&media);
         let (rec_base, rec_slots) = recorder::region_of(&media).unwrap_or((0, 0));
         let rec_next_seq = recorder::recover(&media).last().map_or(1, |e| e.seq + 1);
-        stats.set_region_bounds(rec_base, rt_floor_live);
+        stats.set_region_bounds(rec_base, rt_floor);
+        let regions =
+            RegionManager::from_bounds(media.len() as u64, rec_base, octree_edge, rt_floor);
         NvbmArena {
             media,
             cache: BTreeMap::new(),
@@ -324,8 +324,7 @@ impl NvbmArena {
             stats,
             tracer: Tracer::default(),
             plan: None,
-            octree_bump_live,
-            rt_floor_live,
+            regions,
             rt_pins: EpochPins::new(),
             rec_base,
             rec_slots,
@@ -391,6 +390,9 @@ impl NvbmArena {
         t.gauge_set("wear.max", max_wear as f64);
         t.gauge_set("wear.max_offset", max_wear_offset as f64);
         t.gauge_set("wear.mean", s.mean_wear());
+        t.gauge_set("wear.flatness", s.wear_flatness());
+        t.counter_set("wear.relocations", s.relocations());
+        t.counter_set("wear.relocated_bytes", s.relocated_bytes());
         let by_region = s.bytes_by_region();
         t.counter_set("wear.bytes.root_table", by_region[0]);
         t.counter_set("wear.bytes.octree", by_region[1]);
@@ -417,11 +419,7 @@ impl NvbmArena {
     /// otherwise. `pm-rt` uses this instead of [`NvbmArena::capacity`] so
     /// heap objects never collide with the ring.
     pub fn rt_heap_top(&self) -> u64 {
-        if self.rec_slots > 0 {
-            self.rec_base
-        } else {
-            self.media.len() as u64
-        }
+        self.regions.heap_top()
     }
 
     /// Disable or re-enable recording (volatile switch; the persisted
@@ -737,6 +735,25 @@ impl NvbmArena {
         self.header_write_u64(OFF_BUMP, b);
     }
 
+    /// Stage the allocator bump pointer *without* the immediate line
+    /// flush: the hint rides the next atomic header write's media commit
+    /// (the root swap shares the cacheline), halving block-0 wear per
+    /// persist. Safe because recovery treats the bump slot as a hint —
+    /// a torn line persisting it without the root swap only wastes
+    /// space, never corrupts.
+    pub fn stage_bump_hint(&mut self, b: u64) {
+        self.write(OFF_BUMP, &b.to_le_bytes());
+    }
+
+    /// Stage the persistent epoch without the immediate line flush (see
+    /// [`NvbmArena::stage_bump_hint`]). Safe because the epoch is a
+    /// monotone counter recovery only lower-bounds: a torn line that
+    /// persists the epoch without the root swap merely inflates it, and
+    /// restore already resumes at `max(header_epoch, scan.max_epoch)+1`.
+    pub fn stage_epoch(&mut self, e: u64) {
+        self.write(OFF_EPOCH, &e.to_le_bytes());
+    }
+
     /// Persistent root of the orthogonal-persistence runtime (`pm-rt`)
     /// object table. `0` means no table has ever been committed.
     pub fn rt_root(&mut self) -> POffset {
@@ -763,23 +780,29 @@ impl NvbmArena {
 
     // ---- live allocation boundaries --------------------------------------
 
+    /// The device's region manager: typed regions, live edges, checked
+    /// carve-out. Volatile; free to read (no media access).
+    pub fn regions(&self) -> &RegionManager {
+        &self.regions
+    }
+
     /// The octree allocator's live bump pointer: the `pm-rt` heap must
     /// not grow below this. Volatile; free to read (no media access).
     pub fn live_bump(&self) -> u64 {
-        self.octree_bump_live
+        self.regions.octree_edge()
     }
 
     /// Publish the octree allocator's bump pointer. Called by the octree
     /// store after every allocation (and allocator rebuild) so the
     /// `pm-rt` heap sees the boundary move in real time.
     pub fn publish_bump(&mut self, b: u64) {
-        self.octree_bump_live = b.clamp(HEADER_SIZE, self.media.len() as u64);
+        self.regions.publish_octree_edge(b);
     }
 
     /// The `pm-rt` heap's live floor: the octree allocator must not bump
     /// past this. Volatile; free to read (no media access).
     pub fn live_rt_floor(&self) -> u64 {
-        self.rt_floor_live
+        self.regions.rt_floor()
     }
 
     /// Publish the `pm-rt` heap floor. Called by the runtime after every
@@ -787,8 +810,8 @@ impl NvbmArena {
     /// the boundary move in real time (and so wear attribution classifies
     /// commits above it as runtime-heap traffic).
     pub fn publish_rt_floor(&mut self, f: u64) {
-        self.rt_floor_live = f.clamp(HEADER_SIZE, self.media.len() as u64);
-        self.stats.set_rt_floor(self.rt_floor_live);
+        let floor = self.regions.publish_rt_floor(f);
+        self.stats.set_rt_floor(floor);
     }
 
     /// The device's registry of pinned `pm-rt` root-table epochs (MVCC
@@ -854,12 +877,11 @@ impl NvbmArena {
         self.media.copy_from_slice(image);
         self.cache.clear();
         let (bump, floor) = derive_live_bounds(&self.media);
-        self.octree_bump_live = bump;
-        self.rt_floor_live = floor;
         self.rt_pins.invalidate();
         // The image carries its own flight recorder: adopt its ring and
         // continue recording after its last surviving entry.
         let (rec_base, rec_slots) = recorder::region_of(&self.media).unwrap_or((0, 0));
+        self.regions = RegionManager::from_bounds(self.media.len() as u64, rec_base, bump, floor);
         self.rec_base = rec_base;
         self.rec_slots = rec_slots;
         self.rec_next_seq = recorder::recover(&self.media).last().map_or(1, |e| e.seq + 1);
@@ -1027,6 +1049,7 @@ impl ShardDelta {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -222,6 +222,7 @@ impl FailPlan {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::arena::{CrashMode, NvbmArena, POffset};

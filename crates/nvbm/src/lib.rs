@@ -21,6 +21,7 @@
 //! * wear and access statistics ([`MemStats`]) for the write-reduction
 //!   experiments.
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod alloc;
 pub mod arena;
@@ -29,6 +30,7 @@ pub mod failplan;
 pub mod model;
 pub mod pins;
 pub mod recorder;
+pub mod region;
 pub mod stats;
 
 // The observability layer: re-exported whole so downstream crates reach
@@ -45,6 +47,7 @@ pub use model::{BlockDeviceModel, DeviceModel, MemLatency, NetworkModel, CACHELI
 pub use pins::{EpochPins, PinGuard};
 pub use pmoctree_obsv::{Event, EventKind, Metrics, Span, Tracer};
 pub use recorder::{RecEntry, RecKind, RecorderDump, REC_LABEL_MAX};
+pub use region::{Region, RegionError, RegionKind, RegionManager};
 pub use stats::{MemStats, NamedBytes, TierStats, TraversalStats, WearReport, WEAR_BLOCK};
 
 /// Compile-time `Send`/`Sync` audit for everything a rank carries across

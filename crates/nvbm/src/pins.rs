@@ -119,6 +119,7 @@ impl Drop for PinGuard {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

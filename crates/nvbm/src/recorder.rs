@@ -262,6 +262,7 @@ pub fn recover(media: &[u8]) -> RecorderDump {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -1,0 +1,339 @@
+//! Typed region management for the NVBM address space.
+//!
+//! Historically the arena's address space was split by two hand-maintained
+//! volatile fields (`octree_bump_live` / `rt_floor_live`) that the octree
+//! allocator and the `pm-rt` heap published into and read from each other
+//! — correct, but implicit: nothing *named* the regions, and a new
+//! subsystem (the flight recorder, the log heap) had to re-derive the
+//! geometry from scattered accessors. [`RegionManager`] makes the split
+//! explicit: the device is four typed regions in a fixed address order —
+//!
+//! ```text
+//! 0 ──────── HEADER_SIZE ───── octree_edge ──── rt_floor ──── rec_base ──── capacity
+//! │ root table │   octree ↑    │    free gap    │  rt heap   │  recorder  │
+//! ```
+//!
+//! The root-table and recorder spans are fixed at format time; the octree
+//! and rt-heap regions meet at two *live edges* that their owners publish
+//! after every allocation. [`RegionManager::carve`] is the checked
+//! carve-out every grower goes through: a span is only valid if it lies
+//! inside the maximal territory of its region — which for the two
+//! elastic regions means "not across the opposing live edge".
+
+use crate::arena::HEADER_SIZE;
+
+/// The four typed regions of an NVBM device, in address order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// The device header: magic, epoch, root slots, allocator hints.
+    RootTable,
+    /// The octree allocator's upward-growing territory.
+    Octree,
+    /// The `pm-rt` log heap, growing down from the recorder base (or the
+    /// device top when no recorder ring is carved).
+    RtHeap,
+    /// The flight-recorder ring at the top of the device (absent on tiny
+    /// devices).
+    Recorder,
+}
+
+impl RegionKind {
+    /// Stable attribution name, matching [`crate::stats::REGIONS`].
+    pub fn name(self) -> &'static str {
+        match self {
+            RegionKind::RootTable => "root_table",
+            RegionKind::Octree => "octree",
+            RegionKind::RtHeap => "rt_heap",
+            RegionKind::Recorder => "recorder",
+        }
+    }
+}
+
+/// One region's current span (half-open byte range).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// Which region this span describes.
+    pub kind: RegionKind,
+    /// First byte of the span.
+    pub start: u64,
+    /// One past the last byte of the span.
+    pub end: u64,
+}
+
+impl Region {
+    /// Span length in bytes.
+    pub fn len(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Is the span empty?
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// Does `[off, off + len)` lie entirely inside this span?
+    pub fn contains(&self, off: u64, len: u64) -> bool {
+        off >= self.start && off.checked_add(len).is_some_and(|end| end <= self.end)
+    }
+}
+
+/// A rejected carve-out: the requested span does not fit the named
+/// region's current territory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionError {
+    /// Region the carve was attempted in.
+    pub kind: RegionKind,
+    /// Requested span start.
+    pub off: u64,
+    /// Requested span length.
+    pub len: u64,
+    /// The region's territory at the time of the attempt.
+    pub territory: Region,
+}
+
+impl std::fmt::Display for RegionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "carve of [{}, {}) rejected: outside the {} territory [{}, {})",
+            self.off,
+            self.off.saturating_add(self.len),
+            self.kind.name(),
+            self.territory.start,
+            self.territory.end
+        )
+    }
+}
+
+impl std::error::Error for RegionError {}
+
+/// Classify a byte offset into a region given the two boundary hints —
+/// the single classification rule shared by [`RegionManager::classify`]
+/// and the [`crate::stats::MemStats`] wear attribution (`rec_base == 0`
+/// means "no recorder ring", `rt_floor == 0` means "rt heap never used").
+pub fn classify_at(offset: u64, rec_base: u64, rt_floor: u64) -> RegionKind {
+    if offset < HEADER_SIZE {
+        RegionKind::RootTable
+    } else if rec_base != 0 && offset >= rec_base {
+        RegionKind::Recorder
+    } else if rt_floor != 0 && offset >= rt_floor {
+        RegionKind::RtHeap
+    } else {
+        RegionKind::Octree
+    }
+}
+
+/// Owner of the arena address space as explicit typed regions with live
+/// edges and checked carve-out. Volatile: rebuilt from the persisted
+/// header hints on restore, then corrected by each subsystem's recovery
+/// (exactly like the two loose fields it replaces).
+#[derive(Debug, Clone)]
+pub struct RegionManager {
+    capacity: u64,
+    /// Flight-recorder ring base; 0 = no ring.
+    rec_base: u64,
+    /// Live top of the octree allocator's territory (exclusive).
+    octree_edge: u64,
+    /// Live bottom of the rt heap's territory (inclusive).
+    rt_floor: u64,
+}
+
+impl RegionManager {
+    /// A manager for a virgin device: octree edge at the header top, rt
+    /// floor at the heap top (no rt traffic yet).
+    pub fn new(capacity: u64, rec_base: u64) -> Self {
+        let heap_top = if rec_base == 0 { capacity } else { rec_base };
+        RegionManager { capacity, rec_base, octree_edge: HEADER_SIZE, rt_floor: heap_top }
+    }
+
+    /// A manager over recovered live bounds (e.g. the persisted header
+    /// hints of a crash image). Bounds are clamped like the publish
+    /// methods clamp.
+    pub fn from_bounds(capacity: u64, rec_base: u64, octree_edge: u64, rt_floor: u64) -> Self {
+        let mut m = RegionManager::new(capacity, rec_base);
+        m.publish_octree_edge(octree_edge);
+        m.publish_rt_floor(rt_floor);
+        m
+    }
+
+    /// Device capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// The flight-recorder ring base (0 = no ring).
+    pub fn rec_base(&self) -> u64 {
+        self.rec_base
+    }
+
+    /// Highest offset the rt heap may occupy: the recorder base when a
+    /// ring is carved, the device capacity otherwise.
+    pub fn heap_top(&self) -> u64 {
+        if self.rec_base == 0 {
+            self.capacity
+        } else {
+            self.rec_base
+        }
+    }
+
+    /// The octree allocator's live edge (exclusive top of its territory).
+    pub fn octree_edge(&self) -> u64 {
+        self.octree_edge
+    }
+
+    /// The rt heap's live floor (inclusive bottom of its territory).
+    pub fn rt_floor(&self) -> u64 {
+        self.rt_floor
+    }
+
+    /// Bytes between the two live edges — the space either elastic
+    /// region may still claim.
+    pub fn free_gap(&self) -> u64 {
+        self.rt_floor.saturating_sub(self.octree_edge)
+    }
+
+    /// Publish the octree allocator's live edge (clamped into the
+    /// device); returns the value actually recorded.
+    pub fn publish_octree_edge(&mut self, edge: u64) -> u64 {
+        self.octree_edge = edge.clamp(HEADER_SIZE, self.capacity);
+        self.octree_edge
+    }
+
+    /// Publish the rt heap's live floor (clamped into the device);
+    /// returns the value actually recorded.
+    pub fn publish_rt_floor(&mut self, floor: u64) -> u64 {
+        self.rt_floor = floor.clamp(HEADER_SIZE, self.capacity);
+        self.rt_floor
+    }
+
+    /// Which region owns byte `offset` right now.
+    pub fn classify(&self, offset: u64) -> RegionKind {
+        classify_at(offset, self.rec_base, self.rt_floor)
+    }
+
+    /// The *maximal territory* a region may carve from: its current span
+    /// plus, for the two elastic regions, the free gap up to the
+    /// opposing live edge.
+    pub fn territory(&self, kind: RegionKind) -> Region {
+        let (start, end) = match kind {
+            RegionKind::RootTable => (0, HEADER_SIZE.min(self.capacity)),
+            RegionKind::Octree => (HEADER_SIZE.min(self.capacity), self.rt_floor),
+            RegionKind::RtHeap => (self.octree_edge, self.heap_top()),
+            RegionKind::Recorder => {
+                if self.rec_base == 0 {
+                    (self.capacity, self.capacity)
+                } else {
+                    (self.rec_base, self.capacity)
+                }
+            }
+        };
+        Region { kind, start, end }
+    }
+
+    /// The region's *currently occupied* span (live edges, not maximal
+    /// territory).
+    pub fn region(&self, kind: RegionKind) -> Region {
+        match kind {
+            RegionKind::Octree => {
+                Region { kind, start: HEADER_SIZE.min(self.capacity), end: self.octree_edge }
+            }
+            RegionKind::RtHeap => Region { kind, start: self.rt_floor, end: self.heap_top() },
+            _ => self.territory(kind),
+        }
+    }
+
+    /// Checked carve-out: validate that `[off, off + len)` may be claimed
+    /// by `kind`. The span must lie inside the region's maximal
+    /// territory — for the elastic regions that means not crossing the
+    /// opposing live edge. The manager's edges are *not* moved; the
+    /// caller publishes its new edge after committing to the carve.
+    pub fn carve(&self, kind: RegionKind, off: u64, len: u64) -> Result<(), RegionError> {
+        let territory = self.territory(kind);
+        if territory.contains(off, len) {
+            Ok(())
+        } else {
+            Err(RegionError { kind, off, len, territory })
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn mgr() -> RegionManager {
+        // 1 MiB device with a 16 KiB recorder ring at the top.
+        RegionManager::new(1 << 20, (1 << 20) - (1 << 14))
+    }
+
+    #[test]
+    fn virgin_geometry() {
+        let m = mgr();
+        assert_eq!(m.octree_edge(), HEADER_SIZE);
+        assert_eq!(m.rt_floor(), m.heap_top());
+        assert_eq!(m.heap_top(), (1 << 20) - (1 << 14));
+        assert_eq!(m.free_gap(), m.heap_top() - HEADER_SIZE);
+        let no_ring = RegionManager::new(4096, 0);
+        assert_eq!(no_ring.heap_top(), 4096);
+        assert!(no_ring.region(RegionKind::Recorder).is_empty());
+    }
+
+    #[test]
+    fn classify_matches_address_order() {
+        let mut m = mgr();
+        m.publish_octree_edge(8192);
+        m.publish_rt_floor(m.heap_top() - 4096);
+        assert_eq!(m.classify(0), RegionKind::RootTable);
+        assert_eq!(m.classify(HEADER_SIZE), RegionKind::Octree);
+        assert_eq!(m.classify(8192), RegionKind::Octree, "free gap reads as octree");
+        assert_eq!(m.classify(m.rt_floor()), RegionKind::RtHeap);
+        assert_eq!(m.classify(m.rec_base()), RegionKind::Recorder);
+    }
+
+    #[test]
+    fn carve_checks_elastic_territories() {
+        let mut m = mgr();
+        m.publish_octree_edge(8192);
+        m.publish_rt_floor(m.heap_top() - 4096);
+        // Octree may claim through the free gap up to the rt floor…
+        assert!(m.carve(RegionKind::Octree, 8192, m.rt_floor() - 8192).is_ok());
+        // …but one byte across the floor is rejected.
+        let e = m.carve(RegionKind::Octree, 8192, m.rt_floor() - 8192 + 1).unwrap_err();
+        assert_eq!(e.kind, RegionKind::Octree);
+        assert_eq!(e.territory.end, m.rt_floor());
+        assert!(e.to_string().contains("octree territory"));
+        // The rt heap mirrors: down to the octree edge, not across it.
+        assert!(m.carve(RegionKind::RtHeap, 8192, 4096).is_ok());
+        assert!(m.carve(RegionKind::RtHeap, 8191, 4096).is_err());
+        // Fixed regions carve only inside their fixed spans.
+        assert!(m.carve(RegionKind::RootTable, 0, HEADER_SIZE).is_ok());
+        assert!(m.carve(RegionKind::RootTable, 8, HEADER_SIZE).is_err());
+        assert!(m.carve(RegionKind::Recorder, m.rec_base(), 1 << 14).is_ok());
+        assert!(m.carve(RegionKind::Recorder, m.rec_base() - 64, 64).is_err());
+    }
+
+    #[test]
+    fn publish_clamps_into_device() {
+        let mut m = mgr();
+        assert_eq!(m.publish_octree_edge(0), HEADER_SIZE);
+        assert_eq!(m.publish_octree_edge(u64::MAX), 1 << 20);
+        assert_eq!(m.publish_rt_floor(0), HEADER_SIZE);
+        assert_eq!(m.publish_rt_floor(u64::MAX), 1 << 20);
+    }
+
+    #[test]
+    fn from_bounds_recovers_edges() {
+        let m = RegionManager::from_bounds(1 << 20, 0, 4096, 65536);
+        assert_eq!(m.octree_edge(), 4096);
+        assert_eq!(m.rt_floor(), 65536);
+        assert_eq!(m.free_gap(), 65536 - 4096);
+        assert_eq!(m.region(RegionKind::RtHeap).len(), (1 << 20) - 65536);
+    }
+
+    #[test]
+    fn carve_overflow_is_rejected() {
+        let m = mgr();
+        assert!(m.carve(RegionKind::Octree, u64::MAX - 8, 64).is_err());
+    }
+}

@@ -9,7 +9,7 @@ use std::collections::BTreeMap;
 
 use serde::Serialize;
 
-use crate::arena::HEADER_SIZE;
+use crate::region::{classify_at, RegionKind};
 
 /// Counters for one memory tier.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -130,6 +130,16 @@ pub struct WearReport {
     pub blocks_touched: u64,
     /// Total bytes committed to media (sum over regions).
     pub bytes_committed: u64,
+    /// Wear-leveling relocations performed (blobs/octants moved off hot
+    /// blocks).
+    pub relocations: u64,
+    /// Bytes moved by wear-leveling relocations.
+    pub relocated_bytes: u64,
+    /// Wear flatness: hottest block's commit count over the mean (1.0 =
+    /// perfectly even; 0 when nothing was ever committed). Post-relocation
+    /// wear — blocks a relocation vacated count only their traffic since
+    /// the move.
+    pub flatness: f64,
 }
 
 /// Combined DRAM + NVBM accounting plus a per-block wear map for the NVBM
@@ -144,6 +154,15 @@ pub struct MemStats {
     pub trav: TraversalStats,
     /// Writes per 4 KiB wear block of the NVBM arena (committed lines).
     wear: Vec<u32>,
+    /// Wear level each block had when a relocation last vacated it; the
+    /// readouts subtract this so a block the GC has already cooled no
+    /// longer reads as the live hot spot (only its post-move traffic
+    /// counts).
+    wear_baseline: Vec<u32>,
+    /// Wear-leveling relocations recorded via [`MemStats::note_relocation`].
+    relocations: u64,
+    /// Bytes moved by those relocations.
+    relocated_bytes: u64,
     /// Protocol phase commits are currently attributed to ("" = mutate).
     phase: &'static str,
     /// Base of the flight-recorder ring (0 = none): commits at or above
@@ -179,6 +198,9 @@ impl MemStats {
             nvbm: TierStats::default(),
             trav: TraversalStats::default(),
             wear: vec![0; capacity.div_ceil(WEAR_BLOCK)],
+            wear_baseline: vec![0; capacity.div_ceil(WEAR_BLOCK)],
+            relocations: 0,
+            relocated_bytes: 0,
             phase: PHASE_MUTATE,
             rec_base: 0,
             rt_floor: 0,
@@ -215,14 +237,13 @@ impl MemStats {
     }
 
     fn region_index(&self, offset: u64) -> usize {
-        if offset < HEADER_SIZE {
-            0 // root_table
-        } else if self.rec_base != 0 && offset >= self.rec_base {
-            3 // recorder
-        } else if self.rt_floor != 0 && offset >= self.rt_floor {
-            2 // rt_heap
-        } else {
-            1 // octree
+        // One classification rule for the whole crate: the region
+        // manager's (see `region::classify_at`).
+        match classify_at(offset, self.rec_base, self.rt_floor) {
+            RegionKind::RootTable => 0,
+            RegionKind::Octree => 1,
+            RegionKind::RtHeap => 2,
+            RegionKind::Recorder => 3,
         }
     }
 
@@ -312,11 +333,62 @@ impl MemStats {
         *self.bytes_by_phase.entry(self.phase).or_insert(0) += bytes as u64;
     }
 
-    /// Maximum writes any single wear block has absorbed, and the byte
-    /// offset of that hottest block (0 when nothing was ever committed).
+    /// Record a wear-leveling relocation that moved `bytes` live bytes
+    /// *off* the block holding `old_offset`. The vacated block's current
+    /// wear becomes its baseline: the hottest-block readouts then track
+    /// traffic *since* the move, so a spot the GC already cooled no
+    /// longer masks the live peak.
+    pub fn note_relocation(&mut self, old_offset: u64, bytes: usize) {
+        let b = old_offset as usize / WEAR_BLOCK;
+        if let Some(&w) = self.wear.get(b) {
+            if self.wear_baseline.len() < self.wear.len() {
+                self.wear_baseline.resize(self.wear.len(), 0);
+            }
+            self.wear_baseline[b] = w;
+        }
+        self.relocations += 1;
+        self.relocated_bytes += bytes as u64;
+    }
+
+    /// Number of wear-leveling relocations recorded.
+    pub fn relocations(&self) -> u64 {
+        self.relocations
+    }
+
+    /// Bytes moved by wear-leveling relocations.
+    pub fn relocated_bytes(&self) -> u64 {
+        self.relocated_bytes
+    }
+
+    /// A block's *effective* wear: commits since a relocation last vacated
+    /// it (raw lifetime commits for blocks never relocated away from).
+    #[inline]
+    fn effective_wear(&self, block: usize) -> u32 {
+        let base = self.wear_baseline.get(block).copied().unwrap_or(0);
+        self.wear[block].saturating_sub(base)
+    }
+
+    /// Effective wear of the block containing byte `offset` (0 if out of
+    /// range). The wear-leveling GC uses this to pick the hottest live
+    /// blob to relocate toward cold lines.
+    pub fn block_wear(&self, offset: u64) -> u32 {
+        let b = offset as usize / WEAR_BLOCK;
+        if b < self.wear.len() {
+            self.effective_wear(b)
+        } else {
+            0
+        }
+    }
+
+    /// Maximum effective writes any single wear block has absorbed, and
+    /// the byte offset of that hottest block (0 when nothing was ever
+    /// committed). Post-relocation state: a block the wear-leveling GC
+    /// vacated counts only its traffic since the move, so the readout
+    /// tracks the *new* hot location rather than a stale pre-move peak.
     pub fn max_wear(&self) -> (u32, u64) {
         let mut best = (0u32, 0u64);
-        for (i, &w) in self.wear.iter().enumerate() {
+        for i in 0..self.wear.len() {
+            let w = self.effective_wear(i);
             if w > best.0 {
                 best = (w, (i * WEAR_BLOCK) as u64);
             }
@@ -324,16 +396,29 @@ impl MemStats {
         best
     }
 
-    /// Log2-bucketed block-wear histogram (see [`WearReport::wear_hist`]).
+    /// Log2-bucketed block-wear histogram (see [`WearReport::wear_hist`]),
+    /// over effective (post-relocation) wear.
     pub fn wear_histogram(&self) -> [u64; 16] {
         let mut h = [0u64; 16];
-        for &w in &self.wear {
+        for i in 0..self.wear.len() {
+            let w = self.effective_wear(i);
             if w == 0 {
                 continue;
             }
             h[(w.ilog2() as usize).min(15)] += 1;
         }
         h
+    }
+
+    /// Wear flatness: hottest block over the mean of touched blocks, on
+    /// effective wear (1.0 = perfectly even, 0 when idle).
+    pub fn wear_flatness(&self) -> f64 {
+        let mean = self.mean_wear();
+        if mean == 0.0 {
+            0.0
+        } else {
+            self.max_wear().0 as f64 / mean
+        }
     }
 
     /// Assemble the serializable wear / write-amplification report.
@@ -356,16 +441,27 @@ impl MemStats {
             mean_wear: self.mean_wear(),
             blocks_touched: self.wear.iter().filter(|&&w| w > 0).count() as u64,
             bytes_committed: self.bytes_by_region.iter().sum(),
+            relocations: self.relocations,
+            relocated_bytes: self.relocated_bytes,
+            flatness: self.wear_flatness(),
         }
     }
 
-    /// Mean writes per wear block (over blocks ever written).
+    /// Mean effective writes per wear block (over blocks with effective
+    /// wear, i.e. written since any relocation vacated them).
     pub fn mean_wear(&self) -> f64 {
-        let touched: Vec<u32> = self.wear.iter().copied().filter(|&w| w > 0).collect();
-        if touched.is_empty() {
+        let (mut sum, mut n) = (0.0f64, 0u64);
+        for i in 0..self.wear.len() {
+            let w = self.effective_wear(i);
+            if w > 0 {
+                sum += w as f64;
+                n += 1;
+            }
+        }
+        if n == 0 {
             0.0
         } else {
-            touched.iter().map(|&w| w as f64).sum::<f64>() / touched.len() as f64
+            sum / n as f64
         }
     }
 
@@ -391,6 +487,14 @@ impl MemStats {
         for (a, b) in self.wear.iter_mut().zip(&other.wear) {
             *a += *b;
         }
+        if self.wear_baseline.len() < other.wear_baseline.len() {
+            self.wear_baseline.resize(other.wear_baseline.len(), 0);
+        }
+        for (a, b) in self.wear_baseline.iter_mut().zip(&other.wear_baseline) {
+            *a += *b;
+        }
+        self.relocations += other.relocations;
+        self.relocated_bytes += other.relocated_bytes;
         for (a, b) in self.bytes_by_region.iter_mut().zip(&other.bytes_by_region) {
             *a += *b;
         }
@@ -405,6 +509,9 @@ impl MemStats {
         self.nvbm = TierStats::default();
         self.trav = TraversalStats::default();
         self.wear.fill(0);
+        self.wear_baseline.fill(0);
+        self.relocations = 0;
+        self.relocated_bytes = 0;
         self.bytes_by_region = [0; REGIONS.len()];
         self.bytes_by_phase.clear();
     }
@@ -417,6 +524,7 @@ impl MemStats {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -451,6 +559,32 @@ mod tests {
         let (count, offset) = s.max_wear();
         assert_eq!(count, 3);
         assert_eq!(offset, 3 * WEAR_BLOCK as u64);
+    }
+
+    #[test]
+    fn max_wear_tracks_post_relocation_state() {
+        // Regression: after the GC relocates the hot blob away from block
+        // 3, the hottest-offset readout must follow the traffic to the new
+        // location, not keep reporting block 3's stale pre-move peak.
+        let mut s = MemStats::new(WEAR_BLOCK * 8);
+        for _ in 0..10 {
+            s.wear_commit(3 * WEAR_BLOCK as u64, 64);
+        }
+        s.wear_commit(5 * WEAR_BLOCK as u64, 64);
+        assert_eq!(s.max_wear(), (10, 3 * WEAR_BLOCK as u64), "pre-move: block 3 is hottest");
+        s.note_relocation(3 * WEAR_BLOCK as u64, 512);
+        assert_eq!(s.relocations(), 1);
+        assert_eq!(s.relocated_bytes(), 512);
+        // Re-query: block 3's peak is baselined away; block 5 leads now.
+        assert_eq!(s.max_wear(), (1, 5 * WEAR_BLOCK as u64), "post-move: new location leads");
+        // New traffic on the vacated block counts from zero again.
+        s.wear_commit(3 * WEAR_BLOCK as u64, 64);
+        s.wear_commit(3 * WEAR_BLOCK as u64, 64);
+        assert_eq!(s.max_wear(), (2, 3 * WEAR_BLOCK as u64));
+        let rep = s.wear_report();
+        assert_eq!(rep.relocations, 1);
+        assert_eq!(rep.relocated_bytes, 512);
+        assert!((rep.flatness - 2.0 / 1.5).abs() < 1e-12, "max 2 over mean (2+1)/2");
     }
 
     #[test]

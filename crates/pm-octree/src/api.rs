@@ -884,7 +884,15 @@ impl PmOctree {
         }
         self.store.arena.set_phase("persist::root_swap");
         let span_half = self.store.arena.span("persist::root_swap_half");
-        self.store.arena.set_bump_hint(self.store.alloc.bump());
+        // The header publication is batched into two media commits
+        // instead of four: the bump hint and epoch are *staged* (no
+        // flush) so they ride the forward root slot's atomic line write.
+        // A torn prefix of that line can persist the epoch without the
+        // root — pure inflation, which restore already tolerates
+        // (`max(header_epoch, scan.max_epoch) + 1`) — while recovery
+        // reads slot 1, untouched until the second commit below.
+        self.store.arena.stage_bump_hint(self.store.alloc.bump());
+        self.store.arena.stage_epoch(self.epoch as u64);
         self.store.arena.set_root(0, root);
         self.store.arena.failpoint("persist::root_swap_half");
         drop(span_half);
@@ -894,7 +902,6 @@ impl PmOctree {
         }
         let span_swap = self.store.arena.span("persist::root_swap");
         self.store.arena.set_root(1, root);
-        self.store.arena.set_epoch(self.epoch as u64);
         self.store.arena.failpoint("persist::root_swap");
         drop(span_swap);
         if stop_after == Some(PersistPhase::RootSwap) {

@@ -68,6 +68,13 @@ pub fn collect(store: &mut PmStore, roots: &[POffset]) -> GcReport {
         }
     }
     store.registry = kept;
+    // Under wear-aware reuse, steer the freshly-freed blocks so the next
+    // allocations land on the coldest lines: sort each free list by the
+    // device's measured per-block wear (coldest first, FIFO on ties).
+    if store.alloc.policy() == pmoctree_nvbm::ReusePolicy::WearAware && freed > 0 {
+        let stats = &store.arena.stats;
+        store.alloc.steer_cold(|off| stats.block_wear(off));
+    }
     store.arena.set_phase(prev_phase);
     GcReport { live: marked.len(), freed, freed_flagged }
 }

@@ -44,16 +44,18 @@
 
 pub mod data;
 pub mod heap;
+pub mod log;
 pub mod mvcc;
 pub mod rt;
 pub mod service;
 pub mod tenant;
 
 pub use data::{ByteReader, ByteWriter, PmData};
-pub use heap::RtHeap;
+pub use heap::LogHeap;
+pub use log::{Record, RecordKind};
 pub use mvcc::Snapshot;
 pub use pm_octree::PmError;
-pub use rt::{PPtr, PmRt, RtError};
+pub use rt::{PPtr, PmRt, RtError, CHECKPOINT_EVERY, COMPACT_WATERMARK};
 pub use service::{
     BatchReport, CmdResult, ServiceCmd, ServiceConfig, ServiceConfigBuilder, ServiceReply,
     ServiceStats, StateService, TenantLease,

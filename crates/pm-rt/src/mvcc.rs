@@ -194,6 +194,50 @@ mod tests {
         assert!(matches!(snap.get::<u64>(&mut a, "x"), Err(PmError::SnapshotGone(_))));
     }
 
+    /// Acceptance property: a blob a pinned snapshot references is never
+    /// relocated or reclaimed until the pin drops — the wear/compaction
+    /// GC only ever *copies* live blobs and defers the original, so the
+    /// snapshot rereads byte-identical data at the original offset all
+    /// along.
+    #[test]
+    fn pinned_blob_survives_relocation_until_pin_drops() {
+        let mut a = arena();
+        let mut rt = PmRt::create(&mut a).unwrap();
+        let cold: Vec<u8> = (0..300).map(|i| (i * 31 + 5) as u8).collect();
+        rt.stage(&mut a, "cold", &cold).unwrap();
+        rt.commit(&mut a).unwrap();
+        let snap = rt.snapshot(&mut a);
+        let ptr = rt.resolve::<Vec<u8>>("cold").unwrap();
+        let raw0 = snap.get_bytes(&mut a, "cold").unwrap().unwrap();
+        // Churn other roots until the GC relocates "cold" (the hottest
+        // unmodified blob from the wear pass's viewpoint, and the oldest
+        // from compaction's).
+        let mut churned = 0u64;
+        while rt.resolve::<Vec<u8>>("cold").unwrap() == ptr {
+            rt.stage(&mut a, "hot", &churned).unwrap();
+            rt.commit(&mut a).unwrap();
+            churned += 1;
+            assert!(churned < 64, "GC never relocated the cold blob");
+        }
+        assert!(a.stats.relocations() > 0);
+        // The snapshot still reads the *original* bytes at the original
+        // offset: the pinned record was copied, not moved.
+        assert_eq!(snap.get_bytes(&mut a, "cold").unwrap().unwrap(), raw0);
+        assert_eq!(snap.get::<Vec<u8>>(&mut a, "cold").unwrap(), Some(cold.clone()));
+        assert!(rt.deferred_len() > 0, "old record must sit deferred, not freed");
+        // More churn while pinned: still byte-identical.
+        for i in 0..40u64 {
+            rt.stage(&mut a, "hot", &i).unwrap();
+            rt.commit(&mut a).unwrap();
+        }
+        assert_eq!(snap.get_bytes(&mut a, "cold").unwrap().unwrap(), raw0);
+        // Only once the pin drops does collect reclaim the original.
+        drop(snap);
+        assert!(rt.collect(&mut a) > 0);
+        assert_eq!(rt.deferred_len(), 0);
+        assert_eq!(rt.load::<Vec<u8>>(&mut a, "cold").unwrap(), Some(cold));
+    }
+
     #[test]
     fn heap_recovers_fully_once_pins_drop() {
         let mut a = arena();

@@ -1,18 +1,46 @@
-//! The runtime: named persistent roots, `PPtr<T>`, copy-on-write commit.
+//! The runtime: named persistent roots, `PPtr<T>`, log-structured commit.
+//!
+//! Since the log-structured region rework, a commit no longer rewrites
+//! the whole object table: it appends one checksummed **commit record**
+//! (a table *delta* plus a pointer to the previous commit record) to the
+//! circular log the blobs themselves live in, and publishes it with the
+//! same single atomic 8-byte root store as before. Every
+//! [`CHECKPOINT_EVERY`] commits a full-table checkpoint record cuts the
+//! chain so recovery walks a bounded number of records.
 //!
 //! Since the multi-tenant service redesign the public verbs return the
 //! workspace [`PmError`] taxonomy; [`RtError`] survives as the low-level
 //! codec error (what [`PmData`](crate::data::PmData) decoding reports)
 //! and converts losslessly via `From`.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::marker::PhantomData;
 
 use pm_octree::PmError;
 use pmoctree_nvbm::{NvbmArena, POffset, HEADER_SIZE};
 
 use crate::data::{ByteReader, ByteWriter, PmData};
-use crate::heap::{class_of, RtHeap};
+use crate::heap::LogHeap;
+use crate::log::{
+    encode_pad, encode_record, fnv1a32, record_size, RecordKind, LOG_MAGIC, REC_HEADER, REC_TRAILER,
+};
+
+/// A full-table checkpoint record is written every this many commits,
+/// bounding both the recovery chain walk and the lifetime of chain
+/// records in the ring.
+pub const CHECKPOINT_EVERY: usize = 8;
+
+/// Hard ceiling on the recovery chain walk — far above any chain a
+/// healthy log can produce, so a corrupted `prev` loop reports instead
+/// of spinning.
+const MAX_CHAIN: usize = 64;
+
+/// Ring occupancy above which the commit-time compaction pass keeps
+/// relocating tail blobs (below it, one rotation per commit suffices).
+pub const COMPACT_WATERMARK: f64 = 0.5;
+
+/// Upper bound on blobs the compaction pass relocates per commit.
+const MAX_COMPACT: usize = 8;
 
 /// Codec-layer errors. Every decode/validation failure is reported,
 /// never panicked — the input is post-crash media. Public runtime verbs
@@ -102,10 +130,8 @@ impl<T> PPtr<T> {
     }
 }
 
-/// Magic tag at the head of every object blob (including the table).
+/// Magic tag at the head of every object blob.
 pub(crate) const OBJ_MAGIC: u32 = 0x504d_5254; // "PMRT"
-/// Magic at the head of the table *payload*.
-const TABLE_MAGIC: u64 = 0x5254_5441_424c_4531; // "RTTABLE1"
 /// Object blob header: `[u32 magic][u32 payload len]`.
 pub(crate) const OBJ_HEADER: usize = 8;
 
@@ -116,55 +142,72 @@ pub(crate) struct Entry {
 }
 
 impl Entry {
-    /// The blob's full heap footprint (header + payload, class-rounded).
+    /// The blob's full ring footprint: log record header + object blob
+    /// (header + payload) + checksum trailer, 8-byte aligned.
     pub(crate) fn footprint(&self) -> usize {
-        class_of(OBJ_HEADER + self.len as usize)
+        record_size(OBJ_HEADER + self.len as usize)
     }
+
+    /// Offset of the log record wrapping this blob (`off` points at the
+    /// object header *inside* the record, one record header below).
+    pub(crate) fn record_off(&self) -> u64 {
+        self.off - REC_HEADER as u64
+    }
+}
+
+/// The blob record footprint a payload of `encoded_len` bytes will
+/// occupy in the ring — the quota currency (Circ-Tree's bytes-written).
+pub fn blob_footprint(encoded_len: usize) -> usize {
+    record_size(OBJ_HEADER + encoded_len)
 }
 
 /// The orthogonal-persistence runtime.
 ///
 /// The runtime does not own the arena — verbs borrow it, so the octree
 /// and the runtime share one device. The volatile side is a name → entry
-/// map plus the heap; the persistent side is the committed object table
-/// named by the `rt_root` header slot.
+/// map plus the ring bookkeeping; the persistent side is the commit
+/// chain named by the `rt_root` header slot.
 ///
 /// Two views of the registry coexist: the **staged** table (what the next
 /// commit will publish) and the **committed** table (what the current
 /// `rt_root` names). MVCC [`Snapshot`](crate::mvcc::Snapshot) handles pin
 /// the committed view at an epoch: blobs a later commit supersedes are
 /// *deferred*, not freed, until no snapshot older than their retirement
-/// epoch remains (see [`PmRt::collect`]).
+/// epoch remains (see [`PmRt::collect`]) — a pinned blob is never
+/// relocated out from under its readers, because relocation writes a
+/// *new* copy and retires the old one through exactly this deferral.
 pub struct PmRt {
     /// Staged view: name → entry as of the next commit.
     table: BTreeMap<String, Entry>,
     /// Committed view: name → entry as published by `rt_root`.
     committed: BTreeMap<String, Entry>,
-    heap: RtHeap,
+    heap: LogHeap,
     epoch: u64,
-    /// Committed blobs superseded since the last commit. They back the
-    /// *committed* table until the next root swap, so they are freed (or
-    /// deferred, if pinned) only after it.
-    retired: Vec<(POffset, usize)>,
-    /// Blobs retired by the commit that produced epoch `e` — still
+    /// Record offsets of committed blobs superseded since the last
+    /// commit. They back the *committed* table until the next root swap,
+    /// so they are deferred (then freed) only after it.
+    retired: Vec<u64>,
+    /// Records retired by the commit that produced epoch `e` — still
     /// reachable from pinned root-table versions older than `e`. Freed by
     /// [`PmRt::collect`] once `min_pinned >= e` (or no pins remain).
-    deferred: Vec<(u64, POffset, usize)>,
-    /// The committed table blob (freed after the next commit supersedes it).
-    table_blob: Option<(POffset, usize)>,
+    deferred: Vec<(u64, u64)>,
+    /// Offsets of the live commit-record chain, oldest (the checkpoint)
+    /// first. Retired wholesale when the next checkpoint cuts a new
+    /// chain.
+    chain: Vec<u64>,
     /// Regions written since the last commit, for replica delta shipping.
     staged: Vec<(u64, u32)>,
     /// For every name modified since the last commit: the committed-time
-    /// entry it had (`None` = name did not exist). Lets
-    /// [`PmRt::revert_staged_prefix`] undo a tenant's staged writes with
-    /// exact bookkeeping, and is cleared at every commit.
+    /// entry it had (`None` = name did not exist). Drives both
+    /// [`PmRt::revert_staged_prefix`] and the commit record's delta.
     staged_origin: BTreeMap<String, Option<Entry>>,
 }
 
 impl PmRt {
     /// `pm_create` for the runtime: initialize an empty registry on a
-    /// formatted arena and commit it, so a crash at any later point can
-    /// [`PmRt::restore`]. The heap floor starts at the arena top.
+    /// formatted arena and commit it (a checkpoint record), so a crash at
+    /// any later point can [`PmRt::restore`]. The ring starts empty at
+    /// the arena top and grows downward on demand.
     pub fn create(arena: &mut NvbmArena) -> Result<Self, PmError> {
         let _s = arena.span("rt::create");
         let top = arena.rt_heap_top();
@@ -172,23 +215,30 @@ impl PmRt {
         let mut rt = PmRt {
             table: BTreeMap::new(),
             committed: BTreeMap::new(),
-            heap: RtHeap::new(limit, top),
+            heap: LogHeap::new(limit, top),
             epoch: 0,
             retired: Vec::new(),
             deferred: Vec::new(),
-            table_blob: None,
+            chain: Vec::new(),
             staged: Vec::new(),
             staged_origin: BTreeMap::new(),
         };
         arena.publish_rt_floor(rt.heap.floor());
-        rt.commit(arena)?;
+        // Carry the bootstrap commit's regions forward instead of
+        // dropping them: the caller never saw this commit, and a replica
+        // shipping per-commit deltas must not end up with a hole where
+        // the chain's first checkpoint record lives.
+        let bootstrap = rt.commit(arena)?;
+        rt.staged = bootstrap;
         Ok(rt)
     }
 
-    /// `pm_restore` for the runtime: read the committed object table,
-    /// validate ("swizzle") every entry against the arena, and rebuild
-    /// the volatile heap from the live blobs. Fails with
-    /// [`PmError::NotFound`] if no table was ever committed.
+    /// `pm_restore` for the runtime: walk the commit-record chain from
+    /// the durable root pointer (every record checksum-validated), replay
+    /// the deltas oldest→newest, validate ("swizzle") every surviving
+    /// entry against the arena, and re-seat the ring around the live
+    /// records. Fails with [`PmError::NotFound`] if no chain was ever
+    /// committed.
     pub fn restore(arena: &mut NvbmArena) -> Result<Self, PmError> {
         Self::restore_inner(arena).map_err(PmError::from)
     }
@@ -197,50 +247,70 @@ impl PmRt {
         let _s = arena.span("rt::swizzle");
         let root = arena.rt_root();
         if root.is_null() {
-            return Err(RtError::Missing("no committed rt object table".into()));
+            return Err(RtError::Missing("no committed rt commit chain".into()));
         }
-        let table_bytes = read_blob(arena, root.0, None)?;
-        let mut r = ByteReader::new(&table_bytes);
-        if r.u64()? != TABLE_MAGIC {
-            return Err(RtError::Corrupt("bad table magic".into()));
-        }
-        let epoch = r.u64()?;
-        let count = r.u64()?;
-        let mut table = BTreeMap::new();
-        for _ in 0..count {
-            let name = String::decode(&mut r)?;
-            let off = r.u64()?;
-            let len = r.u32()?;
-            if table.insert(name.clone(), Entry { off, len }).is_some() {
-                return Err(RtError::Corrupt(format!("duplicate root name {name:?}")));
+        let top = arena.rt_heap_top();
+        // Chain walk, newest → oldest. Torn appends past the last durable
+        // root swap are simply never reached: the chain only names
+        // records that were flushed before their root swap.
+        let mut walked: Vec<(u64, CommitPayload, usize)> = Vec::new();
+        let mut off = root.0;
+        let mut newer_epoch = u64::MAX;
+        loop {
+            let (payload, size) = read_commit_record(arena, off, top)?;
+            let rec = parse_commit_payload(&payload)?;
+            if rec.epoch >= newer_epoch {
+                return Err(RtError::Corrupt(format!(
+                    "commit chain epoch {} does not decrease at {off:#x}",
+                    rec.epoch
+                )));
             }
+            newer_epoch = rec.epoch;
+            let prev = rec.prev;
+            walked.push((off, rec, size));
+            if prev == 0 {
+                break;
+            }
+            if walked.len() >= MAX_CHAIN {
+                return Err(RtError::Corrupt(format!("commit chain longer than {MAX_CHAIN}")));
+            }
+            off = prev;
         }
-        if !r.is_empty() {
-            return Err(RtError::Corrupt("trailing bytes after table".into()));
+        let epoch = walked[0].1.epoch;
+        // Replay oldest → newest.
+        let mut table: BTreeMap<String, Entry> = BTreeMap::new();
+        for (_, rec, _) in walked.iter().rev() {
+            for (name, e) in &rec.upserts {
+                table.insert(name.clone(), *e);
+            }
+            for name in &rec.removes {
+                table.remove(name);
+            }
         }
         // Swizzle pass: every persistent pointer must name a well-formed
         // blob before anything dereferences it. Heap blobs live strictly
         // below the flight-recorder ring, so bounds-check against the
         // heap top, not the raw device capacity.
-        let cap = arena.rt_heap_top();
         for (name, e) in &table {
-            check_bounds(cap, e.off, e.len)
+            if e.off < REC_HEADER as u64 {
+                return Err(RtError::Corrupt(format!("root {name:?}: blob below record header")));
+            }
+            check_bounds(top, e.off, e.len)
                 .map_err(|m| RtError::Corrupt(format!("root {name:?}: {m}")))?;
             validate_blob_header(arena, e.off, e.len)
                 .map_err(|m| RtError::Corrupt(format!("root {name:?}: {m}")))?;
         }
         arena.failpoint("rt::swizzle");
 
-        let table_len = table_bytes.len() as u32;
-        check_bounds(cap, root.0, table_len)?;
         let limit = arena.live_bump().max(HEADER_SIZE);
         let floor_hint = arena.rt_bump_hint();
         let live = table
             .values()
-            .map(|e| (POffset(e.off), OBJ_HEADER + e.len as usize))
-            .chain(std::iter::once((root, OBJ_HEADER + table_len as usize)));
-        let heap = RtHeap::rebuild(limit, cap, floor_hint, live)?;
+            .map(|e| (POffset(e.record_off()), e.footprint() as u64))
+            .chain(walked.iter().map(|(o, _, size)| (POffset(*o), *size as u64)));
+        let heap = LogHeap::rebuild(limit, top, floor_hint, live)?;
         arena.publish_rt_floor(heap.floor());
+        let chain: Vec<u64> = walked.iter().rev().map(|(o, _, _)| *o).collect();
         Ok(PmRt {
             committed: table.clone(),
             table,
@@ -248,14 +318,14 @@ impl PmRt {
             epoch,
             retired: Vec::new(),
             deferred: Vec::new(),
-            table_blob: Some((root, OBJ_HEADER + table_len as usize)),
+            chain,
             staged: Vec::new(),
             staged_origin: BTreeMap::new(),
         })
     }
 
     /// `pm_delete` for the runtime: clear the persistent registry (the
-    /// header slots; blob space is reclaimed implicitly, nothing is
+    /// header slots; log space is reclaimed implicitly, nothing is
     /// scrubbed). Outstanding MVCC snapshots are invalidated — their
     /// epochs no longer exist.
     pub fn destroy(arena: &mut NvbmArena) {
@@ -265,19 +335,33 @@ impl PmRt {
         arena.rt_pins().invalidate();
     }
 
-    /// Allocate heap space against the *live* octree bump: the octree
-    /// grows its territory between runtime calls, so the boundary is
-    /// refreshed on every allocation and the new floor published back —
-    /// the two allocators sharing the arena can fail, never overlap.
-    fn heap_alloc(&mut self, arena: &mut NvbmArena, size: usize) -> Result<POffset, RtError> {
+    /// Append a record to the ring against the *live* octree bump: the
+    /// octree grows its territory between runtime calls, so the boundary
+    /// is refreshed on every allocation and the new floor published back
+    /// — the two allocators sharing the arena can fail, never overlap.
+    /// Writes the wrap-gap pad header when the head wraps.
+    fn append_record(
+        &mut self,
+        arena: &mut NvbmArena,
+        kind: RecordKind,
+        payload: &[u8],
+    ) -> Result<(u64, usize), RtError> {
+        let size = record_size(payload.len());
         self.heap.set_limit(arena.live_bump().max(HEADER_SIZE));
         let p = self.heap.alloc(size)?;
+        if let Some((pad_off, skip)) = self.heap.take_pending_pad() {
+            arena.write(pad_off, &encode_pad(self.heap.next_seq(), skip as usize));
+            self.staged.push((pad_off, REC_HEADER as u32));
+        }
+        let seq = self.heap.next_seq();
+        arena.write(p.0, &encode_record(seq, kind, payload));
         arena.publish_rt_floor(self.heap.floor());
-        Ok(p)
+        Ok((p.0, size))
     }
 
-    /// Stage `value` under `name` (copy-on-write: a fresh blob, never an
-    /// in-place update). Durable only after the next [`PmRt::commit`].
+    /// Stage `value` under `name` (copy-on-write: a fresh blob record,
+    /// never an in-place update of anything durable). Durable only after
+    /// the next [`PmRt::commit`].
     pub fn stage<T: PmData>(
         &mut self,
         arena: &mut NvbmArena,
@@ -294,22 +378,48 @@ impl PmRt {
         value: &T,
     ) -> Result<PPtr<T>, RtError> {
         let payload = value.to_bytes();
+        let e = self.stage_bytes(arena, name, &payload)?;
+        Ok(PPtr { off: e.off, len: e.len, _t: PhantomData })
+    }
+
+    /// Stage raw payload bytes under `name`. A rewrite of a root already
+    /// staged in this window reuses its record slot in place when the
+    /// footprint matches — an uncommitted record is invisible to both
+    /// snapshots and crash recovery, so nothing durable is updated in
+    /// place, and staged churn does not eat ring space.
+    fn stage_bytes(
+        &mut self,
+        arena: &mut NvbmArena,
+        name: &str,
+        payload: &[u8],
+    ) -> Result<Entry, RtError> {
         let len = u32::try_from(payload.len())
             .map_err(|_| RtError::Full(format!("object {name:?} over 4 GiB")))?;
         let blob_len = OBJ_HEADER + payload.len();
-        let p = self.heap_alloc(arena, blob_len)?;
-        let mut bytes = Vec::with_capacity(blob_len);
-        let mut w = ByteWriter::new(&mut bytes);
+        let mut blob = Vec::with_capacity(blob_len);
+        let mut w = ByteWriter::new(&mut blob);
         w.u32(OBJ_MAGIC);
         w.u32(len);
-        bytes.extend_from_slice(&payload);
-        arena.write(p.0, &bytes);
-        self.staged.push((p.0, class_of(blob_len) as u32));
+        blob.extend_from_slice(payload);
+        if let Some(&cur) = self.table.get(name) {
+            let staged_only = self.committed.get(name) != Some(&cur);
+            if staged_only && cur.footprint() == record_size(blob.len()) {
+                let seq = self.heap.next_seq();
+                arena.write(cur.record_off(), &encode_record(seq, RecordKind::Blob, &blob));
+                let e = Entry { off: cur.off, len };
+                self.note_origin(name);
+                self.table.insert(name.to_string(), e);
+                return Ok(e);
+            }
+        }
+        let (rec_off, size) = self.append_record(arena, RecordKind::Blob, &blob)?;
+        self.staged.push((rec_off, size as u32));
         self.note_origin(name);
-        if let Some(old) = self.table.insert(name.to_string(), Entry { off: p.0, len }) {
+        let e = Entry { off: rec_off + REC_HEADER as u64, len };
+        if let Some(old) = self.table.insert(name.to_string(), e) {
             self.supersede(name, old);
         }
-        Ok(PPtr { off: p.0, len, _t: PhantomData })
+        Ok(e)
     }
 
     /// Read the current value of a named root (staged or committed).
@@ -375,30 +485,34 @@ impl PmRt {
 
     /// A staged or committed blob under `name` was replaced or removed.
     /// Committed blobs retire (snapshot readers may still need them);
-    /// blobs staged in this window were never snapshot-visible and are
-    /// reclaimed on the spot.
+    /// blobs staged in this window were never snapshot-visible and die on
+    /// the spot, letting the ring tail sweep them.
     fn supersede(&mut self, name: &str, old: Entry) {
         if self.committed.get(name) == Some(&old) {
-            self.retired.push((POffset(old.off), OBJ_HEADER + old.len as usize));
+            self.retired.push(old.record_off());
         } else {
-            self.heap.free(POffset(old.off), OBJ_HEADER + old.len as usize);
+            self.heap.mark_dead(old.record_off());
         }
     }
 
-    /// `pm_persistent` for the runtime: write a fresh object table, flush
-    /// everything staged, and publish the table with one atomic 8-byte
-    /// header store — the same root-swap commit point as the octree's
-    /// persist, firing the `rt::commit` failpoint. Returns the regions
-    /// written since the previous commit (blobs + new table), for replica
-    /// delta shipping.
+    /// `pm_persistent` for the runtime: append one commit record (a table
+    /// delta chained to the previous commit, or a full checkpoint every
+    /// [`CHECKPOINT_EVERY`] commits), flush everything staged, and
+    /// publish the record with one atomic 8-byte header store — the same
+    /// root-swap commit point as the octree's persist, firing the
+    /// `rt::commit` failpoint. The wear-leveling and compaction passes
+    /// run first (failpoints `wear::relocate` / `heap::compact`), and the
+    /// record append fires `heap::append`. Returns the regions written
+    /// since the previous commit (blobs, pads, the commit record), for
+    /// replica delta shipping.
     ///
-    /// Blobs the new table supersedes are reclaimed immediately when no
+    /// Blobs the new commit supersedes are reclaimed immediately when no
     /// MVCC snapshot pins an older epoch, and deferred to
     /// [`PmRt::collect`] otherwise.
     pub fn commit(&mut self, arena: &mut NvbmArena) -> Result<Vec<(u64, u32)>, PmError> {
-        // Committed bytes (table blob, flushed staged blobs) are charged
-        // to the `rt::commit` phase; restore the caller's phase on every
-        // exit, including errors.
+        // Committed bytes (commit record, flushed staged blobs) are
+        // charged to the `rt::commit` phase; restore the caller's phase on
+        // every exit, including errors.
         let prev_phase = arena.set_phase("rt::commit");
         let r = self.commit_inner(arena).map_err(PmError::from);
         arena.set_phase(prev_phase);
@@ -407,55 +521,176 @@ impl PmRt {
 
     fn commit_inner(&mut self, arena: &mut NvbmArena) -> Result<Vec<(u64, u32)>, RtError> {
         let _s = arena.span("rt::commit");
+        self.wear_pass(arena)?;
+        self.compact_pass(arena)?;
         self.epoch += 1;
-        let mut payload = Vec::new();
-        let mut w = ByteWriter::new(&mut payload);
-        w.u64(TABLE_MAGIC);
-        w.u64(self.epoch);
-        w.u64(self.table.len() as u64);
-        for (name, e) in &self.table {
-            name.encode(&mut payload);
-            let mut w = ByteWriter::new(&mut payload);
-            w.u64(e.off);
-            w.u32(e.len);
-        }
-        let blob_len = OBJ_HEADER + payload.len();
-        let p = self.heap_alloc(arena, blob_len)?;
-        let mut bytes = Vec::with_capacity(blob_len);
-        let mut w = ByteWriter::new(&mut bytes);
-        w.u32(OBJ_MAGIC);
-        w.u32(payload.len() as u32);
-        bytes.extend_from_slice(&payload);
-        arena.write(p.0, &bytes);
-        self.staged.push((p.0, class_of(blob_len) as u32));
-        // Persist the heap floor *before* the swap: a stale floor after a
+        // Checkpoint on schedule. Old chain records left behind by the
+        // cut are dead islands the next-fit allocator walks over, so a
+        // wrapped log needs no early cut — the delta chain keeps paying
+        // off in steady state.
+        let checkpoint = self.chain.is_empty() || self.chain.len() >= CHECKPOINT_EVERY;
+        let prev = if checkpoint { 0 } else { *self.chain.last().expect("chain non-empty") };
+        let payload = self.build_commit_payload(checkpoint, prev);
+        arena.failpoint("heap::append");
+        let (rec_off, size) = self.append_record(arena, RecordKind::Commit, &payload)?;
+        self.staged.push((rec_off, size as u32));
+        // Persist the ring floor *before* the swap: a stale floor after a
         // crash wastes space below the clamped floor, never corrupts.
         arena.set_rt_bump_hint(self.heap.floor());
-        // Destination matters: table and blobs must be on media before
-        // anything names them.
+        // Destination matters: the record and blobs must be on media
+        // before anything names them.
         arena.flush_all();
-        arena.set_rt_root(p); // THE commit point (atomic 8-byte store)
+        arena.set_rt_root(POffset(rec_off)); // THE commit point (atomic 8-byte store)
         arena.failpoint("rt::commit");
-        // The previous version is unreachable from the *committed* table,
-        // but pinned snapshot readers may still hold it: defer, then free
-        // whatever no pin protects.
-        let retired_at = self.epoch;
-        if let Some((old, size)) = self.table_blob.replace((p, blob_len)) {
-            self.deferred.push((retired_at, old, size));
+        // Post-swap bookkeeping. A checkpoint makes the old chain
+        // unreachable from the durable root: those records die now (no
+        // snapshot ever dereferences a chain record — pins only protect
+        // blobs). Superseded committed blobs defer until unpinned.
+        if checkpoint {
+            for off in self.chain.drain(..) {
+                self.heap.mark_dead(off);
+            }
         }
-        for (off, size) in self.retired.drain(..) {
-            self.deferred.push((retired_at, off, size));
+        self.chain.push(rec_off);
+        let retired_at = self.epoch;
+        for off in self.retired.drain(..) {
+            self.deferred.push((retired_at, off));
         }
         self.collect_inner(arena.rt_pins().min_pinned());
         self.committed = self.table.clone();
         self.staged_origin.clear();
+        arena.publish_rt_floor(self.heap.floor());
         Ok(std::mem::take(&mut self.staged))
     }
 
-    /// GC pass over deferred frees: reclaim every blob whose retirement
+    /// Serialize the commit record payload: epoch, previous-record
+    /// pointer, then either the full table (checkpoint) or the delta the
+    /// staged window produced.
+    fn build_commit_payload(&self, checkpoint: bool, prev: u64) -> Vec<u8> {
+        let mut upserts: Vec<(&str, Entry)> = Vec::new();
+        let mut removes: Vec<&str> = Vec::new();
+        if checkpoint {
+            upserts.extend(self.table.iter().map(|(n, e)| (n.as_str(), *e)));
+        } else {
+            for name in self.staged_origin.keys() {
+                match self.table.get(name) {
+                    Some(e) => upserts.push((name.as_str(), *e)),
+                    None => {
+                        if self.committed.contains_key(name) {
+                            removes.push(name.as_str());
+                        }
+                    }
+                }
+            }
+        }
+        let mut payload = Vec::new();
+        let mut w = ByteWriter::new(&mut payload);
+        w.u64(self.epoch);
+        w.u64(prev);
+        w.u64(upserts.len() as u64);
+        w.u64(removes.len() as u64);
+        for (name, e) in &upserts {
+            name.to_string().encode(&mut payload);
+            let mut w = ByteWriter::new(&mut payload);
+            w.u64(e.off);
+            w.u32(e.len);
+        }
+        for name in &removes {
+            name.to_string().encode(&mut payload);
+        }
+        payload
+    }
+
+    /// Wear-leveling pass: relocate the committed, un-restaged blob whose
+    /// record sits on the hottest (highest effective-wear) block toward
+    /// the log head — the coldest place by construction, since appends
+    /// spread over the whole ring. Runs at every commit so the sweep
+    /// always exercises the `wear::relocate` opportunity.
+    fn wear_pass(&mut self, arena: &mut NvbmArena) -> Result<(), RtError> {
+        let _s = arena.span("wear::relocate");
+        arena.failpoint("wear::relocate");
+        let mut best: Option<(u32, String)> = None;
+        for (name, e) in &self.committed {
+            if self.table.get(name) != Some(e) {
+                continue; // modified this window; its old blob retires anyway
+            }
+            let w = arena.stats.block_wear(e.record_off());
+            if best.as_ref().is_none_or(|(bw, _)| w > *bw) {
+                best = Some((w, name.clone()));
+            }
+        }
+        if let Some((w, name)) = best {
+            if w > 0 {
+                match self.relocate(arena, &name) {
+                    // A full ring just means no headroom to level into;
+                    // the commit itself must not fail over optional GC.
+                    Err(RtError::Full(_)) => {}
+                    other => other?,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compaction pass: rotate the ring by relocating the oldest
+    /// committed, un-restaged blob to the head (freeing the tail to sweep
+    /// over dead records behind it), and keep going while occupancy stays
+    /// above [`COMPACT_WATERMARK`], up to [`MAX_COMPACT`] blobs.
+    fn compact_pass(&mut self, arena: &mut NvbmArena) -> Result<(), RtError> {
+        let _s = arena.span("heap::compact");
+        arena.failpoint("heap::compact");
+        let mut moved = 0usize;
+        while moved < MAX_COMPACT {
+            if moved > 0 && self.heap.occupancy() < COMPACT_WATERMARK {
+                break;
+            }
+            let Some(name) = self.oldest_relocatable() else { break };
+            match self.relocate(arena, &name) {
+                Err(RtError::Full(_)) => break,
+                other => other?,
+            }
+            moved += 1;
+        }
+        if moved > 0 {
+            arena.tracer.counter_add("rt.compact.relocated", moved as u64);
+        }
+        Ok(())
+    }
+
+    /// The committed, un-restaged blob closest to the ring tail, if any.
+    fn oldest_relocatable(&self) -> Option<String> {
+        let by_rec: BTreeMap<u64, &String> = self
+            .committed
+            .iter()
+            .filter(|(n, e)| self.table.get(*n) == Some(*e))
+            .map(|(n, e)| (e.record_off(), n))
+            .collect();
+        if by_rec.is_empty() {
+            return None;
+        }
+        self.heap.ring_live().find_map(|off| by_rec.get(&off).map(|n| (*n).clone()))
+    }
+
+    /// Relocate a committed blob: re-stage a byte-identical copy at the
+    /// log head and retire the old record through the standard
+    /// supersede → defer → collect path, so pinned snapshots keep reading
+    /// the original bytes until their pins drop.
+    fn relocate(&mut self, arena: &mut NvbmArena, name: &str) -> Result<(), RtError> {
+        let Some(&e) = self.table.get(name) else {
+            return Ok(());
+        };
+        let payload = read_blob(arena, e.off, Some(e.len))?;
+        let old_rec = e.record_off();
+        self.stage_bytes(arena, name, &payload)?;
+        arena.stats.note_relocation(old_rec, e.footprint());
+        arena.tracer.counter_add("rt.wear.relocations", 1);
+        Ok(())
+    }
+
+    /// GC pass over deferred frees: reclaim every record whose retirement
     /// epoch is no longer protected by a snapshot pin. Runs implicitly at
     /// every commit; call explicitly after dropping snapshots to recover
-    /// space without committing. Returns the number of blobs freed.
+    /// space without committing. Returns the number of records freed.
     pub fn collect(&mut self, arena: &mut NvbmArena) -> usize {
         let n = self.collect_inner(arena.rt_pins().min_pinned());
         arena.publish_rt_floor(self.heap.floor());
@@ -469,19 +704,19 @@ impl PmRt {
     fn collect_inner(&mut self, min_pinned: Option<u64>) -> usize {
         let deferred = std::mem::take(&mut self.deferred);
         let mut freed = 0;
-        for (e, off, size) in deferred {
+        for (e, off) in deferred {
             if min_pinned.is_none_or(|m| e <= m) {
-                self.heap.free(off, size);
+                self.heap.mark_dead(off);
                 freed += 1;
             } else {
-                self.deferred.push((e, off, size));
+                self.deferred.push((e, off));
             }
         }
         freed
     }
 
     /// Undo every staged (uncommitted) modification whose root name
-    /// starts with `prefix`: staged blobs are reclaimed, replaced or
+    /// starts with `prefix`: staged records are reclaimed, replaced or
     /// removed committed entries are reinstated, and their pending
     /// retirements cancelled. The service layer uses this to make a
     /// tenant's batch all-or-nothing. Returns the number of roots
@@ -491,11 +726,11 @@ impl PmRt {
             self.staged_origin.keys().filter(|n| n.starts_with(prefix)).cloned().collect();
         for name in &names {
             let origin = self.staged_origin.remove(name).flatten();
-            // Reclaim the blob currently staged under the name (if the
+            // Reclaim the record currently staged under the name (if the
             // name still resolves and it is not the committed blob).
             if let Some(&cur) = self.table.get(name) {
                 if self.committed.get(name) != Some(&cur) {
-                    self.heap.free(POffset(cur.off), OBJ_HEADER + cur.len as usize);
+                    self.heap.mark_dead(cur.record_off());
                 }
             }
             match origin {
@@ -503,7 +738,7 @@ impl PmRt {
                     self.table.insert(name.clone(), e);
                     // Cancel the pending retirement: the committed blob
                     // is reachable again.
-                    if let Some(i) = self.retired.iter().position(|&(o, _)| o.0 == e.off) {
+                    if let Some(i) = self.retired.iter().position(|&o| o == e.record_off()) {
                         self.retired.swap_remove(i);
                     }
                 }
@@ -515,10 +750,10 @@ impl PmRt {
         names.len()
     }
 
-    /// Heap bytes (class-rounded, header included) currently charged to
-    /// roots whose name starts with `prefix` — the staged view, so a
-    /// quota check sees writes from the current batch. This is the
-    /// service layer's quota currency.
+    /// Ring bytes (full record footprints) currently charged to roots
+    /// whose name starts with `prefix` — the staged view, so a quota
+    /// check sees writes from the current batch. This is the service
+    /// layer's quota currency.
     pub fn prefix_usage(&self, prefix: &str) -> u64 {
         self.table
             .iter()
@@ -527,7 +762,7 @@ impl PmRt {
             .sum()
     }
 
-    /// The staged entry's heap footprint for one name (0 if absent).
+    /// The staged entry's ring footprint for one name (0 if absent).
     pub(crate) fn entry_footprint(&self, name: &str) -> u64 {
         self.table.get(name).map_or(0, |e| e.footprint() as u64)
     }
@@ -567,15 +802,128 @@ impl PmRt {
         self.table.keys().map(String::as_str).filter(move |n| n.starts_with(prefix))
     }
 
-    /// The runtime heap floor (lowest arena byte the runtime owns).
+    /// The runtime ring floor (lowest arena byte the runtime owns).
     pub fn heap_floor(&self) -> u64 {
         self.heap.floor()
     }
 
-    /// Blobs awaiting a pin release before they can be reclaimed.
+    /// Records awaiting a pin release before they can be reclaimed.
     pub fn deferred_len(&self) -> usize {
         self.deferred.len()
     }
+
+    /// Live commit-chain length (1 right after a checkpoint).
+    pub fn chain_len(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// Ring occupancy (live bytes over window) — the compaction
+    /// watermark input, surfaced for the wear-leveling bench.
+    pub fn log_occupancy(&self) -> f64 {
+        self.heap.occupancy()
+    }
+
+    /// Current ring window size in bytes.
+    pub fn log_window(&self) -> u64 {
+        self.heap.window()
+    }
+
+    /// Number of times the ring head has wrapped.
+    pub fn log_laps(&self) -> u64 {
+        self.heap.laps()
+    }
+}
+
+/// A parsed commit record payload.
+struct CommitPayload {
+    epoch: u64,
+    prev: u64,
+    upserts: Vec<(String, Entry)>,
+    removes: Vec<String>,
+}
+
+/// Read and checksum-validate the commit record at `off` (bounds-checked
+/// against the rt heap top). Returns the payload and the record's ring
+/// footprint.
+fn read_commit_record(
+    arena: &mut NvbmArena,
+    off: u64,
+    top: u64,
+) -> Result<(Vec<u8>, usize), RtError> {
+    let hdr_end = off.checked_add(REC_HEADER as u64).ok_or_else(|| {
+        RtError::Corrupt(format!("commit record at {off:#x} wraps the address space"))
+    })?;
+    if off < HEADER_SIZE || hdr_end > top {
+        return Err(RtError::Corrupt(format!(
+            "commit record header at {off:#x} outside the rt region"
+        )));
+    }
+    let mut h = [0u8; REC_HEADER];
+    arena.read(off, &mut h);
+    let magic = u32::from_le_bytes([h[0], h[1], h[2], h[3]]);
+    if magic != LOG_MAGIC {
+        return Err(RtError::Corrupt(format!("bad log record magic {magic:#x} at {off:#x}")));
+    }
+    let len = u32::from_le_bytes([h[4], h[5], h[6], h[7]]) as usize;
+    match RecordKind::from_u8(h[16]) {
+        Some(RecordKind::Commit) => {}
+        k => {
+            return Err(RtError::Corrupt(format!(
+                "record at {off:#x} is {k:?}, expected a commit record"
+            )))
+        }
+    }
+    let size = record_size(len);
+    if off.checked_add(size as u64).is_none_or(|end| end > top) {
+        return Err(RtError::Corrupt(format!(
+            "commit record at {off:#x} ({size} bytes) past the rt region top {top:#x}"
+        )));
+    }
+    let mut body = vec![0u8; len + REC_TRAILER];
+    arena.read(off + REC_HEADER as u64, &mut body);
+    let mut hp = Vec::with_capacity(REC_HEADER + len);
+    hp.extend_from_slice(&h);
+    hp.extend_from_slice(&body[..len]);
+    let want = fnv1a32(&hp);
+    let got = u32::from_le_bytes([body[len], body[len + 1], body[len + 2], body[len + 3]]);
+    if want != got {
+        return Err(RtError::Corrupt(format!("commit record checksum mismatch at {off:#x}")));
+    }
+    body.truncate(len);
+    Ok((body, size))
+}
+
+/// Parse a commit record payload (bounds-checked; duplicate names within
+/// one record are corruption).
+fn parse_commit_payload(payload: &[u8]) -> Result<CommitPayload, RtError> {
+    let mut r = ByteReader::new(payload);
+    let epoch = r.u64()?;
+    let prev = r.u64()?;
+    let nup = r.u64()?;
+    let nrm = r.u64()?;
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut upserts = Vec::new();
+    for _ in 0..nup {
+        let name = String::decode(&mut r)?;
+        let off = r.u64()?;
+        let len = r.u32()?;
+        if !seen.insert(name.clone()) {
+            return Err(RtError::Corrupt(format!("duplicate root name {name:?} in commit record")));
+        }
+        upserts.push((name, Entry { off, len }));
+    }
+    let mut removes = Vec::new();
+    for _ in 0..nrm {
+        let name = String::decode(&mut r)?;
+        if !seen.insert(name.clone()) {
+            return Err(RtError::Corrupt(format!("duplicate root name {name:?} in commit record")));
+        }
+        removes.push(name);
+    }
+    if !r.is_empty() {
+        return Err(RtError::Corrupt("trailing bytes after commit record payload".into()));
+    }
+    Ok(CommitPayload { epoch, prev, upserts, removes })
 }
 
 fn check_bounds(cap: u64, off: u64, len: u32) -> Result<(), RtError> {
@@ -698,7 +1046,8 @@ mod tests {
     fn crash_armed_at_every_opportunity_recovers_old_or_new() {
         // Count the opportunities of one stage+commit, then crash at each
         // one under every mode: restore must see x == 1 or x == 2, and
-        // the rt::commit failpoint must be among the opportunities.
+        // the commit, append, compaction and wear failpoints must all be
+        // among the opportunities.
         let mut a = arena();
         let mut rt = PmRt::create(&mut a).unwrap();
         rt.stage(&mut a, "x", &1u64).unwrap();
@@ -710,10 +1059,12 @@ mod tests {
         let plan = a.take_fail_plan().expect("plan installed");
         let n = plan.opportunities();
         assert!(n > 0);
-        assert!(
-            plan.labels().iter().any(|(_, l)| *l == "rt::commit"),
-            "commit point must be a labelled opportunity"
-        );
+        for want in ["rt::commit", "heap::append", "heap::compact", "wear::relocate"] {
+            assert!(
+                plan.labels().iter().any(|(_, l)| *l == want),
+                "{want} must be a labelled opportunity"
+            );
+        }
         for mode in [
             CrashMode::LoseDirty,
             CrashMode::CommitRandom { p: 0.5, seed: 7 },
@@ -783,6 +1134,18 @@ mod tests {
     }
 
     #[test]
+    fn root_pointing_at_blob_record_is_corrupt() {
+        let mut a = arena();
+        let mut rt = PmRt::create(&mut a).unwrap();
+        let p = rt.stage(&mut a, "x", &5u64).unwrap();
+        rt.commit(&mut a).unwrap();
+        // A blob record is checksummed too, but it is not a commit
+        // record: the kind check must reject it.
+        a.set_rt_root(POffset(p.offset() - REC_HEADER as u64));
+        assert!(matches!(PmRt::restore(&mut a), Err(PmError::Corrupt(_))));
+    }
+
+    #[test]
     fn octree_bump_cannot_cross_committed_rt_blobs() {
         use pm_octree::{CellData, OctAccess, Octant, PmConfig, PmOctree, OCTANT_SIZE};
         use pmoctree_morton::OctKey;
@@ -828,7 +1191,7 @@ mod tests {
         use pm_octree::{PmConfig, PmOctree};
         use pmoctree_morton::OctKey;
 
-        // The octree grows long after the runtime was created: the heap
+        // The octree grows long after the runtime was created: the ring
         // limit must track the *live* bump, not a create-time snapshot
         // (which would let a big blob land on live octants).
         let a = NvbmArena::new(64 << 10, DeviceModel::default());
@@ -876,6 +1239,33 @@ mod tests {
     }
 
     #[test]
+    fn removal_survives_checkpoint_chain_cut() {
+        // Deltas record removals explicitly; a checkpoint then bakes the
+        // absence into the full table. Exercise both paths across enough
+        // commits to cross a checkpoint boundary.
+        let mut a = arena();
+        let mut rt = PmRt::create(&mut a).unwrap();
+        rt.stage(&mut a, "keep", &1u64).unwrap();
+        rt.stage(&mut a, "drop", &2u64).unwrap();
+        rt.commit(&mut a).unwrap();
+        rt.unregister("drop");
+        rt.commit(&mut a).unwrap();
+        for i in 0..(CHECKPOINT_EVERY as u64 + 2) {
+            rt.stage(&mut a, "keep", &i).unwrap();
+            rt.commit(&mut a).unwrap();
+        }
+        assert!(
+            rt.chain_len() <= CHECKPOINT_EVERY,
+            "checkpoint must have cut the chain (len {})",
+            rt.chain_len()
+        );
+        a.crash(CrashMode::LoseDirty);
+        let mut r = PmRt::restore(&mut a).unwrap();
+        assert_eq!(r.load::<u64>(&mut a, "keep").unwrap(), Some(CHECKPOINT_EVERY as u64 + 1));
+        assert_eq!(r.load::<u64>(&mut a, "drop").unwrap(), None);
+    }
+
+    #[test]
     fn heap_space_is_recycled_across_commits() {
         let mut a = arena();
         let mut rt = PmRt::create(&mut a).unwrap();
@@ -883,10 +1273,16 @@ mod tests {
             rt.stage(&mut a, "x", &i).unwrap();
             rt.commit(&mut a).unwrap();
         }
-        // 200 rewrites of one small root must not consume 200 blobs of
-        // fresh space: floor stays within a few blocks of the top (which
-        // sits just below the flight-recorder ring).
-        assert!(a.rt_heap_top() - rt.heap_floor() < 1024);
+        // 200 rewrites of one small root must not consume 200 records of
+        // fresh space: the ring head wraps over swept tail space, so the
+        // window stays within a few growth chunks of the top (which sits
+        // just below the flight-recorder ring).
+        assert!(
+            a.rt_heap_top() - rt.heap_floor() <= 4096,
+            "ring window grew to {} bytes",
+            a.rt_heap_top() - rt.heap_floor()
+        );
+        assert!(rt.log_laps() > 0, "the ring must actually wrap");
         assert_eq!(rt.deferred_len(), 0, "no pins, nothing deferred");
     }
 
@@ -898,7 +1294,8 @@ mod tests {
         rt.commit(&mut a).unwrap();
         let floor = rt.heap_floor();
         // Rewrite the same staged root many times without committing: the
-        // superseded staged blobs recycle, so the floor cannot sink.
+        // same-footprint record slot is reused in place, so the floor
+        // cannot sink.
         for i in 0..100u64 {
             rt.stage(&mut a, "x", &i).unwrap();
         }
@@ -907,6 +1304,80 @@ mod tests {
         a.crash(CrashMode::LoseDirty);
         let mut r = PmRt::restore(&mut a).unwrap();
         assert_eq!(r.load::<u64>(&mut a, "x").unwrap(), Some(99));
+    }
+
+    #[test]
+    fn relocation_tracks_wear_and_moves_hot_blobs() {
+        let mut a = arena();
+        let mut rt = PmRt::create(&mut a).unwrap();
+        rt.stage(&mut a, "cold", &vec![7u8; 200]).unwrap();
+        rt.commit(&mut a).unwrap();
+        let before = rt.resolve::<Vec<u8>>("cold").unwrap();
+        // Churn an unrelated root: every commit runs the wear pass, which
+        // relocates the hottest unmodified blob — "cold" — and charges
+        // the move to the stats relocation counters.
+        for i in 0..4u64 {
+            rt.stage(&mut a, "hot", &i).unwrap();
+            rt.commit(&mut a).unwrap();
+        }
+        let after = rt.resolve::<Vec<u8>>("cold").unwrap();
+        assert_ne!(before, after, "the blob must have been relocated");
+        assert!(a.stats.relocations() > 0);
+        assert!(a.stats.relocated_bytes() > 0);
+        // Byte identity across relocation, including after a crash.
+        assert_eq!(rt.load::<Vec<u8>>(&mut a, "cold").unwrap(), Some(vec![7u8; 200]));
+        a.crash(CrashMode::LoseDirty);
+        let mut r = PmRt::restore(&mut a).unwrap();
+        assert_eq!(r.load::<Vec<u8>>(&mut a, "cold").unwrap(), Some(vec![7u8; 200]));
+    }
+
+    /// Satellite property test: compaction preserves byte-identity of
+    /// all live blobs under random put/remove/commit interleavings
+    /// (deterministic LCG, shadow-model oracle, final crash+restore).
+    #[test]
+    fn log_compaction_preserves_byte_identity_under_random_interleavings() {
+        let mut a = arena();
+        let mut rt = PmRt::create(&mut a).unwrap();
+        let mut shadow: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+        let mut committed_shadow: BTreeMap<String, Vec<u8>>;
+        let mut rng = 0x1234_5678_9abc_def0u64;
+        let mut step = move || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (rng >> 33) as usize
+        };
+        for op in 0..600 {
+            let name = format!("r{}", step() % 12);
+            match step() % 10 {
+                0..=5 => {
+                    let len = step() % 300;
+                    let payload: Vec<u8> = (0..len).map(|i| (i + op) as u8).collect();
+                    rt.stage(&mut a, &name, &payload).unwrap();
+                    shadow.insert(name, payload);
+                }
+                6..=7 => {
+                    assert_eq!(rt.unregister(&name), shadow.remove(&name).is_some());
+                }
+                _ => {
+                    rt.commit(&mut a).unwrap();
+                    committed_shadow = shadow.clone();
+                    for (n, want) in &committed_shadow {
+                        assert_eq!(
+                            rt.load::<Vec<u8>>(&mut a, n).unwrap().as_ref(),
+                            Some(want),
+                            "root {n} diverged at op {op}"
+                        );
+                    }
+                }
+            }
+        }
+        rt.commit(&mut a).unwrap();
+        committed_shadow = shadow.clone();
+        a.crash(CrashMode::LoseDirty);
+        let mut r = PmRt::restore(&mut a).unwrap();
+        assert_eq!(r.len(), committed_shadow.len());
+        for (n, want) in &committed_shadow {
+            assert_eq!(r.load::<Vec<u8>>(&mut a, n).unwrap().as_ref(), Some(want));
+        }
     }
 
     #[test]

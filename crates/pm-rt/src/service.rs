@@ -29,7 +29,7 @@ use pm_octree::PmError;
 use pmoctree_nvbm::{NvbmArena, RecKind};
 
 use crate::data::{ByteReader, PmData};
-use crate::heap::class_of;
+use crate::log::record_size;
 use crate::mvcc::Snapshot;
 use crate::rt::{PmRt, RtError, OBJ_HEADER};
 use crate::tenant::{validate_component, TenantHandle};
@@ -470,10 +470,11 @@ impl StateService {
                     .ok_or_else(|| PmError::NotFound(format!("tenant {tenant:?}")))?;
                 validate_component("root", &root)?;
                 let qualified = format!("{tenant}/{root}");
-                // Charge the class-rounded footprint the blob will occupy
-                // (header + u64 length prefix + payload), net of the blob
-                // it replaces.
-                let new_fp = class_of(OBJ_HEADER + 8 + bytes.len()) as u64;
+                // Charge the full log-record footprint the blob will
+                // occupy in the ring (record header + object header +
+                // u64 length prefix + payload + checksum trailer), net
+                // of the record it replaces.
+                let new_fp = record_size(OBJ_HEADER + 8 + bytes.len()) as u64;
                 let projected = self.usage(&tenant) - self.rt.entry_footprint(&qualified) + new_fp;
                 if projected > quota {
                     self.stats.quota_rejections += 1;
